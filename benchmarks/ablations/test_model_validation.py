@@ -1,0 +1,47 @@
+"""Cross-validation: the analytic MVA figures vs the discrete-event simulator.
+
+The YCSB figures are analytic (fast, deterministic).  This bench re-measures
+representative points with the event-driven closed loop at 2% scale —
+preserving utilizations — and checks throughput agreement, while also
+producing the window-to-window standard errors that the paper's figures
+plot and the analytic model cannot.
+"""
+
+import pytest
+
+
+def test_mva_vs_eventsim_workload_c(benchmark, oltp_study, record):
+    point, sim = benchmark(
+        lambda: oltp_study.event_sim_point("sql-cs", "C", 40_000, scale=0.02,
+                                           duration=60.0)
+    )
+    scaled_x = sim.throughput / 0.02
+    record(
+        "validation_mva_vs_eventsim",
+        "Workload C, SQL-CS at 40k target (event sim at 2% scale)\n"
+        f"  MVA:        X={point.achieved:,.0f} ops/s, "
+        f"read={point.latency_ms('read'):.2f} ms\n"
+        f"  event sim:  X={scaled_x:,.0f} ops/s, "
+        f"read={sim.latency['read'] * 1000:.2f} ms "
+        f"(std err {sim.latency_stderr['read'] * 1000:.3f} ms over windows)",
+    )
+    assert scaled_x == pytest.approx(point.achieved, rel=0.1)
+    # Exponential service inflates latency vs the deterministic analytic
+    # mean, but it must stay in the same regime.
+    assert sim.latency["read"] * 1000 < 4 * max(point.latency_ms("read"), 0.5)
+
+
+def test_mva_vs_eventsim_update_heavy(benchmark, oltp_study, record):
+    point, sim = benchmark(
+        lambda: oltp_study.event_sim_point("mongo-as", "A", 10_000, scale=0.02,
+                                           duration=60.0)
+    )
+    scaled_x = sim.throughput / 0.02
+    record(
+        "validation_mva_vs_eventsim_a",
+        "Workload A, Mongo-AS at 10k target (event sim at 2% scale)\n"
+        f"  MVA:        X={point.achieved:,.0f} ops/s\n"
+        f"  event sim:  X={scaled_x:,.0f} ops/s "
+        f"(throughput std err {sim.throughput_stderr / 0.02:,.0f})",
+    )
+    assert scaled_x == pytest.approx(point.achieved, rel=0.15)

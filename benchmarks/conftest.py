@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, prints it,
+and persists the rendered text under ``benchmarks/output/`` so the artifacts
+survive pytest's output capturing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dss import DssStudy
+from repro.core.oltp import OltpStudy
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def dss_study():
+    """One calibrated DSS study shared by all DSS benchmarks."""
+    return DssStudy()
+
+
+@pytest.fixture(scope="session")
+def oltp_study():
+    return OltpStudy()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a rendered artifact and save it to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

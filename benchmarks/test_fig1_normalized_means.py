@@ -1,0 +1,28 @@
+"""Figure 1: normalized arithmetic/geometric means of TPC-H times.
+
+Paper (normalized to PDW at SF 250): Hive AM 22/48/148/500, PDW AM
+1/4/17/72; Hive GM 26/52/144/474, PDW GM 1/5/18/72.
+"""
+
+from repro.core.report import render_figure1
+
+PAPER = {
+    "hive_am": (22, 48, 148, 500),
+    "pdw_am": (1, 4, 17, 72),
+    "hive_gm": (26, 52, 144, 474),
+    "pdw_gm": (1, 5, 18, 72),
+}
+
+
+def test_fig1_normalized_means(benchmark, dss_study, record):
+    table = dss_study.table3()
+    fig = benchmark(dss_study.figure1, table)
+    record("fig1_normalized_means", render_figure1(dss_study, table))
+
+    assert fig["pdw_am"][0] == 1.0
+    for series, values in fig.items():
+        # Monotone growth with scale factor, as in the paper.
+        assert values == sorted(values)
+        # Within ~2x of the published normalized points.
+        for model, paper in zip(values, PAPER[series]):
+            assert 0.4 < model / paper < 2.2, (series, model, paper)

@@ -1,0 +1,38 @@
+"""Figure 2: workload C (100% reads), read latency vs throughput.
+
+Paper: SQL-CS peaks at 125,457 ops/s (6.4 ms); Mongo-AS at 68,533 (11.8 ms);
+Mongo-CS at 60,907 (13.2 ms).  SQL-CS has the lowest latency at every
+target; the Mongo systems never reach the 80k target.
+"""
+
+import pytest
+
+from repro.core.report import render_ycsb_figure
+
+TARGETS = [5_000, 10_000, 20_000, 40_000, 80_000, 160_000]
+
+
+def test_fig2_workload_c(benchmark, oltp_study, record):
+    figure = benchmark(oltp_study.figure, "C", TARGETS)
+    record("fig2_workload_c", render_ycsb_figure(oltp_study, "C", TARGETS, ["read"]))
+
+    peaks = {name: max(p.achieved for p in pts) for name, pts in figure.items()}
+    assert peaks["sql-cs"] > peaks["mongo-as"] > peaks["mongo-cs"]
+    assert peaks["sql-cs"] == pytest.approx(125_457, rel=0.25)
+    assert peaks["mongo-as"] == pytest.approx(68_533, rel=0.25)
+    assert peaks["mongo-cs"] == pytest.approx(60_907, rel=0.25)
+
+    # Mongo systems never achieve the 80k target.
+    assert figure["mongo-as"][4].achieved < 80_000
+    assert figure["mongo-cs"][4].achieved < 80_000
+
+    # SQL-CS has the lowest read latency at every target.
+    for i in range(len(TARGETS)):
+        assert (
+            figure["sql-cs"][i].latency["read"]
+            < figure["mongo-as"][i].latency["read"]
+        )
+        assert (
+            figure["sql-cs"][i].latency["read"]
+            < figure["mongo-cs"][i].latency["read"]
+        )

@@ -1,0 +1,36 @@
+"""Figure 3: workload B (95% reads / 5% updates), read + update latency.
+
+Paper: SQL-CS achieves 103,789 ops/s (update 12 ms, read 8.4 ms); the Mongo
+systems cannot reach the 40k target region before their latencies blow up;
+every system peaks below its workload C level because dirty-page flushing
+(checkpoints / fsync cycles) steals disk bandwidth.
+"""
+
+import pytest
+
+from repro.core.report import render_ycsb_figure
+
+TARGETS = [5_000, 10_000, 20_000, 40_000, 80_000, 160_000]
+
+
+def test_fig3_workload_b(benchmark, oltp_study, record):
+    figure = benchmark(oltp_study.figure, "B", TARGETS)
+    record(
+        "fig3_workload_b",
+        render_ycsb_figure(oltp_study, "B", TARGETS, ["read", "update"]),
+    )
+
+    peaks = {name: max(p.achieved for p in pts) for name, pts in figure.items()}
+    assert peaks["sql-cs"] == pytest.approx(103_789, rel=0.25)
+    assert peaks["sql-cs"] > 1.5 * peaks["mongo-as"]
+    assert peaks["sql-cs"] > 1.5 * peaks["mongo-cs"]
+
+    # Checkpoint/flush cost: B peaks below C peaks for every system.
+    for name in figure:
+        assert peaks[name] < oltp_study.peak_throughput(name, "C")
+
+    # Mongo latencies climb steeply between the 20k and 40k targets.
+    for name in ("mongo-as", "mongo-cs"):
+        l20 = figure[name][2].latency["read"]
+        l40 = figure[name][3].latency["read"]
+        assert l40 > l20

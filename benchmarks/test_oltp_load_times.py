@@ -1,0 +1,28 @@
+"""Section 3.4.2: the YCSB load phase (640M records into 8 server nodes).
+
+Paper: Mongo-AS with pre-split chunks 114 min; SQL-CS 146 min (every insert
+is its own transaction, no bulk path); Mongo-CS 45 min.
+"""
+
+import pytest
+
+from repro.core.report import render_oltp_load_times
+
+
+def test_oltp_load_times(benchmark, oltp_study, record):
+    times = benchmark(
+        lambda: {
+            name: oltp_study.load_time_minutes(name)
+            for name in ("mongo-as", "sql-cs", "mongo-cs")
+        }
+    )
+    record("oltp_load_times", render_oltp_load_times(oltp_study))
+
+    assert times["mongo-cs"] < times["mongo-as"] < times["sql-cs"]
+    assert times["mongo-as"] == pytest.approx(114, rel=0.2)
+    assert times["sql-cs"] == pytest.approx(146, rel=0.2)
+    assert times["mongo-cs"] == pytest.approx(45, rel=0.2)
+
+    # The pre-split optimization the paper applied (§3.4.2).
+    without = oltp_study.load_time_minutes("mongo-as", pre_split=False)
+    assert without > times["mongo-as"] * 1.3

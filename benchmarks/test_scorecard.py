@@ -1,0 +1,15 @@
+"""The reproduction scorecard as a benchmark artifact.
+
+Regenerates the paper-vs-model accuracy summary (the numbers quoted in
+EXPERIMENTS.md) and the qualitative-claims checklist in one run.
+"""
+
+from repro.core.scorecard import build_scorecard
+
+
+def test_scorecard(benchmark, dss_study, oltp_study, record):
+    card = benchmark(build_scorecard, dss_study, oltp_study)
+    record("scorecard", card.render())
+    assert card.all_claims_hold
+    assert card.accuracy["hive"].geomean < 1.45
+    assert card.accuracy["pdw"].geomean < 1.85

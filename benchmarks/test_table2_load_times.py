@@ -1,0 +1,24 @@
+"""Table 2: data loading times for Hive and PDW at four scale factors.
+
+Paper: Hive 38/125/519/2512 minutes; PDW 79/313/1180/4712 minutes.
+Shape: PDW loads ~2x slower at every SF (the landing node serializes
+dwloader); both are roughly linear in the scale factor.
+"""
+
+from repro.core import paper_data
+from repro.core.report import render_table2
+
+
+def test_table2_load_times(benchmark, dss_study, record):
+    table = benchmark(dss_study.table2)
+    record("table2_load_times", render_table2(dss_study))
+
+    for i in range(len(paper_data.SCALE_FACTORS)):
+        assert table["pdw"][i] > 1.5 * table["hive"][i]
+    # Linearity: 4x the data within ~25% of 4x the time.
+    for name in ("hive", "pdw"):
+        for a, b in zip(table[name], table[name][1:]):
+            assert 3.0 < b / a < 5.0
+    # Anchor to the measured 250 GB points.
+    assert abs(table["hive"][0] - 38) / 38 < 0.2
+    assert abs(table["pdw"][0] - 79) / 79 < 0.2

@@ -1,0 +1,37 @@
+"""Table 3: the 22 TPC-H queries on Hive and PDW at four scale factors.
+
+Shape criteria (paper Section 3.3.4): PDW beats Hive on every query at every
+scale factor; the mean speedup shrinks from ~34x at SF 250 toward ~9x at
+16 TB; Hive's growth factors between adjacent SFs are smaller than PDW's at
+the small end (its fixed overheads amortize); Hive's Q9 does not complete at
+16 TB (out of disk space).
+"""
+
+from repro.core import paper_data
+from repro.core.report import render_table3
+
+
+def test_table3_tpch_queries(benchmark, dss_study, record):
+    table = benchmark(dss_study.table3)
+    record("table3_tpch_queries", render_table3(table))
+
+    # PDW wins everywhere.
+    for row in table.rows:
+        for hive, pdw in zip(row.hive, row.pdw):
+            if hive is not None:
+                assert hive > pdw, f"Q{row.query}"
+
+    # Q9 DNF at 16 TB only.
+    assert table.row(9).hive[3] is None
+    assert all(r.hive[3] is not None for r in table.rows if r.query != 9)
+
+    # Speedup declines with scale.
+    am9 = [h / p for h, p in zip(table.am9("hive"), table.am9("pdw"))]
+    assert am9[0] > am9[-1]
+    assert am9[0] > 15
+    assert 4 < am9[-1] < 20
+
+    # Fitted column within 2x of the paper for every query.
+    for row in table.rows:
+        target = paper_data.hive_time(row.query, 250)
+        assert 0.5 < row.hive[0] / target < 2.0

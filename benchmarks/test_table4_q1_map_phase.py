@@ -1,0 +1,23 @@
+"""Table 4: total map-phase time for Query 1's lineitem scan.
+
+Paper: 148 / 339 / 1258 / 5220 seconds.  The interesting shape is the growth
+pattern: sub-4x from 250 GB to 1 TB (the 384 empty bucket files' task
+startup amortizes), then converging to ~4x per 4x of data.
+"""
+
+from repro.core import paper_data
+from repro.core.report import render_table4
+
+
+def test_table4_q1_map_phase(benchmark, dss_study, record):
+    times = benchmark(dss_study.table4)
+    record("table4_q1_map_phase", render_table4(dss_study))
+
+    assert abs(times[0] - paper_data.Q1_MAP_PHASE_SEC[0]) / 148 < 0.35
+    growth = [b / a for a, b in zip(times, times[1:])]
+    assert growth[0] < 4.0  # empty-file overhead amortizes
+    assert abs(growth[-1] - 4.0) < 0.6  # asymptotically linear
+
+    # The mechanism: 512 bucket files, only 128 non-empty.
+    job = dss_study.hive.run_query(1, 250).job("agg.q1.agg")
+    assert job.map_tasks >= 512

@@ -1,0 +1,33 @@
+"""Table 5: time breakdown of Q22's four Hive sub-queries.
+
+Paper: sub1 85-263 s, sub2 38-63 s, sub3 109-2234 s, sub4 654-813 s.  The
+signature shapes: sub-query 4 is nearly flat across scale factors because it
+is dominated by the constant ~400 s map-join failure before the backup
+common join; sub-query 3 scales like Q1 (sparse orders buckets); sub-query 1
+jumps at 16 TB when each customer bucket becomes 3 HDFS blocks.
+"""
+
+from repro.core import paper_data
+from repro.core.report import render_table5
+
+
+def test_table5_q22_breakdown(benchmark, dss_study, record):
+    breakdown = benchmark(dss_study.table5)
+    record("table5_q22_breakdown", render_table5(dss_study))
+
+    # Sub-query 4: map-join failure dominates -> nearly flat.
+    assert breakdown[4][-1] / breakdown[4][0] < 1.6
+    assert abs(breakdown[4][0] - 654) / 654 < 0.35
+
+    # Sub-query 3 grows the fastest of the four.
+    growth = {s: breakdown[s][-1] / breakdown[s][0] for s in (1, 2, 3, 4)}
+    assert growth[3] == max(growth.values())
+
+    # The map join fails at every scale factor (the paper's observation).
+    for sf in paper_data.SCALE_FACTORS:
+        job = dss_study.hive.run_query(22, sf).job("join.q22.anti")
+        assert job.failed_mapjoin
+
+    # Sub-query 1's task count: 200 bucket files, 600 tasks at 16 TB.
+    assert dss_study.hive.run_query(22, 250).job("mat.q22.candidates").map_tasks == 200
+    assert dss_study.hive.run_query(22, 16000).job("mat.q22.candidates").map_tasks == 600

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a data-serving tier (the paper's "modern OLTP" question).
+
+A Web 2.0 team must pick a store for a 640M-record, 1 KB-record serving tier
+on 8 servers: MongoDB with auto-sharding, MongoDB with client-side sharding,
+or client-side-sharded SQL Server.  This script reproduces the paper's five
+YCSB figures and then answers the provisioning question the YCSB methodology
+is designed for: how many ops/s can each system sustain at a given latency
+SLA?
+
+Run: python examples/dataserving_sizing.py
+"""
+
+from repro.core.oltp import SYSTEMS, OltpStudy
+from repro.core.report import render_oltp_load_times, render_ycsb_figure
+
+FIGURES = [
+    ("C", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read"]),
+    ("B", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read", "update"]),
+    ("A", [1_000, 2_000, 5_000, 10_000, 20_000, 40_000], ["read", "update"]),
+    ("D", [20_000, 40_000, 80_000, 160_000, 320_000, 640_000], ["read", "insert"]),
+    ("E", [250, 500, 1_000, 2_000, 4_000, 8_000], ["scan", "insert"]),
+]
+
+
+def max_throughput_under_sla(study, system, workload, op_class, sla_ms):
+    """Largest achieved throughput whose op latency stays under the SLA."""
+    best = 0.0
+    for target in (1, 2, 5, 10, 20, 40, 80, 160, 320):
+        try:
+            point = study.evaluate(system, workload, target * 1000.0)
+        except Exception:
+            break
+        if point.latency_ms(op_class) <= sla_ms:
+            best = max(best, point.achieved)
+    return best
+
+
+def main() -> None:
+    study = OltpStudy()
+
+    for workload, targets, op_classes in FIGURES:
+        print(render_ycsb_figure(study, workload, targets, op_classes))
+        print()
+
+    print(render_oltp_load_times(study))
+
+    print("\n=== Provisioning: max ops/s under a 10 ms read SLA ===")
+    for workload in ("A", "B", "C", "D"):
+        row = []
+        for system in SYSTEMS:
+            capacity = max_throughput_under_sla(study, system, workload, "read", 10.0)
+            row.append(f"{system}={capacity / 1000:7.1f}k")
+        print(f"  workload {workload}: " + "  ".join(row))
+
+    print(
+        "\nThe paper's conclusion holds across the board: the relational\n"
+        "system sustains more load at lower latency on A-D even without\n"
+        "MongoDB paying for durability; range-sharded MongoDB wins only\n"
+        "the short-scan workload E — and pays for it with multi-second\n"
+        "append latencies at its ordered-key hot spot."
+    )
+
+
+if __name__ == "__main__":
+    main()

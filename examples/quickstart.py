@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: the reproduction in five minutes.
+
+1. Generate a small TPC-H database with the dbgen port and run a real query.
+2. Cost the same query on the Hive and PDW engine models at paper scale.
+3. Ask the YCSB model for one latency/throughput point per system.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.relational import ExecutionContext
+from repro.tpch.dbgen import DbGen
+from repro.tpch.queries import run_query
+from repro.core.dss import DssStudy
+from repro.core.oltp import OltpStudy
+
+
+def main() -> None:
+    # --- 1. real data, real answers -------------------------------------------
+    print("Generating TPC-H at SF 0.01 (~86k rows)...")
+    db = DbGen(scale_factor=0.01, seed=42).generate()
+    ctx = ExecutionContext(db)
+    answer = run_query(5, db, ctx)  # Q5: local supplier volume in ASIA
+    print("Q5 answer (revenue by nation):")
+    for row in answer:
+        print(f"  {row['n_name']:<12} {row['revenue']:>16,.2f}")
+
+    # --- 2. the same query, costed at paper scale ---------------------------------
+    study = DssStudy()  # calibrates volumes and fits per-query CPU weights
+    print("\nQ5 modelled on the paper's 16-node cluster:")
+    for sf in (250, 1000, 4000, 16000):
+        h = study.hive_time(5, sf)
+        p = study.pdw_time(5, sf)
+        print(f"  SF {sf:>6}: Hive {h:>8,.0f} s   PDW {p:>7,.0f} s   "
+              f"speedup {h / p:5.1f}x   (paper: 16-22x)")
+
+    # --- 3. one YCSB point per system ---------------------------------------------
+    print("\nYCSB workload C (100% reads) at a 40k ops/s target:")
+    oltp = OltpStudy()
+    for system in ("sql-cs", "mongo-as", "mongo-cs"):
+        point = oltp.evaluate(system, "C", 40_000)
+        print(f"  {system:<9} achieved {point.achieved:>9,.0f} ops/s, "
+              f"read latency {point.latency_ms('read'):5.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

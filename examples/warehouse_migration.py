@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario: sizing a decision-support migration (the paper's DSS question).
+
+A team running nightly TPC-H-style reporting asks: if we move from a parallel
+RDBMS appliance to Hive on the same 16 nodes, what happens to our batch
+window?  This script reproduces the paper's full DSS study and then answers
+two planning questions the paper's data supports:
+
+* how much longer does the nightly 22-query batch take on Hive, per scale?
+* at which data size does Hive's better *scaling* start to close the gap?
+
+Run: python examples/warehouse_migration.py
+"""
+
+from repro.core.dss import DssStudy
+from repro.core.report import (
+    render_figure1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+def main() -> None:
+    print("Calibrating engine models against real query executions...")
+    study = DssStudy()
+    table = study.table3()
+
+    print()
+    print(render_table2(study))
+    print()
+    print(render_table3(table))
+    print()
+    print(render_figure1(study, table))
+    print()
+    print(render_table4(study))
+    print()
+    print(render_table5(study))
+
+    # -- planning answers -------------------------------------------------------
+    print("\n=== Batch-window planning ===")
+    for i, sf in enumerate(table.scale_factors):
+        hive_total = sum(r.hive[i] for r in table.rows if r.hive[i] is not None)
+        pdw_total = sum(r.pdw[i] for r in table.rows if r.hive[i] is not None)
+        print(
+            f"  SF {sf:>6}: PDW batch {pdw_total / 3600:6.1f} h -> "
+            f"Hive batch {hive_total / 3600:6.1f} h "
+            f"({hive_total / pdw_total:5.1f}x longer)"
+        )
+
+    speedups = [
+        am_h / am_p
+        for am_h, am_p in zip(table.am9("hive"), table.am9("pdw"))
+    ]
+    print("\n  Mean speedup by scale:", ", ".join(f"{s:.1f}x" for s in speedups))
+    print(
+        "  The gap shrinks as data grows (Hive's fixed overheads amortize),\n"
+        "  but even at 16 TB the parallel RDBMS holds a large lead — the\n"
+        "  paper's headline conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

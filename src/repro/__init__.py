@@ -1,0 +1,27 @@
+"""Reproduction of "Can the Elephants Handle the NoSQL Onslaught?" (VLDB 2012).
+
+The package rebuilds both halves of the paper's evaluation in Python:
+
+* **DSS**: TPC-H on a Hive-on-Hadoop model vs a SQL Server PDW model, backed
+  by a real dbgen port and a shared relational execution kernel
+  (:class:`repro.core.DssStudy` -- Tables 2-5, Figure 1);
+* **OLTP**: YCSB on MongoDB (auto- and client-sharded) vs client-sharded SQL
+  Server, backed by real storage engines and a closed-loop queueing model
+  (:class:`repro.core.OltpStudy` -- Figures 2-6, load times).
+
+Quick start::
+
+    from repro.core import DssStudy, OltpStudy, render_table3
+
+    dss = DssStudy()
+    print(render_table3(dss.table3()))
+
+    oltp = OltpStudy()
+    print(oltp.peak_throughput("sql-cs", "C"))
+"""
+
+from repro.core import DssStudy, OltpStudy
+
+__version__ = "1.0.0"
+
+__all__ = ["DssStudy", "OltpStudy", "__version__"]

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``dss`` — reproduce the DSS study (Tables 2-5, Figure 1);
+* ``oltp`` — reproduce the YCSB study (Figures 2-6, load times);
+* ``dbgen`` — generate TPC-H data and write dbgen-compatible ``.tbl`` files;
+* ``query`` — execute one TPC-H query on generated data and print the answer;
+* ``explain`` — show both engines' physical plans for one query;
+* ``hiveql`` — execute a HiveQL statement on generated data;
+* ``scorecard`` — paper-vs-model accuracy summary and claim checklist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_dss(args) -> int:
+    from repro.core.dss import DssStudy
+    from repro.core.report import (
+        render_figure1,
+        render_table2,
+        render_table3,
+        render_table4,
+        render_table5,
+    )
+
+    study = DssStudy(calibration_sf=args.calibration_sf, seed=args.seed)
+    table = study.table3()
+    for block in (
+        render_table2(study),
+        render_table3(table),
+        render_figure1(study, table),
+        render_table4(study),
+        render_table5(study),
+    ):
+        print(block)
+        print()
+    return 0
+
+
+def _cmd_oltp(args) -> int:
+    from repro.core.oltp import OltpStudy
+    from repro.core.report import render_oltp_load_times, render_ycsb_figure
+
+    study = OltpStudy(isolation=args.isolation)
+    figures = [
+        ("C", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read"]),
+        ("B", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read", "update"]),
+        ("A", [1_000, 2_000, 5_000, 10_000, 20_000, 40_000], ["read", "update"]),
+        ("D", [20_000, 40_000, 80_000, 160_000, 320_000, 640_000], ["read", "insert"]),
+        ("E", [250, 500, 1_000, 2_000, 4_000, 8_000], ["scan", "insert"]),
+    ]
+    selected = [f for f in figures if args.workload in ("all", f[0])]
+    if not selected:
+        print(f"unknown workload {args.workload!r}; use A-E or 'all'",
+              file=sys.stderr)
+        return 2
+    for workload, targets, op_classes in selected:
+        print(render_ycsb_figure(study, workload, targets, op_classes))
+        if args.ascii:
+            from repro.core.figures import figure_to_ascii
+
+            figure = study.figure(workload, targets)
+            print()
+            print(figure_to_ascii(figure, op_classes[0],
+                                  title=f"Workload {workload}"))
+        print()
+    if args.workload == "all":
+        print(render_oltp_load_times(study))
+    return 0
+
+
+def _cmd_dbgen(args) -> int:
+    from repro.tpch.dbgen import DbGen
+    from repro.tpch.tbl_io import write_tbl
+
+    db = DbGen(scale_factor=args.sf, seed=args.seed).generate()
+    written = write_tbl(db, args.output)
+    for name, rows in sorted(written.items()):
+        print(f"{name:>10}: {rows:>10,} rows -> {args.output}/{name}.tbl")
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.core.scorecard import build_scorecard
+
+    card = build_scorecard()
+    print(card.render())
+    return 0 if card.all_claims_hold else 1
+
+
+def _cmd_explain(args) -> int:
+    from repro.core.explain import explain_query
+
+    print(explain_query(args.number, args.sf))
+    return 0
+
+
+def _cmd_hiveql(args) -> int:
+    from repro.hive.hiveql import execute
+    from repro.tpch.dbgen import DbGen
+
+    db = DbGen(scale_factor=args.sf, seed=args.seed).generate()
+    rows = execute(args.sql, db)
+    for row in rows[: args.limit]:
+        print(row)
+    print(f"({len(rows)} row(s))")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.tpch.dbgen import DbGen
+    from repro.tpch.queries import run_query
+
+    db = DbGen(scale_factor=args.sf, seed=args.seed).generate()
+    rows = run_query(args.number, db)
+    for row in rows[: args.limit]:
+        print(row)
+    print(f"({len(rows)} row(s))")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Can the Elephants Handle the NoSQL "
+        "Onslaught?' (VLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dss = sub.add_parser("dss", help="run the TPC-H study (Tables 2-5, Fig 1)")
+    dss.add_argument("--calibration-sf", type=float, default=0.01)
+    dss.add_argument("--seed", type=int, default=42)
+    dss.set_defaults(func=_cmd_dss)
+
+    oltp = sub.add_parser("oltp", help="run the YCSB study (Figures 2-6)")
+    oltp.add_argument("--workload", default="all", help="A-E or 'all'")
+    oltp.add_argument(
+        "--isolation", default="read_committed",
+        choices=["read_committed", "read_uncommitted"],
+    )
+    oltp.add_argument("--ascii", action="store_true",
+                      help="also draw ASCII latency/throughput plots")
+    oltp.set_defaults(func=_cmd_oltp)
+
+    dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")
+    dbgen.add_argument("--sf", type=float, default=0.01)
+    dbgen.add_argument("--seed", type=int, default=42)
+    dbgen.add_argument("--output", default="tpch-data")
+    dbgen.set_defaults(func=_cmd_dbgen)
+
+    scorecard = sub.add_parser(
+        "scorecard", help="paper-vs-model accuracy summary and claim checklist"
+    )
+    scorecard.set_defaults(func=_cmd_scorecard)
+
+    explain = sub.add_parser(
+        "explain", help="show both engines' physical plans for a query"
+    )
+    explain.add_argument("number", type=int)
+    explain.add_argument("--sf", type=float, default=4000.0)
+    explain.set_defaults(func=_cmd_explain)
+
+    hiveql = sub.add_parser(
+        "hiveql", help="execute a HiveQL statement on generated TPC-H data"
+    )
+    hiveql.add_argument("sql")
+    hiveql.add_argument("--sf", type=float, default=0.01)
+    hiveql.add_argument("--seed", type=int, default=42)
+    hiveql.add_argument("--limit", type=int, default=20)
+    hiveql.set_defaults(func=_cmd_hiveql)
+
+    query = sub.add_parser("query", help="run one TPC-H query")
+    query.add_argument("number", type=int)
+    query.add_argument("--sf", type=float, default=0.01)
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--limit", type=int, default=20)
+    query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

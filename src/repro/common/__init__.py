@@ -1,0 +1,57 @@
+"""Cross-cutting utilities: errors, units, deterministic RNG, statistics."""
+
+from repro.common.errors import (
+    ConfigurationError,
+    OutOfDiskSpace,
+    PlanError,
+    ReproError,
+    ServerCrashed,
+    ShardingError,
+    SimulationError,
+    StorageError,
+    TransactionAborted,
+    WorkloadError,
+)
+from repro.common.rng import SeedStream, TpchRandom, TpchRandom64, to_int32, to_int64
+from repro.common.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_number,
+    percentile,
+    scaling_factors,
+    std_deviation,
+    std_error,
+)
+from repro.common.units import GB, KB, MB, TB, fmt_bytes, fmt_seconds, gbit_to_bytes_per_sec
+
+__all__ = [
+    "ConfigurationError",
+    "OutOfDiskSpace",
+    "PlanError",
+    "ReproError",
+    "ServerCrashed",
+    "ShardingError",
+    "SimulationError",
+    "StorageError",
+    "TransactionAborted",
+    "WorkloadError",
+    "SeedStream",
+    "TpchRandom",
+    "TpchRandom64",
+    "to_int32",
+    "to_int64",
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_number",
+    "percentile",
+    "scaling_factors",
+    "std_deviation",
+    "std_error",
+    "GB",
+    "KB",
+    "MB",
+    "TB",
+    "fmt_bytes",
+    "fmt_seconds",
+    "gbit_to_bytes_per_sec",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared by every subsystem in the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or references unknown tables/columns."""
+
+
+class StorageError(ReproError):
+    """A storage engine operation failed (page, B-tree, WAL, HDFS block)."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was rolled back (deadlock victim or explicit abort)."""
+
+
+class LockWait(ReproError):
+    """A lock request must wait for another transaction (no deadlock)."""
+
+
+class ShardingError(ReproError):
+    """A request could not be routed to a shard."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload definition or run request is invalid."""
+
+
+class OutOfDiskSpace(StorageError):
+    """A node ran out of simulated disk space (Hive Q9 at 16 TB)."""
+
+
+class ServerCrashed(ReproError):
+    """A simulated server process crashed mid-benchmark (Mongo-AS, workload D)."""

@@ -1,0 +1,48 @@
+"""Byte, time, and rate units used throughout the cost models.
+
+All sizes are plain ``int``/``float`` byte counts and all times are float
+seconds; these constants exist so call sites read like the paper's text
+("256 MB HDFS block", "1 Gbit switch") instead of raw powers of two.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# Decimal variants: disk vendors and network links quote powers of ten.
+KB10 = 1_000
+MB10 = 1_000_000
+GB10 = 1_000_000_000
+TB10 = 1_000_000_000_000
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+MS = 1e-3
+US = 1e-6
+
+
+def gbit_to_bytes_per_sec(gbits: float) -> float:
+    """Convert a link speed in gigabits/s to bytes/s (decimal, as vendors do)."""
+    return gbits * 1e9 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-readable binary suffix."""
+    value = float(n)
+    for suffix in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1024.0 or suffix == "PB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (whole seconds)."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f} ms"
+    if seconds < 600.0:
+        return f"{seconds:.0f} sec"
+    return f"{seconds / 60.0:.0f} min"

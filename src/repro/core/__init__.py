@@ -1,0 +1,55 @@
+"""The paper's study harness: DSS (Hive vs PDW) and OLTP (YCSB) studies."""
+
+from repro.core.dss import DssStudy, QueryRow, Table3, fit_weight
+from repro.core.scorecard import Scorecard, build_scorecard
+from repro.core.sensitivity import sweep_dss_speedup, sweep_oltp_peaks
+from repro.core.oltp import (
+    SYSTEMS,
+    CurvePoint,
+    OltpParams,
+    OltpStudy,
+    SystemModel,
+    closed_mva,
+)
+from repro.core.explain import explain_hive, explain_pdw, explain_query
+from repro.core.figures import Series, figure_to_ascii, plot_bars, plot_xy
+from repro.core.report import (
+    render_figure1,
+    render_oltp_load_times,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_ycsb_figure,
+)
+
+__all__ = [
+    "DssStudy",
+    "Scorecard",
+    "build_scorecard",
+    "sweep_dss_speedup",
+    "sweep_oltp_peaks",
+    "explain_hive",
+    "explain_pdw",
+    "explain_query",
+    "Series",
+    "figure_to_ascii",
+    "plot_bars",
+    "plot_xy",
+    "QueryRow",
+    "Table3",
+    "fit_weight",
+    "SYSTEMS",
+    "CurvePoint",
+    "OltpParams",
+    "OltpStudy",
+    "SystemModel",
+    "closed_mva",
+    "render_figure1",
+    "render_oltp_load_times",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_ycsb_figure",
+]

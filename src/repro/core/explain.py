@@ -1,0 +1,76 @@
+"""EXPLAIN-style renderings of the engine models' physical plans.
+
+``explain_pdw`` prints a DSQL-plan-like step list (scan / shuffle /
+replicate / local join, with DMS volumes), and ``explain_hive`` prints the
+MR job chain (map tasks and waves, shuffle volumes, join strategies,
+map-join failures).  These are the textual counterparts of the plan
+narratives in the paper's Section 3.3.4.1.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import fmt_bytes, fmt_seconds
+from repro.hive.engine import HiveQueryResult
+from repro.pdw.engine import PdwQueryResult
+
+
+def explain_pdw(result: PdwQueryResult) -> str:
+    """Render a PDW plan the way the appliance's EXPLAIN would."""
+    lines = [
+        f"PDW plan for Q{result.number} at SF {result.scale_factor:g} "
+        f"(total {fmt_seconds(result.total_time)})"
+    ]
+    for i, step in enumerate(result.steps, start=1):
+        timing = (
+            f"io={step.io_time:.1f}s cpu={step.cpu_time:.1f}s "
+            f"net={step.net_time:.1f}s"
+        )
+        lines.append(f"  {i:>2}. [{step.kind:<14}] {step.name:<24} {timing}")
+        if step.moved_bytes > 0:
+            lines.append(
+                f"       DMS moved {fmt_bytes(step.moved_bytes)}"
+                + (f" — {step.note}" if step.note else "")
+            )
+        elif step.note:
+            lines.append(f"       {step.note}")
+    lines.append(
+        f"  total network traffic: {fmt_bytes(result.network_bytes)}"
+    )
+    return "\n".join(lines)
+
+
+def explain_hive(result: HiveQueryResult) -> str:
+    """Render the MR job DAG Hive would submit, with per-phase timing."""
+    lines = [
+        f"Hive plan for Q{result.number} at SF {result.scale_factor:g} "
+        f"(total {fmt_seconds(result.total_time)}, {len(result.jobs)} MR jobs)"
+    ]
+    for i, job in enumerate(result.jobs, start=1):
+        lines.append(
+            f"  {i:>2}. {job.name:<28} "
+            f"map={job.map_time:8.1f}s shuffle={job.shuffle_time:7.1f}s "
+            f"reduce={job.reduce_time:7.1f}s"
+        )
+        details = []
+        if job.map_tasks:
+            details.append(f"{job.map_tasks} map tasks in {job.map_waves} wave(s)")
+        if job.reduce_tasks:
+            details.append(f"{job.reduce_tasks} reducers")
+        if job.failed_mapjoin:
+            details.append("MAP JOIN FAILED -> backup common join")
+        details.extend(job.notes)
+        if details:
+            lines.append(f"       {'; '.join(details)}")
+    return "\n".join(lines)
+
+
+def explain_query(number: int, scale_factor: float, calibration=None) -> str:
+    """Both engines' plans for one query, side by side."""
+    from repro.hive.engine import HiveEngine
+    from repro.pdw.engine import PdwEngine
+    from repro.tpch.volumes import calibrate
+
+    calibration = calibration or calibrate(0.01, 42)
+    hive = HiveEngine(calibration).run_query(number, scale_factor)
+    pdw = PdwEngine(calibration).run_query(number, scale_factor)
+    return explain_hive(hive) + "\n\n" + explain_pdw(pdw)

@@ -1,0 +1,114 @@
+"""ASCII renderings of the paper's figures for terminal output.
+
+``plot_xy`` draws latency-vs-throughput curves (Figures 2-6) and
+``plot_bars`` draws grouped bars (Figure 1) using plain characters, so the
+CLI and the benchmark artifacts can show *shapes*, not just tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+_MARKERS = "ox+*#@"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label plus (x, y) points (None = absent/crash)."""
+
+    label: str
+    points: tuple
+
+    @staticmethod
+    def of(label: str, points) -> "Series":
+        return Series(label, tuple(points))
+
+
+def plot_xy(
+    series: list[Series],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "throughput",
+    y_label: str = "latency",
+    title: str = "",
+) -> str:
+    """Scatter/line plot on a character grid, linear axes."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    xs = [p[0] for s in series for p in s.points if p is not None]
+    ys = [p[1] for s in series for p in s.points if p is not None]
+    if not xs:
+        raise ConfigurationError("all points are absent")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0.0, max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for point in s.points:
+            if point is None:
+                continue
+            x, y = point
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (max {y_max:,.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:,.0f} .. {x_max:,.0f}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_bars(
+    groups: list[str],
+    series: dict[str, list[float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal grouped bars (used for the Figure 1 normalized means)."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    for label, values in series.items():
+        if len(values) != len(groups):
+            raise ConfigurationError(f"series {label!r} has wrong length")
+    peak = max(v for values in series.values() for v in values) or 1.0
+    lines = [title] if title else []
+    label_width = max(len(label) for label in series)
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label, values in series.items():
+            bar = "#" * max(1, int(values[gi] / peak * width))
+            lines.append(f"  {label:>{label_width}} {bar} {values[gi]:,.1f}")
+    return "\n".join(lines)
+
+
+def figure_to_ascii(figure: dict, op_class: str, title: str = "") -> str:
+    """Convert an OltpStudy.figure() result into an ASCII latency plot."""
+    series = []
+    for system, points in figure.items():
+        pts = []
+        for point in points:
+            if point is None or op_class not in point.latency:
+                pts.append(None)
+            else:
+                pts.append((point.achieved, point.latency_ms(op_class)))
+        series.append(Series.of(system, pts))
+    return plot_xy(
+        series,
+        x_label="achieved ops/s",
+        y_label=f"{op_class} latency ms",
+        title=title,
+    )

@@ -1,0 +1,523 @@
+"""The OLTP study: YCSB latency/throughput curves (Figures 2-6).
+
+The paper's measurement protocol is a *closed loop*: 800 client threads each
+issue one request at a time against a throttled target rate, so achieved
+throughput and latency obey the interactive response-time law
+``X = N / (R + Z)``.  This module models each deployment as a closed
+queueing network solved with Mean Value Analysis (MVA):
+
+* **cpu** — 128 server cores (8 nodes x 16 hardware threads);
+* **disk** — 64 data spindles doing random I/O; SQL Server reads 8 KB per
+  miss, MongoDB 32 KB (the workload C differentiator, §3.4.3);
+* **log** — SQL Server's commit-time log force (MongoDB ran without
+  durability);
+* **hot shard lock** — MongoDB 1.8's per-process global write lock, focused
+  on the mongod holding the zipfian-hottest key (mongostat showed 25-45% of
+  time in this lock under workload A);
+* **hot row** — SQL Server's row lock on the hottest key under READ
+  COMMITTED (re-running with READ UNCOMMITTED releases readers, the paper's
+  §3.4.3 side experiment);
+* **append hot spot** — Mongo-AS routes every append to the last chunk; in
+  workload E that mongod's writer lock also waits behind scan readers
+  (1832 ms appends), and in workload D pushing past ~20 kops/s crashes the
+  server (socket exceptions), reproduced via :class:`ServerCrashed`.
+
+Cache behaviour is computed, not assumed: the zipfian CDF over cache-unit
+granularity gives each system's miss rate (32 KB mongo extents cache fewer
+distinct hot records than 8 KB SQL pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ServerCrashed, WorkloadError
+from repro.common.stats import harmonic_number
+from repro.common.units import GB, KB, MB
+from repro.ycsb.workloads import WORKLOADS, RECORD_BYTES, WorkloadSpec
+
+AVG_SCAN_LENGTH = 500  # scans read uniform(1, 1000) records
+
+
+@dataclass(frozen=True)
+class OltpParams:
+    """Cluster-wide constants of the YCSB testbed (Section 3.1/3.4.1)."""
+
+    server_nodes: int = 8
+    cores_per_node: int = 16
+    memory_per_node: float = 32.0 * GB
+    disks_per_node: int = 8
+    disk_seek: float = 0.008  # random access on a 10K SAS drive
+    disk_bandwidth: float = 100.0 * MB
+    client_threads: int = 800
+    record_count: int = 640_000_000
+    record_bytes: int = RECORD_BYTES
+    zipf_theta: float = 0.99
+
+    @property
+    def total_cores(self) -> int:
+        return self.server_nodes * self.cores_per_node
+
+    @property
+    def total_disks(self) -> int:
+        return self.server_nodes * self.disks_per_node
+
+    @property
+    def dataset_bytes(self) -> float:
+        return self.record_count * self.record_bytes
+
+    def io_time(self, nbytes: float) -> float:
+        return self.disk_seek + nbytes / self.disk_bandwidth
+
+
+@dataclass(frozen=True)
+class SystemModel:
+    """Behavioural knobs of one deployment (SQL-CS, Mongo-AS, Mongo-CS)."""
+
+    name: str
+    read_io_bytes: int  # bytes fetched from disk per cache miss
+    cache_fraction: float  # of node memory usable as cache
+    cache_efficiency: float  # useful-record fraction of a cached unit
+    cpu_read: float  # seconds of CPU per read
+    cpu_write: float
+    cpu_scan: float  # per scan (500 records average)
+    shard_count: int  # routing targets (128 mongods / 8 SQL nodes)
+    writeback_multiplier: float = 0.5  # dirty-page flush cost per update
+    uses_global_lock: bool = False  # MongoDB 1.8 per-process write lock
+    has_log: bool = False  # commit-time log force (SQL)
+    range_sharded: bool = False  # Mongo-AS chunks
+    row_locks: bool = False  # SQL row-level locking
+    append_crash_target: Optional[float] = None  # Mongo-AS workload D
+    log_io: float = 0.0005  # group-committed log write
+    row_lock_hold: float = 0.001  # X lock is held across the commit log force
+    # Extensions the paper turned OFF for MongoDB (Section 3.4.1):
+    journaled: bool = False  # wait for the 100 ms journal group flush
+    replicated: bool = False  # async replica set (one secondary)
+    journal_flush_interval: float = 0.1
+
+
+SYSTEMS: dict[str, SystemModel] = {
+    "sql-cs": SystemModel(
+        name="sql-cs",
+        read_io_bytes=8 * KB,
+        cache_fraction=0.82,  # 24 GB buffer pool + OS cache of 32 GB
+        cache_efficiency=1.0,  # 8 KB pages: little cache pollution
+        cpu_read=0.00035,
+        cpu_write=0.00045,
+        cpu_scan=0.004,
+        shard_count=8,
+        writeback_multiplier=0.3,  # checkpoint coalesces dirty pages
+        has_log=True,
+        row_locks=True,
+    ),
+    "mongo-as": SystemModel(
+        name="mongo-as",
+        read_io_bytes=32 * KB,
+        cache_fraction=0.90,  # mmap: nearly all of RAM
+        cache_efficiency=0.5,  # 32 KB extents: half the cached bytes are cold
+        cpu_read=0.00065,  # mongod + mongos hop
+        cpu_write=0.0008,
+        cpu_scan=0.003,
+        shard_count=128,
+        writeback_multiplier=0.8,  # 60 s fsync cycle, no write coalescing
+        uses_global_lock=True,
+        range_sharded=True,
+        append_crash_target=20_000.0,
+    ),
+    "mongo-cs": SystemModel(
+        name="mongo-cs",
+        read_io_bytes=32 * KB,
+        cache_fraction=0.90,
+        cache_efficiency=0.4,  # worse locality without mongos batching
+        cpu_read=0.00062,
+        cpu_write=0.00075,
+        cpu_scan=0.006,  # the client merges 128 partial scan results
+        shard_count=128,
+        writeback_multiplier=0.8,
+        uses_global_lock=True,
+    ),
+}
+
+
+@dataclass
+class Station:
+    """One MVA service station."""
+
+    name: str
+    servers: int
+    # Per-class service seconds per operation of that class.
+    service: dict[str, float] = field(default_factory=dict)
+    background: float = 0.0  # demand not attributable to a foreground class
+
+    def demand(self, mix: dict[str, float]) -> float:
+        return sum(mix.get(c, 0.0) * s for c, s in self.service.items()) + self.background
+
+
+@dataclass
+class CurvePoint:
+    """One plotted point: achieved throughput + per-class latencies."""
+
+    system: str
+    workload: str
+    target: float
+    achieved: float
+    latency: dict[str, float]  # seconds per op class
+    utilization: dict[str, float]
+
+    def latency_ms(self, op_class: str) -> float:
+        return self.latency[op_class] * 1000.0
+
+
+def closed_mva(stations: list[Station], mix: dict[str, float], clients: int,
+               think_time: float) -> tuple[float, float, dict[str, float]]:
+    """Exact single-class MVA with the Seidmann multi-server approximation.
+
+    Returns (throughput, avg response time, queue length per station).
+    """
+    queue = {s.name: 0.0 for s in stations}
+    x = 0.0
+    response = 0.0
+    for n in range(1, clients + 1):
+        response = 0.0
+        station_r = {}
+        for s in stations:
+            d = s.demand(mix)
+            r = (d / s.servers) * (1.0 + queue[s.name]) + d * (s.servers - 1) / s.servers
+            station_r[s.name] = (d / s.servers) * (1.0 + queue[s.name])
+            response += r
+        x = n / (response + think_time)
+        for s in stations:
+            queue[s.name] = x * station_r[s.name]
+    return x, response, queue
+
+
+class OltpStudy:
+    """Reproduces the paper's YCSB evaluation (Figures 2-6 and load times)."""
+
+    def __init__(self, params: OltpParams | None = None,
+                 isolation: str = "read_committed",
+                 systems: dict[str, SystemModel] | None = None):
+        self.params = params or OltpParams()
+        if isolation not in ("read_committed", "read_uncommitted"):
+            raise WorkloadError(f"unknown isolation {isolation!r}")
+        self.isolation = isolation
+        self.systems = dict(systems if systems is not None else SYSTEMS)
+
+    # -- cache and skew models ----------------------------------------------------
+
+    def miss_rate(self, system: SystemModel, workload: WorkloadSpec) -> float:
+        """Probability a request's record is not memory resident.
+
+        Cache units (8 KB pages / 32 KB extents) are ranked by the zipfian
+        popularity of the records they hold; the resident set is the top
+        ``cache_bytes / unit`` units.  Workload D's read-latest pattern keeps
+        its working set resident (the paper saw 99.5% hits).  A replica set
+        stores two copies across the same eight nodes, halving the cache
+        available to the primary copy.
+        """
+        if workload.request_distribution == "latest":
+            return 0.005
+        p = self.params
+        cache_bytes = (
+            p.server_nodes * p.memory_per_node
+            * system.cache_fraction * system.cache_efficiency
+        )
+        if system.replicated:
+            cache_bytes *= 0.5
+        unit = max(system.read_io_bytes, p.record_bytes)
+        total_units = p.dataset_bytes / unit
+        cached_units = min(total_units, cache_bytes / unit)
+        hit = harmonic_number(max(1, int(cached_units)), s=p.zipf_theta) / (
+            harmonic_number(int(total_units), s=p.zipf_theta)
+        )
+        return max(0.0, 1.0 - hit)
+
+    def hottest_key_share(self) -> float:
+        """Zipfian mass of the single hottest key (rank 0)."""
+        return 1.0 / harmonic_number(self.params.record_count, s=self.params.zipf_theta)
+
+    def hottest_shard_share(self, system: SystemModel) -> float:
+        """Share of requests landing on the shard holding the hottest key."""
+        hot = self.hottest_key_share()
+        return hot + (1.0 - hot) / system.shard_count
+
+    # -- per-class service demands ---------------------------------------------------
+
+    def _stations(self, system: SystemModel, workload: WorkloadSpec) -> list[Station]:
+        p = self.params
+        miss = self.miss_rate(system, workload)
+        io = p.io_time(system.read_io_bytes)
+
+        cpu = Station("cpu", p.total_cores)
+        disk = Station("disk", p.total_disks)
+        stations = [cpu, disk]
+
+        cpu.service["read"] = system.cpu_read
+        disk.service["read"] = miss * io
+
+        cpu.service["update"] = system.cpu_write
+        disk.service["update"] = miss * io  # fetch the page/extent to modify
+        cpu.service["insert"] = system.cpu_write
+        disk.service["insert"] = 0.1 * io  # appends fill the tail page
+
+        # Deferred write-back of dirty data consumes disk capacity without
+        # appearing in any op's latency.  Updates dirty random pages (SQL
+        # checkpoints coalesce them; mongo's fsync cycle does not); appends
+        # write back sequentially and are nearly free.
+        disk.background = (
+            workload.update * io * system.writeback_multiplier
+            + workload.insert * 0.1 * io
+        )
+
+        # Scans read ~500 consecutive records.  Range sharding (Mongo-AS)
+        # turns that into one near-sequential read on one chunk; hash
+        # sharding fans it out as per-shard random page reads, of which the
+        # cache absorbs the hit fraction.
+        scan_bytes = AVG_SCAN_LENGTH * p.record_bytes
+        if workload.scan > 0:
+            unit = max(system.read_io_bytes, p.record_bytes)
+            scan_units = scan_bytes / unit
+            if system.range_sharded:
+                # One seek plus a streaming read whenever any part is cold.
+                p_cold = min(1.0, scan_units * miss)
+                scan_io = p_cold * (p.disk_seek + scan_bytes / p.disk_bandwidth)
+            else:
+                fanout_penalty = 1.3 if system.shard_count > p.server_nodes else 1.0
+                scan_io = scan_units * miss * p.io_time(unit) * fanout_penalty
+            cpu.service["scan"] = system.cpu_scan
+            disk.service["scan"] = scan_io
+
+        if system.replicated:
+            # The secondaries apply every write too: extra CPU and flush
+            # traffic on the same spindles.
+            for cls in ("update", "insert"):
+                cpu.service[cls] = cpu.service[cls] * 1.8
+            disk.background *= 1.8
+
+        if system.journaled:
+            # Safe-mode acks wait for the journal's 100 ms group flush:
+            # a pure delay (no capacity limit) of half the interval on
+            # average, plus sequential journal writes.
+            journal = Station("journal", self.params.client_threads)
+            wait = system.journal_flush_interval / 2.0
+            journal.service["update"] = wait
+            journal.service["insert"] = wait
+            stations.append(journal)
+
+        write_frac = workload.write_fraction
+        if system.has_log:
+            log = Station("log", p.server_nodes)  # one log disk per node
+            log.service["update"] = system.log_io
+            log.service["insert"] = system.log_io
+            stations.append(log)
+
+        if system.uses_global_lock and write_frac > 0:
+            # The global write lock of the mongod holding the hottest key:
+            # every write to that shard serializes, holding the lock across
+            # any page fault taken inside it.
+            hot_share = self.hottest_shard_share(system)
+            hold = system.cpu_write + miss * io
+            lock = Station("hotlock", 1)
+            lock.service["update"] = hot_share * hold
+            lock.service["insert"] = hot_share * hold
+            # A read on that shard waits only when the writer is in.
+            lock.service["read"] = hot_share * write_frac * hold
+            stations.append(lock)
+
+        if system.row_locks and workload.update > 0 and self.isolation == "read_committed":
+            # SQL's hottest row: a reader's S lock waits behind an in-flight
+            # X lock (probability ~ the update fraction); updates serialize
+            # with each other.  READ UNCOMMITTED skips the reader side.
+            hot = self.hottest_key_share()
+            row = Station("hotrow", 1)
+            row.service["update"] = hot * system.row_lock_hold
+            row.service["read"] = hot * workload.update * system.row_lock_hold
+            stations.append(row)
+
+        if getattr(workload, "rmw", 0.0) > 0:
+            # A read-modify-write visits every station its read and its
+            # update would visit, back to back.
+            for station in stations:
+                read_s = station.service.get("read", 0.0)
+                update_s = station.service.get("update", 0.0)
+                if read_s or update_s:
+                    station.service["rmw"] = read_s + update_s
+
+        if system.range_sharded and workload.insert > 0:
+            # Every append lands in the last chunk: one mongod's writer lock.
+            # Under workload E that writer must also drain in-flight scan
+            # readers before it can enter.
+            if workload.scan > 0:
+                hold = 0.3 * (p.disk_seek + scan_bytes / p.disk_bandwidth)
+            else:
+                hold = system.cpu_write + 0.00015  # chunk bookkeeping
+            hot = Station("appendhot", 1)
+            hot.service["insert"] = hold
+            stations.append(hot)
+
+        return stations
+
+    @staticmethod
+    def _mix(workload: WorkloadSpec) -> dict[str, float]:
+        return {
+            "read": workload.read,
+            "update": workload.update,
+            "insert": workload.insert,
+            "scan": workload.scan,
+            "rmw": workload.rmw,
+        }
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def evaluate(self, system_name: str, workload_name: str, target: float) -> CurvePoint:
+        """One benchmark point: throttle to ``target`` ops/s, measure."""
+        system = self.systems[system_name]
+        workload = WORKLOADS[workload_name]
+        if (
+            system.append_crash_target is not None
+            and workload.insert > 0
+            and workload.request_distribution == "latest"
+            and target > system.append_crash_target
+        ):
+            raise ServerCrashed(
+                f"{system_name}: append path collapsed above "
+                f"{system.append_crash_target:.0f} ops/s (socket exceptions, §3.4.3)"
+            )
+
+        stations = self._stations(system, workload)
+        mix = self._mix(workload)
+        n = self.params.client_threads
+
+        # Find the think time that throttles the closed loop to the target.
+        think = 0.0
+        x, response, queue = closed_mva(stations, mix, n, think)
+        for _ in range(8):
+            think = max(0.0, n / target - response)
+            x, response, queue = closed_mva(stations, mix, n, think)
+            if x <= target * 1.001:
+                break
+        achieved = min(x, target)
+
+        latency: dict[str, float] = {}
+        for op_class, fraction in mix.items():
+            if fraction <= 0:
+                continue
+            r = 0.0
+            for s in stations:
+                service = s.service.get(op_class, 0.0)
+                r += (service / s.servers) * (1.0 + queue[s.name]) + service * (
+                    s.servers - 1
+                ) / s.servers
+            latency[op_class] = r
+
+        utilization = {
+            s.name: min(1.0, achieved * s.demand(mix) / s.servers) for s in stations
+        }
+        return CurvePoint(
+            system=system_name,
+            workload=workload_name,
+            target=target,
+            achieved=achieved,
+            latency=latency,
+            utilization=utilization,
+        )
+
+    def peak_throughput(self, system_name: str, workload_name: str) -> float:
+        """Saturation throughput (no throttle)."""
+        system = self.systems[system_name]
+        workload = WORKLOADS[workload_name]
+        stations = self._stations(system, workload)
+        x, _, _ = closed_mva(stations, self._mix(workload), self.params.client_threads, 0.0)
+        return x
+
+    def curve(self, system_name: str, workload_name: str,
+              targets: list[float]) -> list[Optional[CurvePoint]]:
+        """One figure series; crashed points are returned as None."""
+        points: list[Optional[CurvePoint]] = []
+        for target in targets:
+            try:
+                points.append(self.evaluate(system_name, workload_name, target))
+            except ServerCrashed:
+                points.append(None)
+        return points
+
+    def figure(self, workload_name: str, targets: list[float]) -> dict[str, list]:
+        return {
+            name: self.curve(name, workload_name, targets) for name in self.systems
+        }
+
+    # -- event-simulation cross-validation -----------------------------------------
+
+    def event_sim_point(self, system_name: str, workload_name: str,
+                        target: float, scale: float = 0.02,
+                        duration: float = 120.0, seed: int = 1234):
+        """Re-measure one figure point with the discrete-event simulator.
+
+        The cluster and client population are scaled down by ``scale`` (the
+        stations keep their service times, so utilizations are preserved),
+        which keeps the event count tractable while validating the MVA
+        numbers and producing the window-to-window standard errors the
+        analytic model cannot.  Returns ``(CurvePoint, EventSimResult)``.
+        """
+        from repro.ycsb.eventsim import SimStation, simulate_closed_loop
+
+        point = self.evaluate(system_name, workload_name, target)
+        system = self.systems[system_name]
+        workload = WORKLOADS[workload_name]
+        mix = {c: f for c, f in self._mix(workload).items() if f > 0}
+        total = sum(mix.values())
+        mix = {c: f / total for c, f in mix.items()}
+
+        stations = []
+        for s in self._stations(system, workload):
+            servers = max(1, round(s.servers * scale))
+            service = {c: v for c, v in s.service.items() if v > 0 and c in mix}
+            if service:
+                stations.append(SimStation(s.name, servers, service))
+        clients = max(4, round(self.params.client_threads * scale))
+        scaled_target = max(1.0, target * scale)
+        # Think time from the response-time law at the scaled population.
+        think = max(0.0, clients / scaled_target - point.latency.get("read", 0.001))
+        sim = simulate_closed_loop(
+            stations, mix, clients=clients, think_time=think,
+            duration=duration, seed=seed,
+        )
+        return point, sim
+
+    # -- load phase (Section 3.4.2) -----------------------------------------------------
+
+    def load_time_minutes(self, system_name: str, pre_split: bool = True) -> float:
+        """Load 640M records; reproduces the 114 / 146 / 45 minute split.
+
+        * Mongo-CS: batched inserts, CPU-bound across 128 mongods.
+        * SQL-CS: one transaction per row — every insert forces the log.
+        * Mongo-AS: Mongo-CS work plus mongos routing and (without the
+          pre-split) chunk splits and balancer migrations.
+        """
+        p = self.params
+        n = p.record_count
+        if system_name == "sql-cs":
+            # Log-force bound: ~1 ms per group commit, ~9 rows per group
+            # (each insert is its own transaction, §3.4.2), one log disk
+            # per node.
+            per_insert = 0.001 / 9.1 / p.server_nodes
+            return n * per_insert / 60.0
+        if system_name == "mongo-cs":
+            # Batched client inserts: ~0.35 ms of CPU per document across
+            # 128 cores at ~65% efficiency.
+            per_insert = 0.00035 / 0.65 / p.total_cores
+            return n * per_insert / 60.0
+        if system_name == "mongo-as":
+            base = self.load_time_minutes("mongo-cs")
+            routing = n * 0.0009 / p.total_cores / 60.0  # mongos + config hops
+            if pre_split:
+                return base + routing
+            # Balancer-driven loading: roughly half the data is migrated
+            # once; each migrated document goes through the normal insert
+            # and delete paths (global write lock included), sustaining only
+            # ~10 MB/s per node.
+            migrated = 0.5 * p.dataset_bytes
+            migration = migrated / (10e6 * p.server_nodes) / 60.0
+            return base + routing + migration
+        raise WorkloadError(f"unknown system {system_name!r}")

@@ -1,0 +1,144 @@
+"""Renders study results in the shape of the paper's tables and figures.
+
+Each ``render_*`` function returns a plain-text block whose rows/series match
+the corresponding artifact in the paper, with the published values printed
+alongside for comparison.  The benchmark harness writes these to stdout so
+``pytest benchmarks/`` regenerates every table and figure in one run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import paper_data
+from repro.core.dss import DssStudy, Table3
+from repro.core.oltp import OltpStudy
+
+
+def _fmt(value: Optional[float], width: int = 7) -> str:
+    if value is None:
+        return "--".rjust(width)
+    if value >= 100:
+        return f"{value:,.0f}".rjust(width)
+    return f"{value:.1f}".rjust(width)
+
+
+def render_table2(study: DssStudy) -> str:
+    """Table 2: load times (minutes) for Hive and PDW at the four SFs."""
+    model = study.table2()
+    lines = ["Table 2. Load times for Hive and PDW (minutes, model/paper)",
+             "         " + "".join(f"{sf:>16}" for sf in paper_data.SCALE_FACTORS)]
+    for name in ("hive", "pdw"):
+        cells = []
+        for i, sf in enumerate(paper_data.SCALE_FACTORS):
+            cells.append(f"{model[name][i]:>8.0f}/{paper_data.LOAD_TIMES_MIN[name][i]:<6}")
+        lines.append(f"{name.upper():8} " + "".join(f"{c:>16}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_table3(table: Table3) -> str:
+    """Table 3: per-query Hive/PDW times, speedups, and summary means."""
+    header = (
+        f"{'Q':>3} "
+        + "".join(f"{'H' + str(sf):>9}{'P' + str(sf):>8}{'spd':>6}" for sf in table.scale_factors)
+    )
+    lines = ["Table 3. TPC-H query times (seconds) and PDW speedup", header]
+    for row in table.rows:
+        cells = []
+        for h, p, s in zip(row.hive, row.pdw, row.speedups):
+            cells.append(
+                ("--".rjust(9) if h is None else f"{h:9,.0f}")
+                + f"{p:8,.0f}"
+                + ("--".rjust(6) if s is None else f"{s:6.1f}")
+            )
+        lines.append(f"Q{row.query:<2} " + "".join(cells))
+
+    summaries = (
+        ("AM-9", table.am9("hive"), table.am9("pdw")),
+        ("GM-9", table.gm9("hive"), table.gm9("pdw")),
+    )
+    for label, hive_vals, pdw_vals in summaries:
+        cells = "".join(
+            f"{h:9,.0f}{p:8,.0f}{h / p:6.1f}" for h, p in zip(hive_vals, pdw_vals)
+        )
+        lines.append(f"{label:>3} " + cells)
+    return "\n".join(lines)
+
+
+def render_figure1(study: DssStudy, table: Optional[Table3] = None) -> str:
+    """Figure 1: normalized AM/GM series (normalized to PDW at SF 250)."""
+    fig = study.figure1(table)
+    paper = {
+        "hive_am": (22, 48, 148, 500),
+        "pdw_am": (1, 4, 17, 72),
+        "hive_gm": (26, 52, 144, 474),
+        "pdw_gm": (1, 5, 18, 72),
+    }
+    lines = ["Figure 1. Normalized means (model/paper), normalized to PDW@250",
+             "            " + "".join(f"{sf:>14}" for sf in paper_data.SCALE_FACTORS)]
+    for series, values in fig.items():
+        cells = [f"{v:>7.0f}/{p:<5}" for v, p in zip(values, paper[series])]
+        lines.append(f"{series:>10}  " + "".join(f"{c:>14}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_table4(study: DssStudy) -> str:
+    times = study.table4()
+    lines = ["Table 4. Total map-phase time for Query 1 (seconds, model/paper)"]
+    cells = [
+        f"{t:>8.0f}/{p:<6}" for t, p in zip(times, paper_data.Q1_MAP_PHASE_SEC)
+    ]
+    lines.append("   " + "".join(f"{c:>16}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_table5(study: DssStudy) -> str:
+    breakdown = study.table5()
+    lines = ["Table 5. Q22 sub-query breakdown (seconds, model/paper)",
+             "            " + "".join(f"{sf:>16}" for sf in paper_data.SCALE_FACTORS)]
+    for sub in (1, 2, 3, 4):
+        cells = [
+            f"{t:>8.0f}/{p:<6}"
+            for t, p in zip(breakdown[sub], paper_data.Q22_SUBQUERY_SEC[sub])
+        ]
+        lines.append(f"Sub-query {sub} " + "".join(f"{c:>16}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_ycsb_figure(
+    study: OltpStudy,
+    workload: str,
+    targets: list[float],
+    op_classes: list[str],
+) -> str:
+    """Figures 2-6: latency-vs-throughput series for the three systems."""
+    lines = [f"Figure: YCSB workload {workload} "
+             f"({', '.join(op_classes)} latency, ms, at achieved kops/s)"]
+    figure = study.figure(workload, targets)
+    header = f"{'system':>9} " + "".join(f"{t / 1000:>13.0f}k" for t in targets)
+    lines.append(header)
+    for op_class in op_classes:
+        lines.append(f"-- {op_class} latency --")
+        for system, points in figure.items():
+            cells = []
+            for point in points:
+                if point is None:
+                    cells.append("CRASH".rjust(14))
+                elif op_class not in point.latency:
+                    cells.append("-".rjust(14))
+                else:
+                    cells.append(
+                        f"{point.achieved / 1000:6.1f}k/{point.latency_ms(op_class):6.1f}"
+                    )
+            lines.append(f"{system:>9} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_oltp_load_times(study: OltpStudy) -> str:
+    lines = ["YCSB load phase (minutes, model/paper)"]
+    for system, paper_minutes in (("mongo-as", 114), ("sql-cs", 146), ("mongo-cs", 45)):
+        model = study.load_time_minutes(system)
+        lines.append(f"  {system:>9}: {model:6.0f} / {paper_minutes}")
+    no_split = study.load_time_minutes("mongo-as", pre_split=False)
+    lines.append(f"  mongo-as without pre-split chunks: {no_split:.0f} min")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""The reproduction scorecard: paper-vs-model accuracy, quantified.
+
+Computes the ratio-error statistics quoted in EXPERIMENTS.md directly from
+the models and the transcribed paper numbers, plus a checklist of the
+paper's qualitative claims.  A regression test pins these, so any change
+that silently degrades fidelity fails CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.stats import geometric_mean
+from repro.core import paper_data
+from repro.core.dss import DssStudy
+from repro.core.oltp import OltpStudy
+
+
+def ratio_error(model: float, paper: float) -> float:
+    """Symmetric multiplicative error: exp(|log(model/paper)|) >= 1."""
+    if model <= 0 or paper <= 0:
+        raise ValueError("ratio error needs positive values")
+    return math.exp(abs(math.log(model / paper)))
+
+
+@dataclass
+class AccuracySummary:
+    """Error statistics for one series of paper-vs-model points."""
+
+    name: str
+    errors: list[float] = field(default_factory=list)
+
+    def add(self, model: float, paper: float) -> None:
+        self.errors.append(ratio_error(model, paper))
+
+    @property
+    def geomean(self) -> float:
+        return geometric_mean(self.errors) if self.errors else 1.0
+
+    @property
+    def worst(self) -> float:
+        return max(self.errors) if self.errors else 1.0
+
+    @property
+    def count(self) -> int:
+        return len(self.errors)
+
+
+@dataclass
+class Claim:
+    """One qualitative claim of the paper and whether the model reproduces it."""
+
+    text: str
+    holds: bool
+
+
+@dataclass
+class Scorecard:
+    accuracy: dict[str, AccuracySummary] = field(default_factory=dict)
+    claims: list[Claim] = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def render(self) -> str:
+        lines = ["Reproduction scorecard", "", "Quantitative accuracy:"]
+        for summary in self.accuracy.values():
+            lines.append(
+                f"  {summary.name:<28} n={summary.count:<4} "
+                f"geomean-error {summary.geomean:5.2f}x   "
+                f"worst {summary.worst:5.2f}x"
+            )
+        lines.append("")
+        lines.append("Qualitative claims:")
+        for claim in self.claims:
+            lines.append(f"  [{'x' if claim.holds else ' '}] {claim.text}")
+        return "\n".join(lines)
+
+
+def build_scorecard(
+    dss: DssStudy | None = None, oltp: OltpStudy | None = None
+) -> Scorecard:
+    """Evaluate both studies against every transcribed paper number."""
+    dss = dss or DssStudy()
+    oltp = oltp or OltpStudy()
+    card = Scorecard()
+    table = dss.table3()
+
+    hive = AccuracySummary("Table 3: Hive times")
+    pdw = AccuracySummary("Table 3: PDW times")
+    for row in table.rows:
+        for i in range(4):
+            paper_h = paper_data.HIVE_TIMES[row.query][i]
+            if paper_h is not None and row.hive[i] is not None:
+                hive.add(row.hive[i], paper_h)
+            pdw.add(row.pdw[i], paper_data.PDW_TIMES[row.query][i])
+    card.accuracy["hive"] = hive
+    card.accuracy["pdw"] = pdw
+
+    loads = AccuracySummary("Table 2: load times")
+    table2 = dss.table2()
+    for i in range(4):
+        loads.add(table2["hive"][i], paper_data.LOAD_TIMES_MIN["hive"][i])
+        loads.add(table2["pdw"][i], paper_data.LOAD_TIMES_MIN["pdw"][i])
+    card.accuracy["loads"] = loads
+
+    map_phase = AccuracySummary("Table 4: Q1 map phase")
+    for model, paper in zip(dss.table4(), paper_data.Q1_MAP_PHASE_SEC):
+        map_phase.add(model, paper)
+    card.accuracy["q1_map"] = map_phase
+
+    q22 = AccuracySummary("Table 5: Q22 sub-queries")
+    table5 = dss.table5()
+    for sub in (1, 2, 3, 4):
+        for model, paper in zip(table5[sub], paper_data.Q22_SUBQUERY_SEC[sub]):
+            q22.add(model, paper)
+    card.accuracy["q22"] = q22
+
+    peaks = AccuracySummary("YCSB peak throughputs")
+    peaks.add(oltp.peak_throughput("sql-cs", "C"), 125_457)
+    peaks.add(oltp.peak_throughput("mongo-as", "C"), 68_533)
+    peaks.add(oltp.peak_throughput("mongo-cs", "C"), 60_907)
+    peaks.add(oltp.peak_throughput("sql-cs", "B"), 103_789)
+    peaks.add(oltp.peak_throughput("mongo-cs", "D"), 224_271)
+    peaks.add(oltp.peak_throughput("mongo-as", "E"), 6_337)
+    card.accuracy["ycsb_peaks"] = peaks
+
+    oltp_loads = AccuracySummary("YCSB load times")
+    for system, minutes in paper_data.OLTP_LOAD_MIN.items():
+        oltp_loads.add(oltp.load_time_minutes(system), minutes)
+    card.accuracy["oltp_loads"] = oltp_loads
+
+    # -- qualitative claims ----------------------------------------------------------
+    am9 = [h / p for h, p in zip(table.am9("hive"), table.am9("pdw"))]
+    e_peaks = {n: oltp.peak_throughput(n, "E") for n in ("sql-cs", "mongo-as", "mongo-cs")}
+    d_20k = oltp.evaluate("mongo-as", "D", 20_000)
+    card.claims = [
+        Claim("PDW beats Hive on all 22 queries at all scale factors",
+              all(h is None or h > p for r in table.rows
+                  for h, p in zip(r.hive, r.pdw))),
+        Claim("PDW/Hive speedup declines with scale factor",
+              am9[0] > am9[-1]),
+        Claim("Hive's Q9 does not complete at 16 TB (disk space)",
+              table.row(9).hive[3] is None),
+        Claim("SQL-CS peaks highest on YCSB workloads A-D",
+              all(oltp.peak_throughput("sql-cs", w)
+                  > max(oltp.peak_throughput("mongo-as", w),
+                        oltp.peak_throughput("mongo-cs", w))
+                  for w in "ABCD")),
+        Claim("Mongo-AS wins workload E (range-partitioned scans)",
+              e_peaks["mongo-as"] > max(e_peaks["sql-cs"], e_peaks["mongo-cs"])),
+        Claim("Mongo-AS pays pathological append latency on E",
+              oltp.evaluate("mongo-as", "E", 8_000).latency_ms("insert") > 100),
+        Claim("Mongo-AS crashes on workload D above 20k ops/s",
+              _crashes(oltp, "mongo-as", "D", 40_000)),
+        Claim("Read-uncommitted cuts SQL-CS read latency on workload A",
+              OltpStudy(isolation="read_uncommitted")
+              .evaluate("sql-cs", "A", 40_000).latency["read"]
+              < 0.5 * oltp.evaluate("sql-cs", "A", 40_000).latency["read"]),
+        Claim("Mongo-AS survives the 20k target on D (high append latency)",
+              d_20k.latency_ms("insert") > 50),
+    ]
+    return card
+
+
+def _crashes(study: OltpStudy, system: str, workload: str, target: float) -> bool:
+    from repro.common.errors import ServerCrashed
+
+    try:
+        study.evaluate(system, workload, target)
+    except ServerCrashed:
+        return True
+    return False

@@ -1,0 +1,133 @@
+"""Sensitivity analysis: how the paper's conclusions move with the hardware.
+
+The paper benchmarked one cluster (2011-era disks, 1 GbE, 32 GB nodes) and
+speculated about the future ("revisit the performance differences in a few
+years").  This module sweeps hardware knobs through both studies and reports
+how the headline metrics respond — which conclusions are robust and which
+are artifacts of the testbed.
+
+Swept metrics:
+
+* DSS: the AM-9 Hive/PDW speedup at a scale factor;
+* OLTP: each system's peak throughput on a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigurationError
+from repro.core.oltp import OltpParams, OltpStudy
+from repro.simcluster.profile import paper_testbed
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One knob setting and the metrics measured there."""
+
+    value: float
+    metrics: dict
+
+
+@dataclass
+class SweepResult:
+    knob: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        return [(p.value, p.metrics[metric]) for p in self.points]
+
+    def direction(self, metric: str) -> str:
+        """'increasing', 'decreasing', or 'mixed' across the sweep."""
+        values = [p.metrics[metric] for p in self.points]
+        if all(b >= a for a, b in zip(values, values[1:])):
+            return "increasing"
+        if all(b <= a for a, b in zip(values, values[1:])):
+            return "decreasing"
+        return "mixed"
+
+
+# -- DSS sweeps ---------------------------------------------------------------------
+
+
+def sweep_dss_speedup(
+    knob: str,
+    values: list[float],
+    scale_factor: int = 4000,
+    calibration=None,
+) -> SweepResult:
+    """Sweep one HardwareProfile field; metric: AM-9 Hive/PDW speedup.
+
+    The per-query CPU weights are fitted once on the paper's testbed and
+    held fixed, so the sweep isolates the hardware effect.
+    """
+    from repro.core.dss import DssStudy
+    from repro.hive.engine import HiveEngine
+    from repro.pdw.engine import PdwEngine
+    from repro.tpch.queries import QUERY_NUMBERS
+    from repro.tpch.volumes import calibrate
+
+    if not values:
+        raise ConfigurationError("need at least one knob value")
+    calibration = calibration or calibrate(0.01, 42)
+    baseline = DssStudy(calibration=calibration)
+
+    result = SweepResult(knob=knob)
+    for value in values:
+        profile = paper_testbed().with_(**{knob: value})
+        hive = HiveEngine(calibration, profile, cpu_weights=baseline.hive_weights)
+        pdw = PdwEngine(calibration, profile, cpu_weights=baseline.pdw_weights)
+        hive_times, pdw_times = [], []
+        for number in QUERY_NUMBERS:
+            if number == 9:
+                continue
+            hive_times.append(hive.query_time(number, scale_factor))
+            pdw_times.append(pdw.query_time(number, scale_factor))
+        speedup = sum(hive_times) / sum(pdw_times)
+        result.points.append(
+            SweepPoint(
+                value=value,
+                metrics={
+                    "speedup": speedup,
+                    "hive_am": sum(hive_times) / len(hive_times),
+                    "pdw_am": sum(pdw_times) / len(pdw_times),
+                },
+            )
+        )
+    return result
+
+
+# -- OLTP sweeps --------------------------------------------------------------------
+
+
+def sweep_oltp_peaks(
+    knob: str,
+    values: list[float],
+    workload: str = "C",
+) -> SweepResult:
+    """Sweep one OltpParams field; metrics: per-system peak throughput."""
+    if not values:
+        raise ConfigurationError("need at least one knob value")
+    result = SweepResult(knob=knob)
+    for value in values:
+        params = replace(OltpParams(), **{knob: value})
+        study = OltpStudy(params)
+        metrics = {
+            name: study.peak_throughput(name, workload)
+            for name in ("sql-cs", "mongo-as", "mongo-cs")
+        }
+        metrics["sql_advantage"] = metrics["sql-cs"] / metrics["mongo-as"]
+        result.points.append(SweepPoint(value=value, metrics=metrics))
+    return result
+
+
+def render_sweep(result: SweepResult, metrics: list[str]) -> str:
+    """Tabular rendering of a sweep."""
+    header = f"{result.knob:>24} " + "".join(f"{m:>16}" for m in metrics)
+    lines = [header]
+    for point in result.points:
+        cells = "".join(f"{point.metrics[m]:>16,.2f}" for m in metrics)
+        lines.append(f"{point.value:>24,.3g} " + cells)
+    for metric in metrics:
+        lines.append(f"  {metric}: {result.direction(metric)} in {result.knob}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""MongoDB 1.8 model: BSON, mongod, chunks/balancer, and the two clusters."""
+
+from repro.docstore.bson import decode, encode, encoded_size
+from repro.docstore.chunks import Balancer, Chunk, ConfigServer
+from repro.docstore.cluster import (
+    DEFAULT_COLLECTION,
+    MongoAsCluster,
+    MongoCsCluster,
+    hash_shard,
+)
+from repro.docstore.journal import Journal, JournaledMongod
+from repro.docstore.mongod import Collection, GlobalLock, Mongod
+from repro.docstore.mongostat import format_mongostat, snapshot, summarize
+from repro.docstore.wire import WireServer
+
+__all__ = [
+    "decode",
+    "encode",
+    "encoded_size",
+    "Balancer",
+    "Chunk",
+    "ConfigServer",
+    "DEFAULT_COLLECTION",
+    "MongoAsCluster",
+    "MongoCsCluster",
+    "hash_shard",
+    "Collection",
+    "GlobalLock",
+    "Mongod",
+    "Journal",
+    "JournaledMongod",
+    "format_mongostat",
+    "snapshot",
+    "summarize",
+    "WireServer",
+]

@@ -1,0 +1,96 @@
+"""A real BSON codec (the subset MongoDB 1.8 uses for YCSB documents).
+
+Implements the binary element types the reproduction stores: double (0x01),
+UTF-8 string (0x02), embedded document (0x03), boolean (0x08), null (0x0A),
+int32 (0x10), and int64 (0x12).  Round-trip fidelity is tested against the
+YCSB record shape (a 24-byte key plus ten 100-byte string fields).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import StorageError
+
+_INT32_MIN, _INT32_MAX = -(2**31), 2**31 - 1
+
+
+def _encode_element(name: str, value) -> bytes:
+    cname = name.encode("utf-8") + b"\x00"
+    if value is None:
+        return b"\x0a" + cname
+    if isinstance(value, bool):
+        return b"\x08" + cname + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        if _INT32_MIN <= value <= _INT32_MAX:
+            return b"\x10" + cname + struct.pack("<i", value)
+        return b"\x12" + cname + struct.pack("<q", value)
+    if isinstance(value, float):
+        return b"\x01" + cname + struct.pack("<d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8") + b"\x00"
+        return b"\x02" + cname + struct.pack("<i", len(raw)) + raw
+    if isinstance(value, dict):
+        return b"\x03" + cname + encode(value)
+    raise StorageError(f"cannot BSON-encode {type(value).__name__}")
+
+
+def encode(document: dict) -> bytes:
+    """Serialize a document to BSON bytes."""
+    body = b"".join(_encode_element(str(k), v) for k, v in document.items())
+    # Total length (4 bytes) + body + trailing NUL.
+    return struct.pack("<i", len(body) + 5) + body + b"\x00"
+
+
+def _read_cstring(data: bytes, pos: int) -> tuple[str, int]:
+    end = data.index(b"\x00", pos)
+    return data[pos:end].decode("utf-8"), end + 1
+
+
+def decode(data: bytes) -> dict:
+    """Parse BSON bytes back into a document."""
+    if len(data) < 5:
+        raise StorageError("BSON document too short")
+    (length,) = struct.unpack_from("<i", data, 0)
+    if length != len(data):
+        raise StorageError(f"BSON length {length} != buffer {len(data)}")
+    if data[-1] != 0:
+        raise StorageError("BSON document missing trailing NUL")
+
+    document: dict = {}
+    pos = 4
+    while pos < length - 1:
+        kind = data[pos]
+        pos += 1
+        name, pos = _read_cstring(data, pos)
+        if kind == 0x0A:
+            document[name] = None
+        elif kind == 0x08:
+            document[name] = data[pos] == 1
+            pos += 1
+        elif kind == 0x10:
+            (document[name],) = struct.unpack_from("<i", data, pos)
+            pos += 4
+        elif kind == 0x12:
+            (document[name],) = struct.unpack_from("<q", data, pos)
+            pos += 8
+        elif kind == 0x01:
+            (document[name],) = struct.unpack_from("<d", data, pos)
+            pos += 8
+        elif kind == 0x02:
+            (slen,) = struct.unpack_from("<i", data, pos)
+            pos += 4
+            document[name] = data[pos : pos + slen - 1].decode("utf-8")
+            pos += slen
+        elif kind == 0x03:
+            (dlen,) = struct.unpack_from("<i", data, pos)
+            document[name] = decode(data[pos : pos + dlen])
+            pos += dlen
+        else:
+            raise StorageError(f"unsupported BSON element type 0x{kind:02x}")
+    return document
+
+
+def encoded_size(document: dict) -> int:
+    """Size of the document's BSON form (the stored record footprint)."""
+    return len(encode(document))

@@ -1,0 +1,188 @@
+"""Mongo-AS sharding metadata: chunks, the config server, and the balancer.
+
+Data is range-partitioned into chunks ([low, high) key intervals), each owned
+by one shard.  The config server holds the chunk table; the balancer moves
+chunks from overloaded shards to underloaded ones, exactly the machinery the
+paper describes (including the pre-split optimization used for loading —
+Section 3.4.2 — which avoids paying chunk-migration costs mid-load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ShardingError
+
+
+@dataclass
+class Chunk:
+    """One key interval [low, high) assigned to a shard.
+
+    ``low=None`` means -inf and ``high=None`` means +inf.
+    """
+
+    low: Optional[str]
+    high: Optional[str]
+    shard: int
+    doc_count: int = 0
+
+    def contains(self, key: str) -> bool:
+        if self.low is not None and key < self.low:
+            return False
+        if self.high is not None and key >= self.high:
+            return False
+        return True
+
+
+@dataclass
+class ConfigServer:
+    """The cluster's chunk table plus change counters.
+
+    ``version`` is the chunk-metadata epoch: every split or migration bumps
+    it, and a mongos holding an older epoch must refresh before routing
+    (the real protocol's staleConfig/setShardVersion dance).
+    """
+
+    chunks: list[Chunk] = field(default_factory=list)
+    splits: int = 0
+    migrations: int = 0
+    migrated_docs: int = 0
+    version: int = 1
+
+    def bootstrap(self, shard: int = 0) -> None:
+        """Start with one chunk covering the whole key space."""
+        if self.chunks:
+            raise ShardingError("config server already bootstrapped")
+        self.chunks = [Chunk(low=None, high=None, shard=shard)]
+
+    def pre_split(self, boundaries: list[str], shard_count: int) -> None:
+        """Create empty chunks at known key boundaries, round-robin on shards.
+
+        This is the documented load-time technique the paper used: with the
+        key distribution known in advance, chunks are created empty and
+        spread evenly, so loading never migrates data.
+        """
+        if self.chunks:
+            raise ShardingError("pre_split requires an empty config server")
+        if sorted(boundaries) != list(boundaries) or len(set(boundaries)) != len(boundaries):
+            raise ShardingError("boundaries must be strictly increasing")
+        edges: list[Optional[str]] = [None] + list(boundaries) + [None]
+        for i, (low, high) in enumerate(zip(edges, edges[1:])):
+            self.chunks.append(Chunk(low=low, high=high, shard=i % shard_count))
+
+    def chunk_for(self, key: str) -> Chunk:
+        for chunk in self.chunks:
+            if chunk.contains(key):
+                return chunk
+        raise ShardingError(f"no chunk covers key {key!r}")
+
+    def chunks_from(self, key: str) -> list[Chunk]:
+        """Chunks covering [key, +inf), in key order (for range scans)."""
+        out = [c for c in self.chunks if c.high is None or c.high > key]
+        return sorted(out, key=lambda c: (c.low is not None, c.low))
+
+    def split_chunk(self, chunk: Chunk, at_key: str) -> tuple[Chunk, Chunk]:
+        """Split one chunk at a key; both halves stay on the same shard."""
+        if not chunk.contains(at_key):
+            raise ShardingError(f"split key {at_key!r} outside chunk")
+        if chunk.low == at_key:
+            raise ShardingError("split key equals chunk lower bound")
+        index = self.chunks.index(chunk)
+        left = Chunk(low=chunk.low, high=at_key, shard=chunk.shard,
+                     doc_count=chunk.doc_count // 2)
+        right = Chunk(low=at_key, high=chunk.high, shard=chunk.shard,
+                      doc_count=chunk.doc_count - chunk.doc_count // 2)
+        self.chunks[index : index + 1] = [left, right]
+        self.splits += 1
+        self.version += 1
+        return left, right
+
+    def shard_chunk_counts(self, shard_count: int) -> list[int]:
+        counts = [0] * shard_count
+        for chunk in self.chunks:
+            counts[chunk.shard] += 1
+        return counts
+
+
+class Balancer:
+    """Moves chunks from the most- to the least-loaded shard until balanced.
+
+    MongoDB's balancer triggers when the chunk-count spread exceeds a
+    threshold (8 in 1.8); each migration physically copies the documents and
+    deletes them from the source — the expensive part the pre-split avoids.
+    """
+
+    def __init__(self, threshold: int = 8):
+        if threshold < 2:
+            raise ShardingError("balancer threshold must be >= 2")
+        self.threshold = threshold
+
+    def needs_balancing(self, config: ConfigServer, shard_count: int) -> bool:
+        counts = config.shard_chunk_counts(shard_count)
+        return max(counts) - min(counts) >= self.threshold
+
+    def rebalance(self, config: ConfigServer, shards: list, collection: str) -> int:
+        """Run migrations until balanced; returns number of chunks moved."""
+        moved = 0
+        while self.needs_balancing(config, len(shards)):
+            counts = config.shard_chunk_counts(len(shards))
+            source = counts.index(max(counts))
+            target = counts.index(min(counts))
+            chunk = next(c for c in config.chunks if c.shard == source)
+            self._migrate(config, chunk, shards, target, collection)
+            moved += 1
+        return moved
+
+    def _migrate(self, config: ConfigServer, chunk: Chunk, shards: list,
+                 target: int, collection: str) -> None:
+        source_shard = shards[chunk.shard]
+        low = chunk.low if chunk.low is not None else ""
+        high = chunk.high if chunk.high is not None else "￿"
+        keys = source_shard.collection(collection).keys_in_range(low, high)
+        for key in keys:
+            document = source_shard.find_one(collection, key)
+            shards[target].insert(collection, document)
+            source_shard.remove(collection, key)
+        chunk.shard = target
+        config.migrations += 1
+        config.migrated_docs += len(keys)
+        config.version += 1
+
+
+class MongosRouter:
+    """A mongos routing cache with the stale-config refresh protocol.
+
+    Each mongos caches the chunk table at some metadata epoch; when a split
+    or migration bumps the config server's version, the next routed request
+    detects the stale cache, refreshes, and retries — counting the extra
+    metadata round trips the real system pays.
+    """
+
+    def __init__(self, config: ConfigServer, name: str = "mongos"):
+        self.name = name
+        self._config = config
+        self._cached_chunks: list[Chunk] = []
+        self._cached_version = 0
+        self.refreshes = 0
+        self.stale_routes = 0
+        self.refresh()
+
+    def refresh(self) -> None:
+        self._cached_chunks = list(self._config.chunks)
+        self._cached_version = self._config.version
+        self.refreshes += 1
+
+    @property
+    def is_stale(self) -> bool:
+        return self._cached_version != self._config.version
+
+    def route(self, key: str) -> Chunk:
+        """Resolve the chunk for a key, refreshing a stale cache first."""
+        if self.is_stale:
+            self.stale_routes += 1
+            self.refresh()
+        for chunk in self._cached_chunks:
+            if chunk.contains(key):
+                return chunk
+        raise ShardingError(f"no chunk covers key {key!r}")

@@ -1,0 +1,196 @@
+"""The two MongoDB deployments the paper benchmarks.
+
+* :class:`MongoAsCluster` — the stock deployment: 128 mongod shards behind
+  mongos routers, a config server holding range-partitioned chunks, auto
+  split, and a balancer.  Range partitioning is what wins workload E (a
+  short scan touches one chunk) and what melts down on appends (every new
+  key lands in the last chunk — one hot shard).
+* :class:`MongoCsCluster` — the authors' client-side variant: the same
+  mongod processes, but the client hash-routes keys itself; no mongos, no
+  config server, no balancer, and scans must broadcast to every shard.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.common.errors import ShardingError
+from repro.docstore.chunks import Balancer, Chunk, ConfigServer, MongosRouter
+from repro.docstore.mongod import Mongod
+
+DEFAULT_COLLECTION = "usertable"
+
+
+def hash_shard(key: str, shard_count: int) -> int:
+    """Deterministic client-side hash routing (crc32, stable across runs)."""
+    return zlib.crc32(key.encode("utf-8")) % shard_count
+
+
+class MongoAsCluster:
+    """Auto-sharded MongoDB: chunks + mongos routing + balancer."""
+
+    def __init__(
+        self,
+        shard_count: int = 128,
+        max_chunk_docs: int = 2000,
+        balancer_threshold: int = 8,
+        collection: str = DEFAULT_COLLECTION,
+        mongos_count: int = 8,
+    ):
+        if shard_count < 1:
+            raise ShardingError("need at least one shard")
+        if mongos_count < 1:
+            raise ShardingError("need at least one mongos")
+        self.shards = [Mongod(f"mongod-{i}") for i in range(shard_count)]
+        self.config = ConfigServer()
+        self.config.bootstrap(shard=0)
+        self.balancer = Balancer(threshold=balancer_threshold)
+        self.max_chunk_docs = max_chunk_docs
+        self.collection = collection
+        self.routed_ops = 0  # mongos request counter
+        # One mongos per client node (the paper ran 8, §3.2.3); clients
+        # round-robin across them and each keeps its own chunk-table cache.
+        self.routers = [
+            MongosRouter(self.config, f"mongos-{i}") for i in range(mongos_count)
+        ]
+        self._next_router = 0
+
+    def _router(self) -> MongosRouter:
+        router = self.routers[self._next_router]
+        self._next_router = (self._next_router + 1) % len(self.routers)
+        return router
+
+    @property
+    def stale_routes(self) -> int:
+        """Metadata refreshes forced by splits/migrations, across all mongos."""
+        return sum(r.stale_routes for r in self.routers)
+
+    # -- chunk maintenance -------------------------------------------------------
+
+    def pre_split(self, boundaries: list[str]) -> None:
+        """Pre-create empty chunks (the paper's load strategy, §3.4.2)."""
+        self.config = ConfigServer()
+        self.config.pre_split(boundaries, len(self.shards))
+        self.routers = [
+            MongosRouter(self.config, r.name) for r in self.routers
+        ]
+
+    def _maybe_split(self, chunk: Chunk) -> None:
+        if chunk.doc_count <= self.max_chunk_docs:
+            return
+        shard = self.shards[chunk.shard]
+        low = chunk.low if chunk.low is not None else ""
+        keys = shard.collection(self.collection).keys_in_range(
+            low, chunk.high if chunk.high is not None else "￿"
+        )
+        if len(keys) < 2:
+            return
+        median = keys[len(keys) // 2]
+        if median == chunk.low:
+            return
+        self.config.split_chunk(chunk, median)
+
+    def run_balancer(self) -> int:
+        return self.balancer.rebalance(self.config, self.shards, self.collection)
+
+    # -- mongos operations ----------------------------------------------------------
+
+    def insert(self, key: str, record: dict) -> None:
+        self.routed_ops += 1
+        chunk = self._router().route(key)
+        self.shards[chunk.shard].insert(self.collection, {"_id": key, **record})
+        chunk.doc_count += 1
+        self._maybe_split(chunk)
+
+    def read(self, key: str) -> dict | None:
+        self.routed_ops += 1
+        chunk = self._router().route(key)
+        document = self.shards[chunk.shard].find_one(self.collection, key)
+        if document is not None:
+            document = {k: v for k, v in document.items() if k != "_id"}
+        return document
+
+    def update(self, key: str, fieldname: str, value: str) -> bool:
+        self.routed_ops += 1
+        chunk = self._router().route(key)
+        return self.shards[chunk.shard].update(self.collection, key, fieldname, value)
+
+    def scan(self, start_key: str, count: int) -> list[dict]:
+        """Range scan: visits chunks in key order, usually just one."""
+        self.routed_ops += 1
+        out: list[dict] = []
+        for chunk in self.config.chunks_from(start_key):
+            if len(out) >= count:
+                break
+            shard = self.shards[chunk.shard]
+            low = start_key if chunk.contains(start_key) else (chunk.low or "")
+            for document in shard.scan(self.collection, low, count - len(out)):
+                if chunk.high is not None and document["_id"] >= chunk.high:
+                    break
+                out.append(document)
+        return out[:count]
+
+    def shards_touched_by_scan(self, start_key: str, count: int) -> int:
+        """How many shards a scan fans out to (the workload E differentiator)."""
+        touched = set()
+        remaining = count
+        for chunk in self.config.chunks_from(start_key):
+            if remaining <= 0:
+                break
+            touched.add(chunk.shard)
+            remaining -= max(1, chunk.doc_count)
+        return max(1, len(touched))
+
+    def kill_shard(self, index: int) -> None:
+        """Fault injection: one mongod stops responding (no failover was
+        configured in the paper's deployment — no replica sets)."""
+        self.shards[index].kill()
+
+    @property
+    def doc_count(self) -> int:
+        return sum(
+            len(s.collection(self.collection)) for s in self.shards
+        )
+
+
+class MongoCsCluster:
+    """Client-side hash-sharded MongoDB (the paper's Mongo-CS)."""
+
+    def __init__(self, shard_count: int = 128, collection: str = DEFAULT_COLLECTION):
+        if shard_count < 1:
+            raise ShardingError("need at least one shard")
+        self.shards = [Mongod(f"mongod-{i}") for i in range(shard_count)]
+        self.collection = collection
+
+    def _shard(self, key: str) -> Mongod:
+        return self.shards[hash_shard(key, len(self.shards))]
+
+    def insert(self, key: str, record: dict) -> None:
+        self._shard(key).insert(self.collection, {"_id": key, **record})
+
+    def read(self, key: str) -> dict | None:
+        document = self._shard(key).find_one(self.collection, key)
+        if document is not None:
+            document = {k: v for k, v in document.items() if k != "_id"}
+        return document
+
+    def update(self, key: str, fieldname: str, value: str) -> bool:
+        return self._shard(key).update(self.collection, key, fieldname, value)
+
+    def scan(self, start_key: str, count: int) -> list[dict]:
+        """Hash sharding scatters ranges: every shard must be queried."""
+        partials: list[dict] = []
+        for shard in self.shards:
+            partials.extend(shard.scan(self.collection, start_key, count))
+        partials.sort(key=lambda d: d["_id"])
+        return partials[:count]
+
+    def shards_touched_by_scan(self, start_key: str, count: int) -> int:
+        return len(self.shards)
+
+    def kill_shard(self, index: int) -> None:
+        self.shards[index].kill()
+
+    @property
+    def doc_count(self) -> int:
+        return sum(len(s.collection(self.collection)) for s in self.shards)

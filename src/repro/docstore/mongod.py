@@ -1,0 +1,194 @@
+"""The ``mongod`` storage process: collections, B-tree index, global lock.
+
+The functional layer stores real BSON-encoded documents indexed by ``_id``.
+The concurrency behaviour the paper blames for workload A — MongoDB 1.8's
+**per-process global write lock** ("a write operation can block all other
+operations") — is modelled by :class:`GlobalLock`, whose acquisition counters
+feed both the tests and the performance layer (the paper measured 25-45% of
+time spent in this lock under workload A via mongostat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.btree import BTree
+from repro.common.errors import ServerCrashed, StorageError
+from repro.docstore import bson
+
+
+@dataclass
+class GlobalLock:
+    """MongoDB 1.8 semantics: many readers OR one writer, process-wide."""
+
+    readers: int = 0
+    writer_held: bool = False
+    read_acquisitions: int = 0
+    write_acquisitions: int = 0
+    write_blocked_reads: int = 0
+
+    def acquire_read(self) -> None:
+        if self.writer_held:
+            # In the real server the reader would block; the functional layer
+            # is single-threaded so this only happens on re-entrant misuse.
+            self.write_blocked_reads += 1
+            raise StorageError("global lock held by a writer")
+        self.readers += 1
+        self.read_acquisitions += 1
+
+    def release_read(self) -> None:
+        if self.readers <= 0:
+            raise StorageError("release_read without acquire")
+        self.readers -= 1
+
+    def acquire_write(self) -> None:
+        if self.writer_held or self.readers:
+            raise StorageError("global lock busy")
+        self.writer_held = True
+        self.write_acquisitions += 1
+
+    def release_write(self) -> None:
+        if not self.writer_held:
+            raise StorageError("release_write without acquire")
+        self.writer_held = False
+
+
+class Collection:
+    """Documents in insertion-independent ``_id`` order with a B-tree index."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._index = BTree()
+        self.bytes_stored = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def insert(self, document: dict) -> None:
+        if "_id" not in document:
+            raise StorageError("document needs an _id")
+        data = bson.encode(document)
+        if not self._index.insert(document["_id"], data):
+            raise StorageError(f"duplicate _id {document['_id']!r}")
+        self.bytes_stored += len(data)
+
+    def find_one(self, key):
+        data = self._index.get(key)
+        return bson.decode(data) if data is not None else None
+
+    def update_field(self, key, fieldname: str, value) -> bool:
+        data = self._index.get(key)
+        if data is None:
+            return False
+        document = bson.decode(data)
+        self.bytes_stored -= len(data)
+        document[fieldname] = value
+        new_data = bson.encode(document)
+        self._index.insert(key, new_data)
+        self.bytes_stored += len(new_data)
+        return True
+
+    def scan(self, start_key, count: int) -> list[dict]:
+        return [bson.decode(d) for _, d in self._index.range_scan(start_key, count)]
+
+    def remove(self, key) -> bool:
+        data = self._index.get(key)
+        if data is None:
+            return False
+        self._index.delete(key)
+        self.bytes_stored -= len(data)
+        return True
+
+    def key_range(self):
+        if len(self._index) == 0:
+            return None
+        return self._index.min_key(), self._index.max_key()
+
+    def keys_in_range(self, low, high) -> list:
+        """All keys in [low, high) — used when migrating a chunk off a shard."""
+        out = []
+        for key, _ in self._index.items():
+            if key >= high:
+                break
+            if key >= low:
+                out.append(key)
+        return out
+
+
+class Mongod:
+    """One mongod process: named collections guarded by one global lock."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lock = GlobalLock()
+        self._collections: dict[str, Collection] = {}
+        self.ops = 0
+        self.alive = True
+
+    def kill(self) -> None:
+        """Fault injection: the process stops answering (socket exceptions)."""
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise ServerCrashed(f"{self.name} is down")
+
+    def collection(self, name: str) -> Collection:
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    # Each operation takes the global lock in the required mode — reads share,
+    # writes exclude everything (the 1.8 behaviour).
+
+    def insert(self, collection: str, document: dict) -> None:
+        self._check_alive()
+        self.lock.acquire_write()
+        try:
+            self.ops += 1
+            self.collection(collection).insert(document)
+        finally:
+            self.lock.release_write()
+
+    def find_one(self, collection: str, key):
+        self._check_alive()
+        self.lock.acquire_read()
+        try:
+            self.ops += 1
+            return self.collection(collection).find_one(key)
+        finally:
+            self.lock.release_read()
+
+    def update(self, collection: str, key, fieldname: str, value) -> bool:
+        self._check_alive()
+        self.lock.acquire_write()
+        try:
+            self.ops += 1
+            return self.collection(collection).update_field(key, fieldname, value)
+        finally:
+            self.lock.release_write()
+
+    def scan(self, collection: str, start_key, count: int) -> list[dict]:
+        self._check_alive()
+        self.lock.acquire_read()
+        try:
+            self.ops += 1
+            return self.collection(collection).scan(start_key, count)
+        finally:
+            self.lock.release_read()
+
+    def remove(self, collection: str, key) -> bool:
+        self._check_alive()
+        self.lock.acquire_write()
+        try:
+            self.ops += 1
+            return self.collection(collection).remove(key)
+        finally:
+            self.lock.release_write()
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(c.bytes_stored for c in self._collections.values())

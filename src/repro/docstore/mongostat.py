@@ -1,0 +1,89 @@
+"""A mongostat-style monitor over the functional mongod processes.
+
+The paper diagnosed workload A with mongostat ("the percentage of time spent
+at the global lock ranges from 25%-45% at each one of the 128 mongod
+instances").  This module computes the same per-process statistics from the
+:class:`~repro.docstore.mongod.GlobalLock` counters, plus cluster-wide
+summaries the examples and tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.docstore.mongod import Mongod
+
+
+@dataclass(frozen=True)
+class MongodStats:
+    """One row of mongostat output for one mongod process."""
+
+    name: str
+    ops: int
+    reads: int
+    writes: int
+    bytes_stored: int
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.ops if self.ops else 0.0
+
+    def lock_percent(self, avg_write_hold: float, elapsed: float) -> float:
+        """Estimated % of elapsed time the global write lock was held."""
+        if elapsed <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.writes * avg_write_hold / elapsed)
+
+
+def snapshot(mongod: Mongod) -> MongodStats:
+    """Read one process's counters (non-destructive)."""
+    return MongodStats(
+        name=mongod.name,
+        ops=mongod.ops,
+        reads=mongod.lock.read_acquisitions,
+        writes=mongod.lock.write_acquisitions,
+        bytes_stored=mongod.bytes_stored,
+    )
+
+
+def cluster_snapshot(shards: list[Mongod]) -> list[MongodStats]:
+    return [snapshot(m) for m in shards]
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Aggregate view across all mongod processes."""
+
+    total_ops: int
+    total_reads: int
+    total_writes: int
+    hottest_shard: str
+    hottest_share: float  # fraction of all ops on the busiest process
+    imbalance: float  # max ops / mean ops
+
+
+def summarize(shards: list[Mongod]) -> ClusterSummary:
+    stats = cluster_snapshot(shards)
+    total_ops = sum(s.ops for s in stats)
+    hottest = max(stats, key=lambda s: s.ops)
+    mean_ops = total_ops / len(stats) if stats else 0.0
+    return ClusterSummary(
+        total_ops=total_ops,
+        total_reads=sum(s.reads for s in stats),
+        total_writes=sum(s.writes for s in stats),
+        hottest_shard=hottest.name,
+        hottest_share=hottest.ops / total_ops if total_ops else 0.0,
+        imbalance=hottest.ops / mean_ops if mean_ops else 0.0,
+    )
+
+
+def format_mongostat(shards: list[Mongod], top: int = 8) -> str:
+    """Render a mongostat-like table for the busiest processes."""
+    stats = sorted(cluster_snapshot(shards), key=lambda s: s.ops, reverse=True)
+    lines = [f"{'process':>12} {'ops':>8} {'reads':>8} {'writes':>8} {'w%':>6}"]
+    for s in stats[:top]:
+        lines.append(
+            f"{s.name:>12} {s.ops:>8} {s.reads:>8} {s.writes:>8} "
+            f"{100 * s.write_fraction:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""HDFS model: files, blocks, replication, and capacity accounting."""
+
+from repro.hdfs.filesystem import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_REPLICATION,
+    HdfsFile,
+    NameNode,
+)
+
+__all__ = ["DEFAULT_BLOCK_SIZE", "DEFAULT_REPLICATION", "HdfsFile", "NameNode"]

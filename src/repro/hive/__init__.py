@@ -1,0 +1,28 @@
+"""Hive model: metastore layouts, RCFile storage, and the MR query engine."""
+
+from repro.hive.engine import (
+    JAVA_HASH_OVERHEAD,
+    LZO_RATIO,
+    HiveEngine,
+    HiveQueryResult,
+)
+from repro.hive.hiveql import execute as execute_hiveql
+from repro.hive.hiveql import parse as parse_hiveql
+from repro.hive.metastore import TPCH_LAYOUTS, HiveTableLayout, Metastore
+from repro.hive.rcfile import decode, encode, measure_compression_ratio, read_column
+
+__all__ = [
+    "JAVA_HASH_OVERHEAD",
+    "LZO_RATIO",
+    "HiveEngine",
+    "HiveQueryResult",
+    "TPCH_LAYOUTS",
+    "HiveTableLayout",
+    "Metastore",
+    "decode",
+    "encode",
+    "measure_compression_ratio",
+    "read_column",
+    "execute_hiveql",
+    "parse_hiveql",
+]

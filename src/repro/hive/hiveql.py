@@ -1,0 +1,427 @@
+"""A HiveQL-subset parser and compiler targeting the relational kernel.
+
+Hive's defining property in the paper is that it executes declarative text
+with *no cost-based optimization*: "The order of the joins is determined by
+the way the user ... wrote the query" (Section 3.3.4.1).  This module makes
+that concrete: it parses a useful HiveQL/SQL-92 subset and compiles it to a
+kernel plan whose joins follow the written order, literally.
+
+Supported grammar::
+
+    SELECT expr [AS name] (, expr [AS name])*
+    FROM table [alias]
+      (JOIN table [alias] ON col = col)*
+    [WHERE expr]
+    [GROUP BY col (, col)*]
+    [HAVING expr]
+    [ORDER BY expr [ASC|DESC] (, ...)*]
+    [LIMIT n]
+
+Expressions: AND/OR/NOT, comparisons, + - * /, LIKE, NOT LIKE, IN (...),
+BETWEEN x AND y, aggregates SUM/COUNT/AVG/MIN/MAX, literals, and (qualified)
+column references.  Qualified names (``l.l_orderkey``) drop their alias —
+TPC-H column names are globally unique.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import PlanError
+from repro.relational.expressions import CaseWhen, Col, Expr, Lit
+from repro.relational.operators import (
+    Agg,
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    Operator,
+    Project,
+    Scan,
+    Sort,
+)
+from repro.relational.schema import Database
+
+KEYWORDS = {
+    "select", "from", "join", "on", "where", "group", "by", "having",
+    "order", "limit", "as", "and", "or", "not", "like", "in", "between",
+    "asc", "desc", "sum", "count", "avg", "min", "max", "case", "when",
+    "then", "else", "end", "distinct",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op"
+    text: str
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise PlanError(f"cannot tokenize at ...{sql[pos:pos + 20]!r}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        text = m.group()
+        kind = m.lastgroup
+        if kind == "ident" and text.lower() in KEYWORDS:
+            tokens.append(Token("keyword", text.lower()))
+        else:
+            tokens.append(Token(kind, text))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise PlanError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token and token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            got = self.peek()
+            raise PlanError(f"expected {text or kind}, got {got}")
+        return token
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept("keyword", "or"):
+            left = left | self._parse_and()
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept("keyword", "and"):
+            left = left & self._parse_not()
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept("keyword", "not"):
+            return ~self._parse_not()
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self.peek()
+        if token is None:
+            return left
+        if token.kind == "op" and token.text in ("=", "<", ">", "<=", ">=", "<>", "!="):
+            self.next()
+            right = self._parse_additive()
+            op = {"=": "==", "<>": "!=", "!=": "!="}.get(token.text, token.text)
+            from repro.relational.expressions import BinOp
+
+            return BinOp(op, left, right)
+        if token.kind == "keyword" and token.text == "like":
+            self.next()
+            pattern = self._string_literal()
+            return left.like(pattern)
+        if (
+            token.kind == "keyword" and token.text == "not"
+            and self.peek(1) is not None
+            and self.peek(1).kind == "keyword"
+        ):
+            follower = self.peek(1).text
+            if follower == "like":
+                self.next(), self.next()
+                return left.not_like(self._string_literal())
+            if follower == "in":
+                self.next(), self.next()
+                return ~left.in_(self._parse_in_list())
+            if follower == "between":
+                self.next(), self.next()
+                low = self._parse_additive()
+                self.expect("keyword", "and")
+                high = self._parse_additive()
+                return ~left.between(low, high)
+        if token.kind == "keyword" and token.text == "in":
+            self.next()
+            return left.in_(self._parse_in_list())
+        if token.kind == "keyword" and token.text == "between":
+            self.next()
+            low = self._parse_additive()
+            self.expect("keyword", "and")
+            high = self._parse_additive()
+            return left.between(low, high)
+        return left
+
+    def _parse_in_list(self) -> list:
+        self.expect("op", "(")
+        values = [self._literal_value()]
+        while self.accept("op", ","):
+            values.append(self._literal_value())
+        self.expect("op", ")")
+        return values
+
+    def _string_literal(self) -> str:
+        token = self.expect("string")
+        return token.text[1:-1].replace("''", "'")
+
+    def _literal_value(self):
+        token = self.next()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        raise PlanError(f"expected a literal, got {token}")
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token and token.kind == "op" and token.text in ("+", "-"):
+                self.next()
+                right = self._parse_multiplicative()
+                left = left + right if token.text == "+" else left - right
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token and token.kind == "op" and token.text in ("*", "/"):
+                self.next()
+                right = self._parse_primary()
+                left = left * right if token.text == "*" else left / right
+            else:
+                return left
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token is None:
+            raise PlanError("unexpected end of expression")
+        if token.kind == "op" and token.text == "(":
+            self.next()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "number":
+            self.next()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Lit(value)
+        if token.kind == "string":
+            self.next()
+            return Lit(token.text[1:-1].replace("''", "'"))
+        if token.kind == "keyword" and token.text == "case":
+            return self._parse_case()
+        if token.kind == "keyword" and token.text in ("sum", "count", "avg", "min", "max"):
+            raise PlanError(
+                f"aggregate {token.text.upper()} only allowed in the SELECT list"
+            )
+        if token.kind == "ident":
+            return Col(self._column_name())
+        raise PlanError(f"unexpected token {token}")
+
+    def _parse_case(self) -> Expr:
+        self.expect("keyword", "case")
+        branches = []
+        while self.accept("keyword", "when"):
+            cond = self.parse_expr()
+            self.expect("keyword", "then")
+            value = self.parse_expr()
+            branches.append((cond, value))
+        default: Expr = Lit(0)
+        if self.accept("keyword", "else"):
+            default = self.parse_expr()
+        self.expect("keyword", "end")
+        return CaseWhen(branches, default)
+
+    def _column_name(self) -> str:
+        first = self.expect("ident").text
+        if self.accept("op", "."):
+            return self.expect("ident").text  # qualified: drop the alias
+        return first
+
+    # -- SELECT items ---------------------------------------------------------------
+
+    def parse_select_item(self):
+        """Returns (name, expr_or_agg); aggregates become Agg specs."""
+        token = self.peek()
+        if token and token.kind == "keyword" and token.text in (
+            "sum", "count", "avg", "min", "max",
+        ):
+            func = self.next().text
+            self.expect("op", "(")
+            if func == "count" and self.accept("op", "*"):
+                agg = Agg("count")
+            else:
+                distinct = bool(self.accept("keyword", "distinct"))
+                inner = self.parse_expr()
+                agg = Agg("count_distinct" if distinct and func == "count"
+                          else func, inner)
+            self.expect("op", ")")
+            name = self._alias(default=func)
+            return name, agg
+        expr = self.parse_expr()
+        default = expr.name if isinstance(expr, Col) else "expr"
+        return self._alias(default=default), expr
+
+    def _alias(self, default: str) -> str:
+        if self.accept("keyword", "as"):
+            return self.expect("ident").text
+        token = self.peek()
+        if token and token.kind == "ident":
+            return self.next().text
+        return default
+
+
+@dataclass
+class ParsedQuery:
+    """The parsed form of a HiveQL statement."""
+
+    select: list  # (name, Expr | Agg) in written order
+    tables: list[str]  # FROM + JOINs, in written order
+    join_conditions: list[tuple[str, str]]  # (left_col, right_col) per JOIN
+    where: Optional[Expr]
+    group_by: list[str]
+    having: Optional[Expr]
+    order_by: list[tuple]
+    limit: Optional[int]
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, Agg) for _, item in self.select)
+
+
+def parse(sql: str) -> ParsedQuery:
+    """Parse a HiveQL statement."""
+    p = _Parser(tokenize(sql))
+    p.expect("keyword", "select")
+    select = [p.parse_select_item()]
+    while p.accept("op", ","):
+        select.append(p.parse_select_item())
+
+    p.expect("keyword", "from")
+    tables = [p.expect("ident").text]
+    p.accept("ident")  # optional alias
+    join_conditions: list[tuple[str, str]] = []
+    while p.accept("keyword", "join"):
+        tables.append(p.expect("ident").text)
+        p.accept("ident")  # optional alias
+        p.expect("keyword", "on")
+        left = p._column_name()
+        p.expect("op", "=")
+        right = p._column_name()
+        join_conditions.append((left, right))
+
+    where = None
+    if p.accept("keyword", "where"):
+        where = p.parse_expr()
+
+    group_by: list[str] = []
+    if p.accept("keyword", "group"):
+        p.expect("keyword", "by")
+        group_by.append(p._column_name())
+        while p.accept("op", ","):
+            group_by.append(p._column_name())
+
+    having = None
+    if p.accept("keyword", "having"):
+        having = p.parse_expr()
+
+    order_by: list[tuple] = []
+    if p.accept("keyword", "order"):
+        p.expect("keyword", "by")
+        while True:
+            expr = p.parse_expr()
+            desc = bool(p.accept("keyword", "desc"))
+            if not desc:
+                p.accept("keyword", "asc")
+            order_by.append((expr, desc))
+            if not p.accept("op", ","):
+                break
+
+    limit = None
+    if p.accept("keyword", "limit"):
+        limit = int(p.expect("number").text)
+
+    if p.peek() is not None:
+        raise PlanError(f"trailing tokens starting at {p.peek()}")
+    return ParsedQuery(
+        select=select,
+        tables=tables,
+        join_conditions=join_conditions,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def compile_plan(query: ParsedQuery) -> Operator:
+    """Lower a parsed query to a kernel plan — joins in written order."""
+    plan: Operator = Scan(query.tables[0])
+    for table, (left_col, right_col) in zip(query.tables[1:], query.join_conditions):
+        plan = HashJoin(plan, Scan(table), [left_col], [right_col])
+    if query.where is not None:
+        plan = Filter(plan, query.where)
+
+    if query.has_aggregates or query.group_by:
+        aggs = {name: item for name, item in query.select if isinstance(item, Agg)}
+        plan = Aggregate(plan, keys=list(query.group_by), aggs=aggs)
+        if query.having is not None:
+            plan = Filter(plan, query.having)
+        # Non-aggregate select items must be group keys.
+        for name, item in query.select:
+            if not isinstance(item, Agg) and not (
+                isinstance(item, Col) and item.name in query.group_by
+            ):
+                raise PlanError(f"{name!r} is neither aggregated nor grouped")
+    else:
+        plan = Project(plan, {name: item for name, item in query.select})
+
+    if query.order_by:
+        plan = Sort(plan, query.order_by)
+    if query.limit is not None:
+        plan = Limit(plan, query.limit)
+    return plan
+
+
+def execute(sql: str, db: Database) -> list[dict]:
+    """Parse, compile, and run a HiveQL statement against a database."""
+    from repro.relational.operators import run
+
+    return run(compile_plan(parse(sql)), db)

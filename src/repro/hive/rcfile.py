@@ -1,0 +1,160 @@
+"""A functional RCFile implementation (He et al., ICDE 2011).
+
+RCFile stores a table as a sequence of *row groups*; within each group the
+rows are decomposed into per-column byte runs that are compressed
+independently.  This module implements a real encoder/decoder (zlib stands in
+for GZIP — it is the same DEFLATE stream) so the reproduction can
+
+* verify round-trip correctness on generated TPC-H data, and
+* **measure** the compression ratio that the DSS cost model uses, instead of
+  hard-coding one.
+
+The paper's observations about RCFile — good compression but high CPU cost to
+scan (~70 MB/s/node, Section 3.3.4.1) — are modelled in
+:class:`~repro.mapreduce.jobs.HadoopParams.map_scan_rate`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.common.errors import StorageError
+
+MAGIC = b"RCF1"
+DEFAULT_ROW_GROUP = 4096
+
+
+def _encode_value(value) -> bytes:
+    if value is None:
+        return b"\x00N"
+    if isinstance(value, bool):
+        raise StorageError("RCFile model does not store booleans")
+    if isinstance(value, int):
+        return b"\x00I" + struct.pack(">q", value)
+    if isinstance(value, float):
+        return b"\x00F" + struct.pack(">d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"\x00S" + struct.pack(">I", len(raw)) + raw
+    raise StorageError(f"unsupported value type {type(value).__name__}")
+
+
+def _decode_values(buf: bytes) -> list:
+    values = []
+    pos = 0
+    n = len(buf)
+    while pos < n:
+        if buf[pos] != 0:
+            raise StorageError("corrupt RCFile column run")
+        kind = buf[pos + 1 : pos + 2]
+        pos += 2
+        if kind == b"N":
+            values.append(None)
+        elif kind == b"I":
+            values.append(struct.unpack_from(">q", buf, pos)[0])
+            pos += 8
+        elif kind == b"F":
+            values.append(struct.unpack_from(">d", buf, pos)[0])
+            pos += 8
+        elif kind == b"S":
+            (length,) = struct.unpack_from(">I", buf, pos)
+            pos += 4
+            values.append(buf[pos : pos + length].decode("utf-8"))
+            pos += length
+        else:
+            raise StorageError(f"unknown value kind {kind!r}")
+    return values
+
+
+def encode(rows: list[dict], columns: list[str], row_group_size: int = DEFAULT_ROW_GROUP) -> bytes:
+    """Serialize rows into RCFile bytes (columnar row groups, DEFLATE)."""
+    if row_group_size < 1:
+        raise StorageError("row group size must be >= 1")
+    out = [MAGIC, struct.pack(">I", len(columns))]
+    for name in columns:
+        raw = name.encode("utf-8")
+        out.append(struct.pack(">I", len(raw)) + raw)
+
+    for start in range(0, len(rows), row_group_size):
+        group = rows[start : start + row_group_size]
+        out.append(struct.pack(">I", len(group)))
+        for name in columns:
+            run = b"".join(_encode_value(r[name]) for r in group)
+            packed = zlib.compress(run, level=6)
+            out.append(struct.pack(">I", len(packed)) + packed)
+    return b"".join(out)
+
+
+def decode(data: bytes) -> tuple[list[str], list[dict]]:
+    """Parse RCFile bytes back into ``(columns, rows)``."""
+    if data[:4] != MAGIC:
+        raise StorageError("not an RCFile (bad magic)")
+    pos = 4
+    (ncols,) = struct.unpack_from(">I", data, pos)
+    pos += 4
+    columns = []
+    for _ in range(ncols):
+        (length,) = struct.unpack_from(">I", data, pos)
+        pos += 4
+        columns.append(data[pos : pos + length].decode("utf-8"))
+        pos += length
+
+    rows: list[dict] = []
+    while pos < len(data):
+        (nrows,) = struct.unpack_from(">I", data, pos)
+        pos += 4
+        group_cols = []
+        for _ in range(ncols):
+            (length,) = struct.unpack_from(">I", data, pos)
+            pos += 4
+            run = zlib.decompress(data[pos : pos + length])
+            pos += length
+            values = _decode_values(run)
+            if len(values) != nrows:
+                raise StorageError("row-group column length mismatch")
+            group_cols.append(values)
+        for i in range(nrows):
+            rows.append({c: group_cols[j][i] for j, c in enumerate(columns)})
+    return columns, rows
+
+
+def read_column(data: bytes, wanted: str) -> list:
+    """Read a single column, skipping other columns' compressed runs.
+
+    This is the I/O-elimination property the paper credits RCFile with:
+    untouched columns are never decompressed.
+    """
+    if data[:4] != MAGIC:
+        raise StorageError("not an RCFile (bad magic)")
+    pos = 4
+    (ncols,) = struct.unpack_from(">I", data, pos)
+    pos += 4
+    columns = []
+    for _ in range(ncols):
+        (length,) = struct.unpack_from(">I", data, pos)
+        pos += 4
+        columns.append(data[pos : pos + length].decode("utf-8"))
+        pos += length
+    if wanted not in columns:
+        raise StorageError(f"no column {wanted!r} in {columns}")
+    index = columns.index(wanted)
+
+    values: list = []
+    while pos < len(data):
+        pos += 4  # row count
+        for j in range(ncols):
+            (length,) = struct.unpack_from(">I", data, pos)
+            pos += 4
+            if j == index:
+                values.extend(_decode_values(zlib.decompress(data[pos : pos + length])))
+            pos += length
+    return values
+
+
+def measure_compression_ratio(rows: list[dict], columns: list[str], raw_width: int) -> float:
+    """Compressed-bytes / raw-bytes for a sample of rows (used for costing)."""
+    if not rows:
+        raise StorageError("cannot measure compression of an empty sample")
+    encoded = encode(rows, columns)
+    return len(encoded) / (len(rows) * raw_width)

@@ -1,0 +1,23 @@
+"""MapReduce scheduling and cost model."""
+
+from repro.mapreduce.dag import JobDag, Schedule, dag_from_hive_result
+from repro.mapreduce.jobs import (
+    HadoopParams,
+    JobResult,
+    JobTracker,
+    MapPhase,
+    schedule_tasks,
+    task_waves,
+)
+
+__all__ = [
+    "JobDag",
+    "Schedule",
+    "dag_from_hive_result",
+    "HadoopParams",
+    "JobResult",
+    "JobTracker",
+    "MapPhase",
+    "schedule_tasks",
+    "task_waves",
+]

@@ -1,0 +1,179 @@
+"""DAG scheduling of MapReduce jobs.
+
+Hive compiles a query into a directed acyclic graph of MR jobs.  Hive 0.7 —
+the paper's version — executes that DAG **serially**, one job at a time;
+later versions added ``hive.exec.parallel``, which runs independent branches
+concurrently (Q22's sub-queries 1 and 3 are independent, for example).
+
+This module computes both schedules from the same DAG: the serial makespan
+(the sum the paper measured) and the parallel makespan (the critical path,
+resource-capped), which powers the corresponding extension ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.jobs import JobResult
+
+
+@dataclass
+class DagNode:
+    """One MR job plus its dependencies (by node name)."""
+
+    name: str
+    job: JobResult
+    depends_on: tuple[str, ...] = ()
+
+
+@dataclass
+class Schedule:
+    """Start/finish times per job under one execution policy."""
+
+    start: dict[str, float] = field(default_factory=dict)
+    finish: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish.values()) if self.finish else 0.0
+
+
+class JobDag:
+    """A DAG of MapReduce jobs with serial and parallel schedulers."""
+
+    def __init__(self):
+        self._nodes: dict[str, DagNode] = {}
+        self._order: list[str] = []
+
+    def add(self, name: str, job: JobResult, depends_on: tuple[str, ...] = ()) -> None:
+        if name in self._nodes:
+            raise ConfigurationError(f"duplicate job {name!r}")
+        for dep in depends_on:
+            if dep not in self._nodes:
+                raise ConfigurationError(
+                    f"job {name!r} depends on unknown job {dep!r}"
+                )
+        self._nodes[name] = DagNode(name, job, tuple(depends_on))
+        self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> DagNode:
+        if name not in self._nodes:
+            raise ConfigurationError(f"no job {name!r}")
+        return self._nodes[name]
+
+    def topological_order(self) -> list[str]:
+        """Insertion order is topological by construction (deps must exist)."""
+        return list(self._order)
+
+    # -- schedulers -----------------------------------------------------------------
+
+    def schedule_serial(self) -> Schedule:
+        """Hive 0.7: one job at a time, in submission order."""
+        schedule = Schedule()
+        clock = 0.0
+        for name in self._order:
+            schedule.start[name] = clock
+            clock += self._nodes[name].job.total_time
+            schedule.finish[name] = clock
+        return schedule
+
+    def schedule_parallel(self, max_concurrent: int = 8) -> Schedule:
+        """hive.exec.parallel: independent branches overlap.
+
+        A job starts when all its dependencies have finished and a
+        concurrency slot is free (the jobtracker bounds simultaneous jobs).
+        Jobs become eligible in submission order — a simple list scheduler,
+        which is what Hive's driver does.
+        """
+        if max_concurrent < 1:
+            raise ConfigurationError("need at least one concurrent job slot")
+        schedule = Schedule()
+        running: list[tuple[float, str]] = []  # (finish_time, name)
+        pending = list(self._order)
+        clock = 0.0
+        while pending or running:
+            # Retire finished jobs.
+            running.sort()
+            while running and running[0][0] <= clock:
+                running.pop(0)
+            if not pending and not running:
+                break
+            progressed = False
+            for name in list(pending):
+                node = self._nodes[name]
+                deps_done = all(
+                    dep in schedule.finish and schedule.finish[dep] <= clock
+                    for dep in node.depends_on
+                )
+                if deps_done and len(running) < max_concurrent:
+                    schedule.start[name] = clock
+                    finish = clock + node.job.total_time
+                    schedule.finish[name] = finish
+                    running.append((finish, name))
+                    pending.remove(name)
+                    progressed = True
+            if not progressed:
+                if not running:
+                    raise ConfigurationError("DAG is stuck (cyclic dependency?)")
+                clock = min(f for f, _ in running)
+        return schedule
+
+    def critical_path(self) -> float:
+        """Lower bound on any schedule: the longest dependency chain."""
+        finish: dict[str, float] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            earliest = max((finish[d] for d in node.depends_on), default=0.0)
+            finish[name] = earliest + node.job.total_time
+        return max(finish.values()) if finish else 0.0
+
+
+def dag_from_hive_result(result, dependencies: dict[str, tuple[str, ...]] | None = None,
+                         ) -> JobDag:
+    """Build a DAG from a HiveQueryResult.
+
+    Without explicit ``dependencies`` every job depends on its predecessor
+    (the serial chain Hive 0.7 runs).  Pass a mapping of job name to
+    dependency names to expose real independence (e.g. Q22's sub-queries).
+    """
+    dag = JobDag()
+    added: set[str] = set()
+    previous: str | None = None
+    for job in result.jobs:
+        if dependencies is not None:
+            raw = dependencies.get(job.name, ())
+            deps = []
+            for dep in raw:
+                # A failed map join renames its job with a ".backup" suffix.
+                if dep in added:
+                    deps.append(dep)
+                elif f"{dep}.backup" in added:
+                    deps.append(f"{dep}.backup")
+            deps = tuple(deps)
+        else:
+            deps = (previous,) if previous else ()
+        dag.add(job.name, job, deps)
+        added.add(job.name)
+        previous = job.name
+    return dag
+
+
+# The true dependency structure of Q22's Hive script: sub-query 1 (customer
+# scan + fs job) and sub-query 3 (orders aggregation) are independent;
+# sub-query 2 needs sub-query 1; sub-query 4 needs 2 and 3.
+Q22_DEPENDENCIES: dict[str, tuple[str, ...]] = {
+    "mat.q22.candidates": (),
+    "fs.0": ("mat.q22.candidates",),
+    "agg.q22.avg": ("fs.0",),
+    "agg.q22.orders_agg": (),
+    "join.q22.anti": ("agg.q22.avg", "agg.q22.orders_agg"),
+    "join.q22.anti.backup": ("agg.q22.avg", "agg.q22.orders_agg"),
+    "agg.q22.anti": ("join.q22.anti",),
+    "sort": ("agg.q22.anti",),
+    "extra.0": ("sort",),
+    "extra.1": ("extra.0",),
+}

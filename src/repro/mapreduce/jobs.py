@@ -1,0 +1,236 @@
+"""MapReduce job scheduling and cost model (Hadoop 0.20-era semantics).
+
+The model captures the mechanisms the paper's Section 3.3.4 analysis keeps
+returning to:
+
+* **slot-based scheduling** — 8 map + 8 reduce slots per node (128 + 128
+  cluster-wide); tasks are handed to slots greedily in input-file order, so
+  waves mixing empty and non-empty bucket files reproduce Q1's "at least one
+  slot processes two non-empty files" effect;
+* **per-task startup cost** — an empty-file task still costs ~6 s, which
+  dominates jobs over many small buckets (Q22 sub-query 1);
+* **shuffle** — map output crosses the 1 GbE network; common joins move both
+  inputs, which is why Hive's Q5/Q19 plans are so expensive;
+* **map-side join failure** — a hash table that does not fit in the task
+  heap fails after a fixed delay and a backup common-join job runs (Q22
+  sub-query 4 fails after ~400 s at every scale factor).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MB
+from repro.simcluster.profile import HardwareProfile
+
+
+@dataclass(frozen=True)
+class HadoopParams:
+    """Tunable constants of the Hadoop/Hive installation (Section 3.2.1)."""
+
+    map_slots_per_node: int = 8
+    reduce_slots_per_node: int = 8
+    task_heap_bytes: float = 2.0 * GB  # -Xmx2g per task
+    hashtable_memory_fraction: float = 0.35  # usable heap for a map-join table
+    map_task_startup: float = 6.0  # JVM fork + init (paper: empty file = 6 s)
+    reduce_task_startup: float = 5.0
+    job_overhead: float = 28.0  # submission, setup, and commit latency
+    map_scan_rate: float = 8.75 * MB  # compressed bytes/s per map task (70/8 per node)
+    reduce_rate: float = 12.0 * MB  # join/agg throughput per reduce task
+    shuffle_efficiency: float = 0.55  # fraction of NIC bandwidth shuffles achieve
+    mapjoin_failure_delay: float = 400.0  # observed heap-error time before backup
+    fs_job_time: float = 50.0  # the filesystem consolidation job in Q22
+
+    def map_slots(self, profile: HardwareProfile) -> int:
+        return self.map_slots_per_node * profile.nodes
+
+    def reduce_slots(self, profile: HardwareProfile) -> int:
+        return self.reduce_slots_per_node * profile.nodes
+
+    def shuffle_bandwidth(self, profile: HardwareProfile) -> float:
+        """Aggregate effective shuffle rate across the cluster."""
+        return self.shuffle_efficiency * profile.nodes * profile.network_bandwidth
+
+
+def schedule_tasks(durations: list[float], slots: int) -> float:
+    """Greedy dynamic assignment of tasks to slots, in list order.
+
+    Returns the makespan.  This mirrors Hadoop's behaviour of handing the
+    next pending task to whichever slot frees first — and therefore also its
+    pathology: a slot that got a short (empty-file) task early will pick up a
+    long task later, stretching the wave.
+    """
+    if slots < 1:
+        raise ConfigurationError("need at least one slot")
+    if not durations:
+        return 0.0
+    free_at = [0.0] * min(slots, len(durations))
+    heapq.heapify(free_at)
+    for duration in durations:
+        start = heapq.heappop(free_at)
+        heapq.heappush(free_at, start + duration)
+    return max(free_at)
+
+
+def task_waves(task_count: int, slots: int) -> int:
+    """Number of scheduling waves needed (ceil division)."""
+    return math.ceil(task_count / slots) if task_count else 0
+
+
+@dataclass
+class MapPhase:
+    """Input description for the map phase: one entry per input file/split.
+
+    ``file_bytes`` holds the *compressed on-disk* size of every split; empty
+    bucket files contribute explicit zeros.
+    """
+
+    file_bytes: list[float]
+    params: HadoopParams
+
+    def split_for_blocks(self, block_size: float) -> "MapPhase":
+        """Split files larger than an HDFS block into per-block tasks."""
+        split: list[float] = []
+        for size in self.file_bytes:
+            if size <= block_size:
+                split.append(size)
+            else:
+                blocks = math.ceil(size / block_size)
+                split.extend([size / blocks] * blocks)
+        return MapPhase(split, self.params)
+
+    @property
+    def task_count(self) -> int:
+        return len(self.file_bytes)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.file_bytes)
+
+    def task_durations(self) -> list[float]:
+        p = self.params
+        return [p.map_task_startup + size / p.map_scan_rate for size in self.file_bytes]
+
+
+@dataclass
+class JobResult:
+    """Timing breakdown of one simulated MapReduce job."""
+
+    name: str
+    map_time: float
+    shuffle_time: float
+    reduce_time: float
+    overhead: float
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    map_waves: int = 0
+    failed_mapjoin: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return self.map_time + self.shuffle_time + self.reduce_time + self.overhead
+
+
+class JobTracker:
+    """Simulates MapReduce jobs against a hardware profile."""
+
+    def __init__(self, profile: HardwareProfile, params: HadoopParams | None = None):
+        self.profile = profile
+        self.params = params or HadoopParams()
+
+    def run_map_only(self, name: str, map_phase: MapPhase) -> JobResult:
+        """A map-only job (selection/projection with no reduce phase)."""
+        durations = map_phase.task_durations()
+        slots = self.params.map_slots(self.profile)
+        return JobResult(
+            name=name,
+            map_time=schedule_tasks(durations, slots),
+            shuffle_time=0.0,
+            reduce_time=0.0,
+            overhead=self.params.job_overhead,
+            map_tasks=map_phase.task_count,
+            map_waves=task_waves(map_phase.task_count, slots),
+        )
+
+    def run_map_reduce(
+        self,
+        name: str,
+        map_phase: MapPhase,
+        shuffle_bytes: float,
+        reduce_input_bytes: float,
+        reducers: int | None = None,
+    ) -> JobResult:
+        """A full MR job: map scan, shuffle over the network, reduce work.
+
+        ``shuffle_bytes`` is the map-output volume that crosses the network
+        (LZO-compressed in the paper's configuration); ``reduce_input_bytes``
+        is what the reduce phase must process (usually the same).
+        """
+        params = self.params
+        map_slots = params.map_slots(self.profile)
+        reduce_slots = params.reduce_slots(self.profile)
+        if reducers is None:
+            reducers = reduce_slots  # the paper sets reducers = total slots
+        reducers = max(1, reducers)
+
+        map_time = schedule_tasks(map_phase.task_durations(), map_slots)
+        shuffle_time = shuffle_bytes / params.shuffle_bandwidth(self.profile)
+
+        per_reducer = reduce_input_bytes / reducers
+        reduce_task_time = params.reduce_task_startup + per_reducer / params.reduce_rate
+        reduce_waves = task_waves(reducers, reduce_slots)
+        reduce_time = reduce_task_time * reduce_waves
+
+        return JobResult(
+            name=name,
+            map_time=map_time,
+            shuffle_time=shuffle_time,
+            reduce_time=reduce_time,
+            overhead=params.job_overhead,
+            map_tasks=map_phase.task_count,
+            reduce_tasks=reducers,
+            map_waves=task_waves(map_phase.task_count, map_slots),
+        )
+
+    def run_map_join(
+        self,
+        name: str,
+        big_phase: MapPhase,
+        hashtable_bytes: float,
+        backup_shuffle_bytes: float | None = None,
+        backup_reduce_bytes: float | None = None,
+    ) -> JobResult:
+        """A map-side join: succeeds only if the hash table fits in task heap.
+
+        On failure (the Q22 case) the job burns ``mapjoin_failure_delay``
+        seconds, then a backup common-join job runs with the supplied shuffle
+        and reduce volumes.
+        """
+        params = self.params
+        budget = params.task_heap_bytes * params.hashtable_memory_fraction
+        if hashtable_bytes <= budget:
+            result = self.run_map_only(name, big_phase)
+            # Each map task additionally loads the hash table from local disk.
+            load = hashtable_bytes / self.profile.aggregate_disk_bandwidth
+            result.map_time += load
+            result.notes.append("map-side join succeeded")
+            return result
+
+        if backup_shuffle_bytes is None:
+            backup_shuffle_bytes = big_phase.total_bytes + hashtable_bytes
+        if backup_reduce_bytes is None:
+            backup_reduce_bytes = backup_shuffle_bytes
+        backup = self.run_map_reduce(
+            f"{name}.backup", big_phase, backup_shuffle_bytes, backup_reduce_bytes
+        )
+        backup.map_time += params.mapjoin_failure_delay
+        backup.failed_mapjoin = True
+        backup.notes.append(
+            f"map-side join hash table ({hashtable_bytes / GB:.2f} GB) exceeded "
+            f"task budget ({budget / GB:.2f} GB); backup common join executed"
+        )
+        return backup

@@ -1,0 +1,24 @@
+"""PDW model: catalog (Table 1 physical design) and the parallel engine."""
+
+from repro.pdw.catalog import (
+    DISTRIBUTION_COLUMNS,
+    DISTRIBUTIONS_PER_NODE,
+    REPLICATED,
+    REPLICATED_TABLES,
+    distribution_of,
+    total_distributions,
+)
+from repro.pdw.engine import PdwEngine, PdwParams, PdwQueryResult, PdwStep
+
+__all__ = [
+    "DISTRIBUTION_COLUMNS",
+    "DISTRIBUTIONS_PER_NODE",
+    "REPLICATED",
+    "REPLICATED_TABLES",
+    "distribution_of",
+    "total_distributions",
+    "PdwEngine",
+    "PdwParams",
+    "PdwQueryResult",
+    "PdwStep",
+]

@@ -1,0 +1,39 @@
+"""PDW catalog: the Table-1 physical design (distributions and replication).
+
+Every hash-distributed table has 8 distributions per compute node (128 across
+the cluster); nation and region are replicated everywhere, which is what lets
+PDW run dimension joins locally.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+
+DISTRIBUTIONS_PER_NODE = 8
+
+# Hash-distribution column per table (the paper's Table 1, PDW side).
+DISTRIBUTION_COLUMNS: dict[str, str] = {
+    "customer": "c_custkey",
+    "lineitem": "l_orderkey",
+    "orders": "o_orderkey",
+    "part": "p_partkey",
+    "partsupp": "ps_partkey",
+    "supplier": "s_suppkey",
+}
+
+REPLICATED_TABLES = frozenset({"nation", "region"})
+
+REPLICATED = "@replicated"  # sentinel partition state
+
+
+def distribution_of(table: str) -> str:
+    """Partition state of a base table: a column name or ``REPLICATED``."""
+    if table in REPLICATED_TABLES:
+        return REPLICATED
+    if table in DISTRIBUTION_COLUMNS:
+        return DISTRIBUTION_COLUMNS[table]
+    raise ConfigurationError(f"table {table!r} is not in the PDW catalog")
+
+
+def total_distributions(nodes: int) -> int:
+    return nodes * DISTRIBUTIONS_PER_NODE

@@ -1,0 +1,287 @@
+"""Scalar expression trees evaluated against dict rows.
+
+Expressions support Python operator overloading so query definitions read
+close to SQL::
+
+    (col("l_shipdate") <= lit("1998-09-01")) & (col("l_discount") > lit(0.05))
+
+``Expr.eval(row)`` computes the value; the tree form also lets planners
+inspect predicates (e.g. which columns a filter touches).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Any, Callable
+
+from repro.common.errors import PlanError
+
+
+class Expr:
+    """Base class for all scalar expressions."""
+
+    def eval(self, row: dict) -> Any:
+        raise NotImplementedError
+
+    # -- comparison operators ------------------------------------------------
+    def __eq__(self, other):  # type: ignore[override]
+        return BinOp("==", self, _wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return BinOp("!=", self, _wrap(other))
+
+    def __lt__(self, other):
+        return BinOp("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return BinOp("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return BinOp(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return BinOp(">=", self, _wrap(other))
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other):
+        return BinOp("+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return BinOp("-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return BinOp("*", self, _wrap(other))
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _wrap(other))
+
+    # -- boolean combinators (SQL AND/OR/NOT) --------------------------------
+    def __and__(self, other):
+        return BinOp("and", self, _wrap(other))
+
+    def __or__(self, other):
+        return BinOp("or", self, _wrap(other))
+
+    def __invert__(self):
+        return NotOp(self)
+
+    # Hashability is required because __eq__ is overloaded.
+    def __hash__(self):
+        return id(self)
+
+    # -- SQL-flavoured helpers ------------------------------------------------
+    def like(self, pattern: str) -> "LikeOp":
+        return LikeOp(self, pattern)
+
+    def not_like(self, pattern: str) -> "NotOp":
+        return NotOp(LikeOp(self, pattern))
+
+    def in_(self, values) -> "InList":
+        return InList(self, tuple(values))
+
+    def between(self, low, high) -> "BinOp":
+        return (self >= _wrap(low)) & (self <= _wrap(high))
+
+    def substr(self, start: int, length: int) -> "Substr":
+        return Substr(self, start, length)
+
+    def year(self) -> "YearOf":
+        return YearOf(self)
+
+
+def _wrap(value) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Col(Expr):
+    """A column reference."""
+
+    name: str
+
+    def eval(self, row: dict) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise PlanError(f"row has no column {self.name!r}; has {sorted(row)}")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Expr):
+    """A literal constant."""
+
+    value: Any
+
+    def eval(self, row: dict) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class BinOp(Expr):
+    """Binary operator; ``and``/``or`` short-circuit like SQL's two-valued logic."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _OPS and op not in ("and", "or"):
+            raise PlanError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, row: dict) -> Any:
+        if self.op == "and":
+            return bool(self.left.eval(row)) and bool(self.right.eval(row))
+        if self.op == "or":
+            return bool(self.left.eval(row)) or bool(self.right.eval(row))
+        return _OPS[self.op](self.left.eval(row), self.right.eval(row))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class NotOp(Expr):
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def eval(self, row: dict) -> bool:
+        return not bool(self.inner.eval(row))
+
+    def __repr__(self) -> str:
+        return f"(not {self.inner!r})"
+
+
+class LikeOp(Expr):
+    """SQL LIKE with ``%`` (any run) and ``_`` (any one character)."""
+
+    def __init__(self, inner: Expr, pattern: str):
+        self.inner = inner
+        self.pattern = pattern
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        self._compiled = re.compile(f"^{regex}$", re.DOTALL)
+
+    def eval(self, row: dict) -> bool:
+        value = self.inner.eval(row)
+        return bool(self._compiled.match(str(value)))
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r} LIKE {self.pattern!r})"
+
+
+class InList(Expr):
+    def __init__(self, inner: Expr, values: tuple):
+        self.inner = inner
+        self.values = frozenset(values)
+
+    def eval(self, row: dict) -> bool:
+        return self.inner.eval(row) in self.values
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r} IN {sorted(self.values)!r})"
+
+
+class Substr(Expr):
+    """SQL SUBSTRING with 1-based ``start``."""
+
+    def __init__(self, inner: Expr, start: int, length: int):
+        if start < 1 or length < 0:
+            raise PlanError("substr uses 1-based start and non-negative length")
+        self.inner = inner
+        self.start = start
+        self.length = length
+
+    def eval(self, row: dict) -> str:
+        value = str(self.inner.eval(row))
+        return value[self.start - 1 : self.start - 1 + self.length]
+
+    def __repr__(self) -> str:
+        return f"substr({self.inner!r}, {self.start}, {self.length})"
+
+
+class YearOf(Expr):
+    """EXTRACT(YEAR FROM date-string)."""
+
+    def __init__(self, inner: Expr):
+        self.inner = inner
+
+    def eval(self, row: dict) -> int:
+        return int(str(self.inner.eval(row))[:4])
+
+    def __repr__(self) -> str:
+        return f"year({self.inner!r})"
+
+
+class CaseWhen(Expr):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    def __init__(self, branches: list[tuple[Expr, Expr]], default: Expr):
+        if not branches:
+            raise PlanError("CASE needs at least one WHEN branch")
+        self.branches = [(cond, _wrap(value)) for cond, value in branches]
+        self.default = _wrap(default)
+
+    def eval(self, row: dict) -> Any:
+        for cond, value in self.branches:
+            if cond.eval(row):
+                return value.eval(row)
+        return self.default.eval(row)
+
+    def __repr__(self) -> str:
+        parts = " ".join(f"WHEN {c!r} THEN {v!r}" for c, v in self.branches)
+        return f"CASE {parts} ELSE {self.default!r} END"
+
+
+# -- public constructors -------------------------------------------------------
+
+
+def col(name: str) -> Col:
+    """Reference a column."""
+    return Col(name)
+
+
+def lit(value) -> Lit:
+    """A literal constant."""
+    return Lit(value)
+
+
+def case(branches: list[tuple[Expr, Any]], default=0) -> CaseWhen:
+    """Build a CASE expression; values are auto-wrapped literals."""
+    return CaseWhen(branches, default)
+
+
+def date_add(iso_date: str, days: int = 0, months: int = 0, years: int = 0) -> str:
+    """Date arithmetic on ISO strings: ``date '1994-01-01' + interval ...``."""
+    d = date.fromisoformat(iso_date)
+    if days:
+        d = d + timedelta(days=days)
+    if months or years:
+        total = d.month - 1 + months + 12 * years
+        year = d.year + total // 12
+        month = total % 12 + 1
+        # Clamp the day like SQL engines do (Jan 31 + 1 month -> Feb 28/29).
+        for day in (d.day, 30, 29, 28):
+            try:
+                d = date(year, month, day)
+                break
+            except ValueError:
+                continue
+    return d.isoformat()

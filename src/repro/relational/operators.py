@@ -1,0 +1,317 @@
+"""Physical operators: scan, filter, project, hash join, aggregate, sort.
+
+Operators form a tree; ``run(plan, db)`` executes it bottom-up and returns a
+list of dict rows.  Any operator can carry a ``tag``: tagged operators record
+their output cardinality and byte volume into the :class:`ExecutionContext`,
+which is how the engine cost models learn the true intermediate sizes of each
+TPC-H query (Section 3.3.4 of the paper reasons entirely in terms of these
+volumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import PlanError
+from repro.relational.expressions import Expr, _wrap
+from repro.relational.schema import Database, estimate_row_width
+
+
+@dataclass
+class StageStat:
+    """Cardinality and size of one tagged operator's output."""
+
+    rows: int
+    bytes: int
+
+    @property
+    def avg_width(self) -> float:
+        return self.bytes / self.rows if self.rows else 0.0
+
+
+class ExecutionContext:
+    """Carries the database and collects tagged operator statistics."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.stats: dict[str, StageStat] = {}
+
+    def record(self, tag: str, rows: list[dict]) -> None:
+        width = estimate_row_width(rows[0]) if rows else 0
+        self.stats[tag] = StageStat(rows=len(rows), bytes=len(rows) * width)
+
+
+class Operator:
+    """Base class; subclasses implement ``_execute``."""
+
+    tag: Optional[str] = None
+
+    def execute(self, ctx: ExecutionContext) -> list[dict]:
+        rows = self._execute(ctx)
+        if self.tag is not None:
+            ctx.record(self.tag, rows)
+        return rows
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        raise NotImplementedError
+
+
+class Scan(Operator):
+    """Full scan of a base table, optionally filtering and projecting inline."""
+
+    def __init__(
+        self,
+        table: str,
+        predicate: Optional[Expr] = None,
+        columns: Optional[list[str]] = None,
+        tag: Optional[str] = None,
+    ):
+        self.table = table
+        self.predicate = predicate
+        self.columns = columns
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        rows = ctx.db.table(self.table).rows
+        if self.predicate is not None:
+            pred = self.predicate
+            rows = [r for r in rows if pred.eval(r)]
+        if self.columns is not None:
+            cols = self.columns
+            rows = [{c: r[c] for c in cols} for r in rows]
+        else:
+            rows = list(rows)
+        return rows
+
+
+class Rows(Operator):
+    """Wrap an already-materialized row list as a plan input."""
+
+    def __init__(self, rows: list[dict], tag: Optional[str] = None):
+        self._rows = rows
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        return self._rows
+
+
+class Filter(Operator):
+    def __init__(self, child: Operator, predicate: Expr, tag: Optional[str] = None):
+        self.child = child
+        self.predicate = predicate
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        pred = self.predicate
+        return [r for r in self.child.execute(ctx) if pred.eval(r)]
+
+
+class Project(Operator):
+    """Compute output columns; values may be column names or expressions."""
+
+    def __init__(self, child: Operator, outputs: dict, tag: Optional[str] = None):
+        self.child = child
+        self.outputs = {name: _as_expr(spec) for name, spec in outputs.items()}
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        outputs = self.outputs
+        return [
+            {name: expr.eval(row) for name, expr in outputs.items()}
+            for row in self.child.execute(ctx)
+        ]
+
+
+def _as_expr(spec) -> Expr:
+    from repro.relational.expressions import Col
+
+    if isinstance(spec, Expr):
+        return spec
+    if isinstance(spec, str):
+        return Col(spec)
+    return _wrap(spec)
+
+
+class HashJoin(Operator):
+    """Equi-join on key column lists; supports inner/left/semi/anti.
+
+    The build side is ``right``; output rows merge left columns with right
+    columns (left values win on a name clash, which TPC-H never has).
+    ``semi`` emits each left row with at least one match; ``anti`` emits each
+    left row with none (NOT EXISTS).  ``left`` outer fills unmatched right
+    columns with ``None``.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: list[str],
+        right_keys: list[str],
+        how: str = "inner",
+        tag: Optional[str] = None,
+    ):
+        if how not in ("inner", "left", "semi", "anti"):
+            raise PlanError(f"unknown join type {how!r}")
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("join key lists must be non-empty and equal length")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.how = how
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        left_rows = self.left.execute(ctx)
+        right_rows = self.right.execute(ctx)
+        rkeys = self.right_keys
+        table: dict[tuple, list[dict]] = {}
+        for row in right_rows:
+            table.setdefault(tuple(row[k] for k in rkeys), []).append(row)
+
+        lkeys = self.left_keys
+        out: list[dict] = []
+        if self.how == "semi":
+            return [r for r in left_rows if tuple(r[k] for k in lkeys) in table]
+        if self.how == "anti":
+            return [r for r in left_rows if tuple(r[k] for k in lkeys) not in table]
+
+        right_cols: list[str] = []
+        if self.how == "left" and right_rows:
+            right_cols = [c for c in right_rows[0] if c not in set(lkeys)]
+        for row in left_rows:
+            matches = table.get(tuple(row[k] for k in lkeys))
+            if matches:
+                for match in matches:
+                    merged = {**match, **row}
+                    out.append(merged)
+            elif self.how == "left":
+                merged = dict(row)
+                for c in right_cols:
+                    merged.setdefault(c, None)
+                out.append(merged)
+        return out
+
+
+@dataclass(frozen=True)
+class Agg:
+    """One aggregate: function name plus input expression (None for COUNT(*))."""
+
+    func: str
+    expr: Optional[Expr] = None
+
+    def __post_init__(self):
+        valid = ("sum", "count", "avg", "min", "max", "count_distinct")
+        if self.func not in valid:
+            raise PlanError(f"unknown aggregate {self.func!r}; valid: {valid}")
+        if self.func != "count" and self.expr is None:
+            raise PlanError(f"{self.func} requires an input expression")
+
+
+class Aggregate(Operator):
+    """Hash group-by.  ``keys=[]`` produces a single global-aggregate row."""
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: list[str],
+        aggs: dict[str, Agg],
+        tag: Optional[str] = None,
+    ):
+        self.child = child
+        self.keys = keys
+        self.aggs = aggs
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        rows = self.child.execute(ctx)
+        keys = self.keys
+        groups: dict[tuple, list[dict]] = {}
+        for row in rows:
+            groups.setdefault(tuple(row[k] for k in keys), []).append(row)
+        if not keys and not groups:
+            groups[()] = []  # global aggregate over empty input still emits one row
+
+        out = []
+        for key, members in groups.items():
+            result = dict(zip(keys, key))
+            for name, agg in self.aggs.items():
+                result[name] = _apply_agg(agg, members)
+            out.append(result)
+        return out
+
+
+def _apply_agg(agg: Agg, rows: list[dict]):
+    if agg.func == "count":
+        return len(rows)
+    values = [agg.expr.eval(r) for r in rows]
+    if agg.func == "count_distinct":
+        return len(set(values))
+    if not values:
+        return None
+    if agg.func == "sum":
+        return sum(values)
+    if agg.func == "avg":
+        return sum(values) / len(values)
+    if agg.func == "min":
+        return min(values)
+    if agg.func == "max":
+        return max(values)
+    raise PlanError(f"unhandled aggregate {agg.func}")
+
+
+class Sort(Operator):
+    """ORDER BY a list of ``(column_or_expr, descending)`` pairs."""
+
+    def __init__(self, child: Operator, keys: list[tuple], tag: Optional[str] = None):
+        self.child = child
+        self.keys = [(_as_expr(k), bool(desc)) for k, desc in keys]
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        rows = self.child.execute(ctx)
+        # Stable sort applied from the least-significant key backwards.
+        for expr, desc in reversed(self.keys):
+            rows = sorted(rows, key=lambda r, e=expr: e.eval(r), reverse=desc)
+        return rows
+
+
+class Limit(Operator):
+    def __init__(self, child: Operator, n: int, tag: Optional[str] = None):
+        if n < 0:
+            raise PlanError("LIMIT must be non-negative")
+        self.child = child
+        self.n = n
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        return self.child.execute(ctx)[: self.n]
+
+
+class Distinct(Operator):
+    """Row-level DISTINCT over selected columns (or all columns)."""
+
+    def __init__(self, child: Operator, columns: Optional[list[str]] = None, tag=None):
+        self.child = child
+        self.columns = columns
+        self.tag = tag
+
+    def _execute(self, ctx: ExecutionContext) -> list[dict]:
+        seen = set()
+        out = []
+        for row in self.child.execute(ctx):
+            cols = self.columns if self.columns is not None else sorted(row)
+            key = tuple(row[c] for c in cols)
+            if key not in seen:
+                seen.add(key)
+                out.append({c: row[c] for c in cols} if self.columns else row)
+        return out
+
+
+def run(plan: Operator, db: Database, ctx: Optional[ExecutionContext] = None) -> list[dict]:
+    """Execute a plan against a database, returning materialized rows."""
+    if ctx is None:
+        ctx = ExecutionContext(db)
+    return plan.execute(ctx)

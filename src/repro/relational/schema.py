@@ -1,0 +1,137 @@
+"""Schemas, tables, and the in-memory database the kernel executes against.
+
+Rows are plain dicts keyed by column name.  Dates are ISO-8601 strings
+(``"1994-01-01"``), which order correctly under string comparison and keep
+the generator and the operators simple.  Each column carries a byte-width
+estimate so intermediate results can be costed for shuffles and scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import PlanError
+
+
+class ColumnType(Enum):
+    """Logical column types used by TPC-H and YCSB schemas."""
+
+    INT = "int"
+    FLOAT = "float"  # TPC-H decimals are modelled as floats
+    STR = "str"
+    DATE = "date"  # ISO-8601 string
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type, and an average stored width in bytes."""
+
+    name: str
+    ctype: ColumnType
+    width: int = 8
+
+    @staticmethod
+    def int_(name: str) -> "Column":
+        return Column(name, ColumnType.INT, 8)
+
+    @staticmethod
+    def float_(name: str) -> "Column":
+        return Column(name, ColumnType.FLOAT, 8)
+
+    @staticmethod
+    def str_(name: str, width: int) -> "Column":
+        return Column(name, ColumnType.STR, width)
+
+    @staticmethod
+    def date(name: str) -> "Column":
+        return Column(name, ColumnType.DATE, 10)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of columns with name lookup."""
+
+    columns: tuple[Column, ...]
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise PlanError(f"duplicate column names in schema: {names}")
+
+    @staticmethod
+    def of(*columns: Column) -> "Schema":
+        return Schema(tuple(columns))
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise PlanError(f"unknown column {name!r}; have {self.names}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    @property
+    def row_width(self) -> int:
+        """Average stored bytes per row (used by the cost models)."""
+        return sum(c.width for c in self.columns)
+
+
+@dataclass
+class TableData:
+    """A named table: schema plus materialized rows."""
+
+    name: str
+    schema: Schema
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def byte_size(self) -> int:
+        return self.row_count * self.schema.row_width
+
+    def append(self, row: dict) -> None:
+        self.rows.append(row)
+
+
+class Database:
+    """A collection of tables addressed by name."""
+
+    def __init__(self):
+        self._tables: dict[str, TableData] = {}
+
+    def add(self, table: TableData) -> None:
+        if table.name in self._tables:
+            raise PlanError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableData:
+        if name not in self._tables:
+            raise PlanError(f"unknown table {name!r}; have {sorted(self._tables)}")
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+
+def estimate_row_width(row: dict) -> int:
+    """Rough stored width of an arbitrary row (for unplanned intermediates)."""
+    width = 0
+    for value in row.values():
+        if isinstance(value, str):
+            width += len(value)
+        else:
+            width += 8
+    return width

@@ -1,0 +1,23 @@
+"""Discrete-event cluster simulator calibrated to the paper's testbed."""
+
+from repro.simcluster.events import Environment, Event, Process, Resource, Timeout
+from repro.simcluster.node import Cluster, Node
+from repro.simcluster.profile import HardwareProfile, oltp_testbed, paper_testbed
+from repro.simcluster.resources import Cpu, Disk, DiskArray, NetworkLink
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Resource",
+    "Timeout",
+    "Cluster",
+    "Node",
+    "HardwareProfile",
+    "oltp_testbed",
+    "paper_testbed",
+    "Cpu",
+    "Disk",
+    "DiskArray",
+    "NetworkLink",
+]

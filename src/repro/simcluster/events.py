@@ -1,0 +1,218 @@
+"""A small deterministic discrete-event simulation kernel.
+
+This is the substrate under every performance number in the reproduction:
+simulated processes are plain Python generators that ``yield`` events
+(timeouts, resource grants), and the single-threaded event loop advances a
+virtual clock.  The design mirrors SimPy's process-interaction style but is
+self-contained (no external dependency) and fully deterministic: ties in the
+event heap are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` schedules it to fire, at which
+    point every waiting process is resumed with :attr:`value`.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to fire now; idempotence is an error."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (immediately if fired)."""
+        if self.triggered and self._fired:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    # Internal: set once the event loop has dispatched the event.
+    _fired = False
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(env)
+        self.triggered = True
+        self.value = None
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process itself is an event that fires on return.
+
+    The generator yields :class:`Event` objects.  When a yielded event fires,
+    the generator is resumed with the event's value.  When the generator
+    returns, the process event fires with the return value, so processes can
+    wait on each other (fork/join).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        self._generator = generator
+        # Bootstrap: resume once at the current time.
+        bootstrap = Event(env)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The event loop: a clock plus a priority queue of pending events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def timeout(self, delay: float) -> Timeout:
+        """Return an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        """Return a fresh untriggered event (for manual signalling)."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator and return its join event."""
+        return Process(self, generator)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Dispatch events until the queue drains or the clock passes ``until``."""
+        while self._queue:
+            when, _seq, event = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = when
+            event._fired = True
+            callbacks, event._callbacks = event._callbacks, []
+            for callback in callbacks:
+                callback(event)
+        if until is not None:
+            self.now = until
+
+    def all_of(self, events: list[Event]) -> Event:
+        """Return an event that fires once every event in ``events`` has fired."""
+        gate = Event(self)
+        remaining = len(events)
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+        results: list[Any] = [None] * remaining
+        state = {"left": remaining}
+
+        def make_callback(index: int):
+            def on_fire(event: Event) -> None:
+                results[index] = event.value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    gate.succeed(results)
+
+            return on_fire
+
+        for index, event in enumerate(events):
+            event.add_callback(make_callback(index))
+        return gate
+
+
+class Resource:
+    """A FIFO resource with integer capacity (cores, spindles, a lock).
+
+    Usage inside a process generator::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: list[Event] = []
+        # Aggregate counters for utilization reporting.
+        self.total_waits = 0
+        self.total_grants = 0
+
+    def request(self) -> Event:
+        """Return an event that fires when a unit of capacity is granted."""
+        grant = Event(self.env)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_grants += 1
+            grant.succeed()
+        else:
+            self.total_waits += 1
+            self._waiting.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit of capacity, waking the longest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release without matching request")
+        if self._waiting:
+            self.total_grants += 1
+            self._waiting.pop(0).succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting for capacity."""
+        return len(self._waiting)
+
+    def use(self, hold_time: float) -> Generator:
+        """Convenience process body: acquire, hold for ``hold_time``, release."""
+        grant = self.request()
+        yield grant
+        try:
+            yield self.env.timeout(hold_time)
+        finally:
+            self.release()

@@ -1,0 +1,57 @@
+"""A simulated cluster node: CPU pool, data-disk array, and a NIC."""
+
+from __future__ import annotations
+
+from repro.simcluster.events import Environment
+from repro.simcluster.profile import HardwareProfile
+from repro.simcluster.resources import Cpu, DiskArray, NetworkLink
+
+
+class Node:
+    """One server assembled from the profile's per-node resources."""
+
+    def __init__(self, env: Environment, profile: HardwareProfile, name: str):
+        self.env = env
+        self.profile = profile
+        self.name = name
+        self.cpu = Cpu(env, cores=profile.cores_per_node, name=f"{name}.cpu")
+        self.disks = DiskArray(
+            env,
+            spindles=profile.data_disks_per_node,
+            per_disk_bandwidth=profile.disk_seq_bandwidth,
+            seek_time=profile.disk_seek_time,
+            name=f"{name}.disks",
+        )
+        self.nic = NetworkLink(
+            env,
+            bandwidth=profile.network_bandwidth,
+            latency=profile.network_latency,
+            name=f"{name}.nic",
+        )
+        self.memory = profile.memory_per_node
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r})"
+
+
+class Cluster:
+    """A set of nodes behind one non-blocking switch (HP Procurve in §3.1).
+
+    The switch is modelled as non-blocking — each node's NIC is the limiting
+    network resource — which matches a 48-port 1 GbE switch serving 16 nodes.
+    """
+
+    def __init__(self, env: Environment, profile: HardwareProfile, name: str = "cluster"):
+        self.env = env
+        self.profile = profile
+        self.name = name
+        self.nodes = [Node(env, profile, name=f"{name}.n{i}") for i in range(profile.nodes)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> Node:
+        return self.nodes[index]

@@ -1,0 +1,73 @@
+"""Calibration constants describing the paper's testbed (Section 3.1).
+
+Every performance model in the reproduction pulls its rates from a
+:class:`HardwareProfile` so that (a) all engines are costed against identical
+hardware, exactly as the paper insists ("we used exactly the same hardware
+for both systems"), and (b) ablations can perturb one knob at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MB, gbit_to_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-node hardware rates plus cluster topology counts."""
+
+    # Topology (Section 3.1).
+    nodes: int = 16
+    cores_per_node: int = 16  # dual quad-core Xeon L5630, hyper-threaded
+    memory_per_node: float = 32.0 * GB
+    data_disks_per_node: int = 8
+    disk_capacity: float = 300.0 * GB  # per 10K SAS drive
+
+    # Device rates.
+    disk_seq_bandwidth: float = 100.0 * MB  # per spindle, sequential
+    disk_seek_time: float = 0.008  # 10K RPM: ~8 ms per random access
+    network_bandwidth: float = gbit_to_bytes_per_sec(1.0)  # per-node NIC
+    network_latency: float = 0.0001
+
+    # Measured software-level rates the paper reports for its Hadoop setup.
+    hdfs_seq_read_bandwidth: float = 400.0 * MB  # per node, testdfsio (§3.3.4.1)
+    rcfile_scan_bandwidth: float = 70.0 * MB  # per node, CPU-bound (§3.3.4.1)
+
+    def __post_init__(self):
+        if self.nodes < 1 or self.cores_per_node < 1 or self.data_disks_per_node < 1:
+            raise ConfigurationError("profile counts must be positive")
+        if min(self.disk_seq_bandwidth, self.network_bandwidth) <= 0:
+            raise ConfigurationError("profile rates must be positive")
+
+    @property
+    def aggregate_disk_bandwidth(self) -> float:
+        """Per-node sequential read rate with all data disks streaming."""
+        return self.data_disks_per_node * self.disk_seq_bandwidth
+
+    @property
+    def cluster_disk_bandwidth(self) -> float:
+        return self.nodes * self.aggregate_disk_bandwidth
+
+    @property
+    def cluster_memory(self) -> float:
+        return self.nodes * self.memory_per_node
+
+    @property
+    def cluster_disk_capacity(self) -> float:
+        return self.nodes * self.data_disks_per_node * self.disk_capacity
+
+    def with_(self, **overrides) -> "HardwareProfile":
+        """Return a copy with some knobs replaced (used by ablations)."""
+        return replace(self, **overrides)
+
+
+def paper_testbed() -> HardwareProfile:
+    """The 16-node cluster from Section 3.1 of the paper."""
+    return HardwareProfile()
+
+
+def oltp_testbed() -> HardwareProfile:
+    """The YCSB configuration: 8 of the 16 nodes serve data (Section 3.1)."""
+    return HardwareProfile(nodes=8)

@@ -1,0 +1,149 @@
+"""Hardware resource models: disks, disk arrays, CPUs, and network links.
+
+Rates default to the paper's testbed (Section 3.1): 10K RPM SAS disks that
+deliver ~100 MB/s sequential each (8 data disks ≈ 800 MB/s aggregate), dual
+quad-core 2.13 GHz Xeons (16 hardware threads), and a 1 Gbit Ethernet switch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.common.errors import SimulationError
+from repro.common.units import MB, gbit_to_bytes_per_sec
+from repro.simcluster.events import Environment, Resource
+
+
+class Disk:
+    """One spindle: a capacity-1 queue with seek + transfer service times."""
+
+    def __init__(
+        self,
+        env: Environment,
+        seq_bandwidth: float = 100.0 * MB,
+        seek_time: float = 0.008,
+        name: str = "disk",
+    ):
+        self.env = env
+        self.seq_bandwidth = seq_bandwidth
+        self.seek_time = seek_time
+        self.name = name
+        self._queue = Resource(env, capacity=1)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def service_time(self, nbytes: int, sequential: bool) -> float:
+        """Time the spindle is busy for one I/O of ``nbytes``."""
+        transfer = nbytes / self.seq_bandwidth
+        return transfer if sequential else self.seek_time + transfer
+
+    def read(self, nbytes: int, sequential: bool = False) -> Generator:
+        """Process body: perform one read I/O."""
+        self.bytes_read += nbytes
+        yield from self._queue.use(self.service_time(nbytes, sequential))
+
+    def write(self, nbytes: int, sequential: bool = True) -> Generator:
+        """Process body: perform one write I/O (log writes are sequential)."""
+        self.bytes_written += nbytes
+        yield from self._queue.use(self.service_time(nbytes, sequential))
+
+    @property
+    def queue_length(self) -> int:
+        return self._queue.queue_length
+
+    @property
+    def load(self) -> int:
+        """Requests in service plus requests waiting (dispatch metric)."""
+        return self._queue.in_use + self._queue.queue_length
+
+
+class DiskArray:
+    """A set of spindles treated as one volume (RAID 0 or separate volumes).
+
+    Requests are dispatched to the least-loaded spindle, which models both
+    the RAID 0 striping used for Hive/MongoDB and the per-volume layout used
+    for PDW/SQL Server closely enough for queueing behaviour.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spindles: int = 8,
+        per_disk_bandwidth: float = 100.0 * MB,
+        seek_time: float = 0.008,
+        name: str = "array",
+    ):
+        if spindles < 1:
+            raise SimulationError("disk array needs at least one spindle")
+        self.env = env
+        self.disks = [
+            Disk(env, per_disk_bandwidth, seek_time, name=f"{name}[{i}]")
+            for i in range(spindles)
+        ]
+
+    def _pick(self) -> Disk:
+        return min(self.disks, key=lambda d: d.load)
+
+    def read(self, nbytes: int, sequential: bool = False) -> Generator:
+        yield from self._pick().read(nbytes, sequential)
+
+    def write(self, nbytes: int, sequential: bool = True) -> Generator:
+        yield from self._pick().write(nbytes, sequential)
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak sequential read rate with all spindles streaming."""
+        return sum(d.seq_bandwidth for d in self.disks)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(d.bytes_read for d in self.disks)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(d.bytes_written for d in self.disks)
+
+
+class Cpu:
+    """A pool of hardware threads; work occupies one thread for its duration."""
+
+    def __init__(self, env: Environment, cores: int = 16, name: str = "cpu"):
+        self.env = env
+        self.cores = cores
+        self.name = name
+        self._pool = Resource(env, capacity=cores)
+        self.busy_seconds = 0.0
+
+    def consume(self, seconds: float) -> Generator:
+        """Process body: burn ``seconds`` of CPU on one core."""
+        if seconds < 0:
+            raise SimulationError(f"negative CPU time {seconds}")
+        self.busy_seconds += seconds
+        yield from self._pool.use(seconds)
+
+
+class NetworkLink:
+    """A point-to-point or NIC-level link with a fixed bandwidth."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = gbit_to_bytes_per_sec(1.0),
+        latency: float = 0.0001,
+        name: str = "link",
+    ):
+        self.env = env
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._queue = Resource(env, capacity=1)
+        self.bytes_sent = 0
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Process body: move ``nbytes`` across the link."""
+        self.bytes_sent += nbytes
+        yield from self._queue.use(self.latency + nbytes / self.bandwidth)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Analytic (uncontended) time to move ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth

@@ -1,0 +1,58 @@
+"""SQL-CS: the paper's client-side hash-sharded SQL Server deployment.
+
+The client hashes each key to one of the server nodes (the same crc32
+routing Mongo-CS uses, so the two are directly comparable); scans must be
+broadcast to every node and merged, which is why SQL-CS loses workload E to
+the range-partitioned Mongo-AS.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ShardingError
+from repro.docstore.cluster import hash_shard
+from repro.sqlstore.locks import IsolationLevel
+from repro.sqlstore.server import SqlServerNode
+
+
+class SqlCsCluster:
+    """Client-side sharded SQL Server (one SqlServerNode per shard)."""
+
+    def __init__(
+        self,
+        shard_count: int = 8,
+        pool_pages: int = 4096,
+        isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+    ):
+        if shard_count < 1:
+            raise ShardingError("need at least one shard")
+        self.shards = [
+            SqlServerNode(f"sql-{i}", pool_pages=pool_pages, isolation=isolation)
+            for i in range(shard_count)
+        ]
+
+    def _shard(self, key: str) -> SqlServerNode:
+        return self.shards[hash_shard(key, len(self.shards))]
+
+    def insert(self, key: str, record: dict) -> None:
+        self._shard(key).insert(key, record)
+
+    def read(self, key: str):
+        return self._shard(key).read(key)
+
+    def update(self, key: str, fieldname: str, value: str) -> bool:
+        return self._shard(key).update(key, fieldname, value)
+
+    def scan(self, start_key: str, count: int) -> list[dict]:
+        """Broadcast the range to every shard and merge (hash sharding)."""
+        partials: list[dict] = []
+        for shard in self.shards:
+            partials.extend(shard.scan(start_key, count))
+        partials.sort(key=lambda r: r["_key"])
+        return partials[:count]
+
+    def shards_touched_by_scan(self, start_key: str, count: int) -> int:
+        return len(self.shards)
+
+    @property
+    def row_count(self) -> int:
+        return sum(s.row_count for s in self.shards)

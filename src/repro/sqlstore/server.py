@@ -1,0 +1,144 @@
+"""One SQL Server node: clustered B-tree, pages, buffer pool, WAL, locks.
+
+Every public operation runs as an autocommit transaction with full ACID
+semantics — shared locks under READ COMMITTED, exclusive locks to commit,
+log flush at commit — matching how the paper ran SQL-CS ("SQL Server
+supports ACID transaction semantics at the default READ COMMITTED level").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.btree import BTree
+from repro.common.errors import StorageError
+from repro.sqlstore.bufferpool import BufferPool
+from repro.sqlstore.locks import IsolationLevel, LockManager, LockMode
+from repro.sqlstore.pages import PAGE_SIZE, PageManager, decode_row, encode_row
+from repro.sqlstore.wal import LogOp, WriteAheadLog
+
+DEFAULT_POOL_PAGES = 4096  # scaled-down functional default (32 MB)
+
+
+class SqlServerNode:
+    """A single-node SQL Server instance serving YCSB-style operations."""
+
+    def __init__(
+        self,
+        name: str = "sql",
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+        checkpoint_interval_ops: int = 10_000,
+        blocking_locks: bool = False,
+    ):
+        from repro.sqlstore.locks import BlockingLockManager
+
+        self.name = name
+        self.isolation = isolation
+        self.pages = PageManager()
+        self.pool = BufferPool(pool_pages)
+        self.wal = WriteAheadLog()
+        self.locks = BlockingLockManager() if blocking_locks else LockManager()
+        self.index = BTree()  # key -> page_id
+        self.checkpoint_interval_ops = checkpoint_interval_ops
+        self._next_txid = 1
+        self._ops_since_checkpoint = 0
+        self.ops = 0
+
+    def _begin(self) -> int:
+        txid = self._next_txid
+        self._next_txid += 1
+        self.wal.append(txid, LogOp.BEGIN)
+        return txid
+
+    def _commit(self, txid: int) -> None:
+        self.wal.append(txid, LogOp.COMMIT)
+        self.wal.flush()  # durability: the log is forced at commit
+        self.locks.release_all(txid)
+        self._tick()
+
+    def _tick(self) -> None:
+        self.ops += 1
+        self._ops_since_checkpoint += 1
+        if self._ops_since_checkpoint >= self.checkpoint_interval_ops:
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Write back all dirty pages and truncate the log."""
+        written = self.pool.flush_all()
+        for page in self.pages.dirty_pages():
+            page.dirty = False
+        self.wal.checkpoint()
+        self._ops_since_checkpoint = 0
+        return written
+
+    # -- operations -----------------------------------------------------------------
+
+    def insert(self, key: str, record: dict[str, str]) -> None:
+        txid = self._begin()
+        data = encode_row(record)
+        if len(data) + 8 > PAGE_SIZE:
+            raise StorageError("row larger than a page")
+        self.locks.acquire(txid, key, LockMode.EXCLUSIVE)
+        if key in self.index:
+            self.locks.release_all(txid)
+            raise StorageError(f"duplicate key {key!r}")
+        page = self.pages.page_for_insert(data)
+        page.put(key, data)
+        self.index.insert(key, page.page_id)
+        self.pool.access(page.page_id, dirty=True)
+        self.wal.append(txid, LogOp.INSERT, key=key, after=data)
+        self._commit(txid)
+
+    def read(self, key: str) -> Optional[dict[str, str]]:
+        txid = self._begin()
+        try:
+            if self.isolation is IsolationLevel.READ_COMMITTED:
+                self.locks.acquire(txid, key, LockMode.SHARED)
+            page_id = self.index.get(key)
+            if page_id is None:
+                return None
+            self.pool.access(page_id)
+            data = self.pages.get(page_id).get(key)
+            return decode_row(data) if data is not None else None
+        finally:
+            self._commit(txid)
+
+    def update(self, key: str, fieldname: str, value: str) -> bool:
+        txid = self._begin()
+        try:
+            self.locks.acquire(txid, key, LockMode.EXCLUSIVE)
+            page_id = self.index.get(key)
+            if page_id is None:
+                return False
+            self.pool.access(page_id, dirty=True)
+            page = self.pages.get(page_id)
+            before = page.get(key)
+            row = decode_row(before)
+            row[fieldname] = value
+            after = encode_row(row)
+            page.put(key, after)
+            self.wal.append(txid, LogOp.UPDATE, key=key, before=before, after=after)
+            return True
+        finally:
+            self._commit(txid)
+
+    def scan(self, start_key: str, count: int) -> list[dict[str, str]]:
+        txid = self._begin()
+        try:
+            out = []
+            for key, page_id in self.index.range_scan(start_key, count):
+                if self.isolation is IsolationLevel.READ_COMMITTED:
+                    self.locks.acquire(txid, key, LockMode.SHARED)
+                self.pool.access(page_id)
+                data = self.pages.get(page_id).get(key)
+                row = decode_row(data)
+                row["_key"] = key
+                out.append(row)
+            return out
+        finally:
+            self._commit(txid)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.index)

@@ -1,0 +1,51 @@
+"""TPC-H substrate: schema metadata, the dbgen port, and the 22 queries."""
+
+from repro.tpch.dbgen import (
+    CURRENT_DATE,
+    DbGen,
+    demonstrate_random_overflow,
+    partsupp_suppkey,
+    retail_price,
+)
+from repro.tpch.queries import QUERIES, QUERY_NUMBERS, run_query
+from repro.tpch.refresh import RefreshFunctions, UnsupportedRefresh
+from repro.tpch.tbl_io import read_tbl, write_tbl
+from repro.tpch.volumes import Calibration, VolumeModel, calibrate
+from repro.tpch.schema import (
+    FIXED_ROWS,
+    ROWS_PER_SF,
+    SCHEMAS,
+    TABLE_NAMES,
+    database_bytes,
+    orderkey_bucket,
+    row_count,
+    sparse_orderkey,
+    table_bytes,
+)
+
+__all__ = [
+    "CURRENT_DATE",
+    "DbGen",
+    "demonstrate_random_overflow",
+    "partsupp_suppkey",
+    "retail_price",
+    "QUERIES",
+    "QUERY_NUMBERS",
+    "run_query",
+    "RefreshFunctions",
+    "UnsupportedRefresh",
+    "read_tbl",
+    "write_tbl",
+    "Calibration",
+    "VolumeModel",
+    "calibrate",
+    "FIXED_ROWS",
+    "ROWS_PER_SF",
+    "SCHEMAS",
+    "TABLE_NAMES",
+    "database_bytes",
+    "orderkey_bucket",
+    "row_count",
+    "sparse_orderkey",
+    "table_bytes",
+]

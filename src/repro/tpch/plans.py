@@ -1,0 +1,475 @@
+"""Declarative physical-plan specs for the 22 queries, per engine.
+
+A :class:`QuerySpec` lists the scans, the join sequence (with per-engine
+overrides where the paper documents different orders — Q5), and the
+aggregation steps.  Refs name either a scan (by its filtered-volume tag, or
+the bare table name when unfiltered) or a prior join/agg output tag; every
+tag is measured by the calibration run in :mod:`repro.tpch.volumes`.
+
+The Hive model lowers a spec to MapReduce jobs in *as-written* order with
+map-join attempts only where the Hive TPC-H scripts hint them; the PDW model
+plans data movement (local / shuffle / replicate) over the same sequence,
+which is where the paper locates most of the performance gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import PlanError
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """A base-table scan; ``out`` names the filtered/projected volume tag."""
+
+    table: str
+    out: Optional[str] = None
+
+    @property
+    def ref(self) -> str:
+        return self.out if self.out is not None else self.table
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One equi-join between two refs."""
+
+    left: str
+    right: str
+    left_key: str
+    right_key: str
+    out: Optional[str] = None
+    try_map_join: bool = False  # the Hive scripts hint a map-side join here
+    bucket_join_ok: bool = False  # both sides bucketed on the join key
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """A grouping/aggregation step over a ref."""
+
+    input: str
+    out: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Everything the engine models need to cost one TPC-H query."""
+
+    number: int
+    scans: tuple[ScanSpec, ...]
+    joins: tuple[JoinSpec, ...] = ()
+    aggs: tuple[AggSpec, ...] = ()
+    hive_joins: Optional[tuple[JoinSpec, ...]] = None  # as-written order override
+    has_order_by: bool = True
+    hive_materialize_scans: tuple[str, ...] = ()  # sub-query splits (Q22)
+    hive_extra_jobs: int = 0  # additional small MR jobs the scripts run
+    hive_fs_jobs: int = 0  # filesystem consolidation jobs (50 s each)
+    pdw_volume_overrides: dict = field(default_factory=dict)  # ref -> tag
+
+    def scan_for(self, ref: str) -> Optional[ScanSpec]:
+        for scan in self.scans:
+            if scan.ref == ref:
+                return scan
+        return None
+
+    def effective_hive_joins(self) -> tuple[JoinSpec, ...]:
+        return self.hive_joins if self.hive_joins is not None else self.joins
+
+    def all_refs(self) -> set[str]:
+        refs = set()
+        for join in list(self.joins) + list(self.hive_joins or ()):
+            refs.add(join.left)
+            refs.add(join.right)
+            if join.out:
+                refs.add(join.out)
+        for agg in self.aggs:
+            refs.add(agg.input)
+            if agg.out:
+                refs.add(agg.out)
+        return refs
+
+
+def _spec(number, scans, joins=(), aggs=(), **kwargs) -> QuerySpec:
+    return QuerySpec(number=number, scans=tuple(scans), joins=tuple(joins),
+                     aggs=tuple(aggs), **kwargs)
+
+
+QUERY_SPECS: dict[int, QuerySpec] = {}
+
+QUERY_SPECS[1] = _spec(
+    1,
+    scans=[ScanSpec("lineitem", "q1.scan")],
+    aggs=[AggSpec("q1.scan", "q1.agg")],
+)
+
+QUERY_SPECS[2] = _spec(
+    2,
+    scans=[
+        ScanSpec("nation"),
+        ScanSpec("region"),
+        ScanSpec("supplier"),
+        ScanSpec("partsupp"),
+        ScanSpec("part", "q2.parts"),
+    ],
+    joins=[
+        JoinSpec("nation", "region", "n_regionkey", "r_regionkey", "q2.nr",
+                 try_map_join=True),
+        JoinSpec("supplier", "q2.nr", "s_nationkey", "n_nationkey", "q2.supp",
+                 try_map_join=True),
+        JoinSpec("q2.supp", "partsupp", "s_suppkey", "ps_suppkey", "q2.supp_costs"),
+        JoinSpec("q2.supp_costs", "q2.parts", "ps_partkey", "p_partkey", "q2.join",
+                 try_map_join=True),
+        JoinSpec("q2.join", "q2.min_costs", "ps_partkey", "ps_partkey", "q2.best"),
+    ],
+    aggs=[AggSpec("q2.supp_costs", "q2.min_costs")],
+)
+
+QUERY_SPECS[3] = _spec(
+    3,
+    scans=[
+        ScanSpec("orders", "q3.orders"),
+        ScanSpec("customer", "q3.customer"),
+        ScanSpec("lineitem", "q3.lineitem"),
+    ],
+    joins=[
+        JoinSpec("q3.orders", "q3.customer", "o_custkey", "c_custkey", "q3.join_cust"),
+        JoinSpec("q3.join_cust", "q3.lineitem", "o_orderkey", "l_orderkey",
+                 "q3.join_line"),
+    ],
+    aggs=[AggSpec("q3.join_line")],
+)
+
+QUERY_SPECS[4] = _spec(
+    4,
+    scans=[
+        ScanSpec("orders", "q4.orders"),
+        ScanSpec("lineitem", "q4.late_lines"),
+    ],
+    joins=[
+        JoinSpec("q4.orders", "q4.late_lines", "o_orderkey", "l_orderkey", "q4.semi",
+                 bucket_join_ok=True),
+    ],
+    aggs=[AggSpec("q4.semi")],
+)
+
+QUERY_SPECS[5] = _spec(
+    5,
+    scans=[
+        ScanSpec("nation"),
+        ScanSpec("region"),
+        ScanSpec("customer"),
+        ScanSpec("supplier"),
+        ScanSpec("orders", "q5.orders"),
+        ScanSpec("lineitem", "q5.lineitem"),
+    ],
+    # Kernel/PDW order: build the customer side first, keep lineitem local.
+    joins=[
+        JoinSpec("nation", "region", "n_regionkey", "r_regionkey", "q5.nation_region",
+                 try_map_join=True),
+        JoinSpec("customer", "q5.nation_region", "c_nationkey", "n_nationkey",
+                 "q5.cust", try_map_join=True),
+        JoinSpec("q5.orders", "q5.cust", "o_custkey", "c_custkey", "q5.join_orders"),
+        JoinSpec("q5.join_orders", "q5.lineitem", "o_orderkey", "l_orderkey",
+                 "q5.join_lineitem"),
+        JoinSpec("q5.join_lineitem", "supplier", "l_suppkey", "s_suppkey",
+                 "q5.join_supplier"),
+    ],
+    # Hive's as-written order (Section 3.3.4.1): supplier side first, which
+    # forces two common joins against unbucketed intermediates.
+    hive_joins=[
+        JoinSpec("nation", "region", "n_regionkey", "r_regionkey", "q5.nation_region",
+                 try_map_join=True),
+        JoinSpec("q5.nation_region", "supplier", "n_nationkey", "s_nationkey",
+                 "q5.hive.supplier", try_map_join=True),
+        JoinSpec("q5.hive.supplier", "q5.lineitem", "s_suppkey", "l_suppkey",
+                 "q5.hive.join_lineitem"),
+        JoinSpec("q5.hive.join_lineitem", "q5.orders", "l_orderkey", "o_orderkey",
+                 "q5.hive.join_orders"),
+        JoinSpec("q5.hive.join_orders", "customer", "o_custkey", "c_custkey",
+                 "q5.hive.join_customer"),
+    ],
+    aggs=[AggSpec("q5.join_supplier")],
+)
+
+QUERY_SPECS[6] = _spec(
+    6,
+    scans=[ScanSpec("lineitem", "q6.scan")],
+    aggs=[AggSpec("q6.scan")],
+    has_order_by=False,
+)
+
+QUERY_SPECS[7] = _spec(
+    7,
+    scans=[
+        ScanSpec("lineitem", "q7.lineitem"),
+        ScanSpec("supplier"),
+        ScanSpec("orders"),
+        ScanSpec("customer"),
+    ],
+    joins=[
+        JoinSpec("q7.lineitem", "supplier", "l_suppkey", "s_suppkey", "q7.join_supp",
+                 try_map_join=True),
+        JoinSpec("q7.join_supp", "orders", "l_orderkey", "o_orderkey",
+                 "q7.join_orders"),
+        JoinSpec("q7.join_orders", "customer", "o_custkey", "c_custkey",
+                 "q7.join_cust"),
+    ],
+    aggs=[AggSpec("q7.pair")],
+    hive_extra_jobs=2,  # the nation-side map joins for supplier and customer
+)
+
+QUERY_SPECS[8] = _spec(
+    8,
+    scans=[
+        ScanSpec("lineitem", "q8.lineitem"),
+        ScanSpec("part", "q8.parts"),
+        ScanSpec("orders", "q8.orders"),
+        ScanSpec("customer"),
+        ScanSpec("supplier"),
+    ],
+    joins=[
+        JoinSpec("q8.lineitem", "q8.parts", "l_partkey", "p_partkey", "q8.join_part",
+                 try_map_join=True),
+        JoinSpec("q8.join_part", "q8.orders", "l_orderkey", "o_orderkey",
+                 "q8.join_orders"),
+        JoinSpec("q8.join_orders", "customer", "o_custkey", "c_custkey",
+                 "q8.join_cust"),
+        JoinSpec("q8.join_cust", "supplier", "l_suppkey", "s_suppkey",
+                 "q8.join_supp", try_map_join=True),
+    ],
+    aggs=[AggSpec("q8.join_supp")],
+    hive_extra_jobs=3,  # nation/region dimension-prep map joins
+)
+
+QUERY_SPECS[9] = _spec(
+    9,
+    scans=[
+        ScanSpec("lineitem", "q9.lineitem"),
+        ScanSpec("part", "q9.parts"),
+        ScanSpec("partsupp"),
+        ScanSpec("supplier"),
+        ScanSpec("orders"),
+    ],
+    joins=[
+        JoinSpec("q9.lineitem", "q9.parts", "l_partkey", "p_partkey", "q9.join_part"),
+        JoinSpec("q9.join_part", "partsupp", "l_partkey", "ps_partkey",
+                 "q9.join_partsupp"),
+        JoinSpec("q9.join_partsupp", "supplier", "l_suppkey", "s_suppkey",
+                 "q9.join_supp", try_map_join=True),
+        JoinSpec("q9.join_supp", "orders", "l_orderkey", "o_orderkey",
+                 "q9.join_orders"),
+    ],
+    aggs=[AggSpec("q9.join_orders")],
+    hive_extra_jobs=1,
+)
+
+QUERY_SPECS[10] = _spec(
+    10,
+    scans=[
+        ScanSpec("orders", "q10.orders"),
+        ScanSpec("lineitem", "q10.lineitem"),
+        ScanSpec("customer"),
+    ],
+    joins=[
+        JoinSpec("q10.orders", "q10.lineitem", "o_orderkey", "l_orderkey",
+                 "q10.join_line", bucket_join_ok=True),
+        JoinSpec("q10.join_line", "customer", "o_custkey", "c_custkey",
+                 "q10.join_cust"),
+    ],
+    aggs=[AggSpec("q10.join_cust", "q10.agg")],
+    hive_extra_jobs=1,  # nation map join
+)
+
+QUERY_SPECS[11] = _spec(
+    11,
+    scans=[ScanSpec("partsupp"), ScanSpec("supplier")],
+    joins=[
+        JoinSpec("partsupp", "supplier", "ps_suppkey", "s_suppkey", "q11.german_ps"),
+    ],
+    aggs=[AggSpec("q11.german_ps", "q11.total"), AggSpec("q11.german_ps", "q11.by_part")],
+    hive_extra_jobs=1,
+)
+
+QUERY_SPECS[12] = _spec(
+    12,
+    scans=[ScanSpec("lineitem", "q12.lineitem"), ScanSpec("orders")],
+    joins=[
+        JoinSpec("q12.lineitem", "orders", "l_orderkey", "o_orderkey", "q12.join",
+                 bucket_join_ok=True),
+    ],
+    aggs=[AggSpec("q12.join")],
+)
+
+QUERY_SPECS[13] = _spec(
+    13,
+    scans=[ScanSpec("customer"), ScanSpec("orders", "q13.orders")],
+    joins=[
+        JoinSpec("customer", "q13.orders", "c_custkey", "o_custkey", "q13.join"),
+    ],
+    aggs=[AggSpec("q13.join", "q13.per_customer"), AggSpec("q13.per_customer")],
+)
+
+QUERY_SPECS[14] = _spec(
+    14,
+    scans=[ScanSpec("lineitem", "q14.lineitem"), ScanSpec("part")],
+    joins=[
+        JoinSpec("q14.lineitem", "part", "l_partkey", "p_partkey", "q14.join"),
+    ],
+    aggs=[AggSpec("q14.join")],
+    has_order_by=False,
+)
+
+QUERY_SPECS[15] = _spec(
+    15,
+    scans=[ScanSpec("lineitem", "q15.lineitem"), ScanSpec("supplier")],
+    joins=[
+        JoinSpec("q15.revenue", "supplier", "l_suppkey", "s_suppkey",
+                 try_map_join=True),
+    ],
+    aggs=[AggSpec("q15.lineitem", "q15.revenue"), AggSpec("q15.revenue")],
+    hive_extra_jobs=2,  # the revenue view is created, queried for MAX, dropped
+)
+
+QUERY_SPECS[16] = _spec(
+    16,
+    scans=[
+        ScanSpec("partsupp"),
+        ScanSpec("part", "q16.parts"),
+        ScanSpec("supplier", "q16.complainers"),
+    ],
+    joins=[
+        JoinSpec("partsupp", "q16.parts", "ps_partkey", "p_partkey", "q16.join",
+                 try_map_join=True),
+        JoinSpec("q16.join", "q16.complainers", "ps_suppkey", "s_suppkey",
+                 "q16.anti", try_map_join=True),
+    ],
+    aggs=[AggSpec("q16.anti", "q16.agg")],
+)
+
+QUERY_SPECS[17] = _spec(
+    17,
+    scans=[ScanSpec("lineitem", "q17.lineitem"), ScanSpec("part", "q17.parts")],
+    joins=[
+        JoinSpec("q17.lineitem", "q17.parts", "l_partkey", "p_partkey", "q17.join",
+                 try_map_join=True),
+        JoinSpec("q17.join", "q17.avg", "l_partkey", "l_partkey"),
+    ],
+    aggs=[AggSpec("q17.join", "q17.avg"), AggSpec("q17.join")],
+    has_order_by=False,
+)
+
+QUERY_SPECS[18] = _spec(
+    18,
+    scans=[
+        ScanSpec("lineitem", "q18.lineitem"),
+        ScanSpec("orders"),
+        ScanSpec("customer"),
+    ],
+    joins=[
+        JoinSpec("orders", "q18.big", "o_orderkey", "l_orderkey", "q18.join_big"),
+        JoinSpec("q18.join_big", "customer", "o_custkey", "c_custkey",
+                 "q18.join_cust"),
+    ],
+    aggs=[AggSpec("q18.lineitem", "q18.per_order")],
+)
+
+QUERY_SPECS[19] = _spec(
+    19,
+    scans=[ScanSpec("lineitem", "q19.lineitem"), ScanSpec("part", "q19.part")],
+    joins=[
+        # The paper: Hive redistributes both tables (common join) although a
+        # map join was possible; PDW replicates the predicate-pushed part rows.
+        JoinSpec("q19.lineitem", "q19.part", "l_partkey", "p_partkey", "q19.join"),
+    ],
+    aggs=[AggSpec("q19.filtered")],
+    has_order_by=False,
+    pdw_volume_overrides={"q19.part": "q19.pdw.parts"},
+)
+
+QUERY_SPECS[20] = _spec(
+    20,
+    scans=[
+        ScanSpec("lineitem", "q20.lineitem"),
+        ScanSpec("part", "q20.parts"),
+        ScanSpec("partsupp"),
+        ScanSpec("supplier"),
+    ],
+    joins=[
+        JoinSpec("q20.lineitem", "q20.parts", "l_partkey", "p_partkey",
+                 "q20.join_part", try_map_join=True),
+        JoinSpec("partsupp", "q20.parts", "ps_partkey", "p_partkey", "q20.ps",
+                 try_map_join=True),
+        JoinSpec("q20.ps", "q20.shipped", "ps_partkey", "l_partkey",
+                 "q20.available"),
+        JoinSpec("supplier", "q20.available", "s_suppkey", "ps_suppkey",
+                 "q20.semi"),
+    ],
+    aggs=[AggSpec("q20.join_part", "q20.shipped")],
+    hive_extra_jobs=1,
+)
+
+QUERY_SPECS[21] = _spec(
+    21,
+    scans=[
+        ScanSpec("lineitem", "q21.lineitem"),
+        ScanSpec("orders", "q21.orders"),
+    ],
+    joins=[
+        JoinSpec("q21.l1", "q21.orders", "l_orderkey", "o_orderkey", "q21.semi",
+                 bucket_join_ok=True),
+        JoinSpec("q21.semi", "q21.all_supps", "l_orderkey", "l_orderkey",
+                 "q21.join_all"),
+        JoinSpec("q21.join_all", "q21.late_supps", "l_orderkey", "l_orderkey",
+                 "q21.join_late"),
+        JoinSpec("q21.qualified", "supplier", "l_suppkey", "s_suppkey",
+                 "q21.join_supp", try_map_join=True),
+    ],
+    aggs=[
+        AggSpec("q21.lineitem", "q21.all_supps"),
+        AggSpec("q21.l1", "q21.late_supps"),
+        AggSpec("q21.join_supp"),
+    ],
+    hive_extra_jobs=1,
+)
+# Q21 also scans lineitem with the late filter (l1) and supplier; register
+# the scan specs for ref resolution.
+QUERY_SPECS[21] = QuerySpec(
+    number=21,
+    scans=QUERY_SPECS[21].scans + (
+        ScanSpec("lineitem", "q21.l1"),
+        ScanSpec("supplier"),
+    ),
+    joins=QUERY_SPECS[21].joins,
+    aggs=QUERY_SPECS[21].aggs,
+    hive_extra_jobs=1,
+)
+
+QUERY_SPECS[22] = _spec(
+    22,
+    scans=[
+        ScanSpec("customer", "q22.candidates"),
+        ScanSpec("orders", "q22.orders"),
+    ],
+    joins=[
+        # Sub-query 4: Hive always attempts the map join and always fails
+        # (Java heap), falling back to the common-join backup task.
+        JoinSpec("q22.rich", "q22.orders_agg", "c_custkey", "o_custkey", "q22.anti",
+                 try_map_join=True),
+    ],
+    aggs=[
+        AggSpec("q22.candidates", "q22.avg"),   # sub-query 2
+        AggSpec("q22.orders", "q22.orders_agg"),  # sub-query 3
+        AggSpec("q22.anti"),                   # final group-by
+    ],
+    hive_materialize_scans=("q22.candidates",),  # sub-query 1
+    hive_fs_jobs=1,
+    hive_extra_jobs=2,  # second join and the order-by jobs of sub-query 4
+)
+
+
+def spec_for(number: int) -> QuerySpec:
+    if number not in QUERY_SPECS:
+        raise PlanError(f"no plan spec for query {number}")
+    return QUERY_SPECS[number]

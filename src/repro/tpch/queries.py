@@ -1,0 +1,976 @@
+"""The 22 TPC-H queries expressed as relational-kernel plans.
+
+Each ``qNN`` function takes a :class:`~repro.relational.schema.Database` and
+an :class:`~repro.relational.operators.ExecutionContext` and returns the
+query answer as a list of dict rows.  Queries use the specification's
+validation substitution parameters.  Key operators are tagged so the Hive and
+PDW cost models can read true intermediate cardinalities out of the context
+(tags look like ``"q5.join_lineitem"``).
+
+Scalar subqueries (Q11, Q15, Q17, Q20, Q22) are evaluated eagerly against the
+same context — exactly how both engines in the paper execute them (Hive's
+TPC-H scripts split them into separate sub-query jobs).
+"""
+
+from __future__ import annotations
+
+from repro.relational import (
+    Agg,
+    Aggregate,
+    ExecutionContext,
+    Filter,
+    HashJoin,
+    Limit,
+    Operator,
+    Project,
+    Rows,
+    Scan,
+    Sort,
+    case,
+    col,
+    date_add,
+    lit,
+)
+
+REVENUE = col("l_extendedprice") * (lit(1) - col("l_discount"))
+
+
+def _run(plan: Operator, ctx: ExecutionContext) -> list[dict]:
+    return plan.execute(ctx)
+
+
+def q01(db, ctx):
+    """Pricing summary report: scan + wide aggregate over lineitem."""
+    cutoff = date_add("1998-12-01", days=-90)
+    plan = Sort(
+        Aggregate(
+            Scan("lineitem", predicate=col("l_shipdate") <= lit(cutoff), tag="q1.scan"),
+            keys=["l_returnflag", "l_linestatus"],
+            aggs={
+                "sum_qty": Agg("sum", col("l_quantity")),
+                "sum_base_price": Agg("sum", col("l_extendedprice")),
+                "sum_disc_price": Agg("sum", REVENUE),
+                "sum_charge": Agg("sum", REVENUE * (lit(1) + col("l_tax"))),
+                "avg_qty": Agg("avg", col("l_quantity")),
+                "avg_price": Agg("avg", col("l_extendedprice")),
+                "avg_disc": Agg("avg", col("l_discount")),
+                "count_order": Agg("count"),
+            },
+            tag="q1.agg",
+        ),
+        [("l_returnflag", False), ("l_linestatus", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q02(db, ctx):
+    """Minimum-cost supplier: 5-way join plus a correlated MIN subquery."""
+    region_supp = HashJoin(
+        HashJoin(
+            Scan("supplier"),
+            HashJoin(
+                Scan("nation"),
+                Scan("region", predicate=col("r_name") == lit("EUROPE")),
+                ["n_regionkey"],
+                ["r_regionkey"],
+                tag="q2.nr",
+            ),
+            ["s_nationkey"],
+            ["n_nationkey"],
+            tag="q2.supp",
+        ),
+        Scan("partsupp"),
+        ["s_suppkey"],
+        ["ps_suppkey"],
+        tag="q2.supp_costs",
+    )
+    # The correlated subquery: min supplycost per part among EUROPE suppliers.
+    min_costs = Aggregate(
+        region_supp,
+        keys=["ps_partkey"],
+        aggs={"min_cost": Agg("min", col("ps_supplycost"))},
+        tag="q2.min_costs",
+    )
+    parts = Scan(
+        "part",
+        predicate=(col("p_size") == lit(15)) & col("p_type").like("%BRASS"),
+        tag="q2.parts",
+    )
+    candidate = HashJoin(region_supp, parts, ["ps_partkey"], ["p_partkey"], tag="q2.join")
+    with_min = HashJoin(candidate, min_costs, ["ps_partkey"], ["ps_partkey"])
+    best = Filter(with_min, col("ps_supplycost") == col("min_cost"), tag="q2.best")
+    plan = Limit(
+        Sort(
+            Project(
+                best,
+                {
+                    "s_acctbal": "s_acctbal",
+                    "s_name": "s_name",
+                    "n_name": "n_name",
+                    "p_partkey": "p_partkey",
+                    "p_mfgr": "p_mfgr",
+                    "s_address": "s_address",
+                    "s_phone": "s_phone",
+                    "s_comment": "s_comment",
+                },
+            ),
+            [("s_acctbal", True), ("n_name", False), ("s_name", False), ("p_partkey", False)],
+        ),
+        100,
+    )
+    return _run(plan, ctx)
+
+
+def q03(db, ctx):
+    """Shipping priority: BUILDING segment, orders before / ships after a date."""
+    plan = Limit(
+        Sort(
+            Aggregate(
+                HashJoin(
+                    HashJoin(
+                        Scan(
+                            "orders",
+                            predicate=col("o_orderdate") < lit("1995-03-15"),
+                            tag="q3.orders",
+                        ),
+                        Scan(
+                            "customer",
+                            predicate=col("c_mktsegment") == lit("BUILDING"),
+                            tag="q3.customer",
+                        ),
+                        ["o_custkey"],
+                        ["c_custkey"],
+                        tag="q3.join_cust",
+                    ),
+                    Scan(
+                        "lineitem",
+                        predicate=col("l_shipdate") > lit("1995-03-15"),
+                        tag="q3.lineitem",
+                    ),
+                    ["o_orderkey"],
+                    ["l_orderkey"],
+                    tag="q3.join_line",
+                ),
+                keys=["l_orderkey", "o_orderdate", "o_shippriority"],
+                aggs={"revenue": Agg("sum", REVENUE)},
+            ),
+            [("revenue", True), ("o_orderdate", False)],
+        ),
+        10,
+    )
+    return _run(plan, ctx)
+
+
+def q04(db, ctx):
+    """Order priority checking: EXISTS (late lineitem) per order in a quarter."""
+    start = "1993-07-01"
+    end = date_add(start, months=3)
+    late_lines = Scan(
+        "lineitem",
+        predicate=col("l_commitdate") < col("l_receiptdate"),
+        columns=["l_orderkey"],
+        tag="q4.late_lines",
+    )
+    orders = Scan(
+        "orders",
+        predicate=(col("o_orderdate") >= lit(start)) & (col("o_orderdate") < lit(end)),
+        tag="q4.orders",
+    )
+    plan = Sort(
+        Aggregate(
+            HashJoin(orders, late_lines, ["o_orderkey"], ["l_orderkey"], how="semi",
+                     tag="q4.semi"),
+            keys=["o_orderpriority"],
+            aggs={"order_count": Agg("count")},
+        ),
+        [("o_orderpriority", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q05(db, ctx):
+    """Local supplier volume: the six-table join analysed in Section 3.3.4.1."""
+    start = "1994-01-01"
+    end = date_add(start, years=1)
+    asia_nations = HashJoin(
+        Scan("nation"),
+        Scan("region", predicate=col("r_name") == lit("ASIA")),
+        ["n_regionkey"],
+        ["r_regionkey"],
+        tag="q5.nation_region",
+    )
+    cust = HashJoin(
+        Scan("customer"), asia_nations, ["c_nationkey"], ["n_nationkey"], tag="q5.cust"
+    )
+    cust_orders = HashJoin(
+        Scan(
+            "orders",
+            predicate=(col("o_orderdate") >= lit(start)) & (col("o_orderdate") < lit(end)),
+            tag="q5.orders",
+        ),
+        cust,
+        ["o_custkey"],
+        ["c_custkey"],
+        tag="q5.join_orders",
+    )
+    with_lines = HashJoin(
+        cust_orders,
+        Scan("lineitem", tag="q5.lineitem"),
+        ["o_orderkey"],
+        ["l_orderkey"],
+        tag="q5.join_lineitem",
+    )
+    # Supplier must be in the same nation as the customer.
+    with_supp = Filter(
+        HashJoin(with_lines, Scan("supplier"), ["l_suppkey"], ["s_suppkey"],
+                 tag="q5.join_supplier"),
+        col("s_nationkey") == col("c_nationkey"),
+        tag="q5.local_only",
+    )
+    plan = Sort(
+        Aggregate(with_supp, keys=["n_name"], aggs={"revenue": Agg("sum", REVENUE)}),
+        [("revenue", True)],
+    )
+    return _run(plan, ctx)
+
+
+def q06(db, ctx):
+    """Forecasting revenue change: single-table scan with a tight predicate."""
+    start = "1994-01-01"
+    end = date_add(start, years=1)
+    predicate = (
+        (col("l_shipdate") >= lit(start))
+        & (col("l_shipdate") < lit(end))
+        & col("l_discount").between(0.05, 0.07)
+        & (col("l_quantity") < lit(24))
+    )
+    plan = Aggregate(
+        Scan("lineitem", predicate=predicate, tag="q6.scan"),
+        keys=[],
+        aggs={"revenue": Agg("sum", col("l_extendedprice") * col("l_discount"))},
+    )
+    return _run(plan, ctx)
+
+
+def q07(db, ctx):
+    """Volume shipping between FRANCE and GERMANY, by year."""
+    lines = Scan(
+        "lineitem",
+        predicate=(col("l_shipdate") >= lit("1995-01-01"))
+        & (col("l_shipdate") <= lit("1996-12-31")),
+        tag="q7.lineitem",
+    )
+    supp_nation = Project(
+        HashJoin(Scan("supplier"), Scan("nation"), ["s_nationkey"], ["n_nationkey"]),
+        {"s_suppkey": "s_suppkey", "supp_nation": "n_name"},
+    )
+    cust_nation = Project(
+        HashJoin(Scan("customer"), Scan("nation"), ["c_nationkey"], ["n_nationkey"]),
+        {"c_custkey": "c_custkey", "cust_nation": "n_name"},
+    )
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(lines, supp_nation, ["l_suppkey"], ["s_suppkey"], tag="q7.join_supp"),
+            Scan("orders"),
+            ["l_orderkey"],
+            ["o_orderkey"],
+            tag="q7.join_orders",
+        ),
+        cust_nation,
+        ["o_custkey"],
+        ["c_custkey"],
+        tag="q7.join_cust",
+    )
+    pair = Filter(
+        joined,
+        ((col("supp_nation") == lit("FRANCE")) & (col("cust_nation") == lit("GERMANY")))
+        | ((col("supp_nation") == lit("GERMANY")) & (col("cust_nation") == lit("FRANCE"))),
+        tag="q7.pair",
+    )
+    plan = Sort(
+        Aggregate(
+            Project(
+                pair,
+                {
+                    "supp_nation": "supp_nation",
+                    "cust_nation": "cust_nation",
+                    "l_year": col("l_shipdate").year(),
+                    "volume": REVENUE,
+                },
+            ),
+            keys=["supp_nation", "cust_nation", "l_year"],
+            aggs={"revenue": Agg("sum", col("volume"))},
+        ),
+        [("supp_nation", False), ("cust_nation", False), ("l_year", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q08(db, ctx):
+    """National market share for ECONOMY ANODIZED STEEL in AMERICA."""
+    america_nations = HashJoin(
+        Scan("nation"),
+        Scan("region", predicate=col("r_name") == lit("AMERICA")),
+        ["n_regionkey"],
+        ["r_regionkey"],
+    )
+    cust = Project(
+        HashJoin(Scan("customer"), america_nations, ["c_nationkey"], ["n_nationkey"]),
+        {"c_custkey": "c_custkey"},
+    )
+    orders = Scan(
+        "orders",
+        predicate=col("o_orderdate").between("1995-01-01", "1996-12-31"),
+        tag="q8.orders",
+    )
+    parts = Scan(
+        "part",
+        predicate=col("p_type") == lit("ECONOMY ANODIZED STEEL"),
+        columns=["p_partkey"],
+        tag="q8.parts",
+    )
+    supp_nation = Project(
+        HashJoin(Scan("supplier"), Scan("nation"), ["s_nationkey"], ["n_nationkey"]),
+        {"s_suppkey": "s_suppkey", "supp_nation": "n_name"},
+    )
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(
+                HashJoin(
+                    Scan("lineitem", tag="q8.lineitem"),
+                    parts,
+                    ["l_partkey"],
+                    ["p_partkey"],
+                    tag="q8.join_part",
+                ),
+                orders,
+                ["l_orderkey"],
+                ["o_orderkey"],
+                tag="q8.join_orders",
+            ),
+            cust,
+            ["o_custkey"],
+            ["c_custkey"],
+            tag="q8.join_cust",
+        ),
+        supp_nation,
+        ["l_suppkey"],
+        ["s_suppkey"],
+        tag="q8.join_supp",
+    )
+    volumes = Project(
+        joined,
+        {
+            "o_year": col("o_orderdate").year(),
+            "volume": REVENUE,
+            "brazil_volume": case(
+                [(col("supp_nation") == lit("BRAZIL"), REVENUE)], default=0.0
+            ),
+        },
+    )
+    shares = Aggregate(
+        volumes,
+        keys=["o_year"],
+        aggs={"total": Agg("sum", col("volume")), "brazil": Agg("sum", col("brazil_volume"))},
+    )
+    plan = Sort(
+        Project(
+            shares,
+            {"o_year": "o_year", "mkt_share": col("brazil") / col("total")},
+        ),
+        [("o_year", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q09(db, ctx):
+    """Product-type profit for %green% parts (the query that DNFs at 16 TB)."""
+    parts = Scan(
+        "part", predicate=col("p_name").like("%green%"), columns=["p_partkey"],
+        tag="q9.parts",
+    )
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(
+                Scan("lineitem", tag="q9.lineitem"),
+                parts,
+                ["l_partkey"],
+                ["p_partkey"],
+                tag="q9.join_part",
+            ),
+            Scan("partsupp"),
+            ["l_partkey", "l_suppkey"],
+            ["ps_partkey", "ps_suppkey"],
+            tag="q9.join_partsupp",
+        ),
+        Project(
+            HashJoin(Scan("supplier"), Scan("nation"), ["s_nationkey"], ["n_nationkey"]),
+            {"s_suppkey": "s_suppkey", "nation": "n_name"},
+        ),
+        ["l_suppkey"],
+        ["s_suppkey"],
+        tag="q9.join_supp",
+    )
+    with_orders = HashJoin(
+        joined, Scan("orders"), ["l_orderkey"], ["o_orderkey"], tag="q9.join_orders"
+    )
+    profit = Project(
+        with_orders,
+        {
+            "nation": "nation",
+            "o_year": col("o_orderdate").year(),
+            "amount": REVENUE - col("ps_supplycost") * col("l_quantity"),
+        },
+    )
+    plan = Sort(
+        Aggregate(profit, keys=["nation", "o_year"], aggs={"sum_profit": Agg("sum", col("amount"))}),
+        [("nation", False), ("o_year", True)],
+    )
+    return _run(plan, ctx)
+
+
+def q10(db, ctx):
+    """Returned-item reporting: top 20 customers by lost revenue."""
+    start = "1993-10-01"
+    end = date_add(start, months=3)
+    orders = Scan(
+        "orders",
+        predicate=(col("o_orderdate") >= lit(start)) & (col("o_orderdate") < lit(end)),
+        tag="q10.orders",
+    )
+    lines = Scan(
+        "lineitem", predicate=col("l_returnflag") == lit("R"), tag="q10.lineitem"
+    )
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(orders, lines, ["o_orderkey"], ["l_orderkey"], tag="q10.join_line"),
+            Scan("customer"),
+            ["o_custkey"],
+            ["c_custkey"],
+            tag="q10.join_cust",
+        ),
+        Scan("nation"),
+        ["c_nationkey"],
+        ["n_nationkey"],
+    )
+    plan = Limit(
+        Sort(
+            Aggregate(
+                joined,
+                keys=[
+                    "c_custkey",
+                    "c_name",
+                    "c_acctbal",
+                    "c_phone",
+                    "n_name",
+                    "c_address",
+                    "c_comment",
+                ],
+                aggs={"revenue": Agg("sum", REVENUE)},
+                tag="q10.agg",
+            ),
+            [("revenue", True)],
+        ),
+        20,
+    )
+    return _run(plan, ctx)
+
+
+def q11(db, ctx):
+    """Important stock identification in GERMANY (HAVING vs a global sum)."""
+    german_ps = HashJoin(
+        Scan("partsupp"),
+        Project(
+            HashJoin(
+                Scan("supplier"),
+                Scan("nation", predicate=col("n_name") == lit("GERMANY")),
+                ["s_nationkey"],
+                ["n_nationkey"],
+            ),
+            {"s_suppkey": "s_suppkey"},
+        ),
+        ["ps_suppkey"],
+        ["s_suppkey"],
+        tag="q11.german_ps",
+    )
+    value = col("ps_supplycost") * col("ps_availqty")
+    total_rows = _run(
+        Aggregate(german_ps, keys=[], aggs={"total": Agg("sum", value)}, tag="q11.total"),
+        ctx,
+    )
+    total = total_rows[0]["total"] or 0.0
+    # The spec's threshold FRACTION is 0.0001 / SF; infer SF from table size.
+    sf = max(ctx.db.table("supplier").row_count / 10_000.0, 1e-9)
+    threshold = total * (0.0001 / sf)
+    plan = Sort(
+        Filter(
+            Aggregate(
+                german_ps,
+                keys=["ps_partkey"],
+                aggs={"value": Agg("sum", value)},
+                tag="q11.by_part",
+            ),
+            col("value") > lit(threshold),
+        ),
+        [("value", True)],
+    )
+    return _run(plan, ctx)
+
+
+def q12(db, ctx):
+    """Shipping mode / order priority: lineitem-orders join with CASE sums."""
+    start = "1994-01-01"
+    end = date_add(start, years=1)
+    lines = Scan(
+        "lineitem",
+        predicate=(
+            col("l_shipmode").in_(["MAIL", "SHIP"])
+            & (col("l_commitdate") < col("l_receiptdate"))
+            & (col("l_shipdate") < col("l_commitdate"))
+            & (col("l_receiptdate") >= lit(start))
+            & (col("l_receiptdate") < lit(end))
+        ),
+        tag="q12.lineitem",
+    )
+    joined = HashJoin(
+        lines, Scan("orders"), ["l_orderkey"], ["o_orderkey"], tag="q12.join"
+    )
+    urgent = col("o_orderpriority").in_(["1-URGENT", "2-HIGH"])
+    plan = Sort(
+        Aggregate(
+            joined,
+            keys=["l_shipmode"],
+            aggs={
+                "high_line_count": Agg("sum", case([(urgent, 1)], default=0)),
+                "low_line_count": Agg("sum", case([(~urgent, 1)], default=0)),
+            },
+        ),
+        [("l_shipmode", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q13(db, ctx):
+    """Customer order-count distribution (left outer join + double group-by)."""
+    orders = Scan(
+        "orders",
+        predicate=col("o_comment").not_like("%special%requests%"),
+        columns=["o_orderkey", "o_custkey"],
+        tag="q13.orders",
+    )
+    # COUNT(o_orderkey) ignores the NULLs produced by the outer join, so the
+    # per-customer count sums an is-not-null indicator instead.
+    not_null = case([(col("o_orderkey") == lit(None), 0)], default=1)
+    per_customer = Aggregate(
+        HashJoin(
+            Scan("customer", columns=["c_custkey"]),
+            orders,
+            ["c_custkey"],
+            ["o_custkey"],
+            how="left",
+            tag="q13.join",
+        ),
+        keys=["c_custkey"],
+        aggs={"c_count": Agg("sum", not_null)},
+        tag="q13.per_customer",
+    )
+    plan = Sort(
+        Aggregate(per_customer, keys=["c_count"], aggs={"custdist": Agg("count")}),
+        [("custdist", True), ("c_count", True)],
+    )
+    return _run(plan, ctx)
+
+
+def q14(db, ctx):
+    """Promotion effect: lineitem-part join, CASE ratio (like Q19's shape)."""
+    start = "1995-09-01"
+    end = date_add(start, months=1)
+    lines = Scan(
+        "lineitem",
+        predicate=(col("l_shipdate") >= lit(start)) & (col("l_shipdate") < lit(end)),
+        tag="q14.lineitem",
+    )
+    joined = HashJoin(lines, Scan("part"), ["l_partkey"], ["p_partkey"], tag="q14.join")
+    sums = _run(
+        Aggregate(
+            joined,
+            keys=[],
+            aggs={
+                "promo": Agg(
+                    "sum", case([(col("p_type").like("PROMO%"), REVENUE)], default=0.0)
+                ),
+                "total": Agg("sum", REVENUE),
+            },
+        ),
+        ctx,
+    )
+    promo = sums[0]["promo"] or 0.0
+    total = sums[0]["total"] or 0.0
+    share = 100.0 * promo / total if total else 0.0
+    return [{"promo_revenue": share}]
+
+
+def q15(db, ctx):
+    """Top supplier: revenue view, global MAX, then join back to supplier."""
+    start = "1996-01-01"
+    end = date_add(start, months=3)
+    revenue_view = Aggregate(
+        Scan(
+            "lineitem",
+            predicate=(col("l_shipdate") >= lit(start)) & (col("l_shipdate") < lit(end)),
+            tag="q15.lineitem",
+        ),
+        keys=["l_suppkey"],
+        aggs={"total_revenue": Agg("sum", REVENUE)},
+        tag="q15.revenue",
+    )
+    revenue_rows = _run(revenue_view, ctx)
+    if not revenue_rows:
+        return []
+    max_revenue = max(r["total_revenue"] for r in revenue_rows)
+    top = Filter(Rows(revenue_rows), col("total_revenue") >= lit(max_revenue))
+    plan = Sort(
+        Project(
+            HashJoin(top, Scan("supplier"), ["l_suppkey"], ["s_suppkey"]),
+            {
+                "s_suppkey": "s_suppkey",
+                "s_name": "s_name",
+                "s_address": "s_address",
+                "s_phone": "s_phone",
+                "total_revenue": "total_revenue",
+            },
+        ),
+        [("s_suppkey", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q16(db, ctx):
+    """Parts/supplier relationship: anti-join against complaint suppliers."""
+    complainers = Scan(
+        "supplier",
+        predicate=col("s_comment").like("%Customer%Complaints%"),
+        columns=["s_suppkey"],
+        tag="q16.complainers",
+    )
+    parts = Scan(
+        "part",
+        predicate=(
+            (col("p_brand") != lit("Brand#45"))
+            & col("p_type").not_like("MEDIUM POLISHED%")
+            & col("p_size").in_([49, 14, 23, 45, 19, 3, 36, 9])
+        ),
+        tag="q16.parts",
+    )
+    joined = HashJoin(
+        HashJoin(
+            Scan("partsupp"), parts, ["ps_partkey"], ["p_partkey"], tag="q16.join"
+        ),
+        complainers,
+        ["ps_suppkey"],
+        ["s_suppkey"],
+        how="anti",
+        tag="q16.anti",
+    )
+    plan = Sort(
+        Aggregate(
+            joined,
+            keys=["p_brand", "p_type", "p_size"],
+            aggs={"supplier_cnt": Agg("count_distinct", col("ps_suppkey"))},
+            tag="q16.agg",
+        ),
+        [("supplier_cnt", True), ("p_brand", False), ("p_type", False), ("p_size", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q17(db, ctx):
+    """Small-quantity-order revenue: correlated AVG(l_quantity) per part."""
+    parts = Scan(
+        "part",
+        predicate=(col("p_brand") == lit("Brand#23"))
+        & (col("p_container") == lit("MED BOX")),
+        columns=["p_partkey"],
+        tag="q17.parts",
+    )
+    lines_of_parts = HashJoin(
+        Scan("lineitem", tag="q17.lineitem"),
+        parts,
+        ["l_partkey"],
+        ["p_partkey"],
+        tag="q17.join",
+    )
+    avg_qty = Aggregate(
+        lines_of_parts,
+        keys=["l_partkey"],
+        aggs={"avg_qty": Agg("avg", col("l_quantity"))},
+        tag="q17.avg",
+    )
+    qualified = Filter(
+        HashJoin(lines_of_parts, avg_qty, ["l_partkey"], ["l_partkey"]),
+        col("l_quantity") < lit(0.2) * col("avg_qty"),
+    )
+    total = _run(
+        Aggregate(qualified, keys=[], aggs={"s": Agg("sum", col("l_extendedprice"))}), ctx
+    )
+    value = total[0]["s"] or 0.0
+    return [{"avg_yearly": value / 7.0}]
+
+
+def q18(db, ctx):
+    """Large-volume customers: orders whose lineitems sum above 300 units."""
+    big_orders = Filter(
+        Aggregate(
+            Scan("lineitem", tag="q18.lineitem"),
+            keys=["l_orderkey"],
+            aggs={"sum_qty": Agg("sum", col("l_quantity"))},
+            tag="q18.per_order",
+        ),
+        col("sum_qty") > lit(300),
+        tag="q18.big",
+    )
+    joined = HashJoin(
+        HashJoin(
+            Scan("orders"), big_orders, ["o_orderkey"], ["l_orderkey"], tag="q18.join_big"
+        ),
+        Scan("customer"),
+        ["o_custkey"],
+        ["c_custkey"],
+        tag="q18.join_cust",
+    )
+    plan = Limit(
+        Sort(
+            Project(
+                joined,
+                {
+                    "c_name": "c_name",
+                    "c_custkey": "c_custkey",
+                    "o_orderkey": "o_orderkey",
+                    "o_orderdate": "o_orderdate",
+                    "o_totalprice": "o_totalprice",
+                    "sum_qty": "sum_qty",
+                },
+            ),
+            [("o_totalprice", True), ("o_orderdate", False)],
+        ),
+        100,
+    )
+    return _run(plan, ctx)
+
+
+def q19(db, ctx):
+    """Discounted revenue: the OR-of-ANDs predicate analysed in §3.3.4.1."""
+    lines = Scan(
+        "lineitem",
+        predicate=(
+            col("l_shipmode").in_(["AIR", "AIR REG"])
+            & (col("l_shipinstruct") == lit("DELIVER IN PERSON"))
+        ),
+        tag="q19.lineitem",
+    )
+    joined = HashJoin(
+        lines, Scan("part", tag="q19.part"), ["l_partkey"], ["p_partkey"], tag="q19.join"
+    )
+    branch1 = (
+        (col("p_brand") == lit("Brand#12"))
+        & col("p_container").in_(["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+        & col("l_quantity").between(1, 11)
+        & col("p_size").between(1, 5)
+    )
+    branch2 = (
+        (col("p_brand") == lit("Brand#23"))
+        & col("p_container").in_(["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+        & col("l_quantity").between(10, 20)
+        & col("p_size").between(1, 10)
+    )
+    branch3 = (
+        (col("p_brand") == lit("Brand#34"))
+        & col("p_container").in_(["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+        & col("l_quantity").between(20, 30)
+        & col("p_size").between(1, 15)
+    )
+    plan = Aggregate(
+        Filter(joined, branch1 | branch2 | branch3, tag="q19.filtered"),
+        keys=[],
+        aggs={"revenue": Agg("sum", REVENUE)},
+    )
+    return _run(plan, ctx)
+
+
+def q20(db, ctx):
+    """Potential part promotion: nested semi-joins over forest% parts."""
+    start = "1994-01-01"
+    end = date_add(start, years=1)
+    forest_parts = Scan(
+        "part", predicate=col("p_name").like("forest%"), columns=["p_partkey"],
+        tag="q20.parts",
+    )
+    shipped = Aggregate(
+        HashJoin(
+            Scan(
+                "lineitem",
+                predicate=(col("l_shipdate") >= lit(start)) & (col("l_shipdate") < lit(end)),
+                tag="q20.lineitem",
+            ),
+            forest_parts,
+            ["l_partkey"],
+            ["p_partkey"],
+            tag="q20.join_part",
+        ),
+        keys=["l_partkey", "l_suppkey"],
+        aggs={"qty": Agg("sum", col("l_quantity"))},
+        tag="q20.shipped",
+    )
+    available = Filter(
+        HashJoin(
+            HashJoin(
+                Scan("partsupp"),
+                forest_parts,
+                ["ps_partkey"],
+                ["p_partkey"],
+                how="semi",
+                tag="q20.ps",
+            ),
+            shipped,
+            ["ps_partkey", "ps_suppkey"],
+            ["l_partkey", "l_suppkey"],
+        ),
+        col("ps_availqty") > lit(0.5) * col("qty"),
+        tag="q20.available",
+    )
+    suppliers = HashJoin(
+        HashJoin(
+            Scan("supplier"),
+            Scan("nation", predicate=col("n_name") == lit("CANADA")),
+            ["s_nationkey"],
+            ["n_nationkey"],
+        ),
+        available,
+        ["s_suppkey"],
+        ["ps_suppkey"],
+        how="semi",
+        tag="q20.semi",
+    )
+    plan = Sort(
+        Project(suppliers, {"s_name": "s_name", "s_address": "s_address"}),
+        [("s_name", False)],
+    )
+    return _run(plan, ctx)
+
+
+def q21(db, ctx):
+    """Suppliers who kept orders waiting (EXISTS + NOT EXISTS on lineitem)."""
+    late = col("l_receiptdate") > col("l_commitdate")
+    # Per-order supplier statistics replace the correlated EXISTS pair.
+    all_supps = Aggregate(
+        Scan("lineitem", columns=["l_orderkey", "l_suppkey"], tag="q21.lineitem"),
+        keys=["l_orderkey"],
+        aggs={"n_supps": Agg("count_distinct", col("l_suppkey"))},
+        tag="q21.all_supps",
+    )
+    late_supps = Aggregate(
+        Scan("lineitem", predicate=late, columns=["l_orderkey", "l_suppkey"]),
+        keys=["l_orderkey"],
+        aggs={
+            "n_late": Agg("count_distinct", col("l_suppkey")),
+            "late_supp": Agg("min", col("l_suppkey")),
+        },
+        tag="q21.late_supps",
+    )
+    l1 = Scan("lineitem", predicate=late, tag="q21.l1")
+    f_orders = Scan(
+        "orders", predicate=col("o_orderstatus") == lit("F"), columns=["o_orderkey"],
+        tag="q21.orders",
+    )
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(l1, f_orders, ["l_orderkey"], ["o_orderkey"], how="semi",
+                     tag="q21.semi"),
+            all_supps,
+            ["l_orderkey"],
+            ["l_orderkey"],
+            tag="q21.join_all",
+        ),
+        late_supps,
+        ["l_orderkey"],
+        ["l_orderkey"],
+        tag="q21.join_late",
+    )
+    # EXISTS other supplier on the order; NOT EXISTS other *late* supplier.
+    qualified = Filter(
+        joined,
+        (col("n_supps") > lit(1))
+        & (col("n_late") == lit(1))
+        & (col("late_supp") == col("l_suppkey")),
+        tag="q21.qualified",
+    )
+    saudi = HashJoin(
+        Scan("supplier"),
+        Scan("nation", predicate=col("n_name") == lit("SAUDI ARABIA")),
+        ["s_nationkey"],
+        ["n_nationkey"],
+    )
+    with_supp = HashJoin(qualified, saudi, ["l_suppkey"], ["s_suppkey"], tag="q21.join_supp")
+    plan = Limit(
+        Sort(
+            Aggregate(with_supp, keys=["s_name"], aggs={"numwait": Agg("count")}),
+            [("numwait", True), ("s_name", False)],
+        ),
+        100,
+    )
+    return _run(plan, ctx)
+
+
+def q22(db, ctx):
+    """Global sales opportunity: phone-prefix filter + anti-join + AVG subquery."""
+    codes = ["13", "31", "23", "29", "30", "18", "17"]
+    cntrycode = col("c_phone").substr(1, 2)
+    candidates = Scan(
+        "customer", predicate=cntrycode.in_(codes), tag="q22.candidates"
+    )
+    avg_rows = _run(
+        Aggregate(
+            Filter(candidates, col("c_acctbal") > lit(0.0)),
+            keys=[],
+            aggs={"avg_bal": Agg("avg", col("c_acctbal"))},
+            tag="q22.avg",
+        ),
+        ctx,
+    )
+    avg_bal = avg_rows[0]["avg_bal"] or 0.0
+    rich = Filter(candidates, col("c_acctbal") > lit(avg_bal), tag="q22.rich")
+    no_orders = HashJoin(
+        rich,
+        Scan("orders", columns=["o_custkey"], tag="q22.orders"),
+        ["c_custkey"],
+        ["o_custkey"],
+        how="anti",
+        tag="q22.anti",
+    )
+    plan = Sort(
+        Aggregate(
+            Project(no_orders, {"cntrycode": cntrycode, "c_acctbal": "c_acctbal"}),
+            keys=["cntrycode"],
+            aggs={"numcust": Agg("count"), "totacctbal": Agg("sum", col("c_acctbal"))},
+        ),
+        [("cntrycode", False)],
+    )
+    return _run(plan, ctx)
+
+
+QUERIES = {
+    1: q01, 2: q02, 3: q03, 4: q04, 5: q05, 6: q06, 7: q07, 8: q08,
+    9: q09, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16,
+    17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+QUERY_NUMBERS = sorted(QUERIES)
+
+
+def run_query(number: int, db, ctx: ExecutionContext | None = None) -> list[dict]:
+    """Execute one TPC-H query by number and return its answer rows."""
+    if number not in QUERIES:
+        raise KeyError(f"TPC-H has queries 1..22; got {number}")
+    if ctx is None:
+        ctx = ExecutionContext(db)
+    return QUERIES[number](db, ctx)

@@ -1,0 +1,137 @@
+"""TPC-H refresh functions RF1 (insert) and RF2 (delete).
+
+The paper skipped both: "the Hive version that we used does not support
+deletes and inserts into existing tables or partitions (the newer Hive
+versions 0.8.0 and 0.8.1 do support INSERT INTO statements)".  This module
+implements the refresh functions for real against the kernel database, and
+models engine support the way the paper describes it: Hive 0.7 refuses,
+Hive 0.8+ accepts inserts (still no deletes), PDW accepts both.
+
+Per the TPC-H spec, each refresh stream touches SF * 1500 orders (0.1% of
+the orders table); RF1 draws its orderkeys from the sparse key space the
+generator left unused (offsets 8..11 of each 32-key block), so refreshed
+keys never collide with loaded ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError, StorageError
+from repro.relational.schema import Database
+from repro.tpch.dbgen import DbGen
+
+
+class UnsupportedRefresh(ReproError):
+    """The engine version cannot execute this refresh function."""
+
+
+def refresh_order_count(scale_factor: float) -> int:
+    """Orders touched per refresh stream: SF * 1500 (spec clause 2.27)."""
+    return max(1, int(round(scale_factor * 1500)))
+
+
+def refresh_orderkey(index: int) -> int:
+    """Orderkeys for RF1: offsets 8..11 of each 32-key block (never loaded)."""
+    if index < 1:
+        raise ValueError("refresh index is 1-based")
+    block, offset = divmod(index - 1, 4)
+    return block * 32 + 8 + offset + 1
+
+
+@dataclass
+class RefreshResult:
+    """Rows touched by one refresh function execution."""
+
+    orders: int
+    lineitems: int
+
+
+class RefreshFunctions:
+    """Executes RF1/RF2 against a generated database."""
+
+    def __init__(self, db: Database, generator: DbGen):
+        self.db = db
+        self.generator = generator
+        self._next_rf1_index = 1
+
+    def rf1(self, stream: int = 1) -> RefreshResult:
+        """Insert new orders (and their lineitems) into the database."""
+        count = refresh_order_count(self.generator.scale_factor)
+        rng = self.generator.seeds.rng_for("rf1", stream)
+        orders = self.db.table("orders")
+        lineitem = self.db.table("lineitem")
+        existing = {r["o_orderkey"] for r in orders.rows}
+
+        template_orders = orders.rows[: count]
+        inserted_lines = 0
+        for i in range(count):
+            orderkey = refresh_orderkey(self._next_rf1_index)
+            self._next_rf1_index += 1
+            if orderkey in existing:
+                raise StorageError(f"refresh orderkey {orderkey} collides")
+            base = dict(template_orders[i % len(template_orders)])
+            base["o_orderkey"] = orderkey
+            base["o_comment"] = f"refresh stream {stream}"
+            orders.append(base)
+            for linenumber in range(1, rng.random_int(1, 7) + 1):
+                partkey = rng.random_int(1, self.generator.parts)
+                lineitem.append(
+                    {
+                        "l_orderkey": orderkey,
+                        "l_partkey": partkey,
+                        "l_suppkey": 1 + partkey % self.generator.suppliers,
+                        "l_linenumber": linenumber,
+                        "l_quantity": float(rng.random_int(1, 50)),
+                        "l_extendedprice": 1000.0,
+                        "l_discount": 0.05,
+                        "l_tax": 0.04,
+                        "l_returnflag": "N",
+                        "l_linestatus": "O",
+                        "l_shipdate": "1998-09-01",
+                        "l_commitdate": "1998-09-15",
+                        "l_receiptdate": "1998-09-20",
+                        "l_shipinstruct": "NONE",
+                        "l_shipmode": "MAIL",
+                        "l_comment": f"refresh stream {stream}",
+                    }
+                )
+                inserted_lines += 1
+        return RefreshResult(orders=count, lineitems=inserted_lines)
+
+    def rf2(self, stream: int = 1) -> RefreshResult:
+        """Delete the oldest loaded orders (and their lineitems)."""
+        count = refresh_order_count(self.generator.scale_factor)
+        orders = self.db.table("orders")
+        lineitem = self.db.table("lineitem")
+        victims = {r["o_orderkey"] for r in orders.rows[:count]}
+        before_lines = lineitem.row_count
+        orders.rows[:] = [r for r in orders.rows if r["o_orderkey"] not in victims]
+        lineitem.rows[:] = [
+            r for r in lineitem.rows if r["l_orderkey"] not in victims
+        ]
+        return RefreshResult(
+            orders=len(victims), lineitems=before_lines - lineitem.row_count
+        )
+
+
+@dataclass(frozen=True)
+class EngineRefreshSupport:
+    """What an engine version can do, per the paper's Section 3.3.1."""
+
+    name: str
+    supports_insert: bool
+    supports_delete: bool
+
+    def check(self, function: str) -> None:
+        if function == "rf1" and not self.supports_insert:
+            raise UnsupportedRefresh(
+                f"{self.name} does not support INSERT INTO existing tables"
+            )
+        if function == "rf2" and not self.supports_delete:
+            raise UnsupportedRefresh(f"{self.name} does not support DELETE")
+
+
+HIVE_07 = EngineRefreshSupport("Hive 0.7.1", supports_insert=False, supports_delete=False)
+HIVE_08 = EngineRefreshSupport("Hive 0.8.1", supports_insert=True, supports_delete=False)
+PDW = EngineRefreshSupport("SQL Server PDW", supports_insert=True, supports_delete=True)

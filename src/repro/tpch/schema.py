@@ -1,0 +1,157 @@
+"""TPC-H schema metadata: columns, per-SF row counts, and sparse orderkeys.
+
+Row counts follow the TPC-H specification (all scale linearly except the
+fixed 25-row nation and 5-row region tables).  ``sparse_orderkey`` implements
+the spec's key sparsity — only the first 8 of every 32 orderkey values are
+used — which is the root cause of the paper's "128 of 512 bucket files are
+empty" observation (Section 3.3.4.2, Query 1).
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Column, Schema
+
+CUSTOMER = Schema.of(
+    Column.int_("c_custkey"),
+    Column.str_("c_name", 18),
+    Column.str_("c_address", 25),
+    Column.int_("c_nationkey"),
+    Column.str_("c_phone", 15),
+    Column.float_("c_acctbal"),
+    Column.str_("c_mktsegment", 10),
+    Column.str_("c_comment", 73),
+)
+
+ORDERS = Schema.of(
+    Column.int_("o_orderkey"),
+    Column.int_("o_custkey"),
+    Column.str_("o_orderstatus", 1),
+    Column.float_("o_totalprice"),
+    Column.date("o_orderdate"),
+    Column.str_("o_orderpriority", 15),
+    Column.str_("o_clerk", 15),
+    Column.int_("o_shippriority"),
+    Column.str_("o_comment", 49),
+)
+
+LINEITEM = Schema.of(
+    Column.int_("l_orderkey"),
+    Column.int_("l_partkey"),
+    Column.int_("l_suppkey"),
+    Column.int_("l_linenumber"),
+    Column.float_("l_quantity"),
+    Column.float_("l_extendedprice"),
+    Column.float_("l_discount"),
+    Column.float_("l_tax"),
+    Column.str_("l_returnflag", 1),
+    Column.str_("l_linestatus", 1),
+    Column.date("l_shipdate"),
+    Column.date("l_commitdate"),
+    Column.date("l_receiptdate"),
+    Column.str_("l_shipinstruct", 25),
+    Column.str_("l_shipmode", 10),
+    Column.str_("l_comment", 27),
+)
+
+PART = Schema.of(
+    Column.int_("p_partkey"),
+    Column.str_("p_name", 33),
+    Column.str_("p_mfgr", 25),
+    Column.str_("p_brand", 10),
+    Column.str_("p_type", 25),
+    Column.int_("p_size"),
+    Column.str_("p_container", 10),
+    Column.float_("p_retailprice"),
+    Column.str_("p_comment", 14),
+)
+
+PARTSUPP = Schema.of(
+    Column.int_("ps_partkey"),
+    Column.int_("ps_suppkey"),
+    Column.int_("ps_availqty"),
+    Column.float_("ps_supplycost"),
+    Column.str_("ps_comment", 124),
+)
+
+SUPPLIER = Schema.of(
+    Column.int_("s_suppkey"),
+    Column.str_("s_name", 18),
+    Column.str_("s_address", 25),
+    Column.int_("s_nationkey"),
+    Column.str_("s_phone", 15),
+    Column.float_("s_acctbal"),
+    Column.str_("s_comment", 63),
+)
+
+NATION = Schema.of(
+    Column.int_("n_nationkey"),
+    Column.str_("n_name", 25),
+    Column.int_("n_regionkey"),
+    Column.str_("n_comment", 95),
+)
+
+REGION = Schema.of(
+    Column.int_("r_regionkey"),
+    Column.str_("r_name", 25),
+    Column.str_("r_comment", 95),
+)
+
+SCHEMAS: dict[str, Schema] = {
+    "customer": CUSTOMER,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "supplier": SUPPLIER,
+    "nation": NATION,
+    "region": REGION,
+}
+
+# Cardinality per unit scale factor (TPC-H specification, clause 4.2.5).
+ROWS_PER_SF: dict[str, int] = {
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,  # average ~4 lines per order; exact value at SF 1
+    "part": 200_000,
+    "partsupp": 800_000,
+    "supplier": 10_000,
+}
+
+FIXED_ROWS: dict[str, int] = {"nation": 25, "region": 5}
+
+TABLE_NAMES = list(SCHEMAS)
+
+
+def row_count(table: str, scale_factor: float) -> int:
+    """Expected cardinality of a table at a given scale factor."""
+    if table in FIXED_ROWS:
+        return FIXED_ROWS[table]
+    return int(round(ROWS_PER_SF[table] * scale_factor))
+
+
+def table_bytes(table: str, scale_factor: float) -> float:
+    """Uncompressed stored size of a table at a scale factor."""
+    return row_count(table, scale_factor) * SCHEMAS[table].row_width
+
+
+def database_bytes(scale_factor: float) -> float:
+    """Total uncompressed database size (the SF nominally equals this in GB)."""
+    return sum(table_bytes(t, scale_factor) for t in SCHEMAS)
+
+
+def sparse_orderkey(index: int) -> int:
+    """Map a dense order index (1-based) to the spec's sparse orderkey.
+
+    Only the first 8 keys of every block of 32 are used, so keys are ≡ 1..8
+    (mod 32).  Hash-bucketing these keys into 512 buckets leaves exactly 128
+    buckets non-empty — the effect behind Table 4's map-phase behaviour.
+    """
+    if index < 1:
+        raise ValueError("order index is 1-based")
+    block, offset = divmod(index - 1, 8)
+    return block * 32 + offset + 1
+
+
+def orderkey_bucket(orderkey: int, buckets: int = 512) -> int:
+    """Hive's bucket assignment: hash (identity for ints) modulo bucket count."""
+    return orderkey % buckets

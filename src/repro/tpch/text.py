@@ -1,0 +1,95 @@
+"""Fixed text pools from the TPC-H specification (clause 4.2.2.13 and appendix).
+
+These drive both value generation and, more importantly, the selectivity of
+the benchmark's LIKE predicates: Q9 scans for ``%green%`` part names, Q13 for
+``%special%requests%`` order comments, Q16 for ``%Customer%Complaints%``
+supplier comments, Q20 for ``forest%`` parts.
+"""
+
+from __future__ import annotations
+
+# 92 part-name words (the spec's colour list).
+P_NAME_WORDS = (
+    "almond antique aquamarine azure beige bisque black blanched blue blush "
+    "brown burlywood burnished chartreuse chiffon chocolate coral cornflower "
+    "cornsilk cream cyan dark deep dim dodger drab firebrick floral forest "
+    "frosted gainsboro ghost goldenrod green grey honeydew hot indian ivory "
+    "khaki lace lavender lawn lemon light lime linen magenta maroon medium "
+    "metallic midnight mint misty moccasin navajo navy olive orange orchid "
+    "pale papaya peach peru pink plum powder puff purple red rose rosy royal "
+    "saddle salmon sandy seashell sienna sky slate smoke snow spring steel "
+    "tan thistle tomato turquoise violet wheat white yellow"
+).split()
+
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+CONTAINER_SYLLABLE_1 = ("SM", "LG", "MED", "JUMBO", "WRAP")
+CONTAINER_SYLLABLE_2 = ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+INSTRUCTIONS = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+
+MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+
+# A condensed version of the spec's text grammar vocabulary.  It deliberately
+# contains the words the benchmark queries grep for.
+COMMENT_WORDS = (
+    "special requests pending deposits accounts packages express unusual "
+    "regular final ironic even bold silent slow quick careful furious daring "
+    "blithe close dogged fluffy ruthless thin busy foxes pinto beans theodolites "
+    "dependencies instructions excuses platelets asymptotes courts dolphins "
+    "multipliers sauternes warhorses frets dinos attainments somas sheaves "
+    "ideas tithes waters orbits patterns sentiments realms pearls wake sleep "
+    "haggle nag cajole boost detect solve engage wake integrate use doze run "
+    "above after along among around at before behind beside besides between"
+).split()
+
+NATIONS: tuple[tuple[str, int], ...] = (
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+)
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+
+def all_part_types() -> list[str]:
+    """Every 3-syllable part type (150 combinations)."""
+    return [
+        f"{a} {b} {c}"
+        for a in TYPE_SYLLABLE_1
+        for b in TYPE_SYLLABLE_2
+        for c in TYPE_SYLLABLE_3
+    ]
+
+
+def all_containers() -> list[str]:
+    """Every 2-syllable container (40 combinations)."""
+    return [f"{a} {b}" for a in CONTAINER_SYLLABLE_1 for b in CONTAINER_SYLLABLE_2]

@@ -1,0 +1,52 @@
+"""YCSB benchmark substrate: generators, workloads, functional client."""
+
+from repro.ycsb.client import OpStats, YcsbClient
+from repro.ycsb.eventsim import EventSimResult, SimStation, simulate_closed_loop
+from repro.ycsb.trace import TraceOp, generate_trace, read_trace, replay, write_trace
+from repro.ycsb.generators import (
+    CounterGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.ycsb.workloads import (
+    FIELD_COUNT,
+    FIELD_LENGTH,
+    KEY_LENGTH,
+    MAX_SCAN_LENGTH,
+    RECORD_BYTES,
+    WORKLOADS,
+    WorkloadSpec,
+    make_field_value,
+    make_key,
+    make_record,
+)
+
+__all__ = [
+    "OpStats",
+    "YcsbClient",
+    "EventSimResult",
+    "SimStation",
+    "simulate_closed_loop",
+    "TraceOp",
+    "generate_trace",
+    "read_trace",
+    "replay",
+    "write_trace",
+    "CounterGenerator",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "FIELD_COUNT",
+    "FIELD_LENGTH",
+    "KEY_LENGTH",
+    "MAX_SCAN_LENGTH",
+    "RECORD_BYTES",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "make_field_value",
+    "make_key",
+    "make_record",
+]

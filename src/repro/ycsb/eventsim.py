@@ -1,0 +1,165 @@
+"""Discrete-event validation of the closed-loop queueing model.
+
+The YCSB figures come from analytic MVA (fast, deterministic).  This module
+re-runs the same closed loop — N client processes cycling through the same
+service stations — on the discrete-event kernel, with exponential service
+times and per-window measurement, exactly like the paper's protocol (average
+over measurement windows, standard error across windows).
+
+It serves two purposes:
+
+* a **validation test**: at moderate utilization the event simulation and
+  MVA must agree on throughput and latency within a few percent;
+* **error bars**: the event simulation produces the window-to-window
+  standard errors the analytic model cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.rng import SeedStream, TpchRandom64
+from repro.common.stats import arithmetic_mean, percentile, std_error
+from repro.simcluster.events import Environment, Resource
+
+
+@dataclass(frozen=True)
+class SimStation:
+    """One service station: capacity plus per-op-class service means."""
+
+    name: str
+    servers: int
+    service: dict  # op class -> mean service seconds
+
+
+@dataclass
+class EventSimResult:
+    """Measured output of one closed-loop event simulation."""
+
+    throughput: float  # ops/s over the measurement period
+    latency: dict = field(default_factory=dict)  # class -> mean seconds
+    latency_stderr: dict = field(default_factory=dict)  # class -> std error
+    latency_p95: dict = field(default_factory=dict)  # class -> 95th percentile
+    latency_p99: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)  # class -> LatencyHistogram
+    window_throughputs: list = field(default_factory=list)
+    completed_ops: int = 0
+
+    @property
+    def throughput_stderr(self) -> float:
+        return std_error(self.window_throughputs)
+
+
+def _exponential(rng: TpchRandom64, mean: float) -> float:
+    u = rng.random_float()
+    return -mean * math.log(1.0 - u) if mean > 0 else 0.0
+
+
+def _pick_class(rng: TpchRandom64, mix: dict) -> str:
+    u = rng.random_float()
+    acc = 0.0
+    for op_class, fraction in mix.items():
+        acc += fraction
+        if u < acc:
+            return op_class
+    return next(reversed(mix))
+
+
+def simulate_closed_loop(
+    stations: list[SimStation],
+    mix: dict,
+    clients: int,
+    think_time: float = 0.0,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    windows: int = 6,
+    seed: int = 1234,
+) -> EventSimResult:
+    """Run N closed-loop clients over the stations and measure.
+
+    Each client repeatedly: thinks (exponential with the given mean), picks
+    an op class by the mix, then visits every station that serves that class
+    (FIFO queueing, exponential service).  Latencies and completions are
+    recorded per measurement window after the warm-up.
+    """
+    if clients < 1:
+        raise SimulationError("need at least one client")
+    if not mix or abs(sum(mix.values()) - 1.0) > 1e-9:
+        raise SimulationError("op mix must sum to 1")
+    if duration <= warmup:
+        raise SimulationError("duration must exceed warmup")
+
+    env = Environment()
+    resources = {s.name: Resource(env, s.servers) for s in stations}
+    seeds = SeedStream(seed)
+
+    latencies: dict[str, list[float]] = {c: [] for c in mix}
+    completions: list[float] = []
+
+    def client(index: int):
+        rng = seeds.rng_for("client", index)
+        while True:
+            if think_time > 0:
+                yield env.timeout(_exponential(rng, think_time))
+            op_class = _pick_class(rng, mix)
+            start = env.now
+            for station in stations:
+                mean = station.service.get(op_class, 0.0)
+                if mean <= 0.0:
+                    continue
+                resource = resources[station.name]
+                grant = resource.request()
+                yield grant
+                try:
+                    yield env.timeout(_exponential(rng, mean))
+                finally:
+                    resource.release()
+            if env.now >= warmup:
+                latencies[op_class].append(env.now - start)
+                completions.append(env.now)
+
+    for i in range(clients):
+        env.process(client(i))
+    env.run(until=duration)
+
+    measure = duration - warmup
+    result = EventSimResult(
+        throughput=len(completions) / measure,
+        completed_ops=len(completions),
+    )
+    window = measure / windows
+    counts = [0] * windows
+    for t in completions:
+        counts[min(windows - 1, int((t - warmup) / window))] += 1
+    result.window_throughputs = [c / window for c in counts]
+
+    from repro.ycsb.histogram import from_latencies
+
+    for op_class, values in latencies.items():
+        if not values:
+            continue
+        result.latency[op_class] = arithmetic_mean(values)
+        result.latency_p95[op_class] = percentile(values, 95)
+        result.latency_p99[op_class] = percentile(values, 99)
+        result.histograms[op_class] = from_latencies(values)
+        # Std error across evenly sized chunks approximates window error.
+        chunk = max(1, len(values) // windows)
+        means = [
+            arithmetic_mean(values[i : i + chunk])
+            for i in range(0, len(values) - chunk + 1, chunk)
+        ]
+        result.latency_stderr[op_class] = std_error(means)
+    return result
+
+
+def mva_prediction(stations: list[SimStation], mix: dict, clients: int,
+                   think_time: float = 0.0):
+    """The analytic counterpart, for validation comparisons."""
+    from repro.core.oltp import Station, closed_mva
+
+    analytic = [
+        Station(s.name, s.servers, service=dict(s.service)) for s in stations
+    ]
+    return closed_mva(analytic, mix, clients, think_time)

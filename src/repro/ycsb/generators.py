@@ -1,0 +1,132 @@
+"""YCSB request-distribution generators (Cooper et al., SoCC 2010).
+
+Implements the generators the benchmark's workloads use: uniform, zipfian
+(the Gray et al. rejection-free algorithm with incremental zeta), scrambled
+zipfian (hot keys scattered across the keyspace), and latest (zipfian over
+recency, for workload D's read-latest pattern).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import TpchRandom64
+from repro.common.stats import harmonic_number
+
+ZIPFIAN_CONSTANT = 0.99
+
+
+class UniformGenerator:
+    """Uniform integers on [0, item_count)."""
+
+    def __init__(self, item_count: int, rng: TpchRandom64):
+        if item_count < 1:
+            raise WorkloadError("need at least one item")
+        self.item_count = item_count
+        self._rng = rng
+
+    def next(self) -> int:
+        return self._rng.random_int(0, self.item_count - 1)
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers on [0, item_count), favouring low ranks.
+
+    Uses the YCSB/Gray algorithm; ``zeta(n)`` is computed with the
+    Euler-Maclaurin approximation so populations of hundreds of millions of
+    keys (the paper's 640 M records) are instantaneous.
+    """
+
+    def __init__(self, item_count: int, rng: TpchRandom64, theta: float = ZIPFIAN_CONSTANT):
+        if item_count < 1:
+            raise WorkloadError("need at least one item")
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError("theta must be in (0, 1)")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = rng
+        self._zeta_n = harmonic_number(item_count, s=theta)
+        self._zeta_2 = harmonic_number(2, s=theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
+            1.0 - self._zeta_2 / self._zeta_n
+        )
+
+    def next(self) -> int:
+        u = self._rng.random_float()
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def popularity(self, rank: int) -> float:
+        """P(rank) — rank is 0-based; used by the analytic cache model."""
+        return (1.0 / (rank + 1) ** self.theta) / self._zeta_n
+
+    def cdf(self, top_fraction: float) -> float:
+        """Probability mass of the most popular ``top_fraction`` of items."""
+        if not 0.0 <= top_fraction <= 1.0:
+            raise WorkloadError("fraction must be in [0, 1]")
+        k = max(1, int(self.item_count * top_fraction))
+        return harmonic_number(k, s=self.theta) / self._zeta_n
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity with hot items scattered across the keyspace."""
+
+    def __init__(self, item_count: int, rng: TpchRandom64, theta: float = ZIPFIAN_CONSTANT):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng, theta)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        scrambled = zlib.crc32(rank.to_bytes(8, "big"))
+        return scrambled % self.item_count
+
+    def cdf(self, top_fraction: float) -> float:
+        return self._zipf.cdf(top_fraction)
+
+
+class LatestGenerator:
+    """Workload D's read-latest: zipfian over recency from the newest key."""
+
+    def __init__(self, initial_count: int, rng: TpchRandom64, theta: float = ZIPFIAN_CONSTANT):
+        if initial_count < 1:
+            raise WorkloadError("need at least one item")
+        self.item_count = initial_count
+        self._rng = rng
+        self._theta = theta
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._zipf = ZipfianGenerator(self.item_count, self._rng, self._theta)
+
+    def observe_insert(self) -> None:
+        """Tell the generator the key space grew (a new record was appended)."""
+        self.item_count += 1
+        # Rebuilding zeta on every insert is wasteful; refresh periodically.
+        if self.item_count % 1024 == 0:
+            self._rebuild()
+
+    def next(self) -> int:
+        offset = self._zipf.next()
+        return max(0, self.item_count - 1 - offset)
+
+
+class CounterGenerator:
+    """Monotonic key allocator for appends (workloads D and E)."""
+
+    def __init__(self, start: int):
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    @property
+    def last(self) -> int:
+        return self._next - 1

@@ -1,0 +1,108 @@
+"""YCSB-style latency histograms.
+
+The real YCSB client records every operation's latency into a histogram
+(1 ms buckets up to 1 s, plus an overflow bucket) and reports average, min,
+max, 95th and 99th percentiles from it — which is exactly what the paper's
+latency numbers are.  This implementation mirrors that design, with a
+mergeable representation so per-thread histograms combine into the run's
+report, and a compact text rendering like YCSB's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import WorkloadError
+
+DEFAULT_BUCKETS = 1000  # 1 ms buckets up to 1 s, as in YCSB
+BUCKET_WIDTH = 0.001
+
+
+@dataclass
+class LatencyHistogram:
+    """Fixed-width latency buckets with an overflow bucket."""
+
+    buckets: int = DEFAULT_BUCKETS
+    bucket_width: float = BUCKET_WIDTH
+    counts: list[int] = field(default_factory=list)
+    overflow: int = 0
+    total: int = 0
+    sum_latency: float = 0.0
+    min_latency: float = float("inf")
+    max_latency: float = 0.0
+
+    def __post_init__(self):
+        if self.buckets < 1 or self.bucket_width <= 0:
+            raise WorkloadError("histogram needs positive buckets and width")
+        if not self.counts:
+            self.counts = [0] * self.buckets
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise WorkloadError("negative latency")
+        index = int(latency / self.bucket_width)
+        if index >= self.buckets:
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+        self.sum_latency += latency
+        self.min_latency = min(self.min_latency, latency)
+        self.max_latency = max(self.max_latency, latency)
+
+    @property
+    def mean(self) -> float:
+        return self.sum_latency / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """YCSB semantics: the upper edge of the bucket holding rank p."""
+        if not 0.0 < p <= 100.0:
+            raise WorkloadError("percentile must be in (0, 100]")
+        if self.total == 0:
+            return 0.0
+        rank = p / 100.0 * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return (index + 1) * self.bucket_width
+        return self.max_latency  # rank falls in the overflow bucket
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Combine another histogram (per-thread -> per-run aggregation)."""
+        if (other.buckets, other.bucket_width) != (self.buckets, self.bucket_width):
+            raise WorkloadError("cannot merge histograms with different geometry")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.overflow += other.overflow
+        self.total += other.total
+        self.sum_latency += other.sum_latency
+        self.min_latency = min(self.min_latency, other.min_latency)
+        self.max_latency = max(self.max_latency, other.max_latency)
+
+    def render(self, operation: str = "READ") -> str:
+        """YCSB-style summary block."""
+        if self.total == 0:
+            return f"[{operation}] no operations recorded"
+        lines = [
+            f"[{operation}] Operations: {self.total}",
+            f"[{operation}] AverageLatency(ms): {self.mean * 1000:.3f}",
+            f"[{operation}] MinLatency(ms): {self.min_latency * 1000:.3f}",
+            f"[{operation}] MaxLatency(ms): {self.max_latency * 1000:.3f}",
+            f"[{operation}] 95thPercentileLatency(ms): "
+            f"{self.percentile(95) * 1000:.1f}",
+            f"[{operation}] 99thPercentileLatency(ms): "
+            f"{self.percentile(99) * 1000:.1f}",
+        ]
+        if self.overflow:
+            lines.append(f"[{operation}] >{self.buckets * self.bucket_width * 1000:.0f}ms: "
+                         f"{self.overflow}")
+        return "\n".join(lines)
+
+
+def from_latencies(latencies: list[float], **kwargs) -> LatencyHistogram:
+    """Build a histogram from raw latency samples."""
+    histogram = LatencyHistogram(**kwargs)
+    for latency in latencies:
+        histogram.record(latency)
+    return histogram

@@ -1,0 +1,192 @@
+"""YCSB operation traces: record once, replay everywhere.
+
+A trace pins the exact operation sequence (op, key, field, scan length) a
+workload generator produced, so the *same* requests can be replayed against
+every system under test — removing generator randomness from cross-system
+comparisons — or exported/imported as text for external tooling.
+
+Trace line format (tab-separated)::
+
+    READ    <key>
+    UPDATE  <key>  <field>
+    INSERT  <key>
+    SCAN    <key>  <length>
+    RMW     <key>  <field>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import SeedStream
+from repro.ycsb.generators import (
+    CounterGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+from repro.ycsb.workloads import (
+    FIELD_COUNT,
+    MAX_SCAN_LENGTH,
+    OP_INSERT,
+    OP_READ,
+    OP_RMW,
+    OP_SCAN,
+    OP_UPDATE,
+    WorkloadSpec,
+    make_key,
+)
+
+_OPS = {OP_READ, OP_UPDATE, OP_INSERT, OP_SCAN, OP_RMW}
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation."""
+
+    op: str
+    key: str
+    field: str | None = None  # updates and RMWs
+    length: int | None = None  # scans
+
+    def to_line(self) -> str:
+        parts = [self.op.upper(), self.key]
+        if self.field is not None:
+            parts.append(self.field)
+        if self.length is not None:
+            parts.append(str(self.length))
+        return "\t".join(parts)
+
+    @staticmethod
+    def from_line(line: str) -> "TraceOp":
+        parts = line.rstrip("\n").split("\t")
+        if not parts or parts[0].lower() not in _OPS:
+            raise WorkloadError(f"bad trace line: {line!r}")
+        op = parts[0].lower()
+        if op in (OP_UPDATE, OP_RMW):
+            if len(parts) != 3:
+                raise WorkloadError(f"{op} line needs a field: {line!r}")
+            return TraceOp(op, parts[1], field=parts[2])
+        if op == OP_SCAN:
+            if len(parts) != 3:
+                raise WorkloadError(f"scan line needs a length: {line!r}")
+            return TraceOp(op, parts[1], length=int(parts[2]))
+        if len(parts) != 2:
+            raise WorkloadError(f"{op} line takes only a key: {line!r}")
+        return TraceOp(op, parts[1])
+
+
+def generate_trace(
+    workload: WorkloadSpec,
+    record_count: int,
+    operations: int,
+    seed: int = 7,
+) -> list[TraceOp]:
+    """Produce a deterministic trace using the workload's distributions."""
+    if record_count < 2 or operations < 1:
+        raise WorkloadError("need >=2 records and >=1 operation")
+    seeds = SeedStream(seed)
+    op_rng = seeds.rng_for("ops")
+    chooser_rng = seeds.rng_for("chooser")
+    counter = CounterGenerator(record_count)
+
+    dist = workload.request_distribution
+    if dist == "uniform":
+        gen = UniformGenerator(record_count, chooser_rng)
+        choose = gen.next
+    elif dist == "zipfian":
+        zipf = ScrambledZipfianGenerator(record_count, chooser_rng)
+        choose = lambda: min(zipf.next(), counter.last)
+    else:
+        latest = LatestGenerator(record_count, chooser_rng)
+        choose = latest.next
+
+    trace: list[TraceOp] = []
+    for _ in range(operations):
+        op = workload.pick_operation(op_rng)
+        if op == OP_INSERT:
+            index = counter.next()
+            if dist == "latest":
+                latest.observe_insert()
+            trace.append(TraceOp(op, make_key(index)))
+        elif op in (OP_UPDATE, OP_RMW):
+            field = f"field{op_rng.random_int(0, FIELD_COUNT - 1)}"
+            trace.append(TraceOp(op, make_key(choose()), field=field))
+        elif op == OP_SCAN:
+            length = op_rng.random_int(1, MAX_SCAN_LENGTH)
+            trace.append(TraceOp(op, make_key(choose()), length=length))
+        else:
+            trace.append(TraceOp(op, make_key(choose())))
+    return trace
+
+
+def write_trace(trace: Iterable[TraceOp], path: str | Path) -> int:
+    """Write a trace file; returns the number of lines."""
+    path = Path(path)
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for op in trace:
+            f.write(op.to_line() + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> list[TraceOp]:
+    with open(path, encoding="utf-8") as f:
+        return [TraceOp.from_line(line) for line in f if line.strip()]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace against one cluster."""
+
+    operations: int = 0
+    read_hits: int = 0
+    scanned_records: int = 0
+    updates_applied: int = 0
+    inserts: int = 0
+    # A deterministic digest of everything the reads/scans returned, for
+    # cross-system comparison.
+    answer_digest: int = 0
+
+    def observe(self, value: str) -> None:
+        import zlib
+
+        self.answer_digest = zlib.crc32(
+            value.encode("utf-8"), self.answer_digest
+        )
+
+
+def replay(trace: list[TraceOp], cluster, record_value: str = "x" * 100) -> ReplayResult:
+    """Run a trace against a cluster; digests read/scan results.
+
+    Replaying the same trace on two clusters loaded with the same data must
+    produce identical digests — the cross-system agreement test.
+    """
+    result = ReplayResult()
+    for op in trace:
+        result.operations += 1
+        if op.op == OP_READ:
+            record = cluster.read(op.key)
+            if record is not None:
+                result.read_hits += 1
+                result.observe(op.key)
+        elif op.op == OP_UPDATE:
+            if cluster.update(op.key, op.field, record_value):
+                result.updates_applied += 1
+        elif op.op == OP_RMW:
+            record = cluster.read(op.key)
+            if record is not None and cluster.update(op.key, op.field, record_value):
+                result.updates_applied += 1
+        elif op.op == OP_INSERT:
+            cluster.insert(op.key, {f"field{i}": record_value for i in range(10)})
+            result.inserts += 1
+        else:
+            rows = cluster.scan(op.key, op.length)
+            result.scanned_records += len(rows)
+            for row in rows:
+                result.observe(row.get("_id") or row.get("_key") or "")
+    return result

@@ -1,0 +1,17 @@
+"""Shared fixtures: a small generated TPC-H database reused across tests."""
+
+import pytest
+
+from repro.tpch.dbgen import DbGen
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """SF 0.005 database (~750 customers, ~7.5k orders, ~30k lineitems)."""
+    return DbGen(scale_factor=0.005, seed=42).generate()
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """SF 0.01 database for the query-answer tests."""
+    return DbGen(scale_factor=0.01, seed=42).generate()

@@ -1,0 +1,115 @@
+"""Tests for the CLI and the dbgen-compatible .tbl round-trip."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.common.errors import StorageError
+from repro.tpch.dbgen import DbGen
+from repro.tpch.queries import run_query
+from repro.tpch.tbl_io import read_tbl, write_tbl
+
+
+class TestTblRoundTrip:
+    @pytest.fixture(scope="class")
+    def tbl_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("tbl")
+        db = DbGen(0.002, seed=9).generate()
+        write_tbl(db, directory)
+        return directory, db
+
+    def test_all_files_written(self, tbl_dir):
+        directory, db = tbl_dir
+        for name in ("lineitem", "orders", "customer", "nation", "region",
+                     "part", "partsupp", "supplier"):
+            assert (directory / f"{name}.tbl").exists()
+
+    def test_pipe_terminated_format(self, tbl_dir):
+        directory, _ = tbl_dir
+        line = (directory / "region.tbl").read_text().splitlines()[0]
+        assert line.endswith("|")
+        assert line.startswith("0|AFRICA|")
+
+    def test_roundtrip_preserves_rows(self, tbl_dir):
+        directory, db = tbl_dir
+        loaded = read_tbl(directory)
+        for name in ("orders", "nation"):
+            assert loaded.table(name).row_count == db.table(name).row_count
+        original = db.table("nation").rows[0]
+        restored = loaded.table("nation").rows[0]
+        assert restored == original
+
+    def test_roundtrip_preserves_query_answers(self, tbl_dir):
+        directory, db = tbl_dir
+        loaded = read_tbl(directory)
+        a = run_query(6, db)
+        b = run_query(6, loaded)
+        assert a[0]["revenue"] == pytest.approx(b[0]["revenue"], rel=1e-6)
+
+    def test_float_formatting_two_decimals(self, tbl_dir):
+        directory, _ = tbl_dir
+        line = (directory / "customer.tbl").read_text().splitlines()[0]
+        acctbal = line.split("|")[5]
+        assert "." in acctbal and len(acctbal.split(".")[1]) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_tbl(tmp_path, tables=["orders"])
+
+    def test_malformed_line_raises(self, tmp_path):
+        (tmp_path / "region.tbl").write_text("0|AFRICA|\n")  # missing a field
+        with pytest.raises(StorageError):
+            read_tbl(tmp_path, tables=["region"])
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["dbgen", "--sf", "0.001"])
+        assert args.sf == 0.001
+        args = parser.parse_args(["query", "5", "--limit", "3"])
+        assert args.number == 5
+
+    def test_query_command(self, capsys):
+        assert main(["query", "6", "--sf", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "revenue" in out
+        assert "1 row(s)" in out
+
+    def test_dbgen_command(self, tmp_path, capsys):
+        assert main(["dbgen", "--sf", "0.001", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "lineitem.tbl").exists()
+
+    def test_oltp_single_workload(self, capsys):
+        assert main(["oltp", "--workload", "C"]) == 0
+        out = capsys.readouterr().out
+        assert "workload C" in out
+        assert "sql-cs" in out
+
+    def test_oltp_bad_workload(self, capsys):
+        assert main(["oltp", "--workload", "Z"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliExtras:
+    def test_hiveql_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "hiveql",
+            "SELECT COUNT(*) AS n FROM orders",
+            "--sf", "0.002",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'n': 3000" in out
+
+    def test_explain_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "6", "--sf", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Hive plan for Q6" in out
+        assert "PDW plan for Q6" in out

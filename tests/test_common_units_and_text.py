@@ -1,0 +1,81 @@
+"""Tests for the unit helpers and the TPC-H text pools."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    fmt_bytes,
+    fmt_seconds,
+    gbit_to_bytes_per_sec,
+)
+from repro.tpch import text
+
+
+class TestUnits:
+    def test_binary_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_gbit_conversion(self):
+        # 1 Gbit/s = 125 MB/s decimal.
+        assert gbit_to_bytes_per_sec(1.0) == pytest.approx(125e6)
+        assert gbit_to_bytes_per_sec(10.0) == pytest.approx(1.25e9)
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KB"
+        assert fmt_bytes(3 * MB) == "3.0 MB"
+        assert fmt_bytes(1.5 * TB) == "1.5 TB"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(0.0123) == "12.3 ms"
+        assert fmt_seconds(42.0) == "42 sec"
+        assert fmt_seconds(3600.0) == "60 min"
+
+
+class TestTextPools:
+    def test_part_name_words_count(self):
+        # The spec's colour list has 92 words, all distinct.
+        assert len(text.P_NAME_WORDS) == 92
+        assert len(set(text.P_NAME_WORDS)) == 92
+        assert "green" in text.P_NAME_WORDS
+        assert "forest" in text.P_NAME_WORDS
+
+    def test_part_types(self):
+        types = text.all_part_types()
+        assert len(types) == 6 * 5 * 5 == 150
+        assert "ECONOMY ANODIZED STEEL" in types  # Q8's parameter
+        assert "MEDIUM POLISHED TIN" in types  # Q16's NOT LIKE prefix
+
+    def test_containers(self):
+        containers = text.all_containers()
+        assert len(containers) == 5 * 8 == 40
+        # Q19's branch containers must exist.
+        for c in ("SM CASE", "MED BOX", "LG PKG", "JUMBO DRUM"):
+            assert c in containers
+        assert "MED BOX" in containers  # Q17's parameter
+
+    def test_nations_and_regions(self):
+        assert len(text.NATIONS) == 25
+        assert len(text.REGIONS) == 5
+        region_keys = {r for _, r in text.NATIONS}
+        assert region_keys == {0, 1, 2, 3, 4}
+        names = [n for n, _ in text.NATIONS]
+        for param in ("FRANCE", "GERMANY", "BRAZIL", "SAUDI ARABIA", "CANADA"):
+            assert param in names  # query substitution parameters
+
+    def test_modes_and_instructions(self):
+        # Q19 needs these exact values.
+        assert "AIR" in text.MODES
+        assert "DELIVER IN PERSON" in text.INSTRUCTIONS
+        # Q12's parameters.
+        assert "MAIL" in text.MODES and "SHIP" in text.MODES
+
+    def test_comment_lexicon_has_query_needles(self):
+        for word in ("special", "requests"):
+            assert word in text.COMMENT_WORDS

@@ -1,0 +1,111 @@
+"""Tests for the blocking lock manager and deadlock detection."""
+
+import pytest
+
+from repro.common.errors import LockWait, TransactionAborted
+from repro.sqlstore.locks import BlockingLockManager, LockMode, WaitsForGraph
+
+
+class TestWaitsForGraph:
+    def test_no_cycle(self):
+        g = WaitsForGraph()
+        g.add_wait(1, {2})
+        g.add_wait(2, {3})
+        assert g.find_cycle_from(1) == []
+
+    def test_two_cycle(self):
+        g = WaitsForGraph()
+        g.add_wait(1, {2})
+        g.add_wait(2, {1})
+        cycle = g.find_cycle_from(1)
+        assert set(cycle) == {1, 2}
+
+    def test_three_cycle(self):
+        g = WaitsForGraph()
+        g.add_wait(1, {2})
+        g.add_wait(2, {3})
+        g.add_wait(3, {1})
+        assert set(g.find_cycle_from(3)) == {1, 2, 3}
+
+    def test_remove_breaks_cycle(self):
+        g = WaitsForGraph()
+        g.add_wait(1, {2})
+        g.add_wait(2, {1})
+        g.remove(2)
+        assert g.find_cycle_from(1) == []
+
+    def test_self_wait_ignored(self):
+        g = WaitsForGraph()
+        g.add_wait(1, {1})
+        assert g.find_cycle_from(1) == []
+
+
+class TestBlockingLockManager:
+    def test_conflict_waits_instead_of_aborting(self):
+        lm = BlockingLockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        with pytest.raises(LockWait):
+            lm.acquire(2, "k", LockMode.SHARED)
+        # After tx 1 commits, tx 2 proceeds.
+        lm.release_all(1)
+        lm.acquire(2, "k", LockMode.SHARED)
+
+    def test_classic_deadlock_picks_youngest_victim(self):
+        """T1 holds A and wants B; T2 holds B and wants A.  The cycle closes
+        on T2's request; T2 (youngest) is the victim."""
+        lm = BlockingLockManager()
+        lm.acquire(1, "A", LockMode.EXCLUSIVE)
+        lm.acquire(2, "B", LockMode.EXCLUSIVE)
+        with pytest.raises(LockWait):
+            lm.acquire(1, "B", LockMode.EXCLUSIVE)  # T1 now waits for T2
+        with pytest.raises(TransactionAborted):
+            lm.acquire(2, "A", LockMode.EXCLUSIVE)  # closes the cycle
+        assert lm.deadlocks == 1
+        # The survivor can now take B (the victim's locks were released).
+        lm.acquire(1, "B", LockMode.EXCLUSIVE)
+
+    def test_victim_is_older_transaction_when_younger_holds(self):
+        """T3 (young) closes a cycle with T2: T3 is the max txid -> victim
+        is T3 itself even though it made the request."""
+        lm = BlockingLockManager()
+        lm.acquire(2, "A", LockMode.EXCLUSIVE)
+        lm.acquire(3, "B", LockMode.EXCLUSIVE)
+        with pytest.raises(LockWait):
+            lm.acquire(2, "B", LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionAborted) as excinfo:
+            lm.acquire(3, "A", LockMode.EXCLUSIVE)
+        assert "victim" in str(excinfo.value)
+
+    def test_aborted_victim_stays_aborted_until_released(self):
+        lm = BlockingLockManager()
+        lm.acquire(1, "A", LockMode.EXCLUSIVE)
+        lm.acquire(2, "B", LockMode.EXCLUSIVE)
+        with pytest.raises(LockWait):
+            lm.acquire(2, "A", LockMode.EXCLUSIVE)
+        # T1's request closes the cycle; the *other* transaction (2, the
+        # youngest) is sacrificed and T1 proceeds silently.
+        lm.acquire(1, "B", LockMode.EXCLUSIVE)
+        assert lm.deadlocks == 1
+        # Victim 2 discovers its fate on its next lock request.
+        with pytest.raises(TransactionAborted):
+            lm.acquire(2, "C", LockMode.SHARED)
+        # After the victim formally releases (rollback), it can start over.
+        lm.release_all(2)
+        lm.acquire(2, "C", LockMode.SHARED)
+
+    def test_shared_locks_do_not_deadlock(self):
+        lm = BlockingLockManager()
+        lm.acquire(1, "A", LockMode.SHARED)
+        lm.acquire(2, "A", LockMode.SHARED)
+        lm.acquire(1, "B", LockMode.SHARED)
+        lm.acquire(2, "B", LockMode.SHARED)
+        assert lm.deadlocks == 0
+
+    def test_wait_chain_without_cycle(self):
+        lm = BlockingLockManager()
+        lm.acquire(1, "A", LockMode.EXCLUSIVE)
+        with pytest.raises(LockWait):
+            lm.acquire(2, "A", LockMode.EXCLUSIVE)
+        with pytest.raises(LockWait):
+            lm.acquire(3, "A", LockMode.EXCLUSIVE)
+        assert lm.deadlocks == 0

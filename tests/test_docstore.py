@@ -1,0 +1,257 @@
+"""Tests for BSON, mongod, chunks/balancer, and the two Mongo clusters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ShardingError, StorageError
+from repro.docstore import (
+    ConfigServer,
+    GlobalLock,
+    Mongod,
+    MongoAsCluster,
+    MongoCsCluster,
+)
+from repro.docstore import bson
+from repro.ycsb.workloads import make_key
+
+
+class TestBson:
+    def test_roundtrip_all_types(self):
+        doc = {
+            "_id": "user1",
+            "count": 42,
+            "big": 2**40,
+            "ratio": 3.25,
+            "flag": True,
+            "missing": None,
+            "nested": {"x": 1, "y": "two"},
+        }
+        assert bson.decode(bson.encode(doc)) == doc
+
+    def test_ycsb_record_shape(self):
+        doc = {"_id": make_key(123), **{f"field{i}": "v" * 100 for i in range(10)}}
+        data = bson.encode(doc)
+        # 24-byte key + 10 x 100-byte fields plus framing: ~1.1 KB.
+        assert 1000 < len(data) < 1400
+        assert bson.decode(data) == doc
+
+    def test_rejects_bad_buffers(self):
+        with pytest.raises(StorageError):
+            bson.decode(b"xx")
+        good = bson.encode({"a": 1})
+        with pytest.raises(StorageError):
+            bson.decode(good[:-1])
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(StorageError):
+            bson.encode({"a": [1, 2]})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=10).filter(lambda s: "\x00" not in s),
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-(2**62), max_value=2**62),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=50).filter(lambda s: "\x00" not in s),
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, doc):
+        assert bson.decode(bson.encode(doc)) == doc
+
+
+class TestGlobalLock:
+    def test_readers_share(self):
+        lock = GlobalLock()
+        lock.acquire_read()
+        lock.acquire_read()
+        assert lock.readers == 2
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = GlobalLock()
+        lock.acquire_write()
+        with pytest.raises(StorageError):
+            lock.acquire_read()
+        lock.release_write()
+        lock.acquire_read()
+        with pytest.raises(StorageError):
+            lock.acquire_write()
+
+    def test_counters(self):
+        mongod = Mongod("m0")
+        mongod.insert("c", {"_id": "a", "v": 1})
+        mongod.find_one("c", "a")
+        mongod.update("c", "a", "v", 2)
+        assert mongod.lock.write_acquisitions == 2
+        assert mongod.lock.read_acquisitions == 1
+
+
+class TestMongod:
+    def test_crud(self):
+        m = Mongod("m0")
+        m.insert("c", {"_id": "k1", "f": "v"})
+        assert m.find_one("c", "k1") == {"_id": "k1", "f": "v"}
+        assert m.update("c", "k1", "f", "w")
+        assert m.find_one("c", "k1")["f"] == "w"
+        assert m.remove("c", "k1")
+        assert m.find_one("c", "k1") is None
+
+    def test_duplicate_id_rejected(self):
+        m = Mongod("m0")
+        m.insert("c", {"_id": "k", "v": 1})
+        with pytest.raises(StorageError):
+            m.insert("c", {"_id": "k", "v": 2})
+
+    def test_scan_ordered(self):
+        m = Mongod("m0")
+        for i in (5, 1, 3, 2, 4):
+            m.insert("c", {"_id": make_key(i), "v": i})
+        docs = m.scan("c", make_key(2), 3)
+        assert [d["v"] for d in docs] == [2, 3, 4]
+
+    def test_bytes_tracked(self):
+        m = Mongod("m0")
+        m.insert("c", {"_id": "k", "field": "x" * 100})
+        assert m.bytes_stored > 100
+
+
+class TestChunks:
+    def test_bootstrap_and_split(self):
+        cfg = ConfigServer()
+        cfg.bootstrap()
+        chunk = cfg.chunk_for("anything")
+        left, right = cfg.split_chunk(chunk, "m")
+        assert cfg.chunk_for("a") is left
+        assert cfg.chunk_for("z") is right
+        assert cfg.splits == 1
+
+    def test_pre_split_round_robin(self):
+        cfg = ConfigServer()
+        cfg.pre_split(["b", "d", "f"], shard_count=2)
+        assert len(cfg.chunks) == 4
+        assert cfg.shard_chunk_counts(2) == [2, 2]
+        assert cfg.chunk_for("a").low is None
+        assert cfg.chunk_for("e").low == "d"
+
+    def test_pre_split_validates(self):
+        cfg = ConfigServer()
+        with pytest.raises(ShardingError):
+            cfg.pre_split(["b", "a"], 2)
+        cfg2 = ConfigServer()
+        cfg2.bootstrap()
+        with pytest.raises(ShardingError):
+            cfg2.pre_split(["a"], 2)
+
+    def test_balancer_moves_chunks_and_docs(self):
+        cluster = MongoAsCluster(shard_count=2, max_chunk_docs=10, balancer_threshold=2)
+        for i in range(200):
+            cluster.insert(make_key(i), {"f": "v"})
+        # Ordered inserts pile chunks onto the growing side; rebalance.
+        before = cluster.config.shard_chunk_counts(2)
+        assert max(before) - min(before) >= 2
+        moved = cluster.run_balancer()
+        assert moved > 0
+        after = cluster.config.shard_chunk_counts(2)
+        assert max(after) - min(after) < 2
+        assert cluster.config.migrated_docs > 0
+        # No documents lost in migration.
+        assert cluster.doc_count == 200
+        for i in (0, 57, 199):
+            assert cluster.read(make_key(i)) is not None
+
+
+class TestMongoAsCluster:
+    def test_crud_roundtrip(self):
+        cluster = MongoAsCluster(shard_count=4, max_chunk_docs=50)
+        for i in range(300):
+            cluster.insert(make_key(i), {"field0": f"v{i}"})
+        assert cluster.doc_count == 300
+        assert cluster.read(make_key(250))["field0"] == "v250"
+        assert cluster.update(make_key(250), "field0", "new")
+        assert cluster.read(make_key(250))["field0"] == "new"
+
+    def test_chunks_split_as_data_grows(self):
+        cluster = MongoAsCluster(shard_count=4, max_chunk_docs=20)
+        for i in range(500):
+            cluster.insert(make_key(i), {"f": "v"})
+        assert len(cluster.config.chunks) > 5
+
+    def test_scan_is_ordered_and_range_routed(self):
+        cluster = MongoAsCluster(shard_count=4, max_chunk_docs=50)
+        for i in range(400):
+            cluster.insert(make_key(i), {"f": str(i)})
+        cluster.run_balancer()
+        rows = cluster.scan(make_key(100), 20)
+        assert [r["_id"] for r in rows] == [make_key(i) for i in range(100, 120)]
+        # A short scan touches far fewer shards than the cluster has.
+        assert cluster.shards_touched_by_scan(make_key(100), 20) <= 2
+
+    def test_pre_split_spreads_load(self):
+        cluster = MongoAsCluster(shard_count=4)
+        boundaries = [make_key(i) for i in (100, 200, 300)]
+        cluster.pre_split(boundaries)
+        for i in range(400):
+            cluster.insert(make_key(i), {"f": "v"})
+        counts = [len(s.collection("usertable")) for s in cluster.shards]
+        assert min(counts) > 0  # every shard got data with zero migrations
+        assert cluster.config.migrations == 0
+
+
+class TestMongoCsCluster:
+    def test_hash_routing_spreads_keys(self):
+        cluster = MongoCsCluster(shard_count=8)
+        for i in range(800):
+            cluster.insert(make_key(i), {"f": str(i)})
+        counts = [len(s.collection("usertable")) for s in cluster.shards]
+        assert min(counts) > 50  # roughly even
+
+    def test_scan_broadcasts_but_returns_ordered(self):
+        cluster = MongoCsCluster(shard_count=8)
+        for i in range(500):
+            cluster.insert(make_key(i), {"f": str(i)})
+        rows = cluster.scan(make_key(100), 10)
+        assert [r["_id"] for r in rows] == [make_key(i) for i in range(100, 110)]
+        assert cluster.shards_touched_by_scan(make_key(100), 10) == 8
+
+    def test_read_update(self):
+        cluster = MongoCsCluster(shard_count=3)
+        cluster.insert(make_key(5), {"field1": "a"})
+        assert cluster.read(make_key(5)) == {"field1": "a"}
+        assert cluster.update(make_key(5), "field1", "b")
+        assert cluster.read(make_key(5))["field1"] == "b"
+        assert cluster.read(make_key(99)) is None
+
+
+class TestMongosCaching:
+    def test_stale_routes_counted_during_splitting_load(self):
+        """An ordered load without pre-split keeps splitting chunks; every
+        split invalidates the mongos caches and costs refresh round trips."""
+        cluster = MongoAsCluster(shard_count=2, max_chunk_docs=20, mongos_count=2)
+        for i in range(300):
+            cluster.insert(make_key(i), {"f": "v"})
+        assert cluster.config.splits > 3
+        assert cluster.stale_routes > 3
+
+    def test_pre_split_load_avoids_staleness(self):
+        cluster = MongoAsCluster(shard_count=2, mongos_count=2)
+        cluster.pre_split([make_key(i) for i in range(50, 300, 50)])
+        for i in range(300):
+            cluster.insert(make_key(i), {"f": "v"})
+        assert cluster.config.splits == 0
+        assert cluster.stale_routes == 0
+
+    def test_round_robin_across_routers(self):
+        cluster = MongoAsCluster(shard_count=2, max_chunk_docs=10**9,
+                                 mongos_count=4)
+        for i in range(40):
+            cluster.insert(make_key(i), {"f": "v"})
+        refreshes = [r.refreshes for r in cluster.routers]
+        assert len(cluster.routers) == 4
+        assert all(r == 1 for r in refreshes)  # no splits -> no refreshes

@@ -1,0 +1,137 @@
+"""Validation: the discrete-event closed loop agrees with the MVA model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.ycsb.eventsim import (
+    EventSimResult,
+    SimStation,
+    mva_prediction,
+    simulate_closed_loop,
+)
+
+
+def single_station(service=0.01, servers=1):
+    return [SimStation("disk", servers, {"read": service})]
+
+
+class TestBasics:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            simulate_closed_loop(single_station(), {"read": 1.0}, clients=0)
+        with pytest.raises(SimulationError):
+            simulate_closed_loop(single_station(), {"read": 0.5}, clients=1)
+        with pytest.raises(SimulationError):
+            simulate_closed_loop(single_station(), {"read": 1.0}, clients=1,
+                                 duration=5.0, warmup=10.0)
+
+    def test_deterministic_given_seed(self):
+        a = simulate_closed_loop(single_station(), {"read": 1.0}, clients=4,
+                                 duration=20.0, seed=9)
+        b = simulate_closed_loop(single_station(), {"read": 1.0}, clients=4,
+                                 duration=20.0, seed=9)
+        assert a.throughput == b.throughput
+        assert a.latency == b.latency
+
+    def test_result_reports_windows_and_errors(self):
+        result = simulate_closed_loop(single_station(), {"read": 1.0}, clients=4,
+                                      duration=40.0, windows=4, seed=2)
+        assert isinstance(result, EventSimResult)
+        assert len(result.window_throughputs) == 4
+        assert result.throughput_stderr >= 0.0
+        assert result.latency_stderr["read"] >= 0.0
+        assert result.completed_ops > 100
+
+
+class TestAgreementWithMva:
+    def test_saturated_single_server(self):
+        """At saturation throughput -> 1/service regardless of model."""
+        stations = single_station(service=0.01)
+        sim = simulate_closed_loop(stations, {"read": 1.0}, clients=20,
+                                   duration=120.0, seed=5)
+        x_mva, _, _ = mva_prediction(stations, {"read": 1.0}, 20)
+        assert sim.throughput == pytest.approx(100.0, rel=0.08)
+        assert x_mva == pytest.approx(100.0, rel=0.02)
+
+    def test_moderate_load_throughput_agrees(self):
+        stations = [
+            SimStation("cpu", 8, {"read": 0.004, "update": 0.006}),
+            SimStation("disk", 4, {"read": 0.008, "update": 0.004}),
+        ]
+        mix = {"read": 0.8, "update": 0.2}
+        sim = simulate_closed_loop(stations, mix, clients=12, think_time=0.02,
+                                   duration=120.0, seed=3)
+        x_mva, r_mva, _ = mva_prediction(stations, mix, 12, 0.02)
+        assert sim.throughput == pytest.approx(x_mva, rel=0.12)
+
+    def test_latency_grows_with_clients(self):
+        stations = single_station(service=0.01, servers=2)
+        few = simulate_closed_loop(stations, {"read": 1.0}, clients=2,
+                                   duration=60.0, seed=7)
+        many = simulate_closed_loop(stations, {"read": 1.0}, clients=40,
+                                    duration=60.0, seed=7)
+        assert many.latency["read"] > few.latency["read"] * 2
+
+    def test_think_time_throttles_throughput(self):
+        stations = single_station(service=0.001, servers=4)
+        unthrottled = simulate_closed_loop(stations, {"read": 1.0}, clients=10,
+                                           duration=60.0, seed=11)
+        throttled = simulate_closed_loop(stations, {"read": 1.0}, clients=10,
+                                         think_time=0.05, duration=60.0, seed=11)
+        assert throttled.throughput < 0.5 * unthrottled.throughput
+        # Response-time law sanity: X ~ N / (R + Z).
+        expected = 10 / (throttled.latency["read"] + 0.05)
+        assert throttled.throughput == pytest.approx(expected, rel=0.1)
+
+    def test_multi_class_latency_ordering(self):
+        stations = [
+            SimStation("cpu", 4, {"read": 0.002, "scan": 0.02}),
+        ]
+        mix = {"read": 0.9, "scan": 0.1}
+        sim = simulate_closed_loop(stations, mix, clients=8, duration=90.0, seed=13)
+        assert sim.latency["scan"] > sim.latency["read"]
+
+
+class TestHotspotBehaviour:
+    def test_single_server_hotspot_queues_like_the_paper(self):
+        """A 1-server station at overload absorbs clients (workload E appends)."""
+        stations = [
+            SimStation("work", 16, {"read": 0.004, "insert": 0.004}),
+            SimStation("hotspot", 1, {"insert": 0.02}),
+        ]
+        mix = {"read": 0.5, "insert": 0.5}
+        sim = simulate_closed_loop(stations, mix, clients=40, duration=90.0, seed=17)
+        # Appends pile up at the hotspot; reads stay fast.
+        assert sim.latency["insert"] > 5 * sim.latency["read"]
+
+
+class TestPercentiles:
+    def test_tail_latency_exceeds_mean(self):
+        stations = single_station(service=0.01, servers=2)
+        result = simulate_closed_loop(stations, {"read": 1.0}, clients=10,
+                                      duration=90.0, seed=23)
+        assert result.latency_p95["read"] > result.latency["read"]
+        assert result.latency_p99["read"] >= result.latency_p95["read"]
+
+    def test_percentiles_tighten_under_light_load(self):
+        stations = single_station(service=0.001, servers=8)
+        light = simulate_closed_loop(stations, {"read": 1.0}, clients=2,
+                                     think_time=0.05, duration=60.0, seed=29)
+        heavy = simulate_closed_loop(stations, {"read": 1.0}, clients=64,
+                                     duration=60.0, seed=29)
+        assert light.latency_p99["read"] < heavy.latency_p99["read"]
+
+
+class TestHistogramIntegration:
+    def test_histograms_match_summary_stats(self):
+        stations = single_station(service=0.005, servers=2)
+        result = simulate_closed_loop(stations, {"read": 1.0}, clients=8,
+                                      duration=60.0, seed=37)
+        hist = result.histograms["read"]
+        assert hist.total == len(
+            [1 for _ in range(hist.total)]
+        )  # populated
+        assert hist.mean == pytest.approx(result.latency["read"], rel=1e-9)
+        # YCSB bucket semantics round up to the bucket edge.
+        assert hist.percentile(95) >= result.latency_p95["read"] - hist.bucket_width
+        assert "AverageLatency" in hist.render("READ")

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), path
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys)
+        assert "Q5 answer" in out
+        assert "speedup" in out
+        assert "workload C" in out
+
+    def test_storage_engines_demo(self, capsys):
+        out = _run_example("storage_engines_demo.py", capsys)
+        assert "balancer moved" in out
+        assert "consistency: OK" in out
+        assert "LOST" in out  # the journal durability window
+        assert "OP_REPLY" in out
+
+    def test_warehouse_migration(self, capsys):
+        out = _run_example("warehouse_migration.py", capsys)
+        assert "Table 3" in out
+        assert "Batch-window planning" in out
+        assert "Sub-query 4" in out
+
+    def test_dataserving_sizing(self, capsys):
+        out = _run_example("dataserving_sizing.py", capsys)
+        assert "workload E" in out
+        assert "Provisioning" in out
+        assert "CRASH" in out
+
+    @pytest.mark.slow
+    def test_future_hardware(self, capsys):
+        out = _run_example("future_hardware.py", capsys)
+        assert "flash-era disks" in out
+        assert "sql_advantage" in out

@@ -1,0 +1,62 @@
+"""Tests for the EXPLAIN renderings."""
+
+import pytest
+
+from repro.core.explain import explain_hive, explain_pdw, explain_query
+from repro.hive.engine import HiveEngine
+from repro.pdw.engine import PdwEngine
+from repro.tpch.volumes import calibrate
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(0.01, 42)
+
+
+class TestExplainPdw:
+    def test_q5_narrative(self, calibration):
+        result = PdwEngine(calibration).run_query(5, 16000)
+        text = explain_pdw(result)
+        assert "PDW plan for Q5" in text
+        assert "shuffle_join" in text
+        assert "co-located join against a replicated table" in text
+        assert "DMS moved" in text
+        assert "total network traffic" in text
+
+    def test_q19_shows_replication(self, calibration):
+        result = PdwEngine(calibration).run_query(19, 16000)
+        text = explain_pdw(result)
+        assert "replicate" in text
+
+    def test_q12_colocated(self, calibration):
+        result = PdwEngine(calibration).run_query(12, 1000)
+        text = explain_pdw(result)
+        assert "local_join" in text
+
+
+class TestExplainHive:
+    def test_q5_shows_common_joins_and_waves(self, calibration):
+        result = HiveEngine(calibration).run_query(5, 16000)
+        text = explain_hive(result)
+        assert "Hive plan for Q5" in text
+        assert "common join" in text
+        assert "map-side join succeeded" in text
+        assert "wave(s)" in text
+        assert "128 reducers" in text
+
+    def test_q22_flags_map_join_failure(self, calibration):
+        result = HiveEngine(calibration).run_query(22, 1000)
+        text = explain_hive(result)
+        assert "MAP JOIN FAILED" in text
+
+    def test_job_count_matches(self, calibration):
+        result = HiveEngine(calibration).run_query(1, 250)
+        text = explain_hive(result)
+        assert f"{len(result.jobs)} MR jobs" in text
+
+
+class TestExplainQuery:
+    def test_combined_output(self, calibration):
+        text = explain_query(6, 1000, calibration)
+        assert "Hive plan for Q6" in text
+        assert "PDW plan for Q6" in text

@@ -1,0 +1,71 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.figures import Series, figure_to_ascii, plot_bars, plot_xy
+from repro.core.oltp import OltpStudy
+
+
+class TestPlotXy:
+    def test_basic_plot_contains_markers_and_legend(self):
+        text = plot_xy(
+            [
+                Series.of("a", [(0, 1.0), (10, 2.0), (20, 8.0)]),
+                Series.of("b", [(0, 2.0), (10, 4.0), (20, 16.0)]),
+            ],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+        assert "0 .. 20" in text
+
+    def test_absent_points_skipped(self):
+        text = plot_xy([Series.of("a", [(0, 1.0), None, (5, 2.0)])])
+        assert "legend" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plot_xy([])
+        with pytest.raises(ConfigurationError):
+            plot_xy([Series.of("a", [None])])
+
+    def test_monotone_series_rises_on_grid(self):
+        text = plot_xy([Series.of("a", [(0, 0.0), (100, 10.0)])], height=10)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        first_marker_row = next(i for i, r in enumerate(rows) if "o" in r)
+        last_marker_row = max(i for i, r in enumerate(rows) if "o" in r)
+        assert first_marker_row < last_marker_row  # higher y plots higher
+
+
+class TestPlotBars:
+    def test_grouped_bars(self):
+        text = plot_bars(
+            ["SF 250", "SF 1000"],
+            {"hive": [22.0, 48.0], "pdw": [1.0, 4.0]},
+            title="fig1",
+        )
+        assert "fig1" in text
+        assert text.count("SF 250:") == 1
+        assert "hive" in text and "pdw" in text
+        # Bigger values draw longer bars.
+        hive_bar = next(l for l in text.splitlines() if "hive" in l and "48" in l)
+        pdw_bar = next(l for l in text.splitlines() if "pdw" in l and "4.0" in l)
+        assert hive_bar.count("#") > pdw_bar.count("#")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            plot_bars(["a"], {"s": [1.0, 2.0]})
+
+
+class TestFigureToAscii:
+    def test_workload_d_shows_crash_gaps(self):
+        study = OltpStudy()
+        figure = study.figure("D", [20_000, 40_000])
+        text = figure_to_ascii(figure, "read", title="Workload D")
+        assert "Workload D" in text
+        assert "mongo-as" in text
+        # All three systems appear in the legend.
+        for name in ("sql-cs", "mongo-cs"):
+            assert name in text

@@ -1,0 +1,56 @@
+"""Golden regression answers: exact query results at seed 42, SF 0.01.
+
+These values were computed once and pinned; any change to the generator,
+the RNG, the expression semantics, or the operators that silently alters
+query answers fails here.  (The engine *cost* models are pinned separately
+by tests/test_scorecard.py.)
+"""
+
+import pytest
+
+from repro.tpch.queries import run_query
+
+
+class TestGoldenAnswers:
+    def test_q1_pinned(self, small_db):
+        rows = run_query(1, small_db)
+        got = [
+            (r["l_returnflag"], r["l_linestatus"], r["count_order"],
+             round(r["sum_qty"], 1))
+            for r in rows
+        ]
+        assert got == [
+            ("A", "F", 15128, 389437.0),
+            ("N", "F", 385, 9535.0),
+            ("N", "O", 28852, 734337.0),
+            ("R", "F", 14984, 381436.0),
+        ]
+
+    def test_q5_pinned(self, small_db):
+        rows = run_query(5, small_db)
+        got = [(r["n_name"], round(r["revenue"], 2)) for r in rows]
+        assert got == [
+            ("VIETNAM", 795538.22),
+            ("INDIA", 776559.24),
+            ("INDONESIA", 427637.38),
+            ("JAPAN", 371932.24),
+            ("CHINA", 334962.16),
+        ]
+
+    def test_q6_pinned(self, small_db):
+        assert run_query(6, small_db)[0]["revenue"] == pytest.approx(
+            1_109_471.6321, abs=0.01
+        )
+
+    def test_q14_pinned(self, small_db):
+        assert run_query(14, small_db)[0]["promo_revenue"] == pytest.approx(
+            16.6548, abs=1e-3
+        )
+
+    def test_q22_pinned(self, small_db):
+        rows = run_query(22, small_db)
+        got = [(r["cntrycode"], r["numcust"]) for r in rows]
+        assert got == [
+            ("13", 10), ("17", 9), ("18", 7), ("23", 11),
+            ("29", 8), ("30", 8), ("31", 7),
+        ]

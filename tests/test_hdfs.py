@@ -1,0 +1,79 @@
+"""Tests for the HDFS model."""
+
+import pytest
+
+from repro.common.errors import OutOfDiskSpace, StorageError
+from repro.common.units import MB, TB
+from repro.hdfs import DEFAULT_BLOCK_SIZE, HdfsFile, NameNode
+
+
+class TestHdfsFile:
+    def test_block_count(self):
+        f = HdfsFile("/a", 300 * MB)
+        assert f.num_blocks == 2  # 256 MB blocks
+
+    def test_exact_block_boundary(self):
+        assert HdfsFile("/a", DEFAULT_BLOCK_SIZE).num_blocks == 1
+        assert HdfsFile("/a", DEFAULT_BLOCK_SIZE + 1).num_blocks == 2
+
+    def test_empty_file_has_one_block_entry(self):
+        # An empty bucket file still gets a map task.
+        assert HdfsFile("/empty", 0).num_blocks == 1
+
+    def test_replicated_bytes(self):
+        assert HdfsFile("/a", 100).stored_bytes == 300
+
+    def test_invalid(self):
+        with pytest.raises(StorageError):
+            HdfsFile("/a", -1)
+        with pytest.raises(StorageError):
+            HdfsFile("/a", 10, block_size=0)
+
+
+class TestNameNode:
+    def test_create_stat_delete(self):
+        nn = NameNode(capacity=1 * TB)
+        nn.create("/data/x", 100 * MB)
+        assert nn.exists("/data/x")
+        assert nn.stat("/data/x").size == 100 * MB
+        assert nn.used == 300 * MB
+        nn.delete("/data/x")
+        assert not nn.exists("/data/x")
+        assert nn.used == 0
+
+    def test_duplicate_create_rejected(self):
+        nn = NameNode(capacity=1 * TB)
+        nn.create("/a", 1)
+        with pytest.raises(StorageError):
+            nn.create("/a", 1)
+
+    def test_capacity_enforced(self):
+        # Reproduces the Q9-at-16TB failure mode: replicated intermediate
+        # writes exceed the raw capacity of the cluster.
+        nn = NameNode(capacity=1000)
+        nn.create("/base", 200)  # uses 600
+        with pytest.raises(OutOfDiskSpace):
+            nn.create("/tmp/intermediate", 200)  # needs 600 more
+
+    def test_custom_replication(self):
+        nn = NameNode(capacity=1000)
+        nn.create("/tmp", 300, replication=1)
+        assert nn.used == 300
+
+    def test_listdir(self):
+        nn = NameNode(capacity=1 * TB)
+        nn.create("/warehouse/lineitem/b0", 10)
+        nn.create("/warehouse/lineitem/b1", 10)
+        nn.create("/warehouse/orders/b0", 10)
+        files = nn.listdir("/warehouse/lineitem/")
+        assert [f.path for f in files] == [
+            "/warehouse/lineitem/b0",
+            "/warehouse/lineitem/b1",
+        ]
+
+    def test_missing_file_errors(self):
+        nn = NameNode(capacity=10)
+        with pytest.raises(StorageError):
+            nn.stat("/nope")
+        with pytest.raises(StorageError):
+            nn.delete("/nope")

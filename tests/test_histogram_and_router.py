@@ -1,0 +1,116 @@
+"""Tests for the YCSB latency histogram and the mongos routing cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ShardingError, WorkloadError
+from repro.docstore.chunks import ConfigServer, MongosRouter
+from repro.ycsb.histogram import LatencyHistogram, from_latencies
+from repro.ycsb.workloads import make_key
+
+
+class TestLatencyHistogram:
+    def test_basic_stats(self):
+        h = from_latencies([0.001, 0.002, 0.003, 0.010])
+        assert h.total == 4
+        assert h.mean == pytest.approx(0.004)
+        assert h.min_latency == 0.001
+        assert h.max_latency == 0.010
+
+    def test_percentiles_ycsb_semantics(self):
+        # 100 samples of 1 ms and one of 500 ms.
+        h = from_latencies([0.0015] * 100 + [0.5])
+        assert h.percentile(95) == pytest.approx(0.002)  # upper bucket edge
+        assert h.percentile(100) == pytest.approx(0.501, abs=0.01)
+
+    def test_overflow_bucket(self):
+        h = from_latencies([2.5])  # beyond the 1 s range
+        assert h.overflow == 1
+        assert h.percentile(99) == 2.5  # falls back to max
+
+    def test_merge(self):
+        a = from_latencies([0.001] * 10)
+        b = from_latencies([0.005] * 10)
+        a.merge(b)
+        assert a.total == 20
+        assert a.mean == pytest.approx(0.003)
+        with pytest.raises(WorkloadError):
+            a.merge(LatencyHistogram(buckets=10))
+
+    def test_render(self):
+        h = from_latencies([0.001, 0.004, 0.012])
+        text = h.render("READ")
+        assert "[READ] Operations: 3" in text
+        assert "AverageLatency(ms)" in text
+        assert "95thPercentileLatency(ms)" in text
+        assert LatencyHistogram().render() == "[READ] no operations recorded"
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LatencyHistogram(buckets=0)
+        with pytest.raises(WorkloadError):
+            from_latencies([-0.001])
+        with pytest.raises(WorkloadError):
+            LatencyHistogram().percentile(0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.9), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_percentile_monotone_and_bounded(self, samples):
+        h = from_latencies(samples)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert p50 <= p95 <= p99
+        assert p99 <= h.max_latency + h.bucket_width
+        assert h.total == len(samples)
+
+
+class TestMongosRouter:
+    def _config(self):
+        cfg = ConfigServer()
+        cfg.pre_split([make_key(100), make_key(200)], shard_count=3)
+        return cfg
+
+    def test_routes_from_cache(self):
+        cfg = self._config()
+        router = MongosRouter(cfg)
+        assert router.refreshes == 1
+        chunk = router.route(make_key(150))
+        assert chunk.contains(make_key(150))
+        assert router.stale_routes == 0
+
+    def test_split_staleness_triggers_refresh(self):
+        cfg = self._config()
+        router = MongosRouter(cfg)
+        target = cfg.chunk_for(make_key(150))
+        cfg.split_chunk(target, make_key(150))
+        assert router.is_stale
+        chunk = router.route(make_key(175))
+        assert chunk.low == make_key(150)
+        assert router.stale_routes == 1
+        assert router.refreshes == 2
+        # Subsequent routes hit the fresh cache.
+        router.route(make_key(175))
+        assert router.stale_routes == 1
+
+    def test_two_routers_refresh_independently(self):
+        cfg = self._config()
+        a, b = MongosRouter(cfg, "mongos-a"), MongosRouter(cfg, "mongos-b")
+        cfg.split_chunk(cfg.chunk_for(make_key(50)), make_key(50))
+        a.route(make_key(10))
+        assert a.stale_routes == 1
+        assert b.is_stale  # b has not routed yet
+        b.route(make_key(10))
+        assert b.stale_routes == 1
+
+    def test_version_bumps_on_split_and_migration(self):
+        cfg = ConfigServer()
+        cfg.bootstrap()
+        v0 = cfg.version
+        cfg.split_chunk(cfg.chunks[0], make_key(10))
+        assert cfg.version == v0 + 1
+
+    def test_route_miss_raises(self):
+        cfg = ConfigServer()  # no chunks at all
+        router = MongosRouter(cfg)
+        with pytest.raises(ShardingError):
+            router.route(make_key(1))

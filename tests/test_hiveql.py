@@ -1,0 +1,171 @@
+"""Tests for the HiveQL parser/compiler against hand-built kernel plans."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.hive.hiveql import compile_plan, execute, parse, tokenize
+from repro.tpch.queries import run_query
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize("SELECT a FROM t WHERE x = 1.5")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("keyword", "select") in kinds
+        assert ("ident", "a") in kinds
+        assert ("number", "1.5") in kinds
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].kind == "string"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(PlanError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_simple_select(self):
+        q = parse("SELECT l_orderkey, l_quantity FROM lineitem LIMIT 5")
+        assert q.tables == ["lineitem"]
+        assert [name for name, _ in q.select] == ["l_orderkey", "l_quantity"]
+        assert q.limit == 5
+
+    def test_joins_in_written_order(self):
+        q = parse(
+            "SELECT o_orderkey FROM orders o "
+            "JOIN customer c ON o.o_custkey = c.c_custkey "
+            "JOIN nation n ON c.c_nationkey = n.n_nationkey"
+        )
+        assert q.tables == ["orders", "customer", "nation"]
+        assert q.join_conditions == [
+            ("o_custkey", "c_custkey"),
+            ("c_nationkey", "n_nationkey"),
+        ]
+
+    def test_aggregates_and_grouping(self):
+        q = parse(
+            "SELECT l_returnflag, SUM(l_quantity) AS qty, COUNT(*) AS n "
+            "FROM lineitem GROUP BY l_returnflag"
+        )
+        assert q.has_aggregates
+        assert q.group_by == ["l_returnflag"]
+        names = [name for name, _ in q.select]
+        assert names == ["l_returnflag", "qty", "n"]
+
+    def test_where_with_like_in_between(self):
+        q = parse(
+            "SELECT p_partkey FROM part WHERE p_name LIKE '%green%' "
+            "AND p_size BETWEEN 1 AND 5 AND p_brand IN ('Brand#12', 'Brand#23')"
+        )
+        assert q.where is not None
+
+    def test_order_and_having(self):
+        q = parse(
+            "SELECT o_custkey, COUNT(*) AS n FROM orders GROUP BY o_custkey "
+            "HAVING n > 3 ORDER BY n DESC, o_custkey LIMIT 10"
+        )
+        assert q.having is not None
+        assert len(q.order_by) == 2
+        assert q.order_by[0][1] is True  # DESC
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(PlanError):
+            parse("SELECT a FROM t nonsense extra ,")
+
+    def test_aggregate_outside_select_rejected(self):
+        with pytest.raises(PlanError):
+            parse("SELECT a FROM t WHERE SUM(b) > 1")
+
+    def test_ungrouped_column_rejected(self):
+        q = parse("SELECT o_custkey, COUNT(*) AS n FROM orders")
+        with pytest.raises(PlanError):
+            compile_plan(q)
+
+
+class TestExecution:
+    def test_filter_and_project(self, small_db):
+        rows = execute(
+            "SELECT o_orderkey, o_totalprice FROM orders "
+            "WHERE o_totalprice > 400000 ORDER BY o_totalprice DESC LIMIT 5",
+            small_db,
+        )
+        assert len(rows) <= 5
+        prices = [r["o_totalprice"] for r in rows]
+        assert prices == sorted(prices, reverse=True)
+        assert all(p > 400000 for p in prices)
+
+    def test_q1_as_hiveql_matches_kernel_plan(self, small_db):
+        sql = """
+            SELECT l_returnflag, l_linestatus,
+                   SUM(l_quantity) AS sum_qty,
+                   SUM(l_extendedprice) AS sum_base_price,
+                   AVG(l_discount) AS avg_disc,
+                   COUNT(*) AS count_order
+            FROM lineitem
+            WHERE l_shipdate <= '1998-09-02'
+            GROUP BY l_returnflag, l_linestatus
+            ORDER BY l_returnflag, l_linestatus
+        """
+        hiveql_rows = execute(sql, small_db)
+        kernel_rows = run_query(1, small_db)
+        assert len(hiveql_rows) == len(kernel_rows)
+        for h, k in zip(hiveql_rows, kernel_rows):
+            assert h["l_returnflag"] == k["l_returnflag"]
+            assert h["sum_qty"] == pytest.approx(k["sum_qty"])
+            assert h["count_order"] == k["count_order"]
+            assert h["avg_disc"] == pytest.approx(k["avg_disc"])
+
+    def test_q6_as_hiveql_matches_kernel_plan(self, small_db):
+        sql = """
+            SELECT SUM(l_extendedprice * l_discount) AS revenue
+            FROM lineitem
+            WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+              AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+        """
+        rows = execute(sql, small_db)
+        kernel = run_query(6, small_db)
+        assert rows[0]["revenue"] == pytest.approx(kernel[0]["revenue"])
+
+    def test_three_way_join_in_written_order(self, small_db):
+        sql = """
+            SELECT n_name, COUNT(*) AS orders_cnt
+            FROM orders o
+            JOIN customer c ON o.o_custkey = c.c_custkey
+            JOIN nation n ON c.c_nationkey = n.n_nationkey
+            GROUP BY n_name
+            ORDER BY orders_cnt DESC
+            LIMIT 3
+        """
+        rows = execute(sql, small_db)
+        assert len(rows) == 3
+        assert rows[0]["orders_cnt"] >= rows[-1]["orders_cnt"]
+        total = execute(
+            "SELECT COUNT(*) AS n FROM orders", small_db
+        )[0]["n"]
+        full = execute(sql.replace("LIMIT 3", "LIMIT 100"), small_db)
+        assert sum(r["orders_cnt"] for r in full) == total
+
+    def test_case_expression(self, small_db):
+        sql = """
+            SELECT SUM(CASE WHEN l_shipmode = 'MAIL' THEN 1 ELSE 0 END) AS mail,
+                   COUNT(*) AS total
+            FROM lineitem
+        """
+        rows = execute(sql, small_db)
+        assert 0 < rows[0]["mail"] < rows[0]["total"]
+
+    def test_count_distinct(self, small_db):
+        rows = execute(
+            "SELECT COUNT(DISTINCT o_custkey) AS custs FROM orders", small_db
+        )
+        brute = len({r["o_custkey"] for r in small_db.table("orders").rows})
+        assert rows[0]["custs"] == brute
+
+    def test_having_filters_groups(self, small_db):
+        rows = execute(
+            "SELECT o_custkey, COUNT(*) AS n FROM orders "
+            "GROUP BY o_custkey HAVING n >= 4",
+            small_db,
+        )
+        assert all(r["n"] >= 4 for r in rows)

@@ -1,0 +1,127 @@
+"""Tests for the MapReduce scheduling and cost model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MB
+from repro.mapreduce import HadoopParams, JobTracker, MapPhase, schedule_tasks, task_waves
+from repro.simcluster import paper_testbed
+
+
+class TestScheduleTasks:
+    def test_single_wave(self):
+        assert schedule_tasks([5.0] * 10, slots=10) == 5.0
+
+    def test_two_waves(self):
+        assert schedule_tasks([5.0] * 20, slots=10) == 10.0
+
+    def test_empty(self):
+        assert schedule_tasks([], slots=4) == 0.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ConfigurationError):
+            schedule_tasks([1.0], slots=0)
+
+    def test_greedy_order_pathology(self):
+        """The paper's Q1 effect: interleaved short/long tasks stretch a wave.
+
+        With 2 slots and tasks [long, short, long], the short-task slot picks
+        up the second long task: makespan = short + long, not 2 * long when
+        the ideal pairing (long | short+long) would give long + short too...
+        the pathological case is [short, short, long, long] on 2 slots vs
+        sorted-descending order.
+        """
+        # In arrival order both slots take a short task first, then each
+        # takes a long one: makespan = 1 + 10 = 11.
+        arrival = schedule_tasks([1.0, 1.0, 10.0, 10.0], slots=2)
+        assert arrival == 11.0
+        # Longest-first would overlap shorts behind longs: makespan = 10 + 1.
+        ideal = schedule_tasks([10.0, 10.0, 1.0, 1.0], slots=2)
+        assert ideal == 11.0
+        # The genuinely bad case: one slot ends up with two long tasks.
+        bad = schedule_tasks([10.0, 1.0, 10.0], slots=2)
+        assert bad == 11.0  # slot 2: 1 + 10
+
+    def test_task_waves(self):
+        assert task_waves(512, 128) == 4
+        assert task_waves(0, 128) == 0
+        assert task_waves(1, 128) == 1
+
+
+class TestMapPhase:
+    def test_durations_include_startup(self):
+        params = HadoopParams(map_task_startup=6.0, map_scan_rate=10 * MB)
+        phase = MapPhase([0.0, 20 * MB], params)
+        durations = phase.task_durations()
+        assert durations[0] == pytest.approx(6.0)  # empty file: startup only
+        assert durations[1] == pytest.approx(8.0)
+
+    def test_split_for_blocks(self):
+        params = HadoopParams()
+        phase = MapPhase([100 * MB, 600 * MB], params)
+        split = phase.split_for_blocks(256 * MB)
+        assert split.task_count == 4  # 1 + 3
+        assert split.total_bytes == pytest.approx(700 * MB)
+
+
+class TestJobTracker:
+    def setup_method(self):
+        self.profile = paper_testbed()
+        self.params = HadoopParams()
+        self.tracker = JobTracker(self.profile, self.params)
+
+    def test_map_only_job(self):
+        phase = MapPhase([10 * MB] * 128, self.params)
+        result = self.tracker.run_map_only("scan", phase)
+        assert result.map_tasks == 128
+        assert result.map_waves == 1
+        assert result.total_time > result.map_time  # job overhead added
+
+    def test_empty_files_still_cost_startup(self):
+        sparse = MapPhase([10 * MB] * 128 + [0.0] * 384, self.params)
+        dense = MapPhase([10 * MB] * 128, self.params)
+        t_sparse = self.tracker.run_map_only("sparse", sparse).map_time
+        t_dense = self.tracker.run_map_only("dense", dense).map_time
+        assert t_sparse > t_dense  # 384 empty tasks still take waves
+
+    def test_map_reduce_reducer_default_is_all_slots(self):
+        phase = MapPhase([10 * MB] * 10, self.params)
+        result = self.tracker.run_map_reduce("join", phase, 1 * GB, 1 * GB)
+        assert result.reduce_tasks == self.params.reduce_slots(self.profile) == 128
+
+    def test_one_reduce_round_beats_many(self):
+        """Section 3.2.1: reducers = total slots lets one round finish."""
+        phase = MapPhase([10 * MB] * 10, self.params)
+        one_round = self.tracker.run_map_reduce("j", phase, 10 * GB, 10 * GB, reducers=128)
+        # 512 reducers -> 4 rounds of startup cost over the same data.
+        many = self.tracker.run_map_reduce("j", phase, 10 * GB, 10 * GB, reducers=512)
+        assert one_round.reduce_time < many.reduce_time
+
+    def test_shuffle_scales_with_bytes(self):
+        phase = MapPhase([10 * MB], self.params)
+        small = self.tracker.run_map_reduce("a", phase, 1 * GB, 1 * GB)
+        large = self.tracker.run_map_reduce("b", phase, 100 * GB, 1 * GB)
+        assert large.shuffle_time == pytest.approx(small.shuffle_time * 100)
+
+    def test_map_join_success(self):
+        phase = MapPhase([10 * MB] * 4, self.params)
+        result = self.tracker.run_map_join("mj", phase, hashtable_bytes=100 * MB)
+        assert not result.failed_mapjoin
+        assert result.reduce_time == 0.0
+        assert "map-side join succeeded" in result.notes
+
+    def test_map_join_failure_runs_backup(self):
+        """The Q22 sub-query 4 behaviour: heap error then backup common join."""
+        phase = MapPhase([10 * MB] * 4, self.params)
+        result = self.tracker.run_map_join("mj", phase, hashtable_bytes=10 * GB)
+        assert result.failed_mapjoin
+        assert result.map_time >= self.params.mapjoin_failure_delay
+        assert result.reduce_tasks > 0
+
+    def test_map_join_failure_threshold(self):
+        budget = self.params.task_heap_bytes * self.params.hashtable_memory_fraction
+        phase = MapPhase([MB], self.params)
+        ok = self.tracker.run_map_join("a", phase, hashtable_bytes=budget * 0.99)
+        bad = self.tracker.run_map_join("b", phase, hashtable_bytes=budget * 1.01)
+        assert not ok.failed_mapjoin
+        assert bad.failed_mapjoin

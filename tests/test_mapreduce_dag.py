@@ -1,0 +1,98 @@
+"""Tests for the MR job DAG scheduler (serial vs hive.exec.parallel)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mapreduce.dag import (
+    Q22_DEPENDENCIES,
+    JobDag,
+    dag_from_hive_result,
+)
+from repro.mapreduce.jobs import JobResult
+from repro.tpch.volumes import calibrate
+
+
+def job(seconds: float, name: str = "j") -> JobResult:
+    return JobResult(name=name, map_time=seconds, shuffle_time=0.0,
+                     reduce_time=0.0, overhead=0.0)
+
+
+class TestJobDag:
+    def test_serial_sums(self):
+        dag = JobDag()
+        dag.add("a", job(10))
+        dag.add("b", job(20), depends_on=("a",))
+        dag.add("c", job(5), depends_on=("b",))
+        schedule = dag.schedule_serial()
+        assert schedule.makespan == 35.0
+        assert schedule.start["b"] == 10.0
+
+    def test_parallel_overlaps_independent_jobs(self):
+        dag = JobDag()
+        dag.add("a", job(10))
+        dag.add("b", job(20))  # independent of a
+        dag.add("c", job(5), depends_on=("a", "b"))
+        schedule = dag.schedule_parallel()
+        assert schedule.makespan == 25.0  # max(10, 20) + 5
+        assert dag.schedule_serial().makespan == 35.0
+
+    def test_parallel_respects_concurrency_cap(self):
+        dag = JobDag()
+        for i in range(4):
+            dag.add(f"j{i}", job(10))
+        capped = dag.schedule_parallel(max_concurrent=2)
+        assert capped.makespan == 20.0
+        wide = dag.schedule_parallel(max_concurrent=4)
+        assert wide.makespan == 10.0
+
+    def test_critical_path(self):
+        dag = JobDag()
+        dag.add("a", job(10))
+        dag.add("b", job(3), depends_on=("a",))
+        dag.add("c", job(20))
+        assert dag.critical_path() == 20.0
+
+    def test_validation(self):
+        dag = JobDag()
+        dag.add("a", job(1))
+        with pytest.raises(ConfigurationError):
+            dag.add("a", job(1))
+        with pytest.raises(ConfigurationError):
+            dag.add("b", job(1), depends_on=("missing",))
+        with pytest.raises(ConfigurationError):
+            dag.schedule_parallel(max_concurrent=0)
+
+    def test_empty_dag(self):
+        dag = JobDag()
+        assert dag.schedule_serial().makespan == 0.0
+        assert dag.critical_path() == 0.0
+
+
+class TestQ22Parallel:
+    """The hive.exec.parallel extension: Q22's sub-queries 1 and 3 overlap."""
+
+    @pytest.fixture(scope="class")
+    def hive_result(self):
+        from repro.hive.engine import HiveEngine
+
+        engine = HiveEngine(calibrate(0.01, 42))
+        return engine.run_query(22, 4000)
+
+    def test_serial_matches_engine_total(self, hive_result):
+        dag = dag_from_hive_result(hive_result)
+        assert dag.schedule_serial().makespan == pytest.approx(
+            hive_result.total_time
+        )
+
+    def test_parallel_beats_serial(self, hive_result):
+        dag = dag_from_hive_result(hive_result, Q22_DEPENDENCIES)
+        serial = dag.schedule_serial().makespan
+        parallel = dag.schedule_parallel().makespan
+        assert parallel < serial
+        assert parallel >= dag.critical_path() - 1e-9
+
+    def test_independent_subqueries_start_together(self, hive_result):
+        dag = dag_from_hive_result(hive_result, Q22_DEPENDENCIES)
+        schedule = dag.schedule_parallel()
+        assert schedule.start["mat.q22.candidates"] == 0.0
+        assert schedule.start["agg.q22.orders_agg"] == 0.0

@@ -1,0 +1,110 @@
+"""Tests for MongoDB's 100 ms journal — the paper's durability gap, live."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.docstore.journal import (
+    FLUSH_INTERVAL,
+    Journal,
+    JournaledMongod,
+    JournalOp,
+)
+from repro.docstore.mongod import Mongod
+from repro.sqlstore.recovery import crash
+from repro.sqlstore.server import SqlServerNode
+from repro.ycsb.workloads import make_key
+
+
+class TestJournal:
+    def test_append_and_flush_cycle(self):
+        j = Journal()
+        j.append(0.01, JournalOp.INSERT, "c", "k1", b"doc")
+        assert j.durable_sequence == 0  # not yet flushed
+        assert not j.maybe_flush(0.05)  # inside the 100 ms window
+        assert j.maybe_flush(0.11)
+        assert j.durable_sequence == 1
+        assert j.flushes == 1
+
+    def test_loss_window_is_100ms(self):
+        assert Journal().max_loss_window == pytest.approx(0.1)
+        assert FLUSH_INTERVAL == pytest.approx(0.1)
+
+    def test_surviving_vs_lost(self):
+        j = Journal()
+        j.append(0.01, JournalOp.INSERT, "c", "k1", b"a")
+        j.flush(0.02)
+        j.append(0.03, JournalOp.INSERT, "c", "k2", b"b")
+        assert [e.key for e in j.surviving_entries()] == ["k1"]
+        assert [e.key for e in j.lost_entries()] == ["k2"]
+
+    def test_replay_keeps_last_image_and_removes(self):
+        j = Journal()
+        j.append(0.0, JournalOp.INSERT, "c", "k", b"v1")
+        j.append(0.01, JournalOp.UPDATE, "c", "k", b"v2")
+        j.append(0.02, JournalOp.REMOVE, "c", "gone")
+        j.flush(0.03)
+        images = j.replay()
+        assert images[("c", "k")] == b"v2"
+        assert images[("c", "gone")] is None
+
+    def test_clock_monotonicity(self):
+        j = Journal()
+        j.flush(1.0)
+        with pytest.raises(StorageError):
+            j.append(0.5, JournalOp.INSERT, "c", "k")
+
+
+class TestDurabilityGap:
+    """The paper's §3.4.1 argument, executed."""
+
+    def test_acknowledged_mongo_write_can_be_lost(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": make_key(1), "field0": "v"})
+        # The client got its safe-mode ack; the read sees the write...
+        assert node.find_one("c", make_key(1)) is not None
+        # ...but the process dies 50 ms later, inside the flush window.
+        node.advance(0.05)
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", make_key(1)) is None  # LOST
+
+    def test_flushed_mongo_write_survives(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": make_key(1), "field0": "v"})
+        node.advance(0.15)  # a flush cycle passes
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", make_key(1))["field0"] == "v"
+
+    def test_updates_recover_to_last_flushed_image(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": "k", "field0": "v1"})
+        node.advance(0.15)
+        node.update("c", "k", "field0", "v2")
+        node.advance(0.15)
+        node.update("c", "k", "field0", "v3-unflushed")
+        node.advance(0.05)  # crash before the next flush
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", "k")["field0"] == "v2"
+
+    def test_sql_server_has_no_such_window(self):
+        """The contrast: SQL forces the log at commit — zero loss window."""
+        sql = SqlServerNode(checkpoint_interval_ops=10**9)
+        sql.insert(make_key(1), {"field0": "v"})
+        # Crash immediately; the commit already forced the log.
+        recovered, _ = crash(sql).recover()
+        assert recovered.read(make_key(1))["field0"] == "v"
+
+    def test_loss_bounded_by_flush_interval(self):
+        node = JournaledMongod(Mongod("m0"))
+        lost_batches = []
+        for batch in range(5):
+            for i in range(10):
+                node.insert("c", {"_id": make_key(batch * 10 + i), "v": "x"})
+            node.advance(0.11)  # flush between batches
+        # Everything flushed so far survives; now one unflushed batch.
+        for i in range(50, 60):
+            node.insert("c", {"_id": make_key(i), "v": "x"})
+        recovered = node.crash_and_recover()
+        survivors = sum(
+            1 for i in range(60) if recovered.find_one("c", make_key(i)) is not None
+        )
+        assert survivors == 50  # exactly the unflushed 100 ms batch is gone

@@ -1,0 +1,149 @@
+"""Tests for mongostat-style monitoring, crash recovery, and fault injection."""
+
+import pytest
+
+from repro.common.errors import ServerCrashed
+from repro.docstore import MongoAsCluster, MongoCsCluster, Mongod
+from repro.docstore.mongostat import (
+    cluster_snapshot,
+    format_mongostat,
+    snapshot,
+    summarize,
+)
+from repro.sqlstore.recovery import crash
+from repro.sqlstore.server import SqlServerNode
+from repro.sqlstore.wal import LogOp
+from repro.ycsb import WORKLOADS, YcsbClient, make_key
+
+
+class TestMongostat:
+    def _loaded_cluster(self):
+        cluster = MongoAsCluster(shard_count=4, max_chunk_docs=100)
+        client = YcsbClient(cluster, WORKLOADS["A"], record_count=400, seed=21)
+        client.load()
+        client.run(800)
+        return cluster
+
+    def test_snapshot_counts(self):
+        m = Mongod("m0")
+        m.insert("c", {"_id": "a", "v": 1})
+        m.find_one("c", "a")
+        stats = snapshot(m)
+        assert stats.ops == 2
+        assert stats.writes == 1 and stats.reads == 1
+        assert stats.write_fraction == pytest.approx(0.5)
+
+    def test_lock_percent_estimate(self):
+        m = Mongod("m0")
+        for i in range(100):
+            m.insert("c", {"_id": make_key(i), "v": 1})
+        stats = snapshot(m)
+        # 100 writes x 3 ms hold over 1 second of wall clock: 30%.
+        assert stats.lock_percent(avg_write_hold=0.003, elapsed=1.0) == pytest.approx(30.0)
+        assert stats.lock_percent(0.003, 0.0) == 0.0
+
+    def test_cluster_summary(self):
+        cluster = self._loaded_cluster()
+        summary = summarize(cluster.shards)
+        assert summary.total_ops > 1000  # load + run
+        assert summary.total_writes > 0
+        assert 0.0 < summary.hottest_share <= 1.0
+        assert summary.imbalance >= 1.0
+        assert summary.hottest_shard.startswith("mongod-")
+
+    def test_format_table(self):
+        cluster = self._loaded_cluster()
+        text = format_mongostat(cluster.shards, top=3)
+        assert "process" in text
+        assert text.count("mongod-") == 3
+
+    def test_snapshot_is_nondestructive(self):
+        m = Mongod("m0")
+        m.insert("c", {"_id": "a", "v": 1})
+        before = snapshot(m)
+        after = snapshot(m)
+        assert before == after
+        assert len(cluster_snapshot([m])) == 1
+
+
+class TestCrashRecovery:
+    def test_committed_work_survives(self):
+        node = SqlServerNode(checkpoint_interval_ops=10**9)  # no checkpoints
+        node.insert(make_key(1), {"field0": "a"})
+        node.insert(make_key(2), {"field0": "b"})
+        node.update(make_key(1), "field0", "a2")
+        image = crash(node)
+        recovered, report = image.recover()
+        assert recovered.read(make_key(1))["field0"] == "a2"
+        assert recovered.read(make_key(2))["field0"] == "b"
+        assert report.redone_keys == 2
+        assert report.final_row_count == 2
+
+    def test_uncommitted_work_is_discarded(self):
+        node = SqlServerNode(checkpoint_interval_ops=10**9)
+        node.insert(make_key(1), {"field0": "committed"})
+        # An in-flight transaction that never commits (crash mid-update).
+        node.wal.append(777, LogOp.BEGIN)
+        node.wal.append(777, LogOp.UPDATE, key=make_key(1),
+                        before=b"", after=b"\x00\x00")
+        recovered, report = crash(node).recover()
+        assert recovered.read(make_key(1))["field0"] == "committed"
+        assert report.discarded_records >= 1
+
+    def test_recovery_is_idempotent(self):
+        node = SqlServerNode(checkpoint_interval_ops=10**9)
+        for i in range(20):
+            node.insert(make_key(i), {"field0": str(i)})
+        first, _ = crash(node).recover()
+        second, _ = crash(node).recover()
+        for i in range(20):
+            assert first.read(make_key(i)) == second.read(make_key(i))
+
+
+class TestFaultInjection:
+    def test_dead_mongod_raises(self):
+        m = Mongod("m0")
+        m.insert("c", {"_id": "a", "v": 1})
+        m.kill()
+        with pytest.raises(ServerCrashed):
+            m.find_one("c", "a")
+        with pytest.raises(ServerCrashed):
+            m.insert("c", {"_id": "b", "v": 2})
+        m.restart()
+        assert m.find_one("c", "a") is not None
+
+    def test_mongo_as_without_failover_loses_chunk_ranges(self):
+        """No replica sets (the paper's deployment): a dead shard takes its
+        chunks' keys offline while other chunks keep working."""
+        cluster = MongoAsCluster(shard_count=2, max_chunk_docs=50,
+                                 balancer_threshold=2)
+        for i in range(200):
+            cluster.insert(make_key(i), {"f": "v"})
+        cluster.run_balancer()
+        cluster.kill_shard(0)
+        dead_keys, alive_keys = 0, 0
+        for i in range(0, 200, 10):
+            try:
+                cluster.read(make_key(i))
+                alive_keys += 1
+            except ServerCrashed:
+                dead_keys += 1
+        assert dead_keys > 0 and alive_keys > 0
+
+    def test_hash_sharded_scan_fails_if_any_shard_is_down(self):
+        """Broadcast scans make hash sharding fragile to single failures."""
+        cluster = MongoCsCluster(shard_count=4)
+        for i in range(100):
+            cluster.insert(make_key(i), {"f": "v"})
+        cluster.kill_shard(2)
+        with pytest.raises(ServerCrashed):
+            cluster.scan(make_key(0), 10)
+        # Point reads to other shards still work.
+        survivors = 0
+        for i in range(20):
+            try:
+                cluster.read(make_key(i))
+                survivors += 1
+            except ServerCrashed:
+                pass
+        assert survivors > 0

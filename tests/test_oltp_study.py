@@ -1,0 +1,193 @@
+"""Tests for the OLTP performance model: Figures 2-6 shape claims."""
+
+import pytest
+
+from repro.common.errors import ServerCrashed, WorkloadError
+from repro.core.oltp import SYSTEMS, OltpParams, OltpStudy, Station, closed_mva
+from repro.ycsb.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def study():
+    return OltpStudy()
+
+
+class TestMva:
+    def test_single_station_saturates(self):
+        station = Station("s", 1, service={"read": 0.01})
+        x, r, _ = closed_mva([station], {"read": 1.0}, clients=100, think_time=0.0)
+        assert x == pytest.approx(100.0, rel=0.01)  # 1 / 10ms
+        assert r == pytest.approx(1.0, rel=0.05)  # N/X
+
+    def test_think_time_throttles(self):
+        station = Station("s", 1, service={"read": 0.001})
+        x, _, _ = closed_mva([station], {"read": 1.0}, clients=100, think_time=0.9)
+        assert x < 120  # ~100/0.9
+
+    def test_multi_server_scales(self):
+        one = Station("s", 1, service={"read": 0.01})
+        ten = Station("s", 10, service={"read": 0.01})
+        x1, _, _ = closed_mva([one], {"read": 1.0}, 200, 0.0)
+        x10, _, _ = closed_mva([ten], {"read": 1.0}, 200, 0.0)
+        assert x10 == pytest.approx(x1 * 10, rel=0.05)
+
+
+class TestCacheModel:
+    def test_mongo_misses_more_than_sql(self, study):
+        c = WORKLOADS["C"]
+        sql = study.miss_rate(SYSTEMS["sql-cs"], c)
+        mongo = study.miss_rate(SYSTEMS["mongo-as"], c)
+        assert 0.01 < sql < 0.15
+        assert mongo > sql * 1.3
+
+    def test_latest_distribution_nearly_all_hits(self, study):
+        d = WORKLOADS["D"]
+        assert study.miss_rate(SYSTEMS["sql-cs"], d) <= 0.01  # paper: 99.5% hits
+
+    def test_hottest_key_share(self, study):
+        # Zipfian theta=0.99 over 640M keys: rank 0 draws ~4% of requests.
+        assert 0.02 < study.hottest_key_share() < 0.08
+
+
+class TestWorkloadC:
+    """Figure 2: 100% reads."""
+
+    def test_peak_order_and_magnitude(self, study):
+        sql = study.peak_throughput("sql-cs", "C")
+        as_ = study.peak_throughput("mongo-as", "C")
+        cs = study.peak_throughput("mongo-cs", "C")
+        assert sql > as_ > cs
+        assert sql == pytest.approx(125_457, rel=0.25)
+        assert as_ == pytest.approx(68_533, rel=0.25)
+        assert cs == pytest.approx(60_907, rel=0.25)
+
+    def test_latency_at_peak(self, study):
+        point = study.evaluate("sql-cs", "C", 160_000)
+        assert point.latency_ms("read") == pytest.approx(6.4, rel=0.3)
+        mongo = study.evaluate("mongo-as", "C", 160_000)
+        assert mongo.latency_ms("read") == pytest.approx(11.8, rel=0.3)
+
+    def test_sql_lower_latency_at_every_target(self, study):
+        for target in (5_000, 10_000, 20_000, 40_000):
+            sql = study.evaluate("sql-cs", "C", target)
+            mongo = study.evaluate("mongo-as", "C", target)
+            assert sql.latency_ms("read") < mongo.latency_ms("read")
+            assert sql.achieved == pytest.approx(target, rel=0.01)
+
+
+class TestWorkloadB:
+    """Figure 3: 95% reads, 5% updates — checkpointing trims the peak."""
+
+    def test_sql_peak_near_paper(self, study):
+        assert study.peak_throughput("sql-cs", "B") == pytest.approx(103_789, rel=0.25)
+
+    def test_b_peak_below_c_peak(self, study):
+        for name in SYSTEMS:
+            assert study.peak_throughput(name, "B") < study.peak_throughput(name, "C")
+
+    def test_mongo_saturates_well_below_sql(self, study):
+        assert study.peak_throughput("mongo-as", "B") < 0.65 * study.peak_throughput(
+            "sql-cs", "B"
+        )
+
+
+class TestWorkloadA:
+    """Figure 4: 50/50 — the global write lock era."""
+
+    def test_all_peaks_far_below_b(self, study):
+        for name in SYSTEMS:
+            assert study.peak_throughput(name, "A") < 0.5 * study.peak_throughput(name, "B")
+
+    def test_sql_still_wins(self, study):
+        assert study.peak_throughput("sql-cs", "A") > study.peak_throughput("mongo-as", "A")
+
+    def test_mongo_global_lock_utilization(self, study):
+        """mongostat showed 25-45% write-lock time at saturation in A."""
+        point = study.evaluate("mongo-as", "A", 40_000)
+        assert point.utilization["hotlock"] > 0.2
+
+    def test_read_uncommitted_lowers_read_latency(self):
+        """The paper's §3.4.3 isolation experiment."""
+        rc = OltpStudy(isolation="read_committed").evaluate("sql-cs", "A", 40_000)
+        ru = OltpStudy(isolation="read_uncommitted").evaluate("sql-cs", "A", 40_000)
+        assert ru.latency_ms("read") < 0.5 * rc.latency_ms("read")
+
+    def test_invalid_isolation(self):
+        with pytest.raises(WorkloadError):
+            OltpStudy(isolation="serializable")
+
+
+class TestWorkloadD:
+    """Figure 5: read-latest; Mongo-AS collapses on the append path."""
+
+    def test_sql_cpu_bound_and_fast(self, study):
+        assert study.peak_throughput("sql-cs", "D") > 250_000
+        point = study.evaluate("sql-cs", "D", 160_000)
+        assert point.latency_ms("read") < 2.0  # paper: microseconds-to-ms
+
+    def test_mongo_cs_peak(self, study):
+        assert study.peak_throughput("mongo-cs", "D") == pytest.approx(224_271, rel=0.25)
+
+    def test_mongo_as_crashes_above_20k(self, study):
+        study.evaluate("mongo-as", "D", 20_000)  # survives
+        with pytest.raises(ServerCrashed):
+            study.evaluate("mongo-as", "D", 40_000)
+
+    def test_mongo_as_append_latency_pathological(self, study):
+        point = study.evaluate("mongo-as", "D", 20_000)
+        assert point.latency_ms("insert") > 100  # paper: 320 ms
+
+    def test_curve_marks_crashes_none(self, study):
+        curve = study.curve("mongo-as", "D", [20_000, 40_000, 80_000])
+        assert curve[0] is not None
+        assert curve[1] is None and curve[2] is None
+
+
+class TestWorkloadE:
+    """Figure 6: short scans — range partitioning wins."""
+
+    def test_mongo_as_highest_peak(self, study):
+        as_ = study.peak_throughput("mongo-as", "E")
+        assert as_ > study.peak_throughput("sql-cs", "E")
+        assert as_ > study.peak_throughput("mongo-cs", "E")
+        assert as_ == pytest.approx(6_337, rel=0.35)
+
+    def test_mongo_as_lowest_scan_latency(self, study):
+        for target in (1_000, 2_000):
+            as_ = study.evaluate("mongo-as", "E", target)
+            sql = study.evaluate("sql-cs", "E", target)
+            assert as_.latency_ms("scan") < sql.latency_ms("scan")
+
+    def test_mongo_as_append_far_worse_than_sql(self, study):
+        """Paper: 1832 ms (Mongo-AS) vs 2 ms (SQL-CS) appends."""
+        as_ = study.evaluate("mongo-as", "E", 4_000)
+        sql = study.evaluate("sql-cs", "E", 1_000)
+        assert as_.latency_ms("insert") > 3 * sql.latency_ms("insert")
+
+
+class TestLoadTimes:
+    def test_section_342_ordering(self, study):
+        mongo_as = study.load_time_minutes("mongo-as")
+        sql = study.load_time_minutes("sql-cs")
+        mongo_cs = study.load_time_minutes("mongo-cs")
+        # Paper: 114 / 146 / 45 minutes.
+        assert mongo_cs < mongo_as < sql
+        assert mongo_as == pytest.approx(114, rel=0.2)
+        assert sql == pytest.approx(146, rel=0.2)
+        assert mongo_cs == pytest.approx(45, rel=0.2)
+
+    def test_pre_split_saves_time(self, study):
+        with_split = study.load_time_minutes("mongo-as", pre_split=True)
+        without = study.load_time_minutes("mongo-as", pre_split=False)
+        assert without > with_split * 1.3
+
+    def test_unknown_system(self, study):
+        with pytest.raises(WorkloadError):
+            study.load_time_minutes("cassandra")
+
+
+class TestCustomParams:
+    def test_smaller_cluster_lowers_peaks(self):
+        small = OltpStudy(OltpParams(server_nodes=4))
+        big = OltpStudy(OltpParams(server_nodes=8))
+        assert small.peak_throughput("sql-cs", "C") < big.peak_throughput("sql-cs", "C")

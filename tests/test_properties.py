@@ -1,0 +1,114 @@
+"""Cross-cutting property-based tests on scheduler and queueing invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oltp import Station, closed_mva
+from repro.mapreduce.dag import JobDag
+from repro.mapreduce.jobs import JobResult, schedule_tasks
+
+durations_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestScheduleTasksProperties:
+    @given(durations_strategy, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=80)
+    def test_makespan_bounds(self, durations, slots):
+        """List scheduling is within the classic Graham bounds:
+        max(avg load, longest task) <= makespan <= avg load + longest task."""
+        makespan = schedule_tasks(durations, slots)
+        total = sum(durations)
+        longest = max(durations)
+        lower = max(total / slots, longest)
+        assert makespan >= lower - 1e-9
+        assert makespan <= total / slots + longest + 1e-9
+
+    @given(durations_strategy)
+    @settings(max_examples=40)
+    def test_single_slot_is_serial(self, durations):
+        assert schedule_tasks(durations, 1) == pytest.approx(sum(durations))
+
+    @given(durations_strategy, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_more_slots_never_hurt(self, durations, slots):
+        assert (
+            schedule_tasks(durations, slots + 1)
+            <= schedule_tasks(durations, slots) + 1e-9
+        )
+
+
+class TestMvaProperties:
+    @given(
+        st.floats(min_value=0.0005, max_value=0.05),
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60)
+    def test_throughput_bounded_by_capacity_and_population(self, service, servers, n):
+        station = Station("s", servers, service={"op": service})
+        x, r, _ = closed_mva([station], {"op": 1.0}, n, 0.0)
+        capacity = servers / service
+        assert x <= capacity * 1.001
+        assert x <= n / service + 1e-9  # cannot beat zero-queueing
+        assert r >= service - 1e-12  # response at least one service time
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30)
+    def test_response_time_law_holds(self, n):
+        station = Station("s", 4, service={"op": 0.01})
+        x, r, _ = closed_mva([station], {"op": 1.0}, n, 0.05)
+        assert x * (r + 0.05) == pytest.approx(n, rel=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30)
+    def test_mix_weighting_interpolates(self, read_frac):
+        cheap, pricey = 0.001, 0.02
+        station = Station("s", 1, service={"read": cheap, "scan": pricey})
+        mix = {"read": read_frac, "scan": 1.0 - read_frac}
+        x, _, _ = closed_mva([station], mix, 50, 0.0)
+        x_cheap, _, _ = closed_mva([station], {"read": 1.0, "scan": 0.0}, 50, 0.0)
+        x_pricey, _, _ = closed_mva([station], {"read": 0.0, "scan": 1.0}, 50, 0.0)
+        assert x_pricey - 1e-6 <= x <= x_cheap + 1e-6
+
+
+class TestDagProperties:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_parallel_never_slower_than_serial(self, times, cap):
+        dag = JobDag()
+        previous = None
+        chain_or_free = []
+        for i, t in enumerate(times):
+            job = JobResult(name=f"j{i}", map_time=t, shuffle_time=0.0,
+                            reduce_time=0.0, overhead=0.0)
+            # Alternate: every other job depends on its predecessor.
+            deps = (previous,) if (previous and i % 2 == 0) else ()
+            dag.add(f"j{i}", job, deps)
+            previous = f"j{i}"
+            chain_or_free.append(deps)
+        serial = dag.schedule_serial().makespan
+        parallel = dag.schedule_parallel(max_concurrent=cap).makespan
+        assert parallel <= serial + 1e-9
+        assert parallel >= dag.critical_path() - 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=15))
+    @settings(max_examples=30)
+    def test_full_chain_equals_serial(self, times):
+        dag = JobDag()
+        previous = None
+        for i, t in enumerate(times):
+            job = JobResult(name=f"j{i}", map_time=t, shuffle_time=0.0,
+                            reduce_time=0.0, overhead=0.0)
+            dag.add(f"j{i}", job, (previous,) if previous else ())
+            previous = f"j{i}"
+        assert dag.schedule_parallel().makespan == pytest.approx(
+            dag.schedule_serial().makespan
+        )

@@ -1,0 +1,105 @@
+"""Tests for the TPC-H refresh functions (RF1/RF2) the paper had to skip."""
+
+import pytest
+
+from repro.tpch.dbgen import DbGen
+from repro.tpch.refresh import (
+    HIVE_07,
+    HIVE_08,
+    PDW,
+    RefreshFunctions,
+    UnsupportedRefresh,
+    refresh_order_count,
+    refresh_orderkey,
+)
+
+
+@pytest.fixture()
+def fresh_db():
+    gen = DbGen(scale_factor=0.002, seed=5)
+    return gen.generate(), gen
+
+
+class TestKeyAllocation:
+    def test_count_per_spec(self):
+        assert refresh_order_count(1.0) == 1500
+        assert refresh_order_count(0.001) == 2  # rounds, floor 1
+        assert refresh_order_count(1e-9) == 1
+
+    def test_refresh_keys_use_unloaded_sparse_space(self):
+        # Loaded keys are == 1..8 (mod 32); refresh keys are == 9..12.
+        keys = [refresh_orderkey(i) for i in range(1, 9)]
+        assert keys == [9, 10, 11, 12, 41, 42, 43, 44]
+        for k in keys:
+            assert 9 <= k % 32 <= 12
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            refresh_orderkey(0)
+
+
+class TestRf1:
+    def test_inserts_orders_and_lineitems(self, fresh_db):
+        db, gen = fresh_db
+        orders_before = db.table("orders").row_count
+        lines_before = db.table("lineitem").row_count
+        result = RefreshFunctions(db, gen).rf1()
+        assert result.orders == refresh_order_count(0.002)
+        assert db.table("orders").row_count == orders_before + result.orders
+        assert db.table("lineitem").row_count == lines_before + result.lineitems
+        assert result.lineitems >= result.orders  # 1-7 lines per order
+
+    def test_no_key_collisions_across_streams(self, fresh_db):
+        db, gen = fresh_db
+        rf = RefreshFunctions(db, gen)
+        rf.rf1(stream=1)
+        rf.rf1(stream=2)
+        keys = [r["o_orderkey"] for r in db.table("orders").rows]
+        assert len(keys) == len(set(keys))
+
+    def test_queries_still_run_after_refresh(self, fresh_db):
+        from repro.tpch.queries import run_query
+
+        db, gen = fresh_db
+        RefreshFunctions(db, gen).rf1()
+        rows = run_query(1, db)
+        assert rows  # Q1 aggregates over the refreshed lineitem
+
+
+class TestRf2:
+    def test_deletes_orders_and_their_lineitems(self, fresh_db):
+        db, gen = fresh_db
+        orders_before = db.table("orders").row_count
+        result = RefreshFunctions(db, gen).rf2()
+        assert result.orders == refresh_order_count(0.002)
+        assert db.table("orders").row_count == orders_before - result.orders
+        # Referential integrity: no orphaned lineitems.
+        orderkeys = {r["o_orderkey"] for r in db.table("orders").rows}
+        assert all(
+            r["l_orderkey"] in orderkeys for r in db.table("lineitem").rows
+        )
+
+    def test_rf1_then_rf2_roundtrip_cardinality(self, fresh_db):
+        db, gen = fresh_db
+        rf = RefreshFunctions(db, gen)
+        before = db.table("orders").row_count
+        rf.rf1()
+        rf.rf2()
+        assert db.table("orders").row_count == before
+
+
+class TestEngineSupport:
+    def test_hive_07_rejects_both(self):
+        with pytest.raises(UnsupportedRefresh):
+            HIVE_07.check("rf1")
+        with pytest.raises(UnsupportedRefresh):
+            HIVE_07.check("rf2")
+
+    def test_hive_08_accepts_insert_only(self):
+        HIVE_08.check("rf1")
+        with pytest.raises(UnsupportedRefresh):
+            HIVE_08.check("rf2")
+
+    def test_pdw_accepts_both(self):
+        PDW.check("rf1")
+        PDW.check("rf2")

@@ -1,0 +1,96 @@
+"""Tests for the expression AST."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PlanError
+from repro.relational.expressions import CaseWhen, case, col, date_add, lit
+
+
+class TestBasicOps:
+    def test_comparisons(self):
+        row = {"a": 5, "b": 7}
+        assert (col("a") < col("b")).eval(row) is True
+        assert (col("a") >= lit(5)).eval(row) is True
+        assert (col("a") == lit(6)).eval(row) is False
+        assert (col("a") != lit(6)).eval(row) is True
+
+    def test_arithmetic(self):
+        row = {"price": 100.0, "disc": 0.1}
+        revenue = col("price") * (lit(1) - col("disc"))
+        assert revenue.eval(row) == pytest.approx(90.0)
+        assert (col("price") + lit(1)).eval(row) == 101.0
+        assert (col("price") - lit(1)).eval(row) == 99.0
+        assert (col("price") / lit(4)).eval(row) == 25.0
+
+    def test_boolean_combinators(self):
+        row = {"x": 3}
+        assert ((col("x") > lit(1)) & (col("x") < lit(5))).eval(row) is True
+        assert ((col("x") > lit(9)) | (col("x") < lit(5))).eval(row) is True
+        assert (~(col("x") > lit(1))).eval(row) is False
+
+    def test_missing_column_raises(self):
+        with pytest.raises(PlanError):
+            col("nope").eval({"a": 1})
+
+
+class TestSqlHelpers:
+    def test_like_percent(self):
+        row = {"name": "forest green metallic"}
+        assert col("name").like("forest%").eval(row)
+        assert col("name").like("%green%").eval(row)
+        assert not col("name").like("green%").eval(row)
+
+    def test_like_underscore_and_literal_specials(self):
+        assert col("s").like("a_c").eval({"s": "abc"})
+        assert not col("s").like("a_c").eval({"s": "abbc"})
+        # Regex metacharacters in the pattern must be treated literally.
+        assert col("s").like("a.c%").eval({"s": "a.cde"})
+        assert not col("s").like("a.c%").eval({"s": "axcde"})
+
+    def test_not_like(self):
+        assert col("s").not_like("%special%").eval({"s": "ordinary packages"})
+
+    def test_in_and_between(self):
+        row = {"mode": "AIR", "qty": 25}
+        assert col("mode").in_(["AIR", "AIR REG"]).eval(row)
+        assert col("qty").between(20, 30).eval(row)
+        assert not col("qty").between(26, 30).eval(row)
+
+    def test_substr_is_one_based(self):
+        assert col("phone").substr(1, 2).eval({"phone": "13-2345"}) == "13"
+        with pytest.raises(PlanError):
+            col("x").substr(0, 2)
+
+    def test_year(self):
+        assert col("d").year().eval({"d": "1995-03-15"}) == 1995
+
+    def test_case_when(self):
+        expr = case([(col("t").like("PROMO%"), col("v"))], default=0)
+        assert expr.eval({"t": "PROMO BURNISHED", "v": 7.0}) == 7.0
+        assert expr.eval({"t": "STANDARD", "v": 7.0}) == 0
+
+    def test_case_requires_branch(self):
+        with pytest.raises(PlanError):
+            CaseWhen([], lit(0))
+
+
+class TestDateAdd:
+    def test_add_days(self):
+        assert date_add("1994-01-01", days=90) == "1994-04-01"
+
+    def test_add_months(self):
+        assert date_add("1995-10-15", months=3) == "1996-01-15"
+
+    def test_add_years(self):
+        assert date_add("1994-02-28", years=1) == "1995-02-28"
+
+    def test_month_end_clamping(self):
+        assert date_add("1994-01-31", months=1) == "1994-02-28"
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=50)
+    def test_days_roundtrip_ordering(self, days):
+        later = date_add("1992-01-01", days=days)
+        assert later >= "1992-01-01"  # ISO strings order chronologically

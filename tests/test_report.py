@@ -1,0 +1,68 @@
+"""Tests for the paper-artifact rendering functions."""
+
+import pytest
+
+from repro.core.dss import DssStudy
+from repro.core.oltp import OltpStudy
+from repro.core.report import (
+    render_figure1,
+    render_oltp_load_times,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_ycsb_figure,
+)
+
+
+@pytest.fixture(scope="module")
+def dss():
+    return DssStudy()
+
+
+@pytest.fixture(scope="module")
+def oltp():
+    return OltpStudy()
+
+
+class TestDssRendering:
+    def test_table2_mentions_both_systems(self, dss):
+        text = render_table2(dss)
+        assert "HIVE" in text and "PDW" in text
+        assert "38" in text  # the paper's 250 GB Hive load
+
+    def test_table3_has_all_queries_and_summaries(self, dss):
+        text = render_table3(dss.table3())
+        for q in range(1, 23):
+            assert f"Q{q} " in text or f"Q{q}\n" in text or f"Q{q}" in text
+        assert "AM-9" in text and "GM-9" in text
+        assert "--" in text  # the Q9 DNF cell
+
+    def test_figure1_normalizes_to_one(self, dss):
+        text = render_figure1(dss)
+        assert "pdw_am" in text and "hive_gm" in text
+
+    def test_table4_and_5(self, dss):
+        assert "map-phase" in render_table4(dss)
+        t5 = render_table5(dss)
+        for sub in (1, 2, 3, 4):
+            assert f"Sub-query {sub}" in t5
+
+
+class TestOltpRendering:
+    def test_ycsb_figure_lists_systems_and_crashes(self, oltp):
+        text = render_ycsb_figure(
+            oltp, "D", [20_000, 40_000], ["read", "insert"]
+        )
+        assert "sql-cs" in text and "mongo-as" in text and "mongo-cs" in text
+        assert "CRASH" in text  # Mongo-AS above 20k
+
+    def test_ycsb_figure_latency_sections(self, oltp):
+        text = render_ycsb_figure(oltp, "B", [5_000], ["read", "update"])
+        assert "-- read latency --" in text
+        assert "-- update latency --" in text
+
+    def test_load_times_text(self, oltp):
+        text = render_oltp_load_times(oltp)
+        assert "mongo-as" in text and "146" in text
+        assert "pre-split" in text

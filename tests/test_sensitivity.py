@@ -1,0 +1,81 @@
+"""Tests for the hardware sensitivity sweeps."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MB
+from repro.core.sensitivity import (
+    SweepResult,
+    render_sweep,
+    sweep_dss_speedup,
+    sweep_oltp_peaks,
+)
+from repro.tpch.volumes import calibrate
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(0.01, 42)
+
+
+class TestDssSweeps:
+    def test_network_bandwidth_helps_hive_more(self, calibration):
+        """Hive's common joins shuffle everything: faster networks close
+        part of the gap (one of the paper's implicit future predictions)."""
+        result = sweep_dss_speedup(
+            "network_bandwidth",
+            [125 * MB, 1250 * MB],  # 1 GbE -> 10 GbE
+            scale_factor=4000,
+            calibration=calibration,
+        )
+        speedups = [p.metrics["speedup"] for p in result.points]
+        assert speedups[1] < speedups[0]
+
+    def test_memory_sweep_runs(self, calibration):
+        result = sweep_dss_speedup(
+            "memory_per_node", [32 * GB, 128 * GB], scale_factor=1000,
+            calibration=calibration,
+        )
+        assert len(result.points) == 2
+        assert all(p.metrics["speedup"] > 1 for p in result.points)
+
+    def test_empty_values_rejected(self, calibration):
+        with pytest.raises(ConfigurationError):
+            sweep_dss_speedup("network_bandwidth", [], calibration=calibration)
+
+
+class TestOltpSweeps:
+    def test_memory_lifts_every_peak_on_c(self):
+        result = sweep_oltp_peaks(
+            "memory_per_node", [16 * GB, 32 * GB, 128 * GB], workload="C"
+        )
+        for name in ("sql-cs", "mongo-as"):
+            series = [p.metrics[name] for p in result.points]
+            assert series == sorted(series)
+
+    def test_client_threads_bound_the_closed_loop(self):
+        result = sweep_oltp_peaks("client_threads", [100, 800], workload="C")
+        assert (
+            result.points[0].metrics["sql-cs"] < result.points[1].metrics["sql-cs"]
+        )
+
+    def test_sql_advantage_reported(self):
+        result = sweep_oltp_peaks("disk_seek", [0.008], workload="C")
+        assert result.points[0].metrics["sql_advantage"] > 1.0
+
+
+class TestRendering:
+    def test_render_sweep(self):
+        result = sweep_oltp_peaks("client_threads", [100, 800], workload="C")
+        text = render_sweep(result, ["sql-cs", "sql_advantage"])
+        assert "client_threads" in text
+        assert "sql_advantage" in text
+        assert "increasing" in text or "decreasing" in text or "mixed" in text
+
+    def test_direction(self):
+        r = SweepResult(knob="k")
+        from repro.core.sensitivity import SweepPoint
+
+        r.points = [SweepPoint(1, {"m": 1.0}), SweepPoint(2, {"m": 2.0})]
+        assert r.direction("m") == "increasing"
+        assert r.series("m") == [(1, 1.0), (2, 2.0)]

@@ -1,0 +1,212 @@
+"""Tests for the discrete-event kernel and hardware resource models."""
+
+import pytest
+
+from repro.common.units import MB
+from repro.simcluster import (
+    Cluster,
+    Environment,
+    HardwareProfile,
+    Resource,
+    oltp_testbed,
+    paper_testbed,
+)
+from repro.simcluster.resources import Cpu, Disk, DiskArray, NetworkLink
+from repro.common.errors import ConfigurationError, SimulationError
+
+
+class TestEventLoop:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5.0, 7.5]
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(10.0)
+            log.append("late")
+
+        env.process(proc())
+        env.run(until=3.0)
+        assert log == []
+        assert env.now == 3.0
+        env.run()
+        assert log == ["late"]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_process_join_returns_value(self):
+        env = Environment()
+        results = []
+
+        def child():
+            yield env.timeout(1.0)
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            results.append((env.now, value))
+
+        env.process(parent())
+        env.run()
+        assert results == [(1.0, 42)]
+
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+        results = []
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            procs = [env.process(child(d, d * 10)) for d in (3.0, 1.0, 2.0)]
+            values = yield env.all_of(procs)
+            results.append((env.now, values))
+
+        env.process(parent())
+        env.run()
+        assert results == [(3.0, [30.0, 10.0, 20.0])]
+
+    def test_deterministic_tie_breaking(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestResource:
+    def test_fifo_queueing_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        finish = []
+
+        def proc(tag):
+            yield from res.use(2.0)
+            finish.append((tag, env.now))
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert finish == [("a", 2.0), ("b", 4.0), ("c", 6.0)]
+
+    def test_capacity_two_runs_in_parallel(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        finish = []
+
+        def proc(tag):
+            yield from res.use(2.0)
+            finish.append((tag, env.now))
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert finish == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+    def test_release_without_request_errors(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestDevices:
+    def test_disk_sequential_vs_random(self):
+        env = Environment()
+        disk = Disk(env, seq_bandwidth=100 * MB, seek_time=0.008)
+        assert disk.service_time(100 * MB, sequential=True) == pytest.approx(1.0)
+        assert disk.service_time(8192, sequential=False) == pytest.approx(
+            0.008 + 8192 / (100 * MB)
+        )
+
+    def test_disk_array_balances_load(self):
+        env = Environment()
+        array = DiskArray(env, spindles=2, per_disk_bandwidth=100 * MB)
+        done = []
+
+        def proc(tag):
+            yield from array.read(100 * MB, sequential=True)
+            done.append((tag, env.now))
+
+        for tag in ("a", "b"):
+            env.process(proc(tag))
+        env.run()
+        # Two spindles: both 1-second reads run in parallel.
+        assert done == [("a", 1.0), ("b", 1.0)]
+        assert array.bytes_read == 200 * MB
+        assert array.aggregate_bandwidth == 200 * MB
+
+    def test_cpu_tracks_busy_time(self):
+        env = Environment()
+        cpu = Cpu(env, cores=2)
+
+        def proc():
+            yield from cpu.consume(3.0)
+
+        env.process(proc())
+        env.process(proc())
+        env.process(proc())
+        env.run()
+        assert env.now == pytest.approx(6.0)
+        assert cpu.busy_seconds == pytest.approx(9.0)
+
+    def test_network_link_transfer_time(self):
+        env = Environment()
+        link = NetworkLink(env, bandwidth=125 * MB, latency=0.0)
+        assert link.transfer_time(125 * MB) == pytest.approx(1.0)
+
+
+class TestProfileAndCluster:
+    def test_paper_testbed_matches_section_3_1(self):
+        profile = paper_testbed()
+        assert profile.nodes == 16
+        assert profile.cores_per_node == 16
+        assert profile.memory_per_node == 32 * 1024**3
+        assert profile.data_disks_per_node == 8
+        assert profile.aggregate_disk_bandwidth == pytest.approx(800 * MB)
+
+    def test_oltp_testbed_has_eight_servers(self):
+        assert oltp_testbed().nodes == 8
+
+    def test_with_override(self):
+        profile = paper_testbed().with_(nodes=4)
+        assert profile.nodes == 4
+        assert paper_testbed().nodes == 16
+
+    def test_invalid_profile(self):
+        with pytest.raises(ConfigurationError):
+            HardwareProfile(nodes=0)
+
+    def test_cluster_builds_nodes(self):
+        env = Environment()
+        cluster = Cluster(env, paper_testbed().with_(nodes=3))
+        assert len(cluster) == 3
+        assert cluster[0].cpu.cores == 16
+        assert [n.name for n in cluster] == ["cluster.n0", "cluster.n1", "cluster.n2"]

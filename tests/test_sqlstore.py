@@ -1,0 +1,252 @@
+"""Tests for pages, buffer pool, WAL, locks, the server, and SQL-CS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StorageError, TransactionAborted
+from repro.sqlstore import (
+    BufferPool,
+    IsolationLevel,
+    LockManager,
+    LockMode,
+    PAGE_SIZE,
+    Page,
+    SqlCsCluster,
+    SqlServerNode,
+    WriteAheadLog,
+    decode_row,
+    encode_row,
+)
+from repro.sqlstore.wal import LogOp
+from repro.ycsb.workloads import make_key, make_record
+from repro.common.rng import TpchRandom64
+
+
+class TestRowCodec:
+    def test_roundtrip(self):
+        row = {"field0": "abc", "field1": "x" * 100}
+        assert decode_row(encode_row(row)) == row
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(StorageError):
+            encode_row({"a": 1})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8), st.text(max_size=200), max_size=12
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, row):
+        assert decode_row(encode_row(row)) == row
+
+
+class TestPage:
+    def test_put_get_delete(self):
+        page = Page(0)
+        page.put("k", b"data")
+        assert page.get("k") == b"data"
+        assert page.delete("k")
+        assert not page.delete("k")
+
+    def test_capacity_about_seven_1kb_rows(self):
+        """A 1 KB YCSB record fits ~7 times into an 8 KB page."""
+        page = Page(0)
+        rng = TpchRandom64(3)
+        data = encode_row(make_record(rng))
+        count = 0
+        while page.fits(data):
+            page.put(f"key{count}", data)
+            count += 1
+        assert 6 <= count <= 8
+
+    def test_overflow_rejected(self):
+        page = Page(0)
+        with pytest.raises(StorageError):
+            page.put("k", b"x" * PAGE_SIZE)
+
+
+class TestBufferPool:
+    def test_hit_miss_lru(self):
+        pool = BufferPool(2)
+        assert not pool.access(1)
+        assert not pool.access(2)
+        assert pool.access(1)  # hit
+        assert not pool.access(3)  # evicts 2 (LRU)
+        assert not pool.access(2)
+        assert pool.evictions == 2
+
+    def test_dirty_writeback_on_eviction(self):
+        pool = BufferPool(1)
+        pool.access(1, dirty=True)
+        pool.access(2)
+        assert pool.dirty_writebacks == 1
+
+    def test_flush_all(self):
+        pool = BufferPool(10)
+        pool.access(1, dirty=True)
+        pool.access(2, dirty=True)
+        pool.access(3)
+        assert pool.flush_all() == 2
+        assert pool.flush_all() == 0
+
+    def test_hit_rate(self):
+        pool = BufferPool(10)
+        pool.access(1)
+        pool.access(1)
+        assert pool.hit_rate == pytest.approx(0.5)
+
+
+class TestWal:
+    def test_commit_flushes(self):
+        wal = WriteAheadLog()
+        wal.append(1, LogOp.BEGIN)
+        wal.append(1, LogOp.UPDATE, key="k", before=b"a", after=b"b")
+        wal.append(1, LogOp.COMMIT)
+        wal.flush()
+        assert wal.flushed_lsn == 3
+        assert wal.bytes_written > 0
+
+    def test_replay_ignores_uncommitted(self):
+        """Crash recovery: only committed transactions' effects survive."""
+        wal = WriteAheadLog()
+        wal.append(1, LogOp.BEGIN)
+        wal.append(1, LogOp.UPDATE, key="a", before=b"", after=b"committed")
+        wal.append(1, LogOp.COMMIT)
+        wal.flush()
+        wal.append(2, LogOp.BEGIN)
+        wal.append(2, LogOp.UPDATE, key="b", before=b"", after=b"lost")
+        # tx 2 never commits; crash here.
+        images = wal.replay_committed()
+        assert images == {"a": b"committed"}
+
+    def test_checkpoint_truncates(self):
+        wal = WriteAheadLog()
+        for i in range(10):
+            wal.append(1, LogOp.UPDATE, key=f"k{i}", after=b"x")
+        wal.checkpoint()
+        assert wal.record_count == 1
+        assert wal.checkpoints == 1
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.SHARED)
+        lm.acquire(2, "k", LockMode.SHARED)
+        assert lm.shared_acquired == 2
+
+    def test_exclusive_conflicts(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionAborted):
+            lm.acquire(2, "k", LockMode.SHARED)
+        with pytest.raises(TransactionAborted):
+            lm.acquire(2, "k", LockMode.EXCLUSIVE)
+        assert lm.conflicts == 2
+
+    def test_same_tx_reentrant_and_upgrade(self):
+        lm = LockManager()
+        lm.acquire(1, "k", LockMode.SHARED)
+        lm.acquire(1, "k", LockMode.EXCLUSIVE)  # upgrade allowed, sole owner
+        with pytest.raises(TransactionAborted):
+            lm.acquire(2, "k", LockMode.SHARED)
+
+    def test_release_all(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b", LockMode.SHARED)
+        lm.release_all(1)
+        assert lm.active_locks == 0
+        lm.acquire(2, "a", LockMode.EXCLUSIVE)
+
+
+class TestSqlServerNode:
+    def test_insert_read_update(self):
+        node = SqlServerNode()
+        rng = TpchRandom64(1)
+        node.insert(make_key(1), make_record(rng))
+        record = node.read(make_key(1))
+        assert len(record) == 10
+        assert node.update(make_key(1), "field3", "updated")
+        assert node.read(make_key(1))["field3"] == "updated"
+        assert node.read(make_key(404)) is None
+        assert not node.update(make_key(404), "field0", "x")
+
+    def test_duplicate_insert_rejected(self):
+        node = SqlServerNode()
+        node.insert("k", {"f": "v"})
+        with pytest.raises(StorageError):
+            node.insert("k", {"f": "w"})
+
+    def test_scan_ordered(self):
+        node = SqlServerNode()
+        for i in (5, 2, 9, 1, 7):
+            node.insert(make_key(i), {"f": str(i)})
+        rows = node.scan(make_key(2), 3)
+        assert [r["f"] for r in rows] == ["2", "5", "7"]
+
+    def test_wal_grows_and_checkpoint_resets(self):
+        node = SqlServerNode(checkpoint_interval_ops=50)
+        for i in range(60):
+            node.insert(make_key(i), {"f": "v"})
+        assert node.wal.checkpoints >= 1
+        assert node.pool.dirty_writebacks >= 0
+
+    def test_locks_released_after_autocommit(self):
+        node = SqlServerNode()
+        node.insert("k", {"f": "v"})
+        node.read("k")
+        node.update("k", "f", "w")
+        assert node.locks.active_locks == 0
+
+    def test_read_uncommitted_takes_no_shared_locks(self):
+        node = SqlServerNode(isolation=IsolationLevel.READ_UNCOMMITTED)
+        node.insert("k", {"f": "v"})
+        before = node.locks.shared_acquired
+        node.read("k")
+        assert node.locks.shared_acquired == before
+
+    def test_buffer_pool_sees_traffic(self):
+        node = SqlServerNode(pool_pages=16)
+        rng = TpchRandom64(2)
+        for i in range(500):
+            node.insert(make_key(i), make_record(rng))
+        for i in range(0, 500, 7):
+            node.read(make_key(i))
+        assert node.pool.misses > 0
+        assert node.pool.hits > 0
+
+
+class TestSqlCsCluster:
+    def test_routing_and_crud(self):
+        cluster = SqlCsCluster(shard_count=4)
+        for i in range(200):
+            cluster.insert(make_key(i), {"field0": str(i)})
+        assert cluster.row_count == 200
+        counts = [s.row_count for s in cluster.shards]
+        assert min(counts) > 20
+        assert cluster.read(make_key(77))["field0"] == "77"
+        assert cluster.update(make_key(77), "field0", "new")
+        assert cluster.read(make_key(77))["field0"] == "new"
+
+    def test_scan_broadcasts_and_merges(self):
+        cluster = SqlCsCluster(shard_count=4)
+        for i in range(300):
+            cluster.insert(make_key(i), {"f": str(i)})
+        rows = cluster.scan(make_key(50), 10)
+        assert [r["_key"] for r in rows] == [make_key(i) for i in range(50, 60)]
+        assert cluster.shards_touched_by_scan(make_key(50), 10) == 4
+
+
+class TestBlockingLocksOption:
+    def test_node_with_blocking_lock_manager(self):
+        from repro.sqlstore.locks import BlockingLockManager
+
+        node = SqlServerNode(blocking_locks=True)
+        assert isinstance(node.locks, BlockingLockManager)
+        node.insert(make_key(1), {"field0": "v"})
+        assert node.read(make_key(1))["field0"] == "v"
+        assert node.update(make_key(1), "field0", "w")
+        assert node.locks.deadlocks == 0

@@ -1,0 +1,191 @@
+"""Tests that all 22 TPC-H queries execute and satisfy semantic invariants.
+
+The brute-force checks recompute a few query answers with plain Python over
+the raw rows, which validates the kernel plans independently of the operator
+implementations they are built from.
+"""
+
+import pytest
+
+from repro.relational import ExecutionContext
+from repro.tpch.queries import QUERY_NUMBERS, run_query
+
+
+@pytest.fixture(scope="module")
+def answers(small_db):
+    ctx = ExecutionContext(small_db)
+    return {n: run_query(n, small_db, ctx) for n in QUERY_NUMBERS}, ctx
+
+
+class TestAllQueriesRun:
+    def test_every_query_returns_rows_object(self, answers):
+        results, _ = answers
+        assert set(results) == set(range(1, 23))
+        for n, rows in results.items():
+            assert isinstance(rows, list), f"Q{n}"
+
+    def test_expected_nonempty(self, answers):
+        results, _ = answers
+        # These queries always produce rows on any non-trivial database.
+        for n in (1, 3, 4, 5, 6, 10, 12, 13, 14, 16, 19, 22):
+            assert results[n], f"Q{n} unexpectedly empty"
+
+    def test_unknown_query_rejected(self, small_db):
+        with pytest.raises(KeyError):
+            run_query(23, small_db)
+
+
+class TestQ1BruteForce:
+    def test_matches_manual_aggregation(self, small_db, answers):
+        results, _ = answers
+        cutoff = "1998-09-02"
+        groups = {}
+        for r in small_db.table("lineitem").rows:
+            if r["l_shipdate"] <= cutoff:
+                key = (r["l_returnflag"], r["l_linestatus"])
+                g = groups.setdefault(key, {"qty": 0.0, "n": 0, "disc_price": 0.0})
+                g["qty"] += r["l_quantity"]
+                g["n"] += 1
+                g["disc_price"] += r["l_extendedprice"] * (1 - r["l_discount"])
+        assert len(results[1]) == len(groups)
+        for row in results[1]:
+            g = groups[(row["l_returnflag"], row["l_linestatus"])]
+            assert row["sum_qty"] == pytest.approx(g["qty"])
+            assert row["count_order"] == g["n"]
+            assert row["sum_disc_price"] == pytest.approx(g["disc_price"])
+
+    def test_sorted_by_flags(self, answers):
+        results, _ = answers
+        keys = [(r["l_returnflag"], r["l_linestatus"]) for r in results[1]]
+        assert keys == sorted(keys)
+
+
+class TestQ6BruteForce:
+    def test_matches_manual_sum(self, small_db, answers):
+        results, _ = answers
+        expected = sum(
+            r["l_extendedprice"] * r["l_discount"]
+            for r in small_db.table("lineitem").rows
+            if "1994-01-01" <= r["l_shipdate"] < "1995-01-01"
+            and 0.05 <= r["l_discount"] <= 0.07
+            and r["l_quantity"] < 24
+        )
+        assert results[6][0]["revenue"] == pytest.approx(expected)
+
+
+class TestQ4BruteForce:
+    def test_matches_manual_exists(self, small_db, answers):
+        results, _ = answers
+        late_orders = {
+            r["l_orderkey"]
+            for r in small_db.table("lineitem").rows
+            if r["l_commitdate"] < r["l_receiptdate"]
+        }
+        counts = {}
+        for r in small_db.table("orders").rows:
+            if "1993-07-01" <= r["o_orderdate"] < "1993-10-01" and r["o_orderkey"] in late_orders:
+                counts[r["o_orderpriority"]] = counts.get(r["o_orderpriority"], 0) + 1
+        assert {r["o_orderpriority"]: r["order_count"] for r in results[4]} == counts
+
+
+class TestQ5Semantics:
+    def test_only_asia_nations_and_positive_revenue(self, small_db, answers):
+        results, _ = answers
+        asia = {
+            n["n_name"]
+            for n in small_db.table("nation").rows
+            if n["n_regionkey"] == 2  # ASIA
+        }
+        for row in results[5]:
+            assert row["n_name"] in asia
+            assert row["revenue"] > 0
+
+    def test_sorted_by_revenue_desc(self, answers):
+        results, _ = answers
+        revenues = [r["revenue"] for r in results[5]]
+        assert revenues == sorted(revenues, reverse=True)
+
+
+class TestQ13Semantics:
+    def test_customer_counts_total(self, small_db, answers):
+        results, _ = answers
+        assert sum(r["custdist"] for r in results[13]) == small_db.table("customer").row_count
+
+    def test_zero_bucket_exists(self, small_db, answers):
+        # A third of customers never order, so the 0-orders bucket is large.
+        results, _ = answers
+        zero = [r for r in results[13] if r["c_count"] == 0]
+        assert zero and zero[0]["custdist"] >= small_db.table("customer").row_count // 4
+
+
+class TestQ22Semantics:
+    def test_country_codes_restricted(self, answers):
+        results, _ = answers
+        valid = {"13", "31", "23", "29", "30", "18", "17"}
+        assert results[22]
+        for row in results[22]:
+            assert row["cntrycode"] in valid
+            assert row["numcust"] > 0
+            assert row["totacctbal"] > 0
+
+    def test_customers_have_no_orders(self, small_db, answers):
+        # Re-derive: every counted customer must be absent from orders.
+        ordered_custs = {r["o_custkey"] for r in small_db.table("orders").rows}
+        candidates = [
+            c
+            for c in small_db.table("customer").rows
+            if c["c_phone"][:2] in {"13", "31", "23", "29", "30", "18", "17"}
+        ]
+        positives = [c["c_acctbal"] for c in candidates if c["c_acctbal"] > 0]
+        avg = sum(positives) / len(positives)
+        expected = [
+            c
+            for c in candidates
+            if c["c_acctbal"] > avg and c["c_custkey"] not in ordered_custs
+        ]
+        results, _ = answers
+        assert sum(r["numcust"] for r in results[22]) == len(expected)
+
+
+class TestQ19BruteForce:
+    def test_matches_manual(self, small_db, answers):
+        parts = {p["p_partkey"]: p for p in small_db.table("part").rows}
+        total = 0.0
+        for l in small_db.table("lineitem").rows:
+            if l["l_shipmode"] not in ("AIR", "AIR REG"):
+                continue
+            if l["l_shipinstruct"] != "DELIVER IN PERSON":
+                continue
+            p = parts[l["l_partkey"]]
+            q = l["l_quantity"]
+            ok = (
+                (p["p_brand"] == "Brand#12"
+                 and p["p_container"] in ("SM CASE", "SM BOX", "SM PACK", "SM PKG")
+                 and 1 <= q <= 11 and 1 <= p["p_size"] <= 5)
+                or (p["p_brand"] == "Brand#23"
+                    and p["p_container"] in ("MED BAG", "MED BOX", "MED PKG", "MED PACK")
+                    and 10 <= q <= 20 and 1 <= p["p_size"] <= 10)
+                or (p["p_brand"] == "Brand#34"
+                    and p["p_container"] in ("LG CASE", "LG BOX", "LG PACK", "LG PKG")
+                    and 20 <= q <= 30 and 1 <= p["p_size"] <= 15)
+            )
+            if ok:
+                total += l["l_extendedprice"] * (1 - l["l_discount"])
+        results, _ = answers
+        assert results[19][0]["revenue"] == pytest.approx(total) or (
+            results[19][0]["revenue"] is None and total == 0.0
+        )
+
+
+class TestStatsRecorded:
+    def test_tagged_intermediates_present(self, answers):
+        _, ctx = answers
+        for tag in ("q1.scan", "q5.join_lineitem", "q19.join", "q22.anti"):
+            assert tag in ctx.stats, f"missing stage stat {tag}"
+            assert ctx.stats[tag].rows >= 0
+
+    def test_q5_funnel_shrinks(self, answers):
+        _, ctx = answers
+        # Joining filtered orders against lineitem must not exceed lineitem.
+        assert ctx.stats["q5.join_lineitem"].rows <= ctx.stats["q5.lineitem"].rows
+        assert ctx.stats["q5.local_only"].rows <= ctx.stats["q5.join_supplier"].rows

@@ -1,0 +1,127 @@
+"""Tests for the calibration run and the volume model."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.tpch.plans import QUERY_SPECS, spec_for
+from repro.tpch.volumes import CONSTANT_TAGS, Volume, VolumeModel, calibrate
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(0.01, 42)
+
+
+class TestCalibrate:
+    def test_cached(self):
+        a = calibrate(0.01, 42)
+        b = calibrate(0.01, 42)
+        assert a is b  # lru_cache
+
+    def test_rcfile_ratios_measured_for_all_tables(self, calibration):
+        ratios = calibration.rcfile_ratios
+        assert set(ratios) == {
+            "customer", "orders", "lineitem", "part", "partsupp",
+            "supplier", "nation", "region",
+        }
+        for table, ratio in ratios.items():
+            assert 0.05 < ratio < 1.0, table
+
+    def test_extra_calibration_tags_present(self, calibration):
+        for tag in ("q5.hive.supplier", "q5.hive.join_lineitem",
+                    "q5.hive.join_orders", "q5.hive.join_customer",
+                    "q19.pdw.parts", "q22.orders_agg"):
+            assert calibration.volumes.volume(tag, 250).rows >= 1
+
+
+class TestVolumeModel:
+    def test_base_tables_scale_linearly(self, calibration):
+        vm = calibration.volumes
+        assert vm.rows("lineitem", 1000) == pytest.approx(
+            4 * vm.rows("lineitem", 250)
+        )
+        assert vm.rows("nation", 16000) == 25  # fixed table
+
+    def test_tags_scale_linearly(self, calibration):
+        vm = calibration.volumes
+        small = vm.volume("q5.join_lineitem", 250)
+        big = vm.volume("q5.join_lineitem", 1000)
+        assert big.rows == pytest.approx(4 * small.rows)
+        assert big.avg_width == pytest.approx(small.avg_width)
+
+    def test_constant_tags_do_not_scale(self, calibration):
+        vm = calibration.volumes
+        for tag in CONSTANT_TAGS & set(vm.tags):
+            assert vm.rows(tag, 250) == vm.rows(tag, 16000)
+
+    def test_unknown_tag_raises(self, calibration):
+        with pytest.raises(PlanError):
+            calibration.volumes.volume("q99.nothing", 250)
+
+    def test_selectivity(self, calibration):
+        vm = calibration.volumes
+        # q6's predicate keeps a small fraction of lineitem.
+        sel = vm.selectivity("q6.scan", "lineitem")
+        assert 0.001 < sel < 0.1
+
+    def test_volume_dataclass(self):
+        v = Volume(rows=10, bytes=100)
+        assert v.avg_width == 10.0
+        assert Volume(rows=0, bytes=0).avg_width == 0.0
+
+    def test_invalid_calibration_sf(self):
+        with pytest.raises(PlanError):
+            VolumeModel(0.0, {})
+
+    def test_q19_pushdown_is_small_fraction_of_part(self, calibration):
+        vm = calibration.volumes
+        assert vm.rows("q19.pdw.parts", 250) < 0.1 * vm.rows("part", 250)
+
+
+class TestPlanSpecs:
+    def test_every_query_has_a_spec(self):
+        assert set(QUERY_SPECS) == set(range(1, 23))
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(PlanError):
+            spec_for(23)
+
+    def test_all_spec_refs_resolve_against_calibration(self, calibration):
+        vm = calibration.volumes
+        for number, spec in QUERY_SPECS.items():
+            for ref in spec.all_refs():
+                target = spec.pdw_volume_overrides.get(ref, ref)
+                vm.volume(target, 250)  # raises PlanError on a gap
+
+    def test_scan_refs_unique_within_spec(self):
+        for spec in QUERY_SPECS.values():
+            refs = [s.ref for s in spec.scans]
+            assert len(refs) == len(set(refs)), f"q{spec.number}"
+
+    def test_join_inputs_are_known_refs(self):
+        for spec in QUERY_SPECS.values():
+            known = {s.ref for s in spec.scans}
+            known |= {a.out for a in spec.aggs if a.out}
+            for joins in (spec.joins, spec.hive_joins or ()):
+                for join in joins:
+                    for side in (join.left, join.right):
+                        # Sides must be scans, agg outputs, prior join
+                        # outputs, or measured filter tags.
+                        assert (
+                            side in known
+                            or any(j.out == side for j in joins)
+                            or side.startswith("q")
+                        ), f"q{spec.number}: {side}"
+                    if join.out:
+                        known.add(join.out)
+
+    def test_q5_has_distinct_hive_order(self):
+        spec = spec_for(5)
+        assert spec.hive_joins is not None
+        assert [j.out for j in spec.hive_joins] != [j.out for j in spec.joins]
+
+    def test_q22_structure(self):
+        spec = spec_for(22)
+        assert spec.hive_materialize_scans == ("q22.candidates",)
+        assert spec.hive_fs_jobs == 1
+        assert spec.joins[0].try_map_join  # the failing map join

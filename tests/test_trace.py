@@ -1,0 +1,101 @@
+"""Tests for YCSB trace generation, serialization, and cross-system replay."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.docstore import MongoAsCluster, MongoCsCluster
+from repro.sqlstore import SqlCsCluster
+from repro.ycsb import WORKLOADS, make_key
+from repro.ycsb.trace import (
+    TraceOp,
+    generate_trace,
+    read_trace,
+    replay,
+    write_trace,
+)
+
+
+class TestTraceOps:
+    def test_line_roundtrip(self):
+        ops = [
+            TraceOp("read", make_key(5)),
+            TraceOp("update", make_key(6), field="field3"),
+            TraceOp("insert", make_key(7)),
+            TraceOp("scan", make_key(8), length=100),
+            TraceOp("rmw", make_key(9), field="field0"),
+        ]
+        for op in ops:
+            assert TraceOp.from_line(op.to_line()) == op
+
+    def test_bad_lines_rejected(self):
+        for line in ("FROB k", "UPDATE k", "SCAN k", "READ", "READ\tk\textra"):
+            with pytest.raises(WorkloadError):
+                TraceOp.from_line(line)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_trace(WORKLOADS["A"], 1000, 200, seed=5)
+        b = generate_trace(WORKLOADS["A"], 1000, 200, seed=5)
+        assert a == b
+        c = generate_trace(WORKLOADS["A"], 1000, 200, seed=6)
+        assert a != c
+
+    def test_mix_respected(self):
+        trace = generate_trace(WORKLOADS["B"], 1000, 5000, seed=1)
+        reads = sum(1 for op in trace if op.op == "read")
+        assert 0.92 < reads / len(trace) < 0.98
+
+    def test_inserts_are_sequential_new_keys(self):
+        trace = generate_trace(WORKLOADS["D"], 500, 2000, seed=2)
+        inserted = [op.key for op in trace if op.op == "insert"]
+        assert inserted == sorted(inserted)
+        assert all(int(k) >= 500 for k in inserted)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_trace(WORKLOADS["A"], 1, 10)
+
+
+class TestFileRoundTrip:
+    def test_write_read(self, tmp_path):
+        trace = generate_trace(WORKLOADS["E"], 300, 150, seed=3)
+        path = tmp_path / "e.trace"
+        assert write_trace(trace, path) == 150
+        assert read_trace(path) == trace
+
+
+class TestReplay:
+    def _loaded(self, cluster, n=300):
+        for i in range(n):
+            cluster.insert(make_key(i), {f"field{j}": f"v{i}" for j in range(10)})
+        return cluster
+
+    def test_replay_counts(self):
+        cluster = self._loaded(SqlCsCluster(shard_count=3))
+        trace = generate_trace(WORKLOADS["A"], 300, 400, seed=4)
+        result = replay(trace, cluster)
+        assert result.operations == 400
+        assert result.read_hits > 0
+        assert result.updates_applied > 0
+
+    def test_identical_digests_across_systems(self):
+        """The headline property: all three systems answer a trace the same."""
+        trace = generate_trace(WORKLOADS["E"], 300, 120, seed=9)
+        digests = []
+        for cluster in (
+            MongoAsCluster(shard_count=3, max_chunk_docs=80),
+            MongoCsCluster(shard_count=3),
+            SqlCsCluster(shard_count=3),
+        ):
+            result = replay(trace, self._loaded(cluster))
+            digests.append((result.answer_digest, result.scanned_records))
+        assert digests[0] == digests[1] == digests[2]
+        assert digests[0][1] > 0
+
+    def test_replay_with_inserts_and_rmw(self):
+        cluster = self._loaded(MongoCsCluster(shard_count=2))
+        trace = generate_trace(WORKLOADS["F"], 300, 200, seed=11)
+        result = replay(trace, cluster)
+        assert result.operations == 200
+        assert result.updates_applied > 0

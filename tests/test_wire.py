@@ -1,0 +1,125 @@
+"""Tests for the MongoDB wire protocol framing and server dispatch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StorageError
+from repro.docstore.mongod import Mongod
+from repro.docstore.wire import (
+    OP_INSERT,
+    OP_QUERY,
+    OP_REPLY,
+    OP_UPDATE,
+    WireServer,
+    decode_message,
+    encode_insert,
+    encode_query,
+    encode_reply,
+    encode_update,
+    parse_header,
+)
+
+
+class TestFraming:
+    def test_insert_roundtrip(self):
+        frame = encode_insert(7, "usertable", {"_id": "k1", "field0": "v"})
+        header, payload = decode_message(frame)
+        assert header.op_code == OP_INSERT
+        assert header.request_id == 7
+        assert header.length == len(frame)
+        assert payload == {
+            "collection": "usertable",
+            "document": {"_id": "k1", "field0": "v"},
+        }
+
+    def test_query_roundtrip(self):
+        frame = encode_query(9, "usertable", {"_id": "k1"}, n_to_return=1)
+        header, payload = decode_message(frame)
+        assert header.op_code == OP_QUERY
+        assert payload["query"] == {"_id": "k1"}
+        assert payload["n_to_return"] == 1
+
+    def test_update_roundtrip(self):
+        frame = encode_update(3, "c", {"_id": "k"}, {"$set": {"f": "v2"}})
+        header, payload = decode_message(frame)
+        assert header.op_code == OP_UPDATE
+        assert payload["selector"] == {"_id": "k"}
+        assert payload["update"] == {"$set": {"f": "v2"}}
+
+    def test_reply_roundtrip(self):
+        frame = encode_reply(9, [{"_id": "a"}, {"_id": "b"}])
+        header, payload = decode_message(frame)
+        assert header.op_code == OP_REPLY
+        assert header.response_to == 9
+        assert [d["_id"] for d in payload["documents"]] == ["a", "b"]
+
+    def test_corrupt_frames_rejected(self):
+        with pytest.raises(StorageError):
+            parse_header(b"short")
+        good = encode_insert(1, "c", {"_id": "k"})
+        with pytest.raises(StorageError):
+            decode_message(good[:-2])  # truncated
+
+    @given(
+        st.text(min_size=1, max_size=20).filter(
+            lambda s: "\x00" not in s and s.isprintable()
+        ),
+        st.dictionaries(
+            st.sampled_from(["_id", "field0", "field1"]),
+            st.text(max_size=40).filter(lambda s: "\x00" not in s),
+            min_size=1,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_insert_roundtrip_property(self, collection, document):
+        frame = encode_insert(1, collection, document)
+        _, payload = decode_message(frame)
+        assert payload["collection"] == collection
+        assert payload["document"] == document
+
+
+class TestWireServer:
+    def test_full_protocol_session(self):
+        """Insert, update, and query one record purely through wire frames."""
+        server = WireServer(Mongod("m0"))
+        assert server.handle(
+            encode_insert(1, "usertable", {"_id": "k1", "field0": "v1"})
+        ) is None
+        assert server.handle(
+            encode_update(2, "usertable", {"_id": "k1"}, {"$set": {"field0": "v2"}})
+        ) is None
+        reply = server.handle(encode_query(3, "usertable", {"_id": "k1"}))
+        header, payload = decode_message(reply)
+        assert header.op_code == OP_REPLY
+        assert header.response_to == 3
+        assert payload["documents"][0]["field0"] == "v2"
+        assert server.messages_handled == 3
+
+    def test_query_miss_returns_empty_reply(self):
+        server = WireServer(Mongod("m0"))
+        reply = server.handle(encode_query(1, "usertable", {"_id": "nope"}))
+        _, payload = decode_message(reply)
+        assert payload["documents"] == []
+
+    def test_safe_mode_getlasterror(self):
+        """The paper's safe mode: each write is acked via getLastError —
+        an acknowledgement of receipt, not of durability."""
+        server = WireServer(Mongod("m0"))
+        server.handle(encode_insert(1, "usertable", {"_id": "k", "f": "v"}))
+        ack = server.handle(encode_query(2, "admin.$cmd", {"getlasterror": 1}))
+        _, payload = decode_message(ack)
+        assert payload["documents"][0]["ok"] == 1
+        assert payload["documents"][0]["err"] is None
+
+    def test_unknown_command_rejected(self):
+        server = WireServer(Mongod("m0"))
+        with pytest.raises(StorageError):
+            server.handle(encode_query(1, "admin.$cmd", {"shutdown": 1}))
+
+    def test_unsupported_update_shape_rejected(self):
+        server = WireServer(Mongod("m0"))
+        with pytest.raises(StorageError):
+            server.handle(
+                encode_update(1, "c", {"_id": "k"}, {"replace": {"a": "b"}})
+            )

@@ -1,0 +1,67 @@
+"""Tests for the workload F extension (read-modify-write)."""
+
+import pytest
+
+from repro.core.oltp import OltpStudy
+from repro.docstore import MongoCsCluster
+from repro.sqlstore import SqlCsCluster
+from repro.ycsb import WORKLOADS, YcsbClient
+from repro.ycsb.workloads import PAPER_WORKLOADS, WorkloadSpec
+
+
+class TestSpec:
+    def test_f_is_an_extension_not_a_paper_workload(self):
+        assert "F" in WORKLOADS
+        assert "F" not in PAPER_WORKLOADS
+        assert WORKLOADS["F"].rmw == 0.5
+        assert WORKLOADS["F"].write_fraction == 0.5
+
+    def test_mix_validation_includes_rmw(self):
+        WorkloadSpec("X", "ok", read=0.3, rmw=0.7)
+        with pytest.raises(Exception):
+            WorkloadSpec("X", "bad", read=0.3, rmw=0.3)
+
+    def test_pick_operation_emits_rmw(self):
+        from repro.common.rng import TpchRandom64
+
+        rng = TpchRandom64(3)
+        picks = [WORKLOADS["F"].pick_operation(rng) for _ in range(4000)]
+        share = picks.count("rmw") / len(picks)
+        assert 0.45 < share < 0.55
+
+
+class TestFunctional:
+    @pytest.mark.parametrize(
+        "make_cluster",
+        [lambda: MongoCsCluster(shard_count=4), lambda: SqlCsCluster(shard_count=4)],
+        ids=["mongo-cs", "sql-cs"],
+    )
+    def test_rmw_is_read_your_writes(self, make_cluster):
+        client = YcsbClient(make_cluster(), WORKLOADS["F"], record_count=300, seed=31)
+        client.load()
+        stats = client.run(500)
+        assert stats.rmws > 150
+        assert stats.verification_failures == []
+        assert stats.total_ops == 500
+
+
+class TestModel:
+    def test_f_behaves_like_a_update_heavy_workload(self):
+        """F's 50% RMW does a read AND a write per op: it should sit at or
+        below workload A's throughput for every system."""
+        study = OltpStudy()
+        for system in ("sql-cs", "mongo-as", "mongo-cs"):
+            f_peak = study.peak_throughput(system, "F")
+            a_peak = study.peak_throughput(system, "A")
+            assert f_peak <= a_peak * 1.1
+
+    def test_rmw_latency_exceeds_both_parts(self):
+        study = OltpStudy()
+        point = study.evaluate("sql-cs", "F", 10_000)
+        assert point.latency["rmw"] > point.latency["read"]
+
+    def test_sql_still_wins_f(self):
+        study = OltpStudy()
+        assert study.peak_throughput("sql-cs", "F") > study.peak_throughput(
+            "mongo-as", "F"
+        )
