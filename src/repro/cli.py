@@ -28,6 +28,25 @@ def _cmd_dss(args) -> int:
     )
 
     study = DssStudy(calibration_sf=args.calibration_sf, seed=args.seed)
+    if args.trace or args.metrics or args.timeline:
+        from repro.obs import ascii_timeline, write_chrome_trace, write_metrics
+
+        result, tracer, metrics = study.trace_query(
+            args.trace_query, args.trace_sf, engine=args.engine
+        )
+        print(
+            f"{args.engine} q{args.trace_query} @ SF {args.trace_sf:g}: "
+            f"{result.total_time:.1f} s simulated, {len(tracer.spans)} spans"
+        )
+        if args.trace:
+            count = write_chrome_trace(args.trace, tracer, metrics)
+            print(f"wrote {count} trace events -> {args.trace}")
+        if args.metrics:
+            write_metrics(args.metrics, metrics)
+            print(f"wrote metrics -> {args.metrics}")
+        if args.timeline:
+            print(ascii_timeline(tracer))
+        return 0
     table = study.table3()
     for block in (
         render_table2(study),
@@ -46,6 +65,35 @@ def _cmd_oltp(args) -> int:
     from repro.core.report import render_oltp_load_times, render_ycsb_figure
 
     study = OltpStudy(isolation=args.isolation)
+    if args.trace or args.metrics or args.timeline:
+        from repro.obs import (
+            MetricsRegistry,
+            Tracer,
+            ascii_timeline,
+            write_chrome_trace,
+            write_metrics,
+        )
+
+        workload = args.workload if args.workload != "all" else "A"
+        tracer, metrics = Tracer(), MetricsRegistry()
+        point, sim = study.event_sim_point(
+            args.system, workload, args.target, duration=args.duration,
+            seed=args.seed, tracer=tracer, metrics=metrics,
+        )
+        print(
+            f"{args.system} workload {workload} @ {args.target:g} ops/s target: "
+            f"event-sim {sim.throughput:.0f} ops/s (scaled), "
+            f"{sim.completed_ops} measured ops, {len(tracer.spans)} spans"
+        )
+        if args.trace:
+            count = write_chrome_trace(args.trace, tracer, metrics)
+            print(f"wrote {count} trace events -> {args.trace}")
+        if args.metrics:
+            write_metrics(args.metrics, metrics)
+            print(f"wrote metrics -> {args.metrics}")
+        if args.timeline:
+            print(ascii_timeline(tracer, cat="resource"))
+        return 0
     figures = [
         ("C", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read"]),
         ("B", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read", "update"]),
@@ -134,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
     dss = sub.add_parser("dss", help="run the TPC-H study (Tables 2-5, Fig 1)")
     dss.add_argument("--calibration-sf", type=float, default=0.01)
     dss.add_argument("--seed", type=int, default=42)
+    dss.add_argument("--trace", metavar="PATH",
+                     help="trace one query; write Chrome trace-event JSON")
+    dss.add_argument("--metrics", metavar="PATH",
+                     help="trace one query; write the metrics snapshot JSON")
+    dss.add_argument("--timeline", action="store_true",
+                     help="trace one query; print an ASCII timeline")
+    dss.add_argument("--trace-query", type=int, default=1,
+                     help="TPC-H query to trace (default 1)")
+    dss.add_argument("--trace-sf", type=float, default=250.0,
+                     help="scale factor for the traced query (default 250)")
+    dss.add_argument("--engine", default="hive", choices=["hive", "pdw"],
+                     help="engine to trace (default hive)")
     dss.set_defaults(func=_cmd_dss)
 
     oltp = sub.add_parser("oltp", help="run the YCSB study (Figures 2-6)")
@@ -144,6 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     oltp.add_argument("--ascii", action="store_true",
                       help="also draw ASCII latency/throughput plots")
+    oltp.add_argument("--trace", metavar="PATH",
+                      help="event-simulate one point; write Chrome trace JSON")
+    oltp.add_argument("--metrics", metavar="PATH",
+                      help="event-simulate one point; write metrics JSON")
+    oltp.add_argument("--timeline", action="store_true",
+                      help="event-simulate one point; print an ASCII timeline")
+    oltp.add_argument("--system", default="mongo-as",
+                      choices=["sql-cs", "mongo-as", "mongo-cs"],
+                      help="system to trace (default mongo-as)")
+    oltp.add_argument("--target", type=float, default=10_000.0,
+                      help="target ops/s for the traced point (default 10000)")
+    oltp.add_argument("--duration", type=float, default=60.0,
+                      help="simulated seconds for the traced point")
+    oltp.add_argument("--seed", type=int, default=1234)
     oltp.set_defaults(func=_cmd_oltp)
 
     dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.errors import ConfigurationError
 from repro.common.stats import arithmetic_mean, geometric_mean
 from repro.core import paper_data
 from repro.hive.engine import LZO_RATIO, HiveEngine
@@ -221,6 +222,33 @@ class DssStudy:
 
     def pdw_time(self, number: int, scale_factor: float) -> float:
         return self.pdw.query_time(number, scale_factor)
+
+    def trace_query(self, number: int, scale_factor: float, engine: str = "hive",
+                    tracer=None, metrics=None):
+        """Run one query with observability attached.
+
+        Returns ``(result, tracer, metrics)``; fresh collectors are created
+        when none are passed in.  The trace's root query span equals the
+        reported query time exactly (spans are emitted after every cost
+        adjustment), so exporters and the invariant suite can reconcile
+        them.
+        """
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = tracer if tracer is not None else Tracer()
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        if engine == "hive":
+            result = self.hive.run_query(
+                number, scale_factor, tracer=tracer, metrics=metrics
+            )
+        elif engine == "pdw":
+            result = self.pdw.run_query(
+                number, scale_factor, tracer=tracer, metrics=metrics
+            )
+        else:
+            raise ConfigurationError(f"unknown engine {engine!r}")
+        metrics.gauge(f"dss.{engine}.q{number}.seconds").set(result.total_time)
+        return result, tracer, metrics
 
     # -- paper artifacts -----------------------------------------------------------
 

@@ -451,7 +451,8 @@ class OltpStudy:
 
     def event_sim_point(self, system_name: str, workload_name: str,
                         target: float, scale: float = 0.02,
-                        duration: float = 120.0, seed: int = 1234):
+                        duration: float = 120.0, seed: int = 1234,
+                        tracer=None, metrics=None):
         """Re-measure one figure point with the discrete-event simulator.
 
         The cluster and client population are scaled down by ``scale`` (the
@@ -459,6 +460,13 @@ class OltpStudy:
         which keeps the event count tractable while validating the MVA
         numbers and producing the window-to-window standard errors the
         analytic model cannot.  Returns ``(CurvePoint, EventSimResult)``.
+
+        ``tracer``/``metrics`` (see :mod:`repro.obs`) are forwarded to the
+        event simulation: every completed request becomes a latency span and
+        every station (cpu/disk/log/hotlock/...) emits hold and wait spans —
+        which is how the workload A latency gap shows up as hot-lock waits.
+        The cache model's verdict (miss rate, bytes fetched per miss — the
+        8 KB-vs-32 KB differentiator) is recorded as gauges.
         """
         from repro.ycsb.eventsim import SimStation, simulate_closed_loop
 
@@ -479,10 +487,20 @@ class OltpStudy:
         scaled_target = max(1.0, target * scale)
         # Think time from the response-time law at the scaled population.
         think = max(0.0, clients / scaled_target - point.latency.get("read", 0.001))
+        if metrics:
+            metrics.gauge("oltp.cache.miss_rate").set(
+                self.miss_rate(system, workload)
+            )
+            metrics.gauge("oltp.cache.read_io_bytes").set(system.read_io_bytes)
+            metrics.gauge("oltp.target").set(target)
+            metrics.gauge("oltp.mva.achieved").set(point.achieved)
         sim = simulate_closed_loop(
             stations, mix, clients=clients, think_time=think,
             duration=duration, seed=seed,
+            tracer=tracer, metrics=metrics,
         )
+        if metrics:
+            metrics.gauge("oltp.sim.throughput").set(sim.throughput)
         return point, sim
 
     # -- load phase (Section 3.4.2) -----------------------------------------------------

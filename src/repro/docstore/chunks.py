@@ -122,21 +122,29 @@ class Balancer:
         counts = config.shard_chunk_counts(shard_count)
         return max(counts) - min(counts) >= self.threshold
 
-    def rebalance(self, config: ConfigServer, shards: list, collection: str) -> int:
-        """Run migrations until balanced; returns number of chunks moved."""
+    def rebalance(self, config: ConfigServer, shards: list, collection: str,
+                  tracer=None, metrics=None) -> int:
+        """Run migrations until balanced; returns number of chunks moved.
+
+        With a ``tracer`` attached each migration becomes a span on the
+        balancer's logical clock (migration index), recording the source and
+        target shards and the document count moved.
+        """
         moved = 0
         while self.needs_balancing(config, len(shards)):
             counts = config.shard_chunk_counts(len(shards))
             source = counts.index(max(counts))
             target = counts.index(min(counts))
             chunk = next(c for c in config.chunks if c.shard == source)
-            self._migrate(config, chunk, shards, target, collection)
+            self._migrate(config, chunk, shards, target, collection,
+                          tracer=tracer, metrics=metrics)
             moved += 1
         return moved
 
     def _migrate(self, config: ConfigServer, chunk: Chunk, shards: list,
-                 target: int, collection: str) -> None:
+                 target: int, collection: str, tracer=None, metrics=None) -> None:
         source_shard = shards[chunk.shard]
+        source = chunk.shard
         low = chunk.low if chunk.low is not None else ""
         high = chunk.high if chunk.high is not None else "￿"
         keys = source_shard.collection(collection).keys_in_range(low, high)
@@ -145,9 +153,19 @@ class Balancer:
             shards[target].insert(collection, document)
             source_shard.remove(collection, key)
         chunk.shard = target
+        index = config.migrations
         config.migrations += 1
         config.migrated_docs += len(keys)
         config.version += 1
+        if tracer:
+            tracer.add(
+                "chunk.migrate", float(index), float(index + 1),
+                cat="migration", node="balancer", lane="migrations",
+                source=source, target=target, docs=len(keys),
+            )
+        if metrics:
+            metrics.counter("docstore.migrations").inc()
+            metrics.counter("docstore.migrated_docs").inc(len(keys))
 
 
 class MongosRouter:

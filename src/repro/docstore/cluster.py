@@ -36,12 +36,19 @@ class MongoAsCluster:
         balancer_threshold: int = 8,
         collection: str = DEFAULT_COLLECTION,
         mongos_count: int = 8,
+        tracer=None,
+        metrics=None,
     ):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
         if mongos_count < 1:
             raise ShardingError("need at least one mongos")
-        self.shards = [Mongod(f"mongod-{i}") for i in range(shard_count)]
+        self.tracer = tracer
+        self.metrics = metrics
+        self.shards = [
+            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics)
+            for i in range(shard_count)
+        ]
         self.config = ConfigServer()
         self.config.bootstrap(shard=0)
         self.balancer = Balancer(threshold=balancer_threshold)
@@ -91,7 +98,10 @@ class MongoAsCluster:
         self.config.split_chunk(chunk, median)
 
     def run_balancer(self) -> int:
-        return self.balancer.rebalance(self.config, self.shards, self.collection)
+        return self.balancer.rebalance(
+            self.config, self.shards, self.collection,
+            tracer=self.tracer, metrics=self.metrics,
+        )
 
     # -- mongos operations ----------------------------------------------------------
 
@@ -156,10 +166,14 @@ class MongoAsCluster:
 class MongoCsCluster:
     """Client-side hash-sharded MongoDB (the paper's Mongo-CS)."""
 
-    def __init__(self, shard_count: int = 128, collection: str = DEFAULT_COLLECTION):
+    def __init__(self, shard_count: int = 128, collection: str = DEFAULT_COLLECTION,
+                 tracer=None, metrics=None):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
-        self.shards = [Mongod(f"mongod-{i}") for i in range(shard_count)]
+        self.shards = [
+            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics)
+            for i in range(shard_count)
+        ]
         self.collection = collection
 
     def _shard(self, key: str) -> Mongod:

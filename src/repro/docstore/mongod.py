@@ -116,14 +116,31 @@ class Collection:
 
 
 class Mongod:
-    """One mongod process: named collections guarded by one global lock."""
+    """One mongod process: named collections guarded by one global lock.
 
-    def __init__(self, name: str):
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) record every global-lock
+    hold as a span on a **logical clock** (the per-process op counter): op
+    ``n`` holds the lock over ``[n, n+1)``.  Both default to off.
+    """
+
+    def __init__(self, name: str, tracer=None, metrics=None):
         self.name = name
         self.lock = GlobalLock()
         self._collections: dict[str, Collection] = {}
         self.ops = 0
         self.alive = True
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def _record_hold(self, mode: str) -> None:
+        """One global-lock hold just completed as op ``self.ops - 1``."""
+        if self.tracer:
+            self.tracer.add(
+                f"lock.{mode}.hold", float(self.ops - 1), float(self.ops),
+                cat="lock", node=self.name, lane="global-lock", mode=mode,
+            )
+        if self.metrics:
+            self.metrics.counter(f"docstore.lock.{mode}_holds").inc()
 
     def kill(self) -> None:
         """Fault injection: the process stops answering (socket exceptions)."""
@@ -149,6 +166,7 @@ class Mongod:
         self.lock.acquire_write()
         try:
             self.ops += 1
+            self._record_hold("write")
             self.collection(collection).insert(document)
         finally:
             self.lock.release_write()
@@ -158,6 +176,7 @@ class Mongod:
         self.lock.acquire_read()
         try:
             self.ops += 1
+            self._record_hold("read")
             return self.collection(collection).find_one(key)
         finally:
             self.lock.release_read()
@@ -167,6 +186,7 @@ class Mongod:
         self.lock.acquire_write()
         try:
             self.ops += 1
+            self._record_hold("write")
             return self.collection(collection).update_field(key, fieldname, value)
         finally:
             self.lock.release_write()
@@ -176,6 +196,7 @@ class Mongod:
         self.lock.acquire_read()
         try:
             self.ops += 1
+            self._record_hold("read")
             return self.collection(collection).scan(start_key, count)
         finally:
             self.lock.release_read()
@@ -185,6 +206,7 @@ class Mongod:
         self.lock.acquire_write()
         try:
             self.ops += 1
+            self._record_hold("write")
             return self.collection(collection).remove(key)
         finally:
             self.lock.release_write()

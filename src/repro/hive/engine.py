@@ -203,19 +203,87 @@ class HiveEngine:
             overhead=params.job_overhead,
         )
 
+    # -- tracing ------------------------------------------------------------------
+
+    def _emit_trace(self, result: HiveQueryResult, tracer, metrics) -> None:
+        """Lay the finished job sequence out as spans on one query timeline.
+
+        Jobs run back to back (Hive 0.7 submits each stage after the last),
+        so the cursor advances by each job's total; per-job phase spans and
+        per-attempt task spans nest inside.  Emitted *after* all cost
+        adjustments, so span totals reconcile exactly with the reported
+        simulated times.
+        """
+        query = tracer.add(
+            f"hive.q{result.number}", 0.0, result.total_time,
+            cat="query", node="hive", lane="query",
+            sf=result.scale_factor,
+        )
+        cursor = 0.0
+        for job in result.jobs:
+            job_span = tracer.add(
+                f"job.{job.name}", cursor, cursor + job.total_time,
+                cat="job", node="hive", lane="jobs", parent=query.span_id,
+                failed_mapjoin=job.failed_mapjoin,
+            )
+            t = cursor
+            for phase, length, extra in (
+                ("map", job.map_time,
+                 {"tasks": job.map_tasks, "waves": job.map_waves}),
+                ("shuffle", job.shuffle_time, {"bytes": job.shuffle_bytes}),
+                ("reduce", job.reduce_time, {"tasks": job.reduce_tasks}),
+                ("overhead", job.overhead, {}),
+            ):
+                if length <= 0.0:
+                    continue
+                phase_span = tracer.add(
+                    f"{job.name}.{phase}", t, t + length,
+                    cat="phase", node="hive", lane=phase,
+                    parent=job_span.span_id, **extra,
+                )
+                task_spans = (
+                    job.map_task_spans if phase == "map"
+                    else job.reduce_task_spans if phase == "reduce" else ()
+                )
+                for slot, start, end in task_spans:
+                    tracer.add(
+                        f"{phase}-task", t + start, t + end,
+                        cat="task", node="hive", lane=f"{phase}-slot-{slot:03d}",
+                        parent=phase_span.span_id,
+                    )
+                t += length
+            cursor += job.total_time
+        if metrics:
+            metrics.counter("hive.jobs").inc(len(result.jobs))
+            metrics.counter("hive.map_tasks").inc(
+                sum(j.map_tasks for j in result.jobs)
+            )
+            metrics.counter("hive.reduce_tasks").inc(
+                sum(j.reduce_tasks for j in result.jobs)
+            )
+            metrics.counter("hive.shuffle_bytes").inc(
+                sum(j.shuffle_bytes for j in result.jobs)
+            )
+            metrics.counter("hive.failed_mapjoins").inc(
+                sum(1 for j in result.jobs if j.failed_mapjoin)
+            )
+
     # -- public API ---------------------------------------------------------------
 
     def run_query(self, number: int, scale_factor: float,
-                  spec: QuerySpec | None = None) -> HiveQueryResult:
+                  spec: QuerySpec | None = None,
+                  tracer=None, metrics=None) -> HiveQueryResult:
         """Simulate one TPC-H query, returning the per-job time breakdown.
 
         ``spec`` overrides the stock plan spec (used by ablations, e.g.
-        forcing a different join order).
+        forcing a different join order).  ``tracer``/``metrics`` (see
+        :mod:`repro.obs`) record the mechanism breakdown; both default to
+        off and do not perturb the costing.
         """
         if spec is None:
             spec = spec_for(number)
         params = self._params_for(number)
-        tracker = JobTracker(self.profile, params)
+        tracker = JobTracker(self.profile, params, trace_tasks=bool(tracer))
         result = HiveQueryResult(number=number, scale_factor=scale_factor)
 
         for ref in spec.hive_materialize_scans:
@@ -236,6 +304,8 @@ class HiveEngine:
             result.jobs.append(self._small_job("sort", params))
         for i in range(spec.hive_extra_jobs):
             result.jobs.append(self._small_job(f"extra.{i}", params))
+        if tracer:
+            self._emit_trace(result, tracer, metrics)
         return result
 
     def query_time(self, number: int, scale_factor: float) -> float:

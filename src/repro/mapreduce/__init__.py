@@ -7,6 +7,7 @@ from repro.mapreduce.jobs import (
     JobTracker,
     MapPhase,
     schedule_tasks,
+    schedule_tasks_detailed,
     task_waves,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "JobTracker",
     "MapPhase",
     "schedule_tasks",
+    "schedule_tasks_detailed",
     "task_waves",
 ]

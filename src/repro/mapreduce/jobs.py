@@ -75,6 +75,30 @@ def schedule_tasks(durations: list[float], slots: int) -> float:
     return max(free_at)
 
 
+def schedule_tasks_detailed(
+    durations: list[float], slots: int
+) -> tuple[float, list[tuple[int, float, float]]]:
+    """Like :func:`schedule_tasks`, but also returns per-task attempt spans.
+
+    Each span is ``(slot, start, end)`` relative to the phase start.  Ties
+    in slot availability are broken by slot id, which matches the plain
+    scheduler's makespan exactly (the multiset of free times is identical)
+    while making the assignment deterministic.  Only used when tracing —
+    the fitting hot path keeps the allocation-free variant.
+    """
+    if slots < 1:
+        raise ConfigurationError("need at least one slot")
+    if not durations:
+        return 0.0, []
+    free_at = [(0.0, slot) for slot in range(min(slots, len(durations)))]
+    spans: list[tuple[int, float, float]] = []
+    for duration in durations:
+        start, slot = heapq.heappop(free_at)
+        heapq.heappush(free_at, (start + duration, slot))
+        spans.append((slot, start, start + duration))
+    return max(t for t, _ in free_at), spans
+
+
 def task_waves(task_count: int, slots: int) -> int:
     """Number of scheduling waves needed (ceil division)."""
     return math.ceil(task_count / slots) if task_count else 0
@@ -128,7 +152,12 @@ class JobResult:
     reduce_tasks: int = 0
     map_waves: int = 0
     failed_mapjoin: bool = False
+    shuffle_bytes: float = 0.0
     notes: list[str] = field(default_factory=list)
+    # Per-attempt (slot, start, end) spans relative to each phase's start;
+    # populated only when the tracker runs with ``trace_tasks=True``.
+    map_task_spans: list = field(default_factory=list)
+    reduce_task_spans: list = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -138,22 +167,35 @@ class JobResult:
 class JobTracker:
     """Simulates MapReduce jobs against a hardware profile."""
 
-    def __init__(self, profile: HardwareProfile, params: HadoopParams | None = None):
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        params: HadoopParams | None = None,
+        trace_tasks: bool = False,
+    ):
         self.profile = profile
         self.params = params or HadoopParams()
+        self.trace_tasks = trace_tasks
+
+    def _schedule_maps(self, durations: list[float], slots: int):
+        if self.trace_tasks:
+            return schedule_tasks_detailed(durations, slots)
+        return schedule_tasks(durations, slots), []
 
     def run_map_only(self, name: str, map_phase: MapPhase) -> JobResult:
         """A map-only job (selection/projection with no reduce phase)."""
         durations = map_phase.task_durations()
         slots = self.params.map_slots(self.profile)
+        map_time, task_spans = self._schedule_maps(durations, slots)
         return JobResult(
             name=name,
-            map_time=schedule_tasks(durations, slots),
+            map_time=map_time,
             shuffle_time=0.0,
             reduce_time=0.0,
             overhead=self.params.job_overhead,
             map_tasks=map_phase.task_count,
             map_waves=task_waves(map_phase.task_count, slots),
+            map_task_spans=task_spans,
         )
 
     def run_map_reduce(
@@ -177,13 +219,25 @@ class JobTracker:
             reducers = reduce_slots  # the paper sets reducers = total slots
         reducers = max(1, reducers)
 
-        map_time = schedule_tasks(map_phase.task_durations(), map_slots)
+        map_time, map_task_spans = self._schedule_maps(
+            map_phase.task_durations(), map_slots
+        )
         shuffle_time = shuffle_bytes / params.shuffle_bandwidth(self.profile)
 
         per_reducer = reduce_input_bytes / reducers
         reduce_task_time = params.reduce_task_startup + per_reducer / params.reduce_rate
         reduce_waves = task_waves(reducers, reduce_slots)
         reduce_time = reduce_task_time * reduce_waves
+
+        reduce_task_spans: list[tuple[int, float, float]] = []
+        if self.trace_tasks:
+            # Equal-sized reduce tasks run in whole waves: task i occupies
+            # slot i % slots during wave i // slots.
+            for i in range(reducers):
+                start = (i // reduce_slots) * reduce_task_time
+                reduce_task_spans.append(
+                    (i % reduce_slots, start, start + reduce_task_time)
+                )
 
         return JobResult(
             name=name,
@@ -194,6 +248,9 @@ class JobTracker:
             map_tasks=map_phase.task_count,
             reduce_tasks=reducers,
             map_waves=task_waves(map_phase.task_count, map_slots),
+            shuffle_bytes=shuffle_bytes,
+            map_task_spans=map_task_spans,
+            reduce_task_spans=reduce_task_spans,
         )
 
     def run_map_join(

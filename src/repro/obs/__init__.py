@@ -1,0 +1,45 @@
+"""``repro.obs`` — tracing and metrics for every simulated mechanism.
+
+The paper's argument is mechanism attribution: *which* part of each system
+(map-task waves, DMS shuffles, global-lock waits, buffer-pool misses) moved
+a number.  This package makes the reproduction's simulators show their
+work: a :class:`Tracer` records spans in simulated time, a
+:class:`MetricsRegistry` records mechanism counters, and the exporters
+render Chrome trace-event JSON (``chrome://tracing`` / Perfetto) and ASCII
+timelines.
+
+Everything is opt-in and zero-overhead when off: hooks default to ``None``
+and an untraced run executes the pre-instrumentation code path unchanged.
+"""
+
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace,
+    chrome_trace_events,
+    dumps_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.invariants import nesting_violations, overlap_violations, reconcile
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "ascii_timeline",
+    "nesting_violations",
+    "overlap_violations",
+    "reconcile",
+]

@@ -1,0 +1,67 @@
+"""Structural checks a valid trace must satisfy.
+
+These back the trace-invariant test suite, but they are also useful
+interactively: after a surprising benchmark number, run them on the trace
+to rule out instrumentation bugs before blaming the model.
+
+* :func:`nesting_violations` — a child span must lie inside its parent.
+* :func:`overlap_violations` — spans on one (node, lane) track must not
+  intersect; applied to ``cat="resource"`` hold spans of a capacity-1
+  resource this is the mutual-exclusion invariant.
+* :func:`reconcile` — a parent interval must equal the sum of a set of
+  child durations (mechanism attribution must add up).
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Span, Tracer
+
+
+def nesting_violations(tracer: Tracer, tol: float = 1e-9) -> list[str]:
+    """Spans whose interval escapes their parent's interval."""
+    by_id = {s.span_id: s for s in tracer.spans}
+    problems = []
+    for span in tracer.spans:
+        if span.parent is None:
+            continue
+        parent = by_id.get(span.parent)
+        if parent is None:
+            problems.append(f"{span.name}: dangling parent id {span.parent}")
+            continue
+        if span.start < parent.start - tol or span.end > parent.end + tol:
+            problems.append(
+                f"{span.name} [{span.start:.6g}, {span.end:.6g}] escapes "
+                f"{parent.name} [{parent.start:.6g}, {parent.end:.6g}]"
+            )
+    return problems
+
+
+def overlap_violations(spans: list[Span], tol: float = 1e-9) -> list[str]:
+    """Pairs of spans on the same (node, lane) track that intersect."""
+    tracks: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        tracks.setdefault((span.node, span.lane), []).append(span)
+    problems = []
+    for (node, lane), track in tracks.items():
+        ordered = sorted(track, key=lambda s: (s.start, s.end))
+        for a, b in zip(ordered, ordered[1:]):
+            if a.overlaps(b, tol):
+                problems.append(
+                    f"{node}/{lane}: {a.name} [{a.start:.6g}, {a.end:.6g}] "
+                    f"overlaps {b.name} [{b.start:.6g}, {b.end:.6g}]"
+                )
+    return problems
+
+
+def reconcile(expected: float, spans: list[Span], tol: float = 1e-6) -> float:
+    """Assert the spans' total duration matches ``expected`` (relative tol).
+
+    Returns the measured total so callers can report it.
+    """
+    total = sum(s.duration for s in spans)
+    scale = max(abs(expected), 1e-12)
+    if abs(total - expected) / scale > tol:
+        raise AssertionError(
+            f"span total {total!r} does not reconcile with expected {expected!r}"
+        )
+    return total

@@ -1,0 +1,155 @@
+"""Counters, gauges, and histograms keyed by dotted metric names.
+
+A :class:`MetricsRegistry` is the numeric companion to the tracer: engines
+increment mechanism counters (``hive.map_tasks``, ``pdw.dms_bytes``,
+``docstore.chunk_migrations``) and set gauges (``oltp.cache.miss_rate``)
+while they run, and the registry serializes to a deterministic JSON
+document — keys sorted, no timestamps — so same-seed runs are
+byte-identical.
+
+Like the tracer, metrics are opt-in: every instrumented call site defaults
+to ``metrics=None`` and pays one truthiness check when disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+# Fixed histogram boundaries: 1-2-5 decades from 1 µs to 50 ks, a range that
+# covers everything from a lock hold to a 16 TB Hive query.
+DEFAULT_BOUNDARIES = tuple(
+    m * 10.0**e for e in range(-6, 5) for m in (1.0, 2.0, 5.0)
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, rounds)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise SimulationError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count/min/max summary stats."""
+
+    def __init__(self, name: str, boundaries: tuple = DEFAULT_BOUNDARIES):
+        if list(boundaries) != sorted(boundaries):
+            raise SimulationError(f"histogram {name}: unsorted boundaries")
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for boundary in self.boundaries:
+            if value <= boundary:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        # Only non-empty buckets are serialized, keyed by upper boundary.
+        buckets = {}
+        for i, count in enumerate(self.counts):
+            if count:
+                upper = (
+                    repr(self.boundaries[i]) if i < len(self.boundaries) else "inf"
+                )
+                buckets[upper] = count
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get registry for counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise SimulationError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, boundaries: tuple = DEFAULT_BOUNDARIES) -> Histogram:
+        return self._get(name, Histogram, boundaries=boundaries)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str) -> float:
+        """Shortcut: current value of a counter or gauge."""
+        metric = self._metrics[name]
+        if isinstance(metric, Histogram):
+            raise SimulationError(f"{name!r} is a histogram; read .count/.total")
+        return metric.value
+
+    def as_dict(self) -> dict:
+        """Deterministic serializable snapshot (keys sorted)."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent,
+                          separators=(",", ": ") if indent else (",", ":"))

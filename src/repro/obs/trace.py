@@ -1,0 +1,203 @@
+"""Span tracing over *simulated* time.
+
+A :class:`Tracer` records :class:`Span` objects — named intervals on a
+virtual clock, grouped by ``node`` (a process/engine: ``hive``, ``pdw``, a
+mongod, a resource) and ``lane`` (a thread-like track within the node: a map
+slot, a client, ``wait`` vs ``hold``).  Producers either
+
+* call :meth:`Tracer.add` with explicit start/end times (the analytic
+  engines, which compute phase durations rather than living on the event
+  loop), or
+* bracket work with :meth:`Tracer.begin` / :meth:`Tracer.end` around a
+  clock callable (the discrete-event side), which also maintains the
+  parent/child nesting stack.
+
+The whole subsystem is **zero-overhead when disabled**: every hook in the
+simulator and the engines defaults to ``tracer=None`` and guards its calls
+with a single truthiness check, so an untraced run executes exactly the
+code it executed before this module existed.  :data:`NULL_TRACER` is a
+falsy no-op stand-in for call sites that prefer not to branch.
+
+Determinism: spans carry only simulated times and caller-supplied
+attributes — no wall-clock reads, no ids derived from ``id()`` or hashing —
+so two runs with the same seed produce byte-identical exports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time."""
+
+    name: str
+    start: float
+    end: float
+    cat: str = ""  # coarse category: "resource", "job", "phase", "request", ...
+    node: str = "sim"  # Chrome trace pid: the process/engine/resource
+    lane: str = "main"  # Chrome trace tid: the track within the node
+    args: dict = field(default_factory=dict)
+    parent: Optional[int] = None  # span_id of the enclosing span
+    span_id: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span", tol: float = 1e-9) -> bool:
+        """True when the two intervals genuinely intersect (not mere touch)."""
+        return self.start < other.end - tol and other.start < self.end - tol
+
+
+class Tracer:
+    """Collects spans; span ids are assigned in record order (deterministic)."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._open: list[Span] = []
+        self._next_id = 1
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- explicit-interval recording (analytic engines) -------------------------
+
+    def add(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        cat: str = "",
+        node: str = "sim",
+        lane: str = "main",
+        parent: Optional[int] = None,
+        **args: Any,
+    ) -> Span:
+        """Record a completed span with explicit simulated start/end times."""
+        if end < start:
+            raise SimulationError(f"span {name!r} ends before it starts")
+        if parent is None and self._open:
+            parent = self._open[-1].span_id
+        span = Span(
+            name=name, start=start, end=end, cat=cat, node=node, lane=lane,
+            args=dict(args), parent=parent, span_id=self._next_id,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    # -- bracketed recording (event-driven code) ---------------------------------
+
+    def begin(
+        self,
+        name: str,
+        now: float,
+        *,
+        cat: str = "",
+        node: str = "sim",
+        lane: str = "main",
+        **args: Any,
+    ) -> Span:
+        """Open a span at ``now``; it nests under the innermost open span."""
+        parent = self._open[-1].span_id if self._open else None
+        span = Span(
+            name=name, start=now, end=now, cat=cat, node=node, lane=lane,
+            args=dict(args), parent=parent, span_id=self._next_id,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._open.append(span)
+        return span
+
+    def end(self, now: float) -> Span:
+        """Close the innermost open span at ``now``."""
+        if not self._open:
+            raise SimulationError("Tracer.end with no open span")
+        span = self._open.pop()
+        if now < span.start:
+            raise SimulationError(f"span {span.name!r} ends before it starts")
+        span.end = now
+        return span
+
+    # -- queries -----------------------------------------------------------------
+
+    def find(
+        self,
+        *,
+        name: Optional[str] = None,
+        cat: Optional[str] = None,
+        node: Optional[str] = None,
+        lane: Optional[str] = None,
+        prefix: Optional[str] = None,
+    ) -> list[Span]:
+        """Spans matching every given filter, in record order."""
+        out = []
+        for span in self.spans:
+            if name is not None and span.name != name:
+                continue
+            if prefix is not None and not span.name.startswith(prefix):
+                continue
+            if cat is not None and span.cat != cat:
+                continue
+            if node is not None and span.node != node:
+                continue
+            if lane is not None and span.lane != lane:
+                continue
+            out.append(span)
+        return out
+
+    def children_of(self, parent: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == parent.span_id]
+
+    def total_duration(self, **filters: Any) -> float:
+        return sum(s.duration for s in self.find(**filters))
+
+    @property
+    def nodes(self) -> list[str]:
+        """Distinct nodes in first-seen order (deterministic)."""
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.node, None)
+        return list(seen)
+
+
+class NullTracer:
+    """Falsy no-op tracer: ``if tracer:`` guards cost one branch and nothing else."""
+
+    enabled = False
+    spans: tuple = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def add(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def begin(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def end(self, now: float) -> None:
+        return None
+
+    def find(self, **filters: Any) -> list:
+        return []
+
+    def total_duration(self, **filters: Any) -> float:
+        return 0.0
+
+
+NULL_TRACER = NullTracer()

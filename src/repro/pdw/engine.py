@@ -257,10 +257,52 @@ class PdwEngine:
             note="partial local aggregation + global re-aggregation",
         )
 
+    # -- tracing ------------------------------------------------------------------
+
+    def _emit_trace(self, result: PdwQueryResult, tracer, metrics) -> None:
+        """Sequential step spans with DMS child spans, post-costing.
+
+        PDW executes plan steps serially (DSQL step list); within a step the
+        three resources overlap, so the step span is the max-resource
+        elapsed time and the DMS movement appears as a child span on its own
+        lane with the moved byte count.
+        """
+        query = tracer.add(
+            f"pdw.q{result.number}", 0.0, result.total_time,
+            cat="query", node="pdw", lane="query", sf=result.scale_factor,
+        )
+        cursor = result.plan_overhead
+        for step in result.steps:
+            elapsed = step.elapsed(result.step_overhead)
+            step_span = tracer.add(
+                f"step.{step.name}", cursor, cursor + elapsed,
+                cat="step", node="pdw", lane="steps", parent=query.span_id,
+                kind=step.kind, io_time=step.io_time, cpu_time=step.cpu_time,
+                net_time=step.net_time,
+            )
+            if step.moved_bytes > 0.0 and step.net_time > 0.0:
+                tracer.add(
+                    f"dms.{step.name}", cursor, cursor + step.net_time,
+                    cat="dms", node="pdw", lane="dms",
+                    parent=step_span.span_id,
+                    bytes=step.moved_bytes, kind=step.kind,
+                )
+            cursor += elapsed
+        if metrics:
+            metrics.counter("pdw.steps").inc(len(result.steps))
+            metrics.counter("pdw.dms_bytes").inc(result.network_bytes)
+            for step in result.steps:
+                metrics.counter(f"pdw.steps.{step.kind}").inc()
+
     # -- public API ---------------------------------------------------------------
 
-    def run_query(self, number: int, scale_factor: float) -> PdwQueryResult:
-        """Plan and cost one TPC-H query; returns the step breakdown."""
+    def run_query(self, number: int, scale_factor: float,
+                  tracer=None, metrics=None) -> PdwQueryResult:
+        """Plan and cost one TPC-H query; returns the step breakdown.
+
+        ``tracer``/``metrics`` (see :mod:`repro.obs`) record the
+        data-movement breakdown; both default to off.
+        """
         spec = spec_for(number)
         result = PdwQueryResult(
             number=number,
@@ -284,6 +326,8 @@ class PdwEngine:
                 PdwStep(kind="sort", name="sort", cpu_time=0.2,
                         note="control-node result ordering")
             )
+        if tracer:
+            self._emit_trace(result, tracer, metrics)
         return result
 
     def query_time(self, number: int, scale_factor: float) -> float:

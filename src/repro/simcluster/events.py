@@ -94,10 +94,18 @@ class Process(Event):
 
 
 class Environment:
-    """The event loop: a clock plus a priority queue of pending events."""
+    """The event loop: a clock plus a priority queue of pending events.
 
-    def __init__(self):
+    ``tracer`` and ``metrics`` (see :mod:`repro.obs`) are optional hooks:
+    when attached, named :class:`Resource` instances emit wait/hold spans
+    and queueing counters.  When left ``None`` — the default — the loop and
+    the resources run exactly the uninstrumented code path.
+    """
+
+    def __init__(self, tracer=None, metrics=None):
         self.now = 0.0
+        self.tracer = tracer
+        self.metrics = metrics
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
 
@@ -170,16 +178,26 @@ class Resource:
             resource.release()
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1, name: Optional[str] = None):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.name = name
         self.in_use = 0
         self._waiting: list[Event] = []
         # Aggregate counters for utilization reporting.
         self.total_waits = 0
         self.total_grants = 0
+        self.total_wait_time = 0.0
+        # Tracing is active only for *named* resources on an instrumented
+        # environment; an untraced resource takes none of these branches.
+        self._trace = (
+            getattr(env, "tracer", None) is not None and name is not None
+        )
+        if self._trace:
+            self._wait_since: dict[int, float] = {}  # id(event) -> enqueue time
+            self._hold_since: list[float] = []  # FIFO grant times
 
     def request(self) -> Event:
         """Return an event that fires when a unit of capacity is granted."""
@@ -187,9 +205,13 @@ class Resource:
         if self.in_use < self.capacity:
             self.in_use += 1
             self.total_grants += 1
+            if self._trace:
+                self._hold_since.append(self.env.now)
             grant.succeed()
         else:
             self.total_waits += 1
+            if self._trace:
+                self._wait_since[id(grant)] = self.env.now
             self._waiting.append(grant)
         return grant
 
@@ -197,11 +219,50 @@ class Resource:
         """Return one unit of capacity, waking the longest waiter if any."""
         if self.in_use <= 0:
             raise SimulationError("release without matching request")
+        if self._trace:
+            self._record_release()
         if self._waiting:
             self.total_grants += 1
             self._waiting.pop(0).succeed()
         else:
             self.in_use -= 1
+
+    def _record_release(self) -> None:
+        """Emit hold/wait spans around a release (tracing enabled only).
+
+        Holds are paired FIFO with grants — exact for capacity 1 (the
+        mutual-exclusion case the invariant tests check), an
+        order-approximation for larger capacities, where total hold time is
+        still conserved.
+        """
+        now = self.env.now
+        tracer = self.env.tracer
+        hold_start = self._hold_since.pop(0) if self._hold_since else now
+        tracer.add(
+            f"{self.name}.hold", hold_start, now,
+            cat="resource", node=self.name, lane="hold",
+        )
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter(f"resource.{self.name}.holds").inc()
+            metrics.histogram(f"resource.{self.name}.hold_time").observe(
+                now - hold_start
+            )
+        if self._waiting:
+            waiter = self._waiting[0]
+            wait_start = self._wait_since.pop(id(waiter), now)
+            self.total_wait_time += now - wait_start
+            tracer.add(
+                f"{self.name}.wait", wait_start, now,
+                cat="resource-wait", node=self.name, lane="wait",
+            )
+            if metrics is not None:
+                metrics.counter(f"resource.{self.name}.waits").inc()
+                metrics.histogram(f"resource.{self.name}.wait_time").observe(
+                    now - wait_start
+                )
+            # The woken waiter starts holding now.
+            self._hold_since.append(now)
 
     @property
     def queue_length(self) -> int:

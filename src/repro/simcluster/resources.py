@@ -28,7 +28,7 @@ class Disk:
         self.seq_bandwidth = seq_bandwidth
         self.seek_time = seek_time
         self.name = name
-        self._queue = Resource(env, capacity=1)
+        self._queue = Resource(env, capacity=1, name=name)
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -111,7 +111,7 @@ class Cpu:
         self.env = env
         self.cores = cores
         self.name = name
-        self._pool = Resource(env, capacity=cores)
+        self._pool = Resource(env, capacity=cores, name=name)
         self.busy_seconds = 0.0
 
     def consume(self, seconds: float) -> Generator:
@@ -136,7 +136,7 @@ class NetworkLink:
         self.bandwidth = bandwidth
         self.latency = latency
         self.name = name
-        self._queue = Resource(env, capacity=1)
+        self._queue = Resource(env, capacity=1, name=name)
         self.bytes_sent = 0
 
     def transfer(self, nbytes: int) -> Generator:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.btree import BTree
-from repro.common.errors import StorageError
+from repro.common.errors import LockWait, StorageError, TransactionAborted
 from repro.sqlstore.bufferpool import BufferPool
 from repro.sqlstore.locks import IsolationLevel, LockManager, LockMode
 from repro.sqlstore.pages import PAGE_SIZE, PageManager, decode_row, encode_row
@@ -30,10 +30,14 @@ class SqlServerNode:
         isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
         checkpoint_interval_ops: int = 10_000,
         blocking_locks: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         from repro.sqlstore.locks import BlockingLockManager
 
         self.name = name
+        self.tracer = tracer
+        self.metrics = metrics
         self.isolation = isolation
         self.pages = PageManager()
         self.pool = BufferPool(pool_pages)
@@ -60,8 +64,42 @@ class SqlServerNode:
     def _tick(self) -> None:
         self.ops += 1
         self._ops_since_checkpoint += 1
+        if self.metrics:
+            self.metrics.counter("sqlstore.ops").inc()
         if self._ops_since_checkpoint >= self.checkpoint_interval_ops:
             self.checkpoint()
+
+    def _access(self, page_id: int, dirty: bool = False) -> bool:
+        """Buffer-pool access; a miss is a page read off disk (span + IO)."""
+        hit = self.pool.access(page_id, dirty=dirty)
+        if not hit:
+            if self.tracer:
+                clock = float(self.ops)
+                self.tracer.add(
+                    "page.read", clock, clock + 1.0,
+                    cat="io", node=self.name, lane="buffer-pool",
+                    page=page_id, bytes=PAGE_SIZE,
+                )
+            if self.metrics:
+                self.metrics.counter("sqlstore.page_reads").inc()
+                self.metrics.counter("sqlstore.read_io_bytes").inc(PAGE_SIZE)
+        return hit
+
+    def _acquire(self, txid: int, key: str, mode: LockMode) -> None:
+        """Lock acquisition; a conflict becomes a lock-wait span."""
+        try:
+            self.locks.acquire(txid, key, mode)
+        except (LockWait, TransactionAborted):
+            if self.tracer:
+                clock = float(self.ops)
+                self.tracer.add(
+                    "lock.wait", clock, clock + 1.0,
+                    cat="lock", node=self.name, lane="locks",
+                    key=key, mode=mode.value,
+                )
+            if self.metrics:
+                self.metrics.counter("sqlstore.lock_waits").inc()
+            raise
 
     def checkpoint(self) -> int:
         """Write back all dirty pages and truncate the log."""
@@ -70,6 +108,16 @@ class SqlServerNode:
             page.dirty = False
         self.wal.checkpoint()
         self._ops_since_checkpoint = 0
+        if self.tracer:
+            clock = float(self.ops)
+            self.tracer.add(
+                "checkpoint", clock, clock,
+                cat="checkpoint", node=self.name, lane="checkpoint",
+                pages=written,
+            )
+        if self.metrics:
+            self.metrics.counter("sqlstore.checkpoints").inc()
+            self.metrics.counter("sqlstore.checkpoint_pages").inc(written)
         return written
 
     # -- operations -----------------------------------------------------------------
@@ -79,14 +127,14 @@ class SqlServerNode:
         data = encode_row(record)
         if len(data) + 8 > PAGE_SIZE:
             raise StorageError("row larger than a page")
-        self.locks.acquire(txid, key, LockMode.EXCLUSIVE)
+        self._acquire(txid, key, LockMode.EXCLUSIVE)
         if key in self.index:
             self.locks.release_all(txid)
             raise StorageError(f"duplicate key {key!r}")
         page = self.pages.page_for_insert(data)
         page.put(key, data)
         self.index.insert(key, page.page_id)
-        self.pool.access(page.page_id, dirty=True)
+        self._access(page.page_id, dirty=True)
         self.wal.append(txid, LogOp.INSERT, key=key, after=data)
         self._commit(txid)
 
@@ -94,11 +142,11 @@ class SqlServerNode:
         txid = self._begin()
         try:
             if self.isolation is IsolationLevel.READ_COMMITTED:
-                self.locks.acquire(txid, key, LockMode.SHARED)
+                self._acquire(txid, key, LockMode.SHARED)
             page_id = self.index.get(key)
             if page_id is None:
                 return None
-            self.pool.access(page_id)
+            self._access(page_id)
             data = self.pages.get(page_id).get(key)
             return decode_row(data) if data is not None else None
         finally:
@@ -107,11 +155,11 @@ class SqlServerNode:
     def update(self, key: str, fieldname: str, value: str) -> bool:
         txid = self._begin()
         try:
-            self.locks.acquire(txid, key, LockMode.EXCLUSIVE)
+            self._acquire(txid, key, LockMode.EXCLUSIVE)
             page_id = self.index.get(key)
             if page_id is None:
                 return False
-            self.pool.access(page_id, dirty=True)
+            self._access(page_id, dirty=True)
             page = self.pages.get(page_id)
             before = page.get(key)
             row = decode_row(before)
@@ -129,8 +177,8 @@ class SqlServerNode:
             out = []
             for key, page_id in self.index.range_scan(start_key, count):
                 if self.isolation is IsolationLevel.READ_COMMITTED:
-                    self.locks.acquire(txid, key, LockMode.SHARED)
-                self.pool.access(page_id)
+                    self._acquire(txid, key, LockMode.SHARED)
+                self._access(page_id)
                 data = self.pages.get(page_id).get(key)
                 row = decode_row(data)
                 row["_key"] = key

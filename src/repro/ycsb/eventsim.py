@@ -76,6 +76,8 @@ def simulate_closed_loop(
     warmup: float = 10.0,
     windows: int = 6,
     seed: int = 1234,
+    tracer=None,
+    metrics=None,
 ) -> EventSimResult:
     """Run N closed-loop clients over the stations and measure.
 
@@ -83,6 +85,11 @@ def simulate_closed_loop(
     an op class by the mix, then visits every station that serves that class
     (FIFO queueing, exponential service).  Latencies and completions are
     recorded per measurement window after the warm-up.
+
+    With a ``tracer`` attached every completed request becomes a latency
+    span (node ``client``, one lane per client thread) and every station
+    resource emits hold/wait spans; ``metrics`` gets per-class op counters.
+    Both default to off and change nothing about the simulated schedule.
     """
     if clients < 1:
         raise SimulationError("need at least one client")
@@ -91,8 +98,8 @@ def simulate_closed_loop(
     if duration <= warmup:
         raise SimulationError("duration must exceed warmup")
 
-    env = Environment()
-    resources = {s.name: Resource(env, s.servers) for s in stations}
+    env = Environment(tracer=tracer, metrics=metrics)
+    resources = {s.name: Resource(env, s.servers, name=s.name) for s in stations}
     seeds = SeedStream(seed)
 
     latencies: dict[str, list[float]] = {c: [] for c in mix}
@@ -112,13 +119,26 @@ def simulate_closed_loop(
                 resource = resources[station.name]
                 grant = resource.request()
                 yield grant
-                try:
-                    yield env.timeout(_exponential(rng, mean))
-                finally:
-                    resource.release()
+                yield env.timeout(_exponential(rng, mean))
+                # Release on the normal path only — no try/finally.  A
+                # ``finally`` here would also fire on GeneratorExit when the
+                # garbage collector finalizes clients left suspended at the
+                # ``until`` cutoff, emitting phantom hold spans into the
+                # tracer at whatever moment collection happens to run.
+                resource.release()
+            if tracer:
+                tracer.add(
+                    f"request.{op_class}", start, env.now,
+                    cat="request", node="client", lane=f"client-{index}",
+                    cls=op_class,
+                )
+            if metrics:
+                metrics.counter(f"ycsb.ops.{op_class}").inc()
             if env.now >= warmup:
                 latencies[op_class].append(env.now - start)
                 completions.append(env.now)
+                if metrics:
+                    metrics.counter("ycsb.measured_ops").inc()
 
     for i in range(clients):
         env.process(client(i))

@@ -1,0 +1,293 @@
+"""Unit tests for the repro.obs subsystem: tracer, metrics, exporters."""
+
+import json
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    ascii_timeline,
+    chrome_trace,
+    chrome_trace_events,
+    dumps_chrome_trace,
+    nesting_violations,
+    overlap_violations,
+    reconcile,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+class TestTracer:
+    def test_add_records_span(self):
+        tr = Tracer()
+        span = tr.add("work", 1.0, 3.0, cat="phase", node="n1", lane="l1", rows=42)
+        assert span.duration == 2.0
+        assert span.args == {"rows": 42}
+        assert span.span_id == 1
+        assert tr.spans == [span]
+
+    def test_backwards_span_rejected(self):
+        tr = Tracer()
+        with pytest.raises(SimulationError):
+            tr.add("bad", 5.0, 4.0)
+
+    def test_zero_length_span_allowed(self):
+        tr = Tracer()
+        span = tr.add("instant", 2.0, 2.0)
+        assert span.duration == 0.0
+
+    def test_span_ids_sequential(self):
+        tr = Tracer()
+        ids = [tr.add(f"s{i}", 0.0, 1.0).span_id for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_begin_end_nesting(self):
+        tr = Tracer()
+        outer = tr.begin("outer", 0.0)
+        inner = tr.begin("inner", 1.0)
+        assert inner.parent == outer.span_id
+        assert tr.end(2.0) is inner
+        assert tr.end(3.0) is outer
+        assert inner.end == 2.0 and outer.end == 3.0
+
+    def test_add_autoparents_to_open_span(self):
+        tr = Tracer()
+        outer = tr.begin("outer", 0.0)
+        child = tr.add("child", 0.5, 0.8)
+        tr.end(1.0)
+        assert child.parent == outer.span_id
+
+    def test_end_without_begin_raises(self):
+        tr = Tracer()
+        with pytest.raises(SimulationError):
+            tr.end(1.0)
+
+    def test_end_before_start_raises(self):
+        tr = Tracer()
+        tr.begin("x", 5.0)
+        with pytest.raises(SimulationError):
+            tr.end(4.0)
+
+    def test_find_filters(self):
+        tr = Tracer()
+        tr.add("a.one", 0, 1, cat="x", node="n1", lane="l1")
+        tr.add("a.two", 1, 2, cat="x", node="n2", lane="l1")
+        tr.add("b.one", 2, 3, cat="y", node="n1", lane="l2")
+        assert len(tr.find(cat="x")) == 2
+        assert len(tr.find(node="n1")) == 2
+        assert len(tr.find(prefix="a.")) == 2
+        assert len(tr.find(name="b.one")) == 1
+        assert len(tr.find(cat="x", node="n1")) == 1
+        assert tr.find(lane="l2")[0].name == "b.one"
+
+    def test_total_duration_and_nodes(self):
+        tr = Tracer()
+        tr.add("a", 0, 1, node="z")
+        tr.add("b", 0, 2, node="a")
+        tr.add("c", 0, 4, node="z")
+        assert tr.total_duration(node="z") == 5.0
+        # First-seen order, not sorted.
+        assert tr.nodes == ["z", "a"]
+
+    def test_children_of(self):
+        tr = Tracer()
+        parent = tr.add("p", 0, 10)
+        kids = [tr.add(f"k{i}", i, i + 1, parent=parent.span_id) for i in range(3)]
+        assert tr.children_of(parent) == kids
+
+
+class TestNullTracer:
+    def test_falsy_and_inert(self):
+        assert not NULL_TRACER
+        assert not NullTracer()
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.add("x", 0, 1) is None
+        assert NULL_TRACER.begin("x", 0) is None
+        assert NULL_TRACER.end(1.0) is None
+        assert NULL_TRACER.find(name="x") == []
+        assert NULL_TRACER.total_duration() == 0.0
+
+    def test_real_tracer_truthy_even_when_empty(self):
+        assert Tracer()
+        assert len(Tracer()) == 0
+
+
+class TestMetrics:
+    def test_counter(self):
+        mx = MetricsRegistry()
+        mx.counter("c").inc()
+        mx.counter("c").inc(2.5)
+        assert mx.value("c") == 3.5
+
+    def test_counter_rejects_negative(self):
+        mx = MetricsRegistry()
+        with pytest.raises(SimulationError):
+            mx.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        mx = MetricsRegistry()
+        mx.gauge("g").set(1.0)
+        mx.gauge("g").set(9.0)
+        assert mx.value("g") == 9.0
+
+    def test_histogram_summary_stats(self):
+        mx = MetricsRegistry()
+        h = mx.histogram("h")
+        for v in (0.5, 1.5, 100.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(102.0)
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(34.0)
+
+    def test_histogram_value_shortcut_rejected(self):
+        mx = MetricsRegistry()
+        mx.histogram("h").observe(1.0)
+        with pytest.raises(SimulationError):
+            mx.value("h")
+
+    def test_type_mismatch_rejected(self):
+        mx = MetricsRegistry()
+        mx.counter("m")
+        with pytest.raises(SimulationError):
+            mx.gauge("m")
+
+    def test_names_sorted_and_as_dict(self):
+        mx = MetricsRegistry()
+        mx.counter("z.count").inc()
+        mx.gauge("a.gauge").set(2.0)
+        assert mx.names() == ["a.gauge", "z.count"]
+        d = mx.as_dict()
+        assert list(d) == ["a.gauge", "z.count"]
+        assert d["z.count"] == {"type": "counter", "value": 1.0}
+
+    def test_to_json_deterministic(self):
+        mx = MetricsRegistry()
+        mx.counter("b").inc()
+        mx.counter("a").inc()
+        my = MetricsRegistry()
+        my.counter("a").inc()
+        my.counter("b").inc()
+        assert mx.to_json() == my.to_json()
+
+
+class TestExport:
+    def _sample(self):
+        tr = Tracer()
+        root = tr.add("root", 0.0, 10.0, cat="query", node="engine", lane="q")
+        tr.add("step", 1.0, 2.0, cat="phase", node="engine", lane="steps",
+               parent=root.span_id, rows=7)
+        tr.add("hold", 0.0, 1.0, cat="resource", node="disk", lane="hold")
+        return tr
+
+    def test_chrome_events_structure(self):
+        tr = self._sample()
+        events = chrome_trace_events(tr)
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        # 2 process names + 3 thread names (engine has 2 lanes, disk 1).
+        assert len(meta) == 5
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "engine") in names
+        assert ("process_name", "disk") in names
+        step = next(e for e in spans if e["name"] == "step")
+        assert step["ts"] == pytest.approx(1e6)
+        assert step["dur"] == pytest.approx(1e6)
+        assert step["args"]["rows"] == 7
+        assert step["args"]["parent"] == 1
+
+    def test_pids_first_seen_order(self):
+        tr = self._sample()
+        events = chrome_trace_events(tr)
+        pid_of = {
+            e["args"]["name"]: e["pid"]
+            for e in events if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert pid_of == {"engine": 1, "disk": 2}
+
+    def test_metrics_ride_along(self):
+        tr = self._sample()
+        mx = MetricsRegistry()
+        mx.counter("events").inc(3)
+        doc = chrome_trace(tr, mx)
+        assert doc["otherData"]["metrics"]["events"]["value"] == 3.0
+        assert "otherData" not in chrome_trace(tr)
+
+    def test_dumps_is_valid_sorted_json(self):
+        payload = dumps_chrome_trace(self._sample())
+        doc = json.loads(payload)
+        assert len(doc["traceEvents"]) == 8
+        # Deterministic encoding: re-dumping parses identically.
+        assert json.dumps(doc, sort_keys=True, separators=(",", ":")) == payload
+
+    def test_write_roundtrip(self, tmp_path):
+        tr = self._sample()
+        mx = MetricsRegistry()
+        mx.gauge("g").set(4.0)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert write_chrome_trace(str(trace_path), tr, mx) == 3
+        assert write_metrics(str(metrics_path), mx) == 1
+        doc = json.loads(trace_path.read_text())
+        assert doc["otherData"]["metrics"]["g"]["value"] == 4.0
+        assert json.loads(metrics_path.read_text())["g"]["type"] == "gauge"
+
+    def test_ascii_timeline_renders(self):
+        art = ascii_timeline(self._sample(), width=40)
+        assert "engine:" in art and "disk:" in art
+        assert "#" in art
+        assert ascii_timeline(Tracer()) == "(no spans)"
+
+    def test_ascii_timeline_cat_filter_and_lane_cap(self):
+        tr = Tracer()
+        for i in range(20):
+            tr.add("h", i, i + 1, cat="resource", node="disk", lane=f"l{i}")
+        tr.add("q", 0, 20, cat="query", node="e", lane="q")
+        art = ascii_timeline(tr, cat="resource", max_lanes_per_node=4)
+        assert "16 more lane(s)" in art
+        assert "e:" not in art
+
+
+class TestInvariantHelpers:
+    def test_nesting_violation_detected(self):
+        tr = Tracer()
+        parent = tr.add("p", 0.0, 5.0)
+        tr.add("ok", 1.0, 2.0, parent=parent.span_id)
+        tr.add("escapee", 4.0, 9.0, parent=parent.span_id)
+        problems = nesting_violations(tr)
+        assert len(problems) == 1
+        assert "escapee" in problems[0]
+
+    def test_dangling_parent_detected(self):
+        tr = Tracer()
+        tr.add("orphan", 0.0, 1.0, parent=999)
+        assert "dangling" in nesting_violations(tr)[0]
+
+    def test_overlap_detected_on_same_track_only(self):
+        tr = Tracer()
+        tr.add("a", 0.0, 2.0, node="n", lane="l")
+        tr.add("b", 1.0, 3.0, node="n", lane="l")
+        tr.add("c", 1.0, 3.0, node="n", lane="other")
+        problems = overlap_violations(tr.spans)
+        assert len(problems) == 1
+        assert "n/l" in problems[0]
+
+    def test_touching_spans_do_not_overlap(self):
+        tr = Tracer()
+        tr.add("a", 0.0, 1.0, node="n", lane="l")
+        tr.add("b", 1.0, 2.0, node="n", lane="l")
+        assert overlap_violations(tr.spans) == []
+
+    def test_reconcile(self):
+        tr = Tracer()
+        tr.add("a", 0.0, 1.5)
+        tr.add("b", 1.5, 4.0)
+        assert reconcile(4.0, tr.spans) == pytest.approx(4.0)
+        with pytest.raises(AssertionError):
+            reconcile(5.0, tr.spans)

@@ -1,0 +1,99 @@
+"""Same seed, same bytes: determinism of traces and metrics exports.
+
+The obs layer promises that a trace carries only simulated time and
+caller-supplied attributes — nothing wall-clock- or id()-derived — so two
+runs with the same seed must serialize to byte-identical Chrome trace JSON
+and metrics JSON.  Property-tested across seeds and closed-loop shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, Tracer, dumps_chrome_trace
+from repro.ycsb.eventsim import SimStation, simulate_closed_loop
+
+STATIONS = [
+    SimStation("cpu", 4, {"read": 0.002, "update": 0.003}),
+    SimStation("disk", 2, {"read": 0.004, "update": 0.004}),
+    SimStation("hotlock", 1, {"update": 0.001}),
+]
+MIX = {"read": 0.5, "update": 0.5}
+
+
+def _traced_run(seed: int, clients: int, duration: float = 6.0):
+    tracer, metrics = Tracer(), MetricsRegistry()
+    result = simulate_closed_loop(
+        STATIONS, MIX, clients=clients, think_time=0.01,
+        duration=duration, warmup=2.0, windows=2, seed=seed,
+        tracer=tracer, metrics=metrics,
+    )
+    return result, dumps_chrome_trace(tracer, metrics), metrics.to_json()
+
+
+class TestEventSimDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           clients=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_byte_identical(self, seed, clients):
+        result_a, trace_a, metrics_a = _traced_run(seed, clients)
+        result_b, trace_b, metrics_b = _traced_run(seed, clients)
+        assert trace_a == trace_b
+        assert metrics_a == metrics_b
+        assert result_a.throughput == result_b.throughput
+        assert result_a.latency == result_b.latency
+
+    def test_different_seed_different_trace(self):
+        _, trace_a, _ = _traced_run(1, 4)
+        _, trace_b, _ = _traced_run(2, 4)
+        assert trace_a != trace_b
+
+    def test_tracing_does_not_perturb_simulation(self):
+        """Attaching a tracer must not change a single simulated number."""
+        bare = simulate_closed_loop(
+            STATIONS, MIX, clients=6, think_time=0.01,
+            duration=6.0, warmup=2.0, windows=2, seed=99,
+        )
+        traced, _, _ = _traced_run(99, 6)
+        assert bare.throughput == traced.throughput
+        assert bare.completed_ops == traced.completed_ops
+        assert bare.latency == traced.latency
+        assert bare.window_throughputs == traced.window_throughputs
+
+
+class TestAnalyticDeterminism:
+    def test_dss_trace_byte_identical_across_studies(self):
+        """Two independently built studies trace a query identically."""
+        from repro.core.dss import DssStudy
+
+        payloads = []
+        for _ in range(2):
+            study = DssStudy(fit=False)
+            _, tracer, metrics = study.trace_query(5, 1000, engine="hive")
+            payloads.append(dumps_chrome_trace(tracer, metrics))
+        assert payloads[0] == payloads[1]
+
+    def test_pdw_trace_byte_identical_across_studies(self):
+        from repro.core.dss import DssStudy
+
+        payloads = []
+        for _ in range(2):
+            study = DssStudy(fit=False)
+            _, tracer, metrics = study.trace_query(19, 4000, engine="pdw")
+            payloads.append(dumps_chrome_trace(tracer, metrics))
+        assert payloads[0] == payloads[1]
+
+    def test_docstore_trace_deterministic(self):
+        from repro.docstore.cluster import MongoAsCluster
+
+        payloads = []
+        for _ in range(2):
+            tracer, metrics = Tracer(), MetricsRegistry()
+            cluster = MongoAsCluster(
+                shard_count=4, max_chunk_docs=8, balancer_threshold=2,
+                tracer=tracer, metrics=metrics,
+            )
+            for i in range(120):
+                cluster.insert(f"user{i:04d}", {"field0": "v"})
+            cluster.run_balancer()
+            payloads.append(dumps_chrome_trace(tracer, metrics))
+        assert payloads[0] == payloads[1]

@@ -1,0 +1,265 @@
+"""Trace invariants over real simulator runs.
+
+Every trace the stack emits must be structurally sound (children nest inside
+parents, capacity-1 hold spans never overlap) and must *reconcile*: the
+mechanism attribution in the spans has to add up to the headline numbers the
+study reports — Q1's map-phase spans against Table 4, hot-lock waits against
+the workload A latency gap, PDW step spans against the query total.
+"""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    nesting_violations,
+    overlap_violations,
+    reconcile,
+)
+
+SF = 250
+
+
+@pytest.fixture(scope="module")
+def study():
+    from repro.core.dss import DssStudy
+
+    return DssStudy()
+
+
+class TestHiveTraceInvariants:
+    @pytest.fixture(scope="class")
+    def q1(self, study):
+        result, tracer, metrics = study.trace_query(1, SF, engine="hive")
+        return result, tracer, metrics
+
+    def test_nesting_is_sound(self, q1):
+        _, tracer, _ = q1
+        assert nesting_violations(tracer) == []
+
+    def test_root_span_equals_reported_total(self, q1):
+        result, tracer, _ = q1
+        root = tracer.find(name="hive.q1")[0]
+        assert root.duration == pytest.approx(result.total_time, rel=1e-9)
+
+    def test_job_spans_tile_the_query(self, q1):
+        """Jobs run back to back: their spans partition [0, total]."""
+        result, tracer, _ = q1
+        jobs = sorted(tracer.find(cat="job"), key=lambda s: s.start)
+        assert jobs[0].start == 0.0
+        for a, b in zip(jobs, jobs[1:]):
+            assert b.start == pytest.approx(a.end)
+        reconcile(result.total_time, jobs)
+
+    def test_phase_spans_tile_each_job(self, q1):
+        _, tracer, _ = q1
+        for job_span in tracer.find(cat="job"):
+            phases = sorted(
+                (s for s in tracer.find(cat="phase")
+                 if s.parent == job_span.span_id),
+                key=lambda s: s.start,
+            )
+            assert phases, f"job {job_span.name} has no phase spans"
+            reconcile(job_span.duration, phases)
+
+    def test_map_phase_span_matches_table4(self, study, q1):
+        """Table 4 reports Q1's map-phase time; the trace must agree."""
+        _, tracer, _ = q1
+        table4 = study.table4(scale_factors=[SF])[0]
+        map_phase = tracer.find(name="agg.q1.agg.map")[0]
+        assert map_phase.duration == pytest.approx(table4, rel=1e-9)
+
+    def test_map_task_spans_stay_inside_their_wave_window(self, q1):
+        """Task attempts sit inside the map phase and no slot double-books."""
+        _, tracer, _ = q1
+        tasks = tracer.find(cat="task", prefix="map-task")
+        assert tasks
+        assert overlap_violations(tasks) == []
+
+    def test_task_makespan_equals_raw_schedule(self, study):
+        """The detailed (traced) scheduler must agree with the plain one."""
+        from repro.mapreduce.jobs import schedule_tasks, schedule_tasks_detailed
+
+        durations = [6.0 + 0.5 * (i % 7) for i in range(40)]
+        plain = schedule_tasks(durations, 8)
+        detailed, spans = schedule_tasks_detailed(durations, 8)
+        assert detailed == pytest.approx(plain)
+        assert len(spans) == len(durations)
+        assert max(end for _, _, end in spans) == pytest.approx(plain)
+
+    def test_metrics_reconcile_with_job_results(self, q1):
+        result, _, metrics = q1
+        assert metrics.value("hive.jobs") == len(result.jobs)
+        assert metrics.value("hive.map_tasks") == sum(
+            j.map_tasks for j in result.jobs
+        )
+        assert metrics.value("hive.shuffle_bytes") == pytest.approx(
+            sum(j.shuffle_bytes for j in result.jobs)
+        )
+
+    def test_q22_mapjoin_failure_visible_in_trace(self, study):
+        """Q22's failed map-side join must be attributed in span args."""
+        result, tracer, metrics = study.trace_query(22, SF, engine="hive")
+        failed = [s for s in tracer.find(cat="job") if s.args["failed_mapjoin"]]
+        assert len(failed) == sum(1 for j in result.jobs if j.failed_mapjoin)
+        assert len(failed) >= 1
+        assert metrics.value("hive.failed_mapjoins") == len(failed)
+        assert nesting_violations(tracer) == []
+
+
+class TestPdwTraceInvariants:
+    @pytest.fixture(scope="class")
+    def q5(self, study):
+        return study.trace_query(5, 1000, engine="pdw")
+
+    def test_nesting_is_sound(self, q5):
+        _, tracer, _ = q5
+        assert nesting_violations(tracer) == []
+
+    def test_steps_plus_overhead_reconcile(self, q5):
+        result, tracer, _ = q5
+        steps = tracer.find(cat="step")
+        reconcile(result.total_time - result.plan_overhead, steps)
+        root = tracer.find(name="pdw.q5")[0]
+        assert root.duration == pytest.approx(result.total_time, rel=1e-9)
+
+    def test_steps_are_serial(self, q5):
+        _, tracer, _ = q5
+        assert overlap_violations(tracer.find(cat="step")) == []
+
+    def test_dms_spans_carry_all_moved_bytes(self, q5):
+        result, tracer, metrics = q5
+        dms_bytes = sum(s.args["bytes"] for s in tracer.find(cat="dms"))
+        moved_with_net = sum(
+            s.moved_bytes for s in result.steps if s.net_time > 0
+        )
+        assert dms_bytes == pytest.approx(moved_with_net)
+        assert metrics.value("pdw.dms_bytes") == pytest.approx(
+            result.network_bytes
+        )
+
+    def test_q5_shuffles_q19_replicates(self, study):
+        """The paper's two flagship plans show up as DMS span kinds."""
+        _, tr5, _ = study.trace_query(5, 1000, engine="pdw")
+        _, tr19, _ = study.trace_query(19, 1000, engine="pdw")
+        kinds5 = {s.args["kind"] for s in tr5.find(cat="dms")}
+        kinds19 = {s.args["kind"] for s in tr19.find(cat="dms")}
+        assert "shuffle_join" in kinds5
+        assert any(k.startswith("replicate") for k in kinds19)
+
+
+class TestOltpTraceInvariants:
+    @pytest.fixture(scope="class")
+    def workload_a(self):
+        from repro.core.oltp import OltpStudy
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        point, sim = OltpStudy().event_sim_point(
+            "mongo-as", "A", 20_000, duration=30.0,
+            tracer=tracer, metrics=metrics,
+        )
+        return point, sim, tracer, metrics
+
+    def test_measured_request_spans_reconcile_with_completions(self, workload_a):
+        _, sim, tracer, metrics = workload_a
+        requests = tracer.find(cat="request")
+        measured = [s for s in requests if s.end >= 10.0]  # warmup default
+        assert len(measured) == sim.completed_ops
+        assert metrics.value("ycsb.measured_ops") == sim.completed_ops
+
+    def test_hold_spans_mutually_exclusive_on_capacity_one(self, workload_a):
+        """The hot-lock station has one server: holds must never overlap."""
+        _, _, tracer, _ = workload_a
+        holds = tracer.find(cat="resource", node="hotlock")
+        assert holds
+        assert overlap_violations(holds) == []
+
+    def test_lock_wait_spans_explain_workload_a_write_penalty(self, workload_a):
+        """The paper blames workload A's update latency on the global write
+        lock; in the trace that is hot-lock wait time, which must (a) exist
+        and (b) match the wait-time histogram exactly."""
+        _, _, tracer, metrics = workload_a
+        waits = tracer.find(cat="resource-wait", node="hotlock")
+        assert waits, "workload A must queue on the hot lock"
+        span_total = sum(s.duration for s in waits)
+        hist = metrics.histogram("resource.hotlock.wait_time")
+        assert hist.count == len(waits)
+        assert hist.total == pytest.approx(span_total)
+        assert span_total > 0.0
+
+    def test_cache_gauges_record_the_32kb_story(self, workload_a):
+        """Mongo fetches 32 KB per miss — the workload C differentiator."""
+        _, _, _, metrics = workload_a
+        assert metrics.value("oltp.cache.read_io_bytes") == 32 * 1024
+        assert 0.0 < metrics.value("oltp.cache.miss_rate") < 1.0
+
+
+class TestStoreTraceInvariants:
+    def test_docstore_lock_spans_count_every_op(self):
+        from repro.docstore.cluster import MongoAsCluster
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        cluster = MongoAsCluster(
+            shard_count=4, max_chunk_docs=10, balancer_threshold=2,
+            tracer=tracer, metrics=metrics,
+        )
+        for i in range(150):
+            cluster.insert(f"user{i:04d}", {"field0": "v"})
+        moved = cluster.run_balancer()
+        cluster.read("user0007")
+
+        total_ops = sum(s.ops for s in cluster.shards)
+        assert len(tracer.find(cat="lock")) == total_ops
+        write_holds = metrics.value("docstore.lock.write_holds")
+        read_holds = metrics.value("docstore.lock.read_holds")
+        assert write_holds + read_holds == total_ops
+        # Per-shard logical clocks never double-book.
+        for shard in cluster.shards:
+            assert overlap_violations(tracer.find(node=shard.name)) == []
+
+        migrations = tracer.find(cat="migration")
+        assert len(migrations) == moved
+        assert metrics.value("docstore.migrations") == moved
+        assert sum(s.args["docs"] for s in migrations) == (
+            metrics.value("docstore.migrated_docs")
+        ) == cluster.config.migrated_docs
+
+    def test_sqlstore_page_reads_and_checkpoints(self):
+        from repro.sqlstore.server import SqlServerNode
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        node = SqlServerNode(pool_pages=4, checkpoint_interval_ops=40,
+                             tracer=tracer, metrics=metrics)
+        for i in range(60):
+            node.insert(f"key{i:03d}", {"field0": "x" * 200})
+        for i in range(60):
+            node.read(f"key{i:03d}")
+
+        page_reads = tracer.find(name="page.read")
+        assert page_reads, "a 4-page pool must miss"
+        assert len(page_reads) == node.pool.misses
+        assert metrics.value("sqlstore.page_reads") == node.pool.misses
+        assert metrics.value("sqlstore.read_io_bytes") == (
+            node.pool.misses * 8192
+        )
+        checkpoints = tracer.find(name="checkpoint")
+        assert len(checkpoints) == 3  # 120 ops / 40-op interval
+        assert metrics.value("sqlstore.checkpoints") == 3
+        assert metrics.value("sqlstore.ops") == node.ops
+
+    def test_sqlstore_lock_wait_span_on_conflict(self):
+        from repro.common.errors import TransactionAborted
+        from repro.sqlstore.locks import LockMode
+        from repro.sqlstore.server import SqlServerNode
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        node = SqlServerNode(tracer=tracer, metrics=metrics)
+        node.insert("k1", {"f": "v"})
+        # Simulate a concurrent writer holding k1, then a conflicting reader.
+        node.locks.acquire(999, "k1", LockMode.EXCLUSIVE)
+        with pytest.raises(TransactionAborted):
+            node.read("k1")
+        waits = tracer.find(name="lock.wait")
+        assert len(waits) == 1
+        assert waits[0].args["key"] == "k1"
+        assert metrics.value("sqlstore.lock_waits") == 1
