@@ -27,9 +27,12 @@ def test_fig4_workload_a(benchmark, oltp_study, record):
     for name in figure:
         assert peaks[name] < 0.5 * oltp_study.peak_throughput(name, "B")
 
-    # The global-lock occupancy the paper measured with mongostat (25-45%).
+    # The global-lock occupancy the paper measured with mongostat (25-45%):
+    # at saturation the modelled lock is at least at the band's floor.
+    from repro.docstore.mongostat import PAPER_LOCK_BAND
+
     sat = oltp_study.evaluate("mongo-as", "A", 40_000)
-    assert 0.2 < sat.utilization["hotlock"] <= 1.0
+    assert PAPER_LOCK_BAND[0] / 100.0 <= sat.utilization["hotlock"] <= 1.0
 
 
 def test_fig4_read_uncommitted_side_experiment(benchmark, record):

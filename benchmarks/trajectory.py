@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory harness: time the simulator's own hot paths.
+
+The ROADMAP's north star includes making the reproduction's hot paths
+measurably faster over time.  This harness seeds that trajectory: it
+wall-clock-times the paths every study run exercises — DSS calibration +
+the SF-250 query sweep, the YCSB workload A and E figures (analytic MVA
+and the discrete-event cross-validation) — and writes ``BENCH_2.json`` so
+future PRs can regress against the numbers (``BENCH_<n>.json`` per PR).
+
+Format (see EXPERIMENTS.md, "Performance trajectory")::
+
+    {
+      "schema": "repro-bench/1",
+      "pr": 2,
+      "smoke": false,
+      "python": "3.12.3",
+      "benchmarks": {
+        "<name>": {"seconds": <best-of-runs wall seconds>,
+                   "runs": <int>, "meta": {...}},
+        ...
+      }
+    }
+
+Usage::
+
+    python benchmarks/trajectory.py                  # full run -> BENCH_2.json
+    python benchmarks/trajectory.py --smoke          # CI-sized subset
+    python benchmarks/trajectory.py --check BENCH_2.json   # validate only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+SCHEMA = "repro-bench/1"
+PR = 2
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / f"BENCH_{PR}.json"
+
+# A trajectory file must carry these top-level keys and benchmark names;
+# --check (and the CI step) fails without them.
+REQUIRED_KEYS = ("schema", "pr", "smoke", "python", "benchmarks")
+REQUIRED_BENCHMARKS = (
+    "dss_calibration",
+    "dss_sf250_queries",
+    "ycsb_workload_a_mva",
+    "ycsb_workload_e_mva",
+    "ycsb_workload_a_eventsim",
+    "ycsb_workload_e_eventsim",
+    "utilization_sampling_overhead",
+)
+
+
+def _timed(fn, runs: int = 1) -> dict:
+    """Best-of-``runs`` wall-clock timing (the usual benchmarking guard)."""
+    best = float("inf")
+    value = None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return {"seconds": round(best, 4), "runs": runs, "value": value}
+
+
+def run_benchmarks(smoke: bool, utilization_csv: str | None = None) -> dict:
+    from repro.core.dss import QUERY_NUMBERS, DssStudy
+    from repro.core.oltp import OltpStudy
+    from repro.obs import UtilizationSampler, write_series_csv
+
+    benchmarks: dict[str, dict] = {}
+
+    def record(name: str, timing: dict, **meta) -> None:
+        entry = {"seconds": timing["seconds"], "runs": timing["runs"]}
+        if meta:
+            entry["meta"] = meta
+        benchmarks[name] = entry
+        print(f"  {name:<32} {timing['seconds']:>9.3f} s  {meta or ''}")
+
+    print(f"trajectory benchmarks ({'smoke' if smoke else 'full'}):")
+
+    # DSS: calibration is the dominant cost of a fresh study (tiny-SF query
+    # execution + per-query weight fitting); the SF-250 sweep is the cost
+    # model itself.
+    holder: dict = {}
+
+    def build_study():
+        holder["study"] = DssStudy()
+        return None
+
+    record("dss_calibration", _timed(build_study), calibration_sf=0.01)
+    study = holder["study"]
+
+    queries = [1, 5, 22] if smoke else list(QUERY_NUMBERS)
+
+    def sweep():
+        total = 0.0
+        for number in queries:
+            total += study.hive_time(number, 250.0) or 0.0
+            total += study.pdw_time(number, 250.0)
+        return round(total, 1)
+
+    timing = _timed(sweep, runs=1 if smoke else 3)
+    record("dss_sf250_queries", timing, queries=len(queries), engines=2,
+           simulated_seconds=timing["value"])
+
+    # YCSB: the analytic figure curves and the event-sim cross-validation.
+    oltp = OltpStudy()
+    targets_a = [5_000, 10_000] if smoke else [1_000, 2_000, 5_000, 10_000,
+                                               20_000, 40_000]
+    targets_e = [500, 1_000] if smoke else [250, 500, 1_000, 2_000, 4_000,
+                                            8_000]
+    record("ycsb_workload_a_mva",
+           _timed(lambda: len(oltp.figure("A", targets_a)), runs=3),
+           targets=len(targets_a))
+    record("ycsb_workload_e_mva",
+           _timed(lambda: len(oltp.figure("E", targets_e)), runs=3),
+           targets=len(targets_e))
+
+    duration = 20.0 if smoke else 60.0
+    record("ycsb_workload_a_eventsim",
+           _timed(lambda: oltp.event_sim_point(
+               "mongo-as", "A", 10_000, duration=duration)[1].completed_ops),
+           duration=duration)
+    record("ycsb_workload_e_eventsim",
+           _timed(lambda: oltp.event_sim_point(
+               "mongo-as", "E", 2_000, duration=duration)[1].completed_ops),
+           duration=duration)
+
+    # Overhead of the new sampling layer on a traced hot path: Q1 with a
+    # sampler attached vs. bare.  Also produces the CI utilization artifact.
+    bare = _timed(lambda: study.hive.run_query(1, 250.0).total_time, runs=3)
+    sampler = UtilizationSampler()
+
+    def sampled():
+        local = UtilizationSampler()
+        study.hive.run_query(1, 250.0, sampler=local)
+        sampler._accums = local._accums
+        sampler._gauges = local._gauges
+        sampler._end = local._end
+        return len(local)
+
+    with_sampler = _timed(sampled, runs=3)
+    overhead = (with_sampler["seconds"] / bare["seconds"]) if bare["seconds"] else 0.0
+    record("utilization_sampling_overhead", with_sampler,
+           bare_seconds=bare["seconds"], overhead_ratio=round(overhead, 2))
+    if utilization_csv:
+        rows = write_series_csv(utilization_csv, sampler)
+        print(f"  wrote {rows} utilization rows -> {utilization_csv}")
+
+    return {
+        "schema": SCHEMA,
+        "pr": PR,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+
+
+def validate(doc: dict) -> list[str]:
+    """Return the list of problems (empty = valid trajectory file)."""
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    benchmarks = doc.get("benchmarks", {})
+    for name in REQUIRED_BENCHMARKS:
+        entry = benchmarks.get(name)
+        if entry is None:
+            problems.append(f"missing benchmark {name!r}")
+            continue
+        seconds = entry.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            problems.append(f"benchmark {name!r} has invalid seconds {seconds!r}")
+        if not isinstance(entry.get("runs"), int) or entry["runs"] < 1:
+            problems.append(f"benchmark {name!r} has invalid runs")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (fewer queries/targets, "
+                             "shorter sims)")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help=f"output path (default {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--utilization-csv", metavar="PATH",
+                        help="also write the Q1 @ SF 250 utilization series "
+                             "CSV (the CI artifact)")
+    parser.add_argument("--check", metavar="PATH",
+                        help="validate an existing trajectory file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        try:
+            doc = json.loads(Path(args.check).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.check}: {exc}", file=sys.stderr)
+            return 1
+        problems = validate(doc)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        if not problems:
+            names = ", ".join(sorted(doc["benchmarks"]))
+            print(f"{args.check} valid: pr={doc['pr']} "
+                  f"smoke={doc['smoke']} benchmarks=[{names}]")
+        return 1 if problems else 0
+
+    doc = run_benchmarks(args.smoke, utilization_csv=args.utilization_csv)
+    problems = validate(doc)
+    if problems:  # a bug in this harness, not in the simulator
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    Path(args.output).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

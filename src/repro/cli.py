@@ -28,24 +28,53 @@ def _cmd_dss(args) -> int:
     )
 
     study = DssStudy(calibration_sf=args.calibration_sf, seed=args.seed)
-    if args.trace or args.metrics or args.timeline:
-        from repro.obs import ascii_timeline, write_chrome_trace, write_metrics
+    observing = (args.trace or args.metrics or args.timeline
+                 or args.utilization is not None or args.bottlenecks)
+    if observing:
+        from repro.obs import (
+            UtilizationSampler,
+            ascii_timeline,
+            render_report,
+            sparkline_heatmap,
+            write_chrome_trace,
+            write_metrics,
+            write_series_csv,
+        )
 
+        sampler = None
+        if args.utilization is not None or args.bottlenecks:
+            sampler = UtilizationSampler()
         result, tracer, metrics = study.trace_query(
-            args.trace_query, args.trace_sf, engine=args.engine
+            args.trace_query, args.trace_sf, engine=args.engine,
+            sampler=sampler,
         )
         print(
             f"{args.engine} q{args.trace_query} @ SF {args.trace_sf:g}: "
             f"{result.total_time:.1f} s simulated, {len(tracer.spans)} spans"
         )
         if args.trace:
-            count = write_chrome_trace(args.trace, tracer, metrics)
+            count = write_chrome_trace(args.trace, tracer, metrics,
+                                       sampler=sampler)
             print(f"wrote {count} trace events -> {args.trace}")
         if args.metrics:
             write_metrics(args.metrics, metrics)
             print(f"wrote metrics -> {args.metrics}")
         if args.timeline:
             print(ascii_timeline(tracer))
+        if args.utilization == "-":
+            print(sparkline_heatmap(sampler))
+        elif args.utilization is not None:
+            rows = write_series_csv(args.utilization, sampler)
+            print(f"wrote {rows} utilization rows -> {args.utilization}")
+        if args.bottlenecks:
+            _, attributions, _, _ = study.bottleneck_report(
+                args.trace_query, args.trace_sf, engine=args.engine
+            )
+            print(render_report(
+                attributions,
+                title=(f"{args.engine} q{args.trace_query} "
+                       f"@ SF {args.trace_sf:g} bottlenecks"),
+            ))
         return 0
     table = study.table3()
     for block in (
@@ -65,20 +94,29 @@ def _cmd_oltp(args) -> int:
     from repro.core.report import render_oltp_load_times, render_ycsb_figure
 
     study = OltpStudy(isolation=args.isolation)
-    if args.trace or args.metrics or args.timeline:
+    observing = (args.trace or args.metrics or args.timeline
+                 or args.utilization is not None or args.bottlenecks)
+    if observing:
         from repro.obs import (
             MetricsRegistry,
             Tracer,
+            UtilizationSampler,
             ascii_timeline,
+            render_report,
+            sparkline_heatmap,
             write_chrome_trace,
             write_metrics,
+            write_series_csv,
         )
 
         workload = args.workload if args.workload != "all" else "A"
         tracer, metrics = Tracer(), MetricsRegistry()
+        sampler = None
+        if args.utilization is not None:
+            sampler = UtilizationSampler(interval=0.5)
         point, sim = study.event_sim_point(
             args.system, workload, args.target, duration=args.duration,
-            seed=args.seed, tracer=tracer, metrics=metrics,
+            seed=args.seed, tracer=tracer, metrics=metrics, sampler=sampler,
         )
         print(
             f"{args.system} workload {workload} @ {args.target:g} ops/s target: "
@@ -86,13 +124,28 @@ def _cmd_oltp(args) -> int:
             f"{sim.completed_ops} measured ops, {len(tracer.spans)} spans"
         )
         if args.trace:
-            count = write_chrome_trace(args.trace, tracer, metrics)
+            count = write_chrome_trace(args.trace, tracer, metrics,
+                                       sampler=sampler)
             print(f"wrote {count} trace events -> {args.trace}")
         if args.metrics:
             write_metrics(args.metrics, metrics)
             print(f"wrote metrics -> {args.metrics}")
         if args.timeline:
             print(ascii_timeline(tracer, cat="resource"))
+        if args.utilization == "-":
+            print(sparkline_heatmap(sampler))
+        elif args.utilization is not None:
+            rows = write_series_csv(args.utilization, sampler)
+            print(f"wrote {rows} utilization rows -> {args.utilization}")
+        if args.bottlenecks:
+            _, attributions, _ = study.bottlenecks(
+                args.system, workload, args.target
+            )
+            print(render_report(
+                attributions,
+                title=(f"{args.system} workload {workload} "
+                       f"@ {args.target:g} ops/s bottlenecks"),
+            ))
         return 0
     figures = [
         ("C", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read"]),
@@ -194,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="scale factor for the traced query (default 250)")
     dss.add_argument("--engine", default="hive", choices=["hive", "pdw"],
                      help="engine to trace (default hive)")
+    dss.add_argument("--utilization", metavar="PATH", nargs="?", const="-",
+                     help="sample per-resource utilization for the traced "
+                          "query; write series CSV to PATH, or print the "
+                          "sparkline heatmap when no PATH is given")
+    dss.add_argument("--bottlenecks", action="store_true",
+                     help="print the per-phase bottleneck attribution report")
     dss.set_defaults(func=_cmd_dss)
 
     oltp = sub.add_parser("oltp", help="run the YCSB study (Figures 2-6)")
@@ -218,6 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
     oltp.add_argument("--duration", type=float, default=60.0,
                       help="simulated seconds for the traced point")
     oltp.add_argument("--seed", type=int, default=1234)
+    oltp.add_argument("--utilization", metavar="PATH", nargs="?", const="-",
+                      help="sample per-station utilization for the traced "
+                           "point; write series CSV to PATH, or print the "
+                           "sparkline heatmap when no PATH is given")
+    oltp.add_argument("--bottlenecks", action="store_true",
+                      help="print the bottleneck attribution report "
+                           "(MVA utilizations, lock rows vs the paper's "
+                           "25-45%% mongostat band)")
     oltp.set_defaults(func=_cmd_oltp)
 
     dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")

@@ -38,6 +38,7 @@ class MongoAsCluster:
         mongos_count: int = 8,
         tracer=None,
         metrics=None,
+        sampler=None,
     ):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
@@ -45,8 +46,9 @@ class MongoAsCluster:
             raise ShardingError("need at least one mongos")
         self.tracer = tracer
         self.metrics = metrics
+        self.sampler = sampler
         self.shards = [
-            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics)
+            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics, sampler=sampler)
             for i in range(shard_count)
         ]
         self.config = ConfigServer()
@@ -167,11 +169,11 @@ class MongoCsCluster:
     """Client-side hash-sharded MongoDB (the paper's Mongo-CS)."""
 
     def __init__(self, shard_count: int = 128, collection: str = DEFAULT_COLLECTION,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, sampler=None):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
         self.shards = [
-            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics)
+            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics, sampler=sampler)
             for i in range(shard_count)
         ]
         self.collection = collection

@@ -120,10 +120,13 @@ class Mongod:
 
     ``tracer``/``metrics`` (see :mod:`repro.obs`) record every global-lock
     hold as a span on a **logical clock** (the per-process op counter): op
-    ``n`` holds the lock over ``[n, n+1)``.  Both default to off.
+    ``n`` holds the lock over ``[n, n+1)``.  A ``sampler`` additionally
+    accumulates the *write*-hold fraction on the same clock — the
+    per-process series mongostat's lock%% column summarizes.  All default
+    to off.
     """
 
-    def __init__(self, name: str, tracer=None, metrics=None):
+    def __init__(self, name: str, tracer=None, metrics=None, sampler=None):
         self.name = name
         self.lock = GlobalLock()
         self._collections: dict[str, Collection] = {}
@@ -131,6 +134,7 @@ class Mongod:
         self.alive = True
         self.tracer = tracer
         self.metrics = metrics
+        self.sampler = sampler
 
     def _record_hold(self, mode: str) -> None:
         """One global-lock hold just completed as op ``self.ops - 1``."""
@@ -141,6 +145,10 @@ class Mongod:
             )
         if self.metrics:
             self.metrics.counter(f"docstore.lock.{mode}_holds").inc()
+        if self.sampler and mode == "write":
+            self.sampler.accumulate(
+                self.name, "global-lock", float(self.ops - 1), float(self.ops)
+            )
 
     def kill(self) -> None:
         """Fault injection: the process stops answering (socket exceptions)."""

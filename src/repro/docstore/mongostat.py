@@ -13,6 +13,18 @@ from dataclasses import dataclass
 
 from repro.docstore.mongod import Mongod
 
+# The paper's workload A observation (Section 5.3): "the percentage of time
+# spent at the global lock ranges from 25%-45% at each one of the 128 mongod
+# instances".  This is the single authority for that band — the bottleneck
+# report and the tests both import it rather than restating the numbers.
+PAPER_LOCK_BAND = (25.0, 45.0)
+
+
+def in_paper_lock_band(lock_percent: float) -> bool:
+    """Is a global-lock occupancy percentage inside the paper's band?"""
+    low, high = PAPER_LOCK_BAND
+    return low <= lock_percent <= high
+
 
 @dataclass(frozen=True)
 class MongodStats:
@@ -33,6 +45,10 @@ class MongodStats:
         if elapsed <= 0:
             return 0.0
         return min(100.0, 100.0 * self.writes * avg_write_hold / elapsed)
+
+    def lock_in_paper_band(self, avg_write_hold: float, elapsed: float) -> bool:
+        """Does the estimated lock occupancy fall in the paper's 25-45% band?"""
+        return in_paper_lock_band(self.lock_percent(avg_write_hold, elapsed))
 
 
 def snapshot(mongod: Mongod) -> MongodStats:

@@ -268,22 +268,77 @@ class HiveEngine:
                 sum(1 for j in result.jobs if j.failed_mapjoin)
             )
 
+    def _emit_utilization(self, result: HiveQueryResult, params, sampler) -> None:
+        """Feed the finished job layout into a utilization sampler.
+
+        Walks the same back-to-back job/phase cursor as :meth:`_emit_trace`
+        so the series align with the phase spans.  Per phase:
+
+        * ``map-slots`` / ``reduce-slots`` — fraction of configured task
+          slots occupied, from the per-attempt spans;
+        * ``cpu`` — active tasks against the map-slot count (each task
+          saturates one decode/agg core; this is what makes Q1's map phase
+          read as CPU-bound);
+        * ``disk`` — each map task pulls ``map_scan_rate`` compressed
+          bytes/s against the cluster's sequential HDFS read bandwidth
+          (70 MB/s per node consumed vs 400 MB/s deliverable — the paper's
+          Section 4.3 headroom argument);
+        * ``network`` — shuffles achieve ``shuffle_efficiency`` of the
+          aggregate NIC bandwidth while they run.
+        """
+        from repro.mapreduce.jobs import feed_task_occupancy
+
+        profile = self.profile
+        map_slots = params.map_slots(profile)
+        reduce_slots = params.reduce_slots(profile)
+        hdfs_read_capacity = profile.nodes * profile.hdfs_seq_read_bandwidth
+        nic_capacity = profile.nodes * profile.network_bandwidth
+        cursor = 0.0
+        for job in result.jobs:
+            t = cursor
+            if job.map_time > 0.0:
+                feed_task_occupancy(sampler, "hive", "map-slots",
+                                    job.map_task_spans, map_slots, offset=t)
+                feed_task_occupancy(sampler, "hive", "cpu",
+                                    job.map_task_spans, map_slots, offset=t)
+                feed_task_occupancy(sampler, "hive", "disk",
+                                    job.map_task_spans, hdfs_read_capacity,
+                                    offset=t, level=params.map_scan_rate)
+                t += job.map_time
+            if job.shuffle_time > 0.0:
+                sampler.accumulate(
+                    "hive", "network", t, t + job.shuffle_time,
+                    level=params.shuffle_bandwidth(profile),
+                    capacity=nic_capacity,
+                )
+                t += job.shuffle_time
+            if job.reduce_time > 0.0:
+                feed_task_occupancy(sampler, "hive", "reduce-slots",
+                                    job.reduce_task_spans, reduce_slots, offset=t)
+                feed_task_occupancy(sampler, "hive", "cpu",
+                                    job.reduce_task_spans, map_slots, offset=t)
+            cursor += job.total_time
+        sampler.finish(result.total_time)
+
     # -- public API ---------------------------------------------------------------
 
     def run_query(self, number: int, scale_factor: float,
                   spec: QuerySpec | None = None,
-                  tracer=None, metrics=None) -> HiveQueryResult:
+                  tracer=None, metrics=None, sampler=None) -> HiveQueryResult:
         """Simulate one TPC-H query, returning the per-job time breakdown.
 
         ``spec`` overrides the stock plan spec (used by ablations, e.g.
-        forcing a different join order).  ``tracer``/``metrics`` (see
-        :mod:`repro.obs`) record the mechanism breakdown; both default to
-        off and do not perturb the costing.
+        forcing a different join order).  ``tracer``/``metrics``/``sampler``
+        (see :mod:`repro.obs`) record the mechanism breakdown; all default
+        to off and do not perturb the costing.
         """
         if spec is None:
             spec = spec_for(number)
         params = self._params_for(number)
-        tracker = JobTracker(self.profile, params, trace_tasks=bool(tracer))
+        tracker = JobTracker(
+            self.profile, params,
+            trace_tasks=bool(tracer) or bool(sampler),
+        )
         result = HiveQueryResult(number=number, scale_factor=scale_factor)
 
         for ref in spec.hive_materialize_scans:
@@ -306,6 +361,8 @@ class HiveEngine:
             result.jobs.append(self._small_job(f"extra.{i}", params))
         if tracer:
             self._emit_trace(result, tracer, metrics)
+        if sampler:
+            self._emit_utilization(result, params, sampler)
         return result
 
     def query_time(self, number: int, scale_factor: float) -> float:

@@ -99,6 +99,28 @@ def schedule_tasks_detailed(
     return max(t for t, _ in free_at), spans
 
 
+def feed_task_occupancy(
+    sampler,
+    node: str,
+    resource: str,
+    task_spans: list[tuple[int, float, float]],
+    capacity: float,
+    offset: float = 0.0,
+    level: float = 1.0,
+) -> None:
+    """Accumulate per-attempt task spans into a slot-occupancy busy series.
+
+    Each ``(slot, start, end)`` span from :func:`schedule_tasks_detailed`
+    contributes ``level`` over ``[offset + start, offset + end)`` against
+    ``capacity`` total slots, so the series value is the fraction of slots
+    (or, with ``level`` set to a per-task rate, of aggregate bandwidth)
+    occupied in each bucket.
+    """
+    for _slot, start, end in task_spans:
+        sampler.accumulate(node, resource, offset + start, offset + end,
+                           level=level, capacity=capacity)
+
+
 def task_waves(task_count: int, slots: int) -> int:
     """Number of scheduling waves needed (ceil division)."""
     return math.ceil(task_count / slots) if task_count else 0

@@ -12,8 +12,16 @@ Everything is opt-in and zero-overhead when off: hooks default to ``None``
 and an untraced run executes the pre-instrumentation code path unchanged.
 """
 
+from repro.obs.bottleneck import (
+    Attribution,
+    attribute_phases,
+    attribute_window,
+    lock_band_note,
+    render_report,
+)
 from repro.obs.export import (
     ascii_timeline,
+    chrome_counter_events,
     chrome_trace,
     chrome_trace_events,
     dumps_chrome_trace,
@@ -22,6 +30,18 @@ from repro.obs.export import (
 )
 from repro.obs.invariants import nesting_violations, overlap_violations, reconcile
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeseries import (
+    NULL_SAMPLER,
+    NullSampler,
+    Series,
+    UtilizationSampler,
+    dumps_series,
+    series_from_tracer,
+    series_to_csv,
+    sparkline_heatmap,
+    write_series_csv,
+    write_series_json,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -33,8 +53,24 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "UtilizationSampler",
+    "NullSampler",
+    "NULL_SAMPLER",
+    "Series",
+    "series_from_tracer",
+    "series_to_csv",
+    "write_series_csv",
+    "dumps_series",
+    "write_series_json",
+    "sparkline_heatmap",
+    "Attribution",
+    "attribute_window",
+    "attribute_phases",
+    "lock_band_note",
+    "render_report",
     "chrome_trace",
     "chrome_trace_events",
+    "chrome_counter_events",
     "dumps_chrome_trace",
     "write_chrome_trace",
     "write_metrics",

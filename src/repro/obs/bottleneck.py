@@ -1,0 +1,166 @@
+"""Bottleneck attribution: intersect utilization series with phase spans.
+
+The paper's headline explanations are attributions — "Q1's map phase is
+CPU-bound on RCFile decode" (Section 4.3: ~70 MB/s per node against the
+400 MB/s HDFS could deliver), "workload A mongods spend 25-45% of their
+time at the global write lock" (Section 5.3, via mongostat).  This module
+derives the same statements mechanically: for each phase span recorded by
+the PR 1 tracer, compute the time-weighted mean of every busy series over
+the span's window and name the resource closest to saturation.
+
+The attribution is deliberately simple (argmax of mean busy fraction,
+with a saturation flag at :data:`SATURATED`); the value is that it is
+computed from the *same* series the exporters write, so a report line can
+be checked against the CSV/Chrome-trace artifacts and against the span
+invariants of :mod:`repro.obs.invariants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.timeseries import BUSY, Series, UtilizationSampler
+
+# Mean busy fraction at which a resource counts as saturated for a phase.
+SATURATED = 0.85
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """The verdict for one phase: which resource was the busiest, how busy."""
+
+    phase: str
+    start: float
+    end: float
+    bottleneck: str
+    busy: float
+    utilizations: dict[str, float] = field(default_factory=dict)
+    note: str = ""
+
+    @property
+    def saturated(self) -> bool:
+        return self.busy >= SATURATED
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        flag = "  [SATURATED]" if self.saturated else ""
+        return (
+            f"{self.phase}  [{self.start:.6g}s .. {self.end:.6g}s]  "
+            f"-> {self.bottleneck} ({self.busy:.0%} busy){flag}"
+        )
+
+
+def _label(series: Series, scoped: bool) -> str:
+    """Row label for a series: drop redundant node/resource repetition."""
+    if scoped or series.node == series.resource:
+        return series.resource
+    if series.resource == "servers":
+        return series.node
+    return f"{series.node}.{series.resource}"
+
+
+def attribute_window(
+    sampler: UtilizationSampler,
+    phase: str,
+    start: float,
+    end: float,
+    node: Optional[str] = None,
+    resources: Optional[list[str]] = None,
+    notes: Optional[dict[str, str]] = None,
+) -> Optional[Attribution]:
+    """Attribute one ``[start, end)`` window to its busiest resource.
+
+    ``node`` restricts the candidate series to one node (labels then drop
+    the node prefix); ``resources`` restricts to named resources;
+    ``notes`` maps a winning label to an explanatory note for the report.
+    Returns ``None`` when no busy series overlaps the window.
+    """
+    utilizations: dict[str, float] = {}
+    for series in sampler.series(node=node, metric=BUSY):
+        if resources is not None and series.resource not in resources:
+            continue
+        utilizations[_label(series, node is not None)] = series.window_mean(start, end)
+    if not utilizations or all(v == 0.0 for v in utilizations.values()):
+        return None
+    # Deterministic argmax: ties break on label order.
+    bottleneck = max(sorted(utilizations), key=lambda k: utilizations[k])
+    note = (notes or {}).get(bottleneck, "")
+    return Attribution(
+        phase=phase,
+        start=start,
+        end=end,
+        bottleneck=bottleneck,
+        busy=utilizations[bottleneck],
+        utilizations=utilizations,
+        note=note,
+    )
+
+
+def attribute_phases(
+    tracer,
+    sampler: UtilizationSampler,
+    cat: str = "phase",
+    node: Optional[str] = None,
+    notes: Optional[dict[str, str]] = None,
+    min_duration: float = 0.0,
+) -> list[Attribution]:
+    """One :class:`Attribution` per ``cat`` span, in span order.
+
+    Intersects each phase span recorded by the tracer with the busy series
+    of the node the span ran on (or ``node`` when given), skipping phases
+    shorter than ``min_duration`` and phases no series overlaps.
+    """
+    out = []
+    for span in tracer.find(cat=cat):
+        if span.duration < min_duration:
+            continue
+        att = attribute_window(
+            sampler,
+            span.name,
+            span.start,
+            span.end,
+            node=node if node is not None else span.node,
+            notes=notes,
+        )
+        if att is not None:
+            out.append(att)
+    return out
+
+
+def lock_band_note(busy_fraction: float) -> str:
+    """Annotate a lock busy fraction against the paper's mongostat band."""
+    from repro.docstore.mongostat import PAPER_LOCK_BAND, in_paper_lock_band
+
+    lo, hi = PAPER_LOCK_BAND
+    percent = busy_fraction * 100.0
+    if in_paper_lock_band(percent):
+        return (
+            f"lock held {percent:.0f}% of the time — inside the paper's "
+            f"{lo:.0f}-{hi:.0f}% mongostat band (Section 5.3)"
+        )
+    return (
+        f"lock held {percent:.0f}% of the time — outside the paper's "
+        f"{lo:.0f}-{hi:.0f}% mongostat band"
+    )
+
+
+def render_report(attributions: list[Attribution],
+                  title: str = "bottleneck report") -> str:
+    """Plain-text report: one block per phase, busiest resource first."""
+    lines = [title, "=" * len(title)]
+    if not attributions:
+        lines.append("(no phases attributed — was a sampler attached?)")
+        return "\n".join(lines)
+    for att in attributions:
+        lines.append(att.describe())
+        ranked = sorted(att.utilizations.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines.append(
+            "    " + " | ".join(f"{label} {value:.0%}" for label, value in ranked)
+        )
+        if att.note:
+            lines.append(f"    note: {att.note}")
+    return "\n".join(lines)

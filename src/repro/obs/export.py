@@ -61,12 +61,47 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
     return events
 
 
+def chrome_counter_events(sampler, pids: Optional[dict[str, int]] = None) -> list[dict]:
+    """Chrome ``"C"`` counter events: one track per (resource, metric) series.
+
+    ``pids`` maps node names to the pids :func:`chrome_trace_events` already
+    assigned, so a sampler's utilization tracks render *under the spans of
+    the same node* in Perfetto; nodes the tracer never saw get fresh pids in
+    the same first-seen scheme.  The mapping is mutated in place.
+    """
+    if pids is None:
+        pids = {}
+    events: list[dict] = []
+    for series in sampler.series():
+        pid = pids.setdefault(series.node, len(pids) + 1)
+        name = f"{series.resource} ({series.metric})"
+        for i, value in enumerate(series.values):
+            events.append({
+                "ph": "C",
+                "name": name,
+                "cat": series.metric,
+                "ts": i * series.interval * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {series.metric: value},
+            })
+    return events
+
+
 def chrome_trace(
-    tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    sampler=None,
 ) -> dict:
     """The full Chrome trace document."""
+    events = chrome_trace_events(tracer)
+    if sampler:
+        # Reuse the span pids so counters land under the matching process.
+        pids = {span.node: None for span in tracer.spans}
+        pids = {node: i + 1 for i, node in enumerate(pids)}
+        events.extend(chrome_counter_events(sampler, pids))
     doc = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
     if metrics is not None:
@@ -75,19 +110,24 @@ def chrome_trace(
 
 
 def dumps_chrome_trace(
-    tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    sampler=None,
 ) -> str:
     """Serialize deterministically (sorted keys, fixed separators)."""
-    return json.dumps(chrome_trace(tracer, metrics), sort_keys=True,
+    return json.dumps(chrome_trace(tracer, metrics, sampler), sort_keys=True,
                       separators=(",", ":"))
 
 
 def write_chrome_trace(
-    path: str, tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+    path: str,
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    sampler=None,
 ) -> int:
     """Write the trace JSON to ``path``; returns the number of span events."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps_chrome_trace(tracer, metrics))
+        handle.write(dumps_chrome_trace(tracer, metrics, sampler))
     return len(tracer.spans)
 
 

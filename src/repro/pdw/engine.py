@@ -294,14 +294,46 @@ class PdwEngine:
             for step in result.steps:
                 metrics.counter(f"pdw.steps.{step.kind}").inc()
 
+    def _emit_utilization(self, result: PdwQueryResult, sampler) -> None:
+        """Feed the serial step layout into a utilization sampler.
+
+        A step's three resource times overlap (the step elapses for the max
+        of them), so each resource runs at ``time/elapsed`` mean intensity
+        over the step window — the bound resource shows ~1.0 busy, the
+        others proportionally less.  DMS movements also report the moved
+        byte volume as a ``dms-inflight`` queue series over the network
+        window, the reproduction's stand-in for DMS bytes in flight.
+        """
+        cursor = result.plan_overhead
+        for step in result.steps:
+            elapsed = step.elapsed(result.step_overhead)
+            if elapsed > 0.0:
+                for resource, busy_time in (
+                    ("cpu", step.cpu_time),
+                    ("disk", step.io_time),
+                    ("network", step.net_time),
+                ):
+                    if busy_time > 0.0:
+                        sampler.accumulate(
+                            "pdw", resource, cursor, cursor + elapsed,
+                            level=min(1.0, busy_time / elapsed),
+                        )
+                if step.moved_bytes > 0.0 and step.net_time > 0.0:
+                    sampler.accumulate(
+                        "pdw", "dms-inflight", cursor, cursor + step.net_time,
+                        level=step.moved_bytes, metric="queue",
+                    )
+            cursor += elapsed
+        sampler.finish(result.total_time)
+
     # -- public API ---------------------------------------------------------------
 
     def run_query(self, number: int, scale_factor: float,
-                  tracer=None, metrics=None) -> PdwQueryResult:
+                  tracer=None, metrics=None, sampler=None) -> PdwQueryResult:
         """Plan and cost one TPC-H query; returns the step breakdown.
 
-        ``tracer``/``metrics`` (see :mod:`repro.obs`) record the
-        data-movement breakdown; both default to off.
+        ``tracer``/``metrics``/``sampler`` (see :mod:`repro.obs`) record
+        the data-movement breakdown; all default to off.
         """
         spec = spec_for(number)
         result = PdwQueryResult(
@@ -328,6 +360,8 @@ class PdwEngine:
             )
         if tracer:
             self._emit_trace(result, tracer, metrics)
+        if sampler:
+            self._emit_utilization(result, sampler)
         return result
 
     def query_time(self, number: int, scale_factor: float) -> float:

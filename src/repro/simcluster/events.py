@@ -96,16 +96,18 @@ class Process(Event):
 class Environment:
     """The event loop: a clock plus a priority queue of pending events.
 
-    ``tracer`` and ``metrics`` (see :mod:`repro.obs`) are optional hooks:
-    when attached, named :class:`Resource` instances emit wait/hold spans
-    and queueing counters.  When left ``None`` — the default — the loop and
-    the resources run exactly the uninstrumented code path.
+    ``tracer``, ``metrics`` and ``sampler`` (see :mod:`repro.obs`) are
+    optional hooks: when attached, named :class:`Resource` instances emit
+    wait/hold spans, queueing counters, and busy/queue-depth utilization
+    series.  When left ``None`` — the default — the loop and the resources
+    run exactly the uninstrumented code path.
     """
 
-    def __init__(self, tracer=None, metrics=None):
+    def __init__(self, tracer=None, metrics=None, sampler=None):
         self.now = 0.0
         self.tracer = tracer
         self.metrics = metrics
+        self.sampler = sampler
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
 
@@ -198,6 +200,18 @@ class Resource:
         if self._trace:
             self._wait_since: dict[int, float] = {}  # id(event) -> enqueue time
             self._hold_since: list[float] = []  # FIFO grant times
+        self._sample = (
+            getattr(env, "sampler", None) is not None and name is not None
+        )
+
+    def _sample_levels(self) -> None:
+        """Report the current occupancy/queue-depth transition to the sampler."""
+        sampler = self.env.sampler
+        now = self.env.now
+        sampler.set_level(self.name, "servers", now, self.in_use,
+                          capacity=self.capacity)
+        sampler.set_level(self.name, "servers", now, len(self._waiting),
+                          metric="queue")
 
     def request(self) -> Event:
         """Return an event that fires when a unit of capacity is granted."""
@@ -213,6 +227,8 @@ class Resource:
             if self._trace:
                 self._wait_since[id(grant)] = self.env.now
             self._waiting.append(grant)
+        if self._sample:
+            self._sample_levels()
         return grant
 
     def release(self) -> None:
@@ -226,6 +242,8 @@ class Resource:
             self._waiting.pop(0).succeed()
         else:
             self.in_use -= 1
+        if self._sample:
+            self._sample_levels()
 
     def _record_release(self) -> None:
         """Emit hold/wait spans around a release (tracing enabled only).

@@ -32,12 +32,15 @@ class SqlServerNode:
         blocking_locks: bool = False,
         tracer=None,
         metrics=None,
+        sampler=None,
     ):
         from repro.sqlstore.locks import BlockingLockManager
 
         self.name = name
         self.tracer = tracer
         self.metrics = metrics
+        self.sampler = sampler
+        self.lock_wait_events = 0
         self.isolation = isolation
         self.pages = PageManager()
         self.pool = BufferPool(pool_pages)
@@ -66,6 +69,14 @@ class SqlServerNode:
         self._ops_since_checkpoint += 1
         if self.metrics:
             self.metrics.counter("sqlstore.ops").inc()
+        if self.sampler:
+            # Gauges on the logical op clock: the running buffer-pool hit
+            # rate and the fraction of ops that hit a lock wait so far.
+            clock = float(self.ops)
+            self.sampler.sample(self.name, "bufferpool-hit", clock,
+                                self.pool.hit_rate)
+            self.sampler.sample(self.name, "lock-wait-fraction", clock,
+                                self.lock_wait_events / self.ops)
         if self._ops_since_checkpoint >= self.checkpoint_interval_ops:
             self.checkpoint()
 
@@ -90,6 +101,7 @@ class SqlServerNode:
         try:
             self.locks.acquire(txid, key, mode)
         except (LockWait, TransactionAborted):
+            self.lock_wait_events += 1
             if self.tracer:
                 clock = float(self.ops)
                 self.tracer.add(

@@ -78,6 +78,7 @@ def simulate_closed_loop(
     seed: int = 1234,
     tracer=None,
     metrics=None,
+    sampler=None,
 ) -> EventSimResult:
     """Run N closed-loop clients over the stations and measure.
 
@@ -88,8 +89,10 @@ def simulate_closed_loop(
 
     With a ``tracer`` attached every completed request becomes a latency
     span (node ``client``, one lane per client thread) and every station
-    resource emits hold/wait spans; ``metrics`` gets per-class op counters.
-    Both default to off and change nothing about the simulated schedule.
+    resource emits hold/wait spans; ``metrics`` gets per-class op counters;
+    a ``sampler`` (see :mod:`repro.obs.timeseries`) gets per-station busy
+    and queue-depth series.  All default to off and change nothing about
+    the simulated schedule.
     """
     if clients < 1:
         raise SimulationError("need at least one client")
@@ -98,7 +101,7 @@ def simulate_closed_loop(
     if duration <= warmup:
         raise SimulationError("duration must exceed warmup")
 
-    env = Environment(tracer=tracer, metrics=metrics)
+    env = Environment(tracer=tracer, metrics=metrics, sampler=sampler)
     resources = {s.name: Resource(env, s.servers, name=s.name) for s in stations}
     seeds = SeedStream(seed)
 
@@ -143,6 +146,8 @@ def simulate_closed_loop(
     for i in range(clients):
         env.process(client(i))
     env.run(until=duration)
+    if sampler:
+        sampler.finish(env.now)
 
     measure = duration - warmup
     result = EventSimResult(

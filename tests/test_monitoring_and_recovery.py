@@ -41,6 +41,9 @@ class TestMongostat:
         # 100 writes x 3 ms hold over 1 second of wall clock: 30%.
         assert stats.lock_percent(avg_write_hold=0.003, elapsed=1.0) == pytest.approx(30.0)
         assert stats.lock_percent(0.003, 0.0) == 0.0
+        # 30% is inside the paper's 25-45% mongostat band; 10% is not.
+        assert stats.lock_in_paper_band(avg_write_hold=0.003, elapsed=1.0)
+        assert not stats.lock_in_paper_band(avg_write_hold=0.001, elapsed=1.0)
 
     def test_cluster_summary(self):
         cluster = self._loaded_cluster()

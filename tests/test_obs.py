@@ -254,6 +254,64 @@ class TestExport:
         assert "e:" not in art
 
 
+class TestCounterExport:
+    """Edge cases for the counter-track exporter and empty observers."""
+
+    def _sampler(self):
+        from repro.obs import UtilizationSampler
+
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("engine", "cpu", 0.0, 2.0, level=0.5)
+        s.accumulate("nic", "network", 0.0, 2.0, level=0.25)
+        s.finish()
+        return s
+
+    def test_empty_tracer_is_a_valid_empty_trace(self):
+        doc = json.loads(dumps_chrome_trace(Tracer()))
+        assert doc["traceEvents"] == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_gauges_only_registry_rides_along(self, tmp_path):
+        mx = MetricsRegistry()
+        mx.gauge("hit_rate").set(0.97)
+        doc = json.loads(dumps_chrome_trace(Tracer(), mx))
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["metrics"]["hit_rate"]["type"] == "gauge"
+        path = tmp_path / "m.json"
+        assert write_metrics(str(path), mx) == 1
+
+    def test_counter_events_round_trip(self):
+        from repro.obs import chrome_counter_events
+
+        events = chrome_counter_events(self._sampler())
+        assert events == json.loads(json.dumps(events))
+        assert {e["ph"] for e in events} == {"C"}
+        cpu = [e for e in events if e["name"] == "cpu (busy)"]
+        assert [e["args"]["busy"] for e in cpu] == [0.5, 0.5]
+        assert [e["ts"] for e in cpu] == [0.0, 1e6]
+
+    def test_counter_pids_align_with_span_pids(self):
+        tr = Tracer()
+        tr.add("q", 0.0, 2.0, cat="query", node="engine", lane="q")
+        doc = json.loads(dumps_chrome_trace(tr, sampler=self._sampler()))
+        events = doc["traceEvents"]
+        span_pid = next(e["pid"] for e in events if e["ph"] == "X")
+        cpu_pid = next(e["pid"] for e in events
+                       if e["ph"] == "C" and e["name"] == "cpu (busy)")
+        # The sampled node the tracer also saw shares its process id...
+        assert cpu_pid == span_pid
+        # ...and the sampler-only node gets the next first-seen pid.
+        nic_pid = next(e["pid"] for e in events
+                       if e["ph"] == "C" and e["name"] == "network (busy)")
+        assert nic_pid == span_pid + 1
+
+    def test_trace_without_sampler_has_no_counters(self):
+        tr = Tracer()
+        tr.add("q", 0.0, 1.0, cat="query", node="engine", lane="q")
+        doc = chrome_trace(tr)
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "C"]
+
+
 class TestInvariantHelpers:
     def test_nesting_violation_detected(self):
         tr = Tracer()

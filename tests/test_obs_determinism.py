@@ -9,7 +9,14 @@ and metrics JSON.  Property-tested across seeds and closed-loop shapes.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.obs import MetricsRegistry, Tracer, dumps_chrome_trace
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    UtilizationSampler,
+    dumps_chrome_trace,
+    dumps_series,
+    series_to_csv,
+)
 from repro.ycsb.eventsim import SimStation, simulate_closed_loop
 
 STATIONS = [
@@ -58,6 +65,76 @@ class TestEventSimDeterminism:
         assert bare.completed_ops == traced.completed_ops
         assert bare.latency == traced.latency
         assert bare.window_throughputs == traced.window_throughputs
+
+
+def _sampled_run(seed: int, clients: int, duration: float = 6.0):
+    sampler = UtilizationSampler(interval=0.5)
+    result = simulate_closed_loop(
+        STATIONS, MIX, clients=clients, think_time=0.01,
+        duration=duration, warmup=2.0, windows=2, seed=seed,
+        sampler=sampler,
+    )
+    return result, series_to_csv(sampler), dumps_series(sampler)
+
+
+class TestUtilizationSeriesDeterminism:
+    """Same seed, same bytes — extended to the utilization series files."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           clients=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_byte_identical_series(self, seed, clients):
+        _, csv_a, json_a = _sampled_run(seed, clients)
+        _, csv_b, json_b = _sampled_run(seed, clients)
+        assert csv_a == csv_b
+        assert json_a == json_b
+
+    def test_different_seed_different_series(self):
+        _, csv_a, _ = _sampled_run(1, 4)
+        _, csv_b, _ = _sampled_run(2, 4)
+        assert csv_a != csv_b
+
+    def test_sampling_does_not_perturb_simulation(self):
+        """Attaching a sampler must not change a single simulated number."""
+        bare = simulate_closed_loop(
+            STATIONS, MIX, clients=6, think_time=0.01,
+            duration=6.0, warmup=2.0, windows=2, seed=99,
+        )
+        sampled, _, _ = _sampled_run(99, 6)
+        assert bare.throughput == sampled.throughput
+        assert bare.completed_ops == sampled.completed_ops
+        assert bare.latency == sampled.latency
+        assert bare.window_throughputs == sampled.window_throughputs
+
+    def test_series_files_byte_identical_on_disk(self, tmp_path):
+        """The CLI-style file writes are byte-identical across same-seed runs."""
+        from repro.obs import write_series_csv, write_series_json
+
+        payloads = []
+        for name in ("a", "b"):
+            sampler = UtilizationSampler(interval=0.5)
+            simulate_closed_loop(
+                STATIONS, MIX, clients=5, think_time=0.01,
+                duration=6.0, warmup=2.0, windows=2, seed=7,
+                sampler=sampler,
+            )
+            csv_path = tmp_path / f"{name}.csv"
+            json_path = tmp_path / f"{name}.json"
+            write_series_csv(str(csv_path), sampler)
+            write_series_json(str(json_path), sampler)
+            payloads.append((csv_path.read_bytes(), json_path.read_bytes()))
+        assert payloads[0] == payloads[1]
+
+    def test_hive_series_byte_identical_across_studies(self):
+        from repro.core.dss import DssStudy
+
+        payloads = []
+        for _ in range(2):
+            study = DssStudy(fit=False)
+            sampler = UtilizationSampler()
+            study.trace_query(5, 1000, engine="hive", sampler=sampler)
+            payloads.append(series_to_csv(sampler))
+        assert payloads[0] == payloads[1]
 
 
 class TestAnalyticDeterminism:

@@ -18,8 +18,10 @@ class TestDisabledByDefault:
 
         env = Environment()
         assert env.tracer is None and env.metrics is None
+        assert env.sampler is None
         resource = Resource(env, name="named")
         assert resource._trace is False
+        assert resource._sample is False
 
     def test_engines_default_off(self):
         import inspect
@@ -42,6 +44,8 @@ class TestDisabledByDefault:
             params = inspect.signature(func).parameters
             assert params["tracer"].default is None, func
             assert params["metrics"].default is None, func
+            if "sampler" in params:
+                assert params["sampler"].default is None, func
 
     def test_stores_emit_nothing_without_collectors(self):
         from repro.docstore.mongod import Mongod

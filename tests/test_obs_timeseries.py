@@ -1,0 +1,226 @@
+"""Unit tests for the utilization time-series layer (repro.obs.timeseries)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs import (
+    NULL_SAMPLER,
+    NullSampler,
+    Tracer,
+    UtilizationSampler,
+    dumps_series,
+    series_from_tracer,
+    series_to_csv,
+    sparkline_heatmap,
+    write_series_csv,
+    write_series_json,
+)
+
+
+class TestAccumulate:
+    def test_constant_level_over_window(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.0, 3.0, level=0.5)
+        s.finish()
+        series = s.get("n", "cpu")
+        assert series.values == [0.5, 0.5, 0.5]
+        assert series.duration == 3.0
+
+    def test_partial_bucket_overlap(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.5, 1.5, level=1.0)
+        s.finish(2.0)
+        # Half of bucket 0 and half of bucket 1 are busy.
+        assert s.get("n", "cpu").values == [0.5, 0.5]
+
+    def test_overlapping_windows_sum(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "slots", 0.0, 2.0, capacity=4.0)
+        s.accumulate("n", "slots", 0.0, 2.0, capacity=4.0)
+        s.finish()
+        # Two unit-level tasks against 4 slots: 50% occupancy.
+        assert s.get("n", "slots").values == [0.5, 0.5]
+
+    def test_busy_clamped_at_one(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.0, 1.0, level=3.0)
+        s.finish()
+        assert s.get("n", "cpu").values == [1.0]
+
+    def test_queue_metric_not_clamped(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "q", 0.0, 1.0, level=7.0, metric="queue")
+        s.finish()
+        assert s.get("n", "q", metric="queue").values == [7.0]
+
+    def test_capacity_conflict_raises(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.0, 1.0, capacity=4.0)
+        with pytest.raises(SimulationError):
+            s.accumulate("n", "cpu", 1.0, 2.0, capacity=8.0)
+
+    def test_backwards_window_raises(self):
+        s = UtilizationSampler(interval=1.0)
+        with pytest.raises(SimulationError):
+            s.accumulate("n", "cpu", 2.0, 1.0)
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(SimulationError):
+            UtilizationSampler(interval=0.0)
+
+
+class TestSetLevel:
+    def test_transitions_integrate_previous_level(self):
+        s = UtilizationSampler(interval=1.0)
+        s.set_level("n", "servers", 0.0, 2.0, capacity=4.0)  # 50% busy
+        s.set_level("n", "servers", 2.0, 4.0, capacity=4.0)  # then 100%
+        s.finish(4.0)
+        assert s.get("n", "servers").values == [0.5, 0.5, 1.0, 1.0]
+
+    def test_finish_closes_open_level(self):
+        s = UtilizationSampler(interval=1.0)
+        s.set_level("n", "servers", 0.0, 1.0)
+        s.finish(3.0)
+        assert s.get("n", "servers").values == [1.0, 1.0, 1.0]
+
+    def test_finish_is_idempotent(self):
+        s = UtilizationSampler(interval=1.0)
+        s.set_level("n", "servers", 0.0, 1.0)
+        s.finish(2.0)
+        first = s.get("n", "servers").values
+        s.finish(2.0)
+        assert s.get("n", "servers").values == first
+
+
+class TestGauges:
+    def test_last_write_wins_and_carry_forward(self):
+        s = UtilizationSampler(interval=1.0)
+        s.sample("n", "hit-rate", 0.2, 0.5)
+        s.sample("n", "hit-rate", 0.8, 0.9)  # same bucket: wins
+        s.accumulate("n", "cpu", 0.0, 4.0)  # extends the horizon
+        s.finish()
+        series = s.get("n", "hit-rate", metric="gauge")
+        # Bucket 0 keeps the last sample; later buckets carry it forward.
+        assert series.values == [0.9, 0.9, 0.9, 0.9]
+
+    def test_gauge_before_first_sample_is_zero(self):
+        s = UtilizationSampler(interval=1.0)
+        s.sample("n", "g", 2.5, 1.0)
+        s.finish(4.0)
+        assert s.get("n", "g", metric="gauge").values == [0.0, 0.0, 1.0, 1.0]
+
+
+class TestSeriesMath:
+    def test_window_mean_is_overlap_weighted(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.0, 1.0, level=1.0)
+        s.accumulate("n", "cpu", 1.0, 2.0, level=0.0)
+        s.finish(2.0)
+        series = s.get("n", "cpu")
+        assert series.window_mean(0.0, 2.0) == pytest.approx(0.5)
+        assert series.window_mean(0.5, 1.5) == pytest.approx(0.5)
+        assert series.window_mean(0.0, 1.0) == pytest.approx(1.0)
+        assert series.window_mean(1.0, 1.0) == 0.0  # empty window
+
+    def test_integral_recovers_level_seconds(self):
+        s = UtilizationSampler(interval=0.25)
+        s.accumulate("n", "slots", 0.0, 3.0, capacity=8.0)
+        s.accumulate("n", "slots", 1.0, 2.0, capacity=8.0)
+        s.finish()
+        # 3 + 1 task-seconds regardless of interval or capacity.
+        assert s.get("n", "slots").integral() == pytest.approx(4.0)
+
+    def test_mean_and_peak(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.0, 1.0, level=0.2)
+        s.accumulate("n", "cpu", 1.0, 2.0, level=0.8)
+        s.finish()
+        series = s.get("n", "cpu")
+        assert series.mean() == pytest.approx(0.5)
+        assert series.peak() == pytest.approx(0.8)
+
+    def test_filters_and_sorting(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("b", "disk", 0.0, 1.0)
+        s.accumulate("a", "cpu", 0.0, 1.0)
+        s.finish()
+        assert [x.key for x in s.series()] == [("a", "cpu", "busy"),
+                                               ("b", "disk", "busy")]
+        assert [x.node for x in s.series(node="a")] == ["a"]
+        assert s.nodes() == ["a", "b"]
+        with pytest.raises(KeyError):
+            s.get("a", "disk")
+
+
+class TestNullSampler:
+    def test_falsy_and_inert(self):
+        assert not NULL_SAMPLER
+        assert not NullSampler()
+        assert len(NULL_SAMPLER) == 0
+        NULL_SAMPLER.accumulate("n", "cpu", 0.0, 1.0)
+        NULL_SAMPLER.set_level("n", "cpu", 0.0, 1.0)
+        NULL_SAMPLER.sample("n", "g", 0.0, 1.0)
+        NULL_SAMPLER.finish()
+        assert NULL_SAMPLER.series() == []
+
+    def test_real_sampler_is_truthy_even_when_empty(self):
+        assert UtilizationSampler()
+
+
+class TestExporters:
+    def _sampler(self):
+        s = UtilizationSampler(interval=1.0)
+        s.accumulate("n", "cpu", 0.0, 2.0, level=0.75)
+        s.sample("n", "hit", 0.5, 0.9)
+        s.finish()
+        return s
+
+    def test_json_round_trip(self):
+        doc = json.loads(dumps_series(self._sampler()))
+        assert set(doc) == {"n/cpu/busy", "n/hit/gauge"}
+        assert doc["n/cpu/busy"]["values"] == [0.75, 0.75]
+        assert doc["n/cpu/busy"]["interval"] == 1.0
+
+    def test_write_json_returns_series_count(self, tmp_path):
+        path = tmp_path / "u.json"
+        assert write_series_json(str(path), self._sampler()) == 2
+        assert json.loads(path.read_text())
+
+    def test_csv_shape(self):
+        text = series_to_csv(self._sampler())
+        lines = text.strip().split("\n")
+        assert lines[0] == "node,resource,metric,interval,t,value"
+        assert lines[1] == "n,cpu,busy,1,0,0.75"
+        assert len(lines) == 1 + 4  # two series x two buckets
+
+    def test_write_csv_returns_row_count(self, tmp_path):
+        path = tmp_path / "u.csv"
+        assert write_series_csv(str(path), self._sampler()) == 4
+        assert path.read_text().startswith("node,resource,metric")
+
+    def test_heatmap_mentions_nodes_and_resources(self):
+        text = sparkline_heatmap(self._sampler(), width=20)
+        assert "n:" in text
+        assert "cpu[b]" in text
+        assert "|" in text
+        assert sparkline_heatmap(UtilizationSampler()) == "(no series)"
+
+    def test_heatmap_rows_share_width(self):
+        text = sparkline_heatmap(self._sampler(), width=30)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows
+        widths = {line.rindex("|") - line.index("|") for line in rows}
+        assert widths == {31}
+
+
+class TestSeriesFromTracer:
+    def test_integral_matches_span_hold_time(self):
+        tracer = Tracer()
+        tracer.add("grant", 0.0, 2.5, cat="resource", node="disk")
+        tracer.add("grant", 2.5, 4.0, cat="resource", node="disk")
+        tracer.add("noise", 0.0, 9.0, cat="phase", node="disk")  # ignored
+        derived = series_from_tracer(tracer, interval=0.5)
+        total_hold = sum(sp.duration for sp in tracer.find(cat="resource"))
+        assert derived.get("disk", "hold").integral() == pytest.approx(total_hold)
