@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import signal
 import sys
 import time
 from pathlib import Path
@@ -69,7 +70,29 @@ def _timed(fn, runs: int = 1) -> dict:
     return {"seconds": round(best, 4), "runs": runs, "value": value}
 
 
-def run_benchmarks(smoke: bool, utilization_csv: str | None = None) -> dict:
+class SectionTimeout(Exception):
+    """A benchmark section exceeded its wall-clock limit."""
+
+
+def _run_with_limit(fn, limit: float):
+    """Run ``fn`` under a SIGALRM wall-clock limit (0 or unsupported = off)."""
+    if not limit or not hasattr(signal, "SIGALRM"):
+        return fn()
+
+    def on_alarm(signum, frame):
+        raise SectionTimeout(f"exceeded {limit:g} s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
+                   section_timeout: float = 0.0) -> dict:
     from repro.core.dss import QUERY_NUMBERS, DssStudy
     from repro.core.oltp import OltpStudy
     from repro.obs import UtilizationSampler, write_series_csv
@@ -83,6 +106,29 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None) -> dict:
         benchmarks[name] = entry
         print(f"  {name:<32} {timing['seconds']:>9.3f} s  {meta or ''}")
 
+    def guard(names: tuple, thunk) -> bool:
+        """Run one section under the wall-clock limit.
+
+        On timeout, every benchmark the section did not manage to record
+        gets a ``timed_out`` entry instead — so a hung section still yields
+        a valid, partial trajectory file rather than a dead CI job.
+        """
+        try:
+            _run_with_limit(thunk, section_timeout)
+            return True
+        except SectionTimeout:
+            for name in names:
+                if name not in benchmarks:
+                    benchmarks[name] = {"timed_out": True,
+                                        "limit_seconds": section_timeout}
+                    print(f"  {name:<32} TIMED OUT (> {section_timeout:g} s)")
+            return False
+
+    def skip(names: tuple, after: str) -> None:
+        for name in names:
+            benchmarks[name] = {"timed_out": True, "skipped_after": after}
+            print(f"  {name:<32} skipped ({after} timed out)")
+
     print(f"trajectory benchmarks ({'smoke' if smoke else 'full'}):")
 
     # DSS: calibration is the dominant cost of a fresh study (tiny-SF query
@@ -94,8 +140,10 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None) -> dict:
         holder["study"] = DssStudy()
         return None
 
-    record("dss_calibration", _timed(build_study), calibration_sf=0.01)
-    study = holder["study"]
+    guard(("dss_calibration",),
+          lambda: record("dss_calibration", _timed(build_study),
+                         calibration_sf=0.01))
+    study = holder.get("study")
 
     queries = [1, 5, 22] if smoke else list(QUERY_NUMBERS)
 
@@ -106,51 +154,81 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None) -> dict:
             total += study.pdw_time(number, 250.0)
         return round(total, 1)
 
-    timing = _timed(sweep, runs=1 if smoke else 3)
-    record("dss_sf250_queries", timing, queries=len(queries), engines=2,
-           simulated_seconds=timing["value"])
+    def sweep_section():
+        timing = _timed(sweep, runs=1 if smoke else 3)
+        record("dss_sf250_queries", timing, queries=len(queries), engines=2,
+               simulated_seconds=timing["value"])
+
+    if study is not None:
+        guard(("dss_sf250_queries",), sweep_section)
+    else:
+        skip(("dss_sf250_queries",), "dss_calibration")
 
     # YCSB: the analytic figure curves and the event-sim cross-validation.
-    oltp = OltpStudy()
     targets_a = [5_000, 10_000] if smoke else [1_000, 2_000, 5_000, 10_000,
                                                20_000, 40_000]
     targets_e = [500, 1_000] if smoke else [250, 500, 1_000, 2_000, 4_000,
                                             8_000]
-    record("ycsb_workload_a_mva",
-           _timed(lambda: len(oltp.figure("A", targets_a)), runs=3),
-           targets=len(targets_a))
-    record("ycsb_workload_e_mva",
-           _timed(lambda: len(oltp.figure("E", targets_e)), runs=3),
-           targets=len(targets_e))
+
+    def mva_section():
+        holder["oltp"] = OltpStudy()
+        oltp = holder["oltp"]
+        record("ycsb_workload_a_mva",
+               _timed(lambda: len(oltp.figure("A", targets_a)), runs=3),
+               targets=len(targets_a))
+        record("ycsb_workload_e_mva",
+               _timed(lambda: len(oltp.figure("E", targets_e)), runs=3),
+               targets=len(targets_e))
+
+    guard(("ycsb_workload_a_mva", "ycsb_workload_e_mva"), mva_section)
+    oltp = holder.get("oltp")
 
     duration = 20.0 if smoke else 60.0
-    record("ycsb_workload_a_eventsim",
-           _timed(lambda: oltp.event_sim_point(
-               "mongo-as", "A", 10_000, duration=duration)[1].completed_ops),
-           duration=duration)
-    record("ycsb_workload_e_eventsim",
-           _timed(lambda: oltp.event_sim_point(
-               "mongo-as", "E", 2_000, duration=duration)[1].completed_ops),
-           duration=duration)
+    eventsim_names = ("ycsb_workload_a_eventsim", "ycsb_workload_e_eventsim")
+    if oltp is not None:
+        guard(eventsim_names[:1],
+              lambda: record("ycsb_workload_a_eventsim",
+                             _timed(lambda: oltp.event_sim_point(
+                                 "mongo-as", "A", 10_000,
+                                 duration=duration)[1].completed_ops),
+                             duration=duration))
+        guard(eventsim_names[1:],
+              lambda: record("ycsb_workload_e_eventsim",
+                             _timed(lambda: oltp.event_sim_point(
+                                 "mongo-as", "E", 2_000,
+                                 duration=duration)[1].completed_ops),
+                             duration=duration))
+    else:
+        skip(eventsim_names, "ycsb_workload_mva")
 
     # Overhead of the new sampling layer on a traced hot path: Q1 with a
     # sampler attached vs. bare.  Also produces the CI utilization artifact.
-    bare = _timed(lambda: study.hive.run_query(1, 250.0).total_time, runs=3)
     sampler = UtilizationSampler()
 
-    def sampled():
-        local = UtilizationSampler()
-        study.hive.run_query(1, 250.0, sampler=local)
-        sampler._accums = local._accums
-        sampler._gauges = local._gauges
-        sampler._end = local._end
-        return len(local)
+    def overhead_section():
+        bare = _timed(lambda: study.hive.run_query(1, 250.0).total_time,
+                      runs=3)
 
-    with_sampler = _timed(sampled, runs=3)
-    overhead = (with_sampler["seconds"] / bare["seconds"]) if bare["seconds"] else 0.0
-    record("utilization_sampling_overhead", with_sampler,
-           bare_seconds=bare["seconds"], overhead_ratio=round(overhead, 2))
-    if utilization_csv:
+        def sampled():
+            local = UtilizationSampler()
+            study.hive.run_query(1, 250.0, sampler=local)
+            sampler._accums = local._accums
+            sampler._gauges = local._gauges
+            sampler._end = local._end
+            return len(local)
+
+        with_sampler = _timed(sampled, runs=3)
+        overhead = ((with_sampler["seconds"] / bare["seconds"])
+                    if bare["seconds"] else 0.0)
+        record("utilization_sampling_overhead", with_sampler,
+               bare_seconds=bare["seconds"],
+               overhead_ratio=round(overhead, 2))
+
+    if study is not None:
+        guard(("utilization_sampling_overhead",), overhead_section)
+    else:
+        skip(("utilization_sampling_overhead",), "dss_calibration")
+    if utilization_csv and len(sampler):
         rows = write_series_csv(utilization_csv, sampler)
         print(f"  wrote {rows} utilization rows -> {utilization_csv}")
 
@@ -177,6 +255,10 @@ def validate(doc: dict) -> list[str]:
         if entry is None:
             problems.append(f"missing benchmark {name!r}")
             continue
+        if entry.get("timed_out") is True:
+            # A guarded section hit its wall-clock limit; the partial file
+            # is still a valid trajectory.
+            continue
         seconds = entry.get("seconds")
         if not isinstance(seconds, (int, float)) or seconds < 0:
             problems.append(f"benchmark {name!r} has invalid seconds {seconds!r}")
@@ -195,6 +277,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--utilization-csv", metavar="PATH",
                         help="also write the Q1 @ SF 250 utilization series "
                              "CSV (the CI artifact)")
+    parser.add_argument("--section-timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="wall-clock limit per benchmark section; a "
+                             "section over the limit is recorded as "
+                             "timed_out and the remaining sections still "
+                             "run (0 = no limit)")
     parser.add_argument("--check", metavar="PATH",
                         help="validate an existing trajectory file and exit")
     args = parser.parse_args(argv)
@@ -214,7 +302,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"smoke={doc['smoke']} benchmarks=[{names}]")
         return 1 if problems else 0
 
-    doc = run_benchmarks(args.smoke, utilization_csv=args.utilization_csv)
+    doc = run_benchmarks(args.smoke, utilization_csv=args.utilization_csv,
+                         section_timeout=args.section_timeout)
     problems = validate(doc)
     if problems:  # a bug in this harness, not in the simulator
         for problem in problems:

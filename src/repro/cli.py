@@ -16,6 +16,75 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import ConfigurationError
+
+
+def _require_positive(value: float, flag: str) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{flag} must be > 0, got {value:g}")
+
+
+def _fault_outputs(args, report, tracer, metrics, sampler) -> None:
+    """Shared --fault-report/--trace/--metrics/--utilization handling."""
+    from repro.faults.report import render_fault_report, write_fault_report
+    from repro.obs import (
+        sparkline_heatmap,
+        write_chrome_trace,
+        write_metrics,
+        write_series_csv,
+    )
+
+    print(render_fault_report(report))
+    if args.fault_report:
+        write_fault_report(report, args.fault_report)
+        print(f"wrote fault report -> {args.fault_report}")
+    if args.trace:
+        count = write_chrome_trace(args.trace, tracer, metrics, sampler=sampler)
+        print(f"wrote {count} trace events -> {args.trace}")
+    if args.metrics:
+        write_metrics(args.metrics, metrics)
+        print(f"wrote metrics -> {args.metrics}")
+    if args.utilization == "-" and sampler is not None:
+        print(sparkline_heatmap(sampler))
+    elif args.utilization is not None:
+        rows = write_series_csv(args.utilization, sampler)
+        print(f"wrote {rows} utilization rows -> {args.utilization}")
+
+
+def _dss_faults(args, study) -> int:
+    from repro.faults import FaultPlan
+    from repro.faults.report import dss_fault_report
+    from repro.obs import MetricsRegistry, Tracer, UtilizationSampler
+
+    plan = FaultPlan.parse(args.faults, seed=args.seed)
+    tracer, metrics = Tracer(), MetricsRegistry()
+    sampler = UtilizationSampler() if args.utilization is not None else None
+    report = dss_fault_report(
+        study, args.trace_query, args.trace_sf, plan,
+        tracer=tracer, metrics=metrics, sampler=sampler,
+    )
+    _fault_outputs(args, report, tracer, metrics, sampler)
+    return 0
+
+
+def _oltp_faults(args, study) -> int:
+    from repro.faults import FaultPlan
+    from repro.faults.report import oltp_fault_report
+    from repro.obs import MetricsRegistry, Tracer, UtilizationSampler
+
+    workload = args.workload if args.workload != "all" else "A"
+    plan = FaultPlan.parse(args.faults, seed=args.seed)
+    tracer, metrics = Tracer(), MetricsRegistry()
+    sampler = (UtilizationSampler(interval=0.5)
+               if args.utilization is not None else None)
+    report = oltp_fault_report(
+        plan, workload=workload, system=args.system, target=args.target,
+        duration=args.duration, study=study,
+        tracer=tracer, metrics=metrics, sampler=sampler,
+    )
+    _fault_outputs(args, report, tracer, metrics, sampler)
+    return 0
+
 
 def _cmd_dss(args) -> int:
     from repro.core.dss import DssStudy
@@ -27,7 +96,13 @@ def _cmd_dss(args) -> int:
         render_table5,
     )
 
+    _require_positive(args.calibration_sf, "--calibration-sf")
+    _require_positive(args.trace_sf, "--trace-sf")
+    if args.fault_report and not args.faults:
+        raise ConfigurationError("--fault-report requires --faults")
     study = DssStudy(calibration_sf=args.calibration_sf, seed=args.seed)
+    if args.faults:
+        return _dss_faults(args, study)
     observing = (args.trace or args.metrics or args.timeline
                  or args.utilization is not None or args.bottlenecks)
     if observing:
@@ -93,7 +168,20 @@ def _cmd_oltp(args) -> int:
     from repro.core.oltp import OltpStudy
     from repro.core.report import render_oltp_load_times, render_ycsb_figure
 
+    from repro.ycsb.workloads import WORKLOADS
+
+    if args.workload != "all" and args.workload not in WORKLOADS:
+        raise ConfigurationError(
+            f"unknown workload {args.workload!r}; expected one of "
+            f"{', '.join(sorted(WORKLOADS))} or 'all'"
+        )
+    _require_positive(args.target, "--target")
+    _require_positive(args.duration, "--duration")
+    if args.fault_report and not args.faults:
+        raise ConfigurationError("--fault-report requires --faults")
     study = OltpStudy(isolation=args.isolation)
+    if args.faults:
+        return _oltp_faults(args, study)
     observing = (args.trace or args.metrics or args.timeline
                  or args.utilization is not None or args.bottlenecks)
     if observing:
@@ -178,6 +266,7 @@ def _cmd_dbgen(args) -> int:
     from repro.tpch.dbgen import DbGen
     from repro.tpch.tbl_io import write_tbl
 
+    _require_positive(args.sf, "--sf")
     db = DbGen(scale_factor=args.sf, seed=args.seed).generate()
     written = write_tbl(db, args.output)
     for name, rows in sorted(written.items()):
@@ -196,6 +285,7 @@ def _cmd_scorecard(args) -> int:
 def _cmd_explain(args) -> int:
     from repro.core.explain import explain_query
 
+    _require_positive(args.sf, "--sf")
     print(explain_query(args.number, args.sf))
     return 0
 
@@ -204,6 +294,7 @@ def _cmd_hiveql(args) -> int:
     from repro.hive.hiveql import execute
     from repro.tpch.dbgen import DbGen
 
+    _require_positive(args.sf, "--sf")
     db = DbGen(scale_factor=args.sf, seed=args.seed).generate()
     rows = execute(args.sql, db)
     for row in rows[: args.limit]:
@@ -216,6 +307,7 @@ def _cmd_query(args) -> int:
     from repro.tpch.dbgen import DbGen
     from repro.tpch.queries import run_query
 
+    _require_positive(args.sf, "--sf")
     db = DbGen(scale_factor=args.sf, seed=args.seed).generate()
     rows = run_query(args.number, db)
     for row in rows[: args.limit]:
@@ -253,6 +345,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "sparkline heatmap when no PATH is given")
     dss.add_argument("--bottlenecks", action="store_true",
                      help="print the per-phase bottleneck attribution report")
+    dss.add_argument("--faults", metavar="PLAN",
+                     help="inject faults into the traced query and compare "
+                          "Hive vs PDW recovery; PLAN is "
+                          "'kind:target@at[+dur][xmag];...' "
+                          "(e.g. 'crash:n3@0.5' or 'straggler:n2@0.3x4')")
+    dss.add_argument("--fault-report", metavar="PATH",
+                     help="write the healthy-vs-faulted comparison JSON")
     dss.set_defaults(func=_cmd_dss)
 
     oltp = sub.add_parser("oltp", help="run the YCSB study (Figures 2-6)")
@@ -285,6 +384,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the bottleneck attribution report "
                            "(MVA utilizations, lock rows vs the paper's "
                            "25-45%% mongostat band)")
+    oltp.add_argument("--faults", metavar="PLAN",
+                      help="inject faults and compare healthy vs faulted: "
+                           "shard faults ('kill-shard:0@0.25') run the "
+                           "functional cluster with retry/backoff, station "
+                           "faults ('disk-stall:disk@20+10x8') run the event "
+                           "simulator")
+    oltp.add_argument("--fault-report", metavar="PATH",
+                      help="write the healthy-vs-faulted comparison JSON")
     oltp.set_defaults(func=_cmd_oltp)
 
     dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")
@@ -326,7 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        # Bad input (unknown workload, non-positive scale factor, malformed
+        # fault plan) is a usage error: one line on stderr, exit 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -29,6 +29,10 @@ class ShardingError(ReproError):
     """A request could not be routed to a shard."""
 
 
+class FaultPlanError(ConfigurationError):
+    """A fault-injection plan is malformed (bad spec string or schedule)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
@@ -43,3 +47,18 @@ class OutOfDiskSpace(StorageError):
 
 class ServerCrashed(ReproError):
     """A simulated server process crashed mid-benchmark (Mongo-AS, workload D)."""
+
+
+class ShardUnavailable(ShardingError, ServerCrashed):
+    """An operation was routed to a shard whose server process is down.
+
+    The paper's MongoDB deployment ran *without* replica sets (§3.4.1), so a
+    dead mongod means lost availability for its key range, not failover.
+    Subclasses both :class:`ShardingError` (it is a routing-level failure)
+    and :class:`ServerCrashed` (callers treating any dead process uniformly
+    keep working).
+    """
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message)
+        self.shard = shard

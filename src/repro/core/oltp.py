@@ -452,7 +452,8 @@ class OltpStudy:
     def event_sim_point(self, system_name: str, workload_name: str,
                         target: float, scale: float = 0.02,
                         duration: float = 120.0, seed: int = 1234,
-                        tracer=None, metrics=None, sampler=None):
+                        tracer=None, metrics=None, sampler=None,
+                        faults=None, retry_policy=None):
         """Re-measure one figure point with the discrete-event simulator.
 
         The cluster and client population are scaled down by ``scale`` (the
@@ -498,6 +499,7 @@ class OltpStudy:
             stations, mix, clients=clients, think_time=think,
             duration=duration, seed=seed,
             tracer=tracer, metrics=metrics, sampler=sampler,
+            faults=faults, retry_policy=retry_policy,
         )
         if metrics:
             metrics.gauge("oltp.sim.throughput").set(sim.throughput)

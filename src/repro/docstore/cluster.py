@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import zlib
 
-from repro.common.errors import ShardingError
+from repro.common.errors import ServerCrashed, ShardUnavailable, ShardingError
 from repro.docstore.chunks import Balancer, Chunk, ConfigServer, MongosRouter
 from repro.docstore.mongod import Mongod
 
@@ -107,17 +107,37 @@ class MongoAsCluster:
 
     # -- mongos operations ----------------------------------------------------------
 
+    def _on_shard(self, index: int, operation):
+        """Run one mongod call; a dead process surfaces as the typed routing
+        failure mongos reports (the shard is *unavailable*, not failing over —
+        the paper's deployment had no replica sets)."""
+        try:
+            return operation()
+        except ServerCrashed as exc:
+            raise ShardUnavailable(
+                f"shard {index} ({self.shards[index].name}) is unavailable: {exc}",
+                shard=index,
+            ) from exc
+
     def insert(self, key: str, record: dict) -> None:
         self.routed_ops += 1
         chunk = self._router().route(key)
-        self.shards[chunk.shard].insert(self.collection, {"_id": key, **record})
+        self._on_shard(
+            chunk.shard,
+            lambda: self.shards[chunk.shard].insert(
+                self.collection, {"_id": key, **record}
+            ),
+        )
         chunk.doc_count += 1
         self._maybe_split(chunk)
 
     def read(self, key: str) -> dict | None:
         self.routed_ops += 1
         chunk = self._router().route(key)
-        document = self.shards[chunk.shard].find_one(self.collection, key)
+        document = self._on_shard(
+            chunk.shard,
+            lambda: self.shards[chunk.shard].find_one(self.collection, key),
+        )
         if document is not None:
             document = {k: v for k, v in document.items() if k != "_id"}
         return document
@@ -125,7 +145,12 @@ class MongoAsCluster:
     def update(self, key: str, fieldname: str, value: str) -> bool:
         self.routed_ops += 1
         chunk = self._router().route(key)
-        return self.shards[chunk.shard].update(self.collection, key, fieldname, value)
+        return self._on_shard(
+            chunk.shard,
+            lambda: self.shards[chunk.shard].update(
+                self.collection, key, fieldname, value
+            ),
+        )
 
     def scan(self, start_key: str, count: int) -> list[dict]:
         """Range scan: visits chunks in key order, usually just one."""
@@ -136,7 +161,13 @@ class MongoAsCluster:
                 break
             shard = self.shards[chunk.shard]
             low = start_key if chunk.contains(start_key) else (chunk.low or "")
-            for document in shard.scan(self.collection, low, count - len(out)):
+            documents = self._on_shard(
+                chunk.shard,
+                lambda s=shard, lo=low: s.scan(
+                    self.collection, lo, count - len(out)
+                ),
+            )
+            for document in documents:
                 if chunk.high is not None and document["_id"] >= chunk.high:
                     break
                 out.append(document)
@@ -158,6 +189,10 @@ class MongoAsCluster:
         configured in the paper's deployment — no replica sets)."""
         self.shards[index].kill()
 
+    def restart_shard(self, index: int) -> None:
+        """The operator brings the dead mongod back (data intact on disk)."""
+        self.shards[index].restart()
+
     @property
     def doc_count(self) -> int:
         return sum(
@@ -178,26 +213,54 @@ class MongoCsCluster:
         ]
         self.collection = collection
 
+    def _shard_index(self, key: str) -> int:
+        return hash_shard(key, len(self.shards))
+
     def _shard(self, key: str) -> Mongod:
-        return self.shards[hash_shard(key, len(self.shards))]
+        return self.shards[self._shard_index(key)]
+
+    def _on_shard(self, index: int, operation):
+        try:
+            return operation()
+        except ServerCrashed as exc:
+            raise ShardUnavailable(
+                f"shard {index} ({self.shards[index].name}) is unavailable: {exc}",
+                shard=index,
+            ) from exc
 
     def insert(self, key: str, record: dict) -> None:
-        self._shard(key).insert(self.collection, {"_id": key, **record})
+        index = self._shard_index(key)
+        self._on_shard(
+            index,
+            lambda: self.shards[index].insert(
+                self.collection, {"_id": key, **record}
+            ),
+        )
 
     def read(self, key: str) -> dict | None:
-        document = self._shard(key).find_one(self.collection, key)
+        index = self._shard_index(key)
+        document = self._on_shard(
+            index, lambda: self.shards[index].find_one(self.collection, key)
+        )
         if document is not None:
             document = {k: v for k, v in document.items() if k != "_id"}
         return document
 
     def update(self, key: str, fieldname: str, value: str) -> bool:
-        return self._shard(key).update(self.collection, key, fieldname, value)
+        index = self._shard_index(key)
+        return self._on_shard(
+            index,
+            lambda: self.shards[index].update(self.collection, key, fieldname, value),
+        )
 
     def scan(self, start_key: str, count: int) -> list[dict]:
         """Hash sharding scatters ranges: every shard must be queried."""
         partials: list[dict] = []
-        for shard in self.shards:
-            partials.extend(shard.scan(self.collection, start_key, count))
+        for index, shard in enumerate(self.shards):
+            partials.extend(self._on_shard(
+                index,
+                lambda s=shard: s.scan(self.collection, start_key, count),
+            ))
         partials.sort(key=lambda d: d["_id"])
         return partials[:count]
 
@@ -206,6 +269,9 @@ class MongoCsCluster:
 
     def kill_shard(self, index: int) -> None:
         self.shards[index].kill()
+
+    def restart_shard(self, index: int) -> None:
+        self.shards[index].restart()
 
     @property
     def doc_count(self) -> int:

@@ -1,0 +1,61 @@
+"""Client retry/timeout/backoff policy (the YCSB-driver recovery layer).
+
+The paper's deployments had no server-side failover for MongoDB (no replica
+sets), so availability under partial failure is decided entirely by the
+client: how many times it retries a failed op, how long it backs off, and
+when it gives up.  :class:`RetryPolicy` models the standard capped
+exponential backoff loop deterministically — no wall clock, no jitter — so
+the same fault plan always yields the same retry schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+def backoff_delay(attempt: int, base: float, cap: float) -> float:
+    """Capped exponential backoff: ``min(cap, base * 2**attempt)``.
+
+    ``attempt`` counts completed failures (0 -> first retry waits ``base``).
+    """
+    return min(cap, base * (2.0 ** attempt))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client treats a failed operation.
+
+    * ``max_attempts`` — total tries including the first (1 = no retry);
+    * ``base_backoff`` / ``backoff_cap`` — capped exponential delays between
+      tries, on the run's logical clock;
+    * ``op_timeout`` — total per-op budget; once the accumulated latency
+      (service + backoff) exceeds it, the client stops retrying even if
+      attempts remain.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 0.05
+    backoff_cap: float = 1.0
+    op_timeout: float = 5.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry policy needs max_attempts >= 1")
+        if self.base_backoff < 0 or self.backoff_cap < self.base_backoff:
+            raise ConfigurationError(
+                "retry policy needs 0 <= base_backoff <= backoff_cap"
+            )
+        if self.op_timeout <= 0:
+            raise ConfigurationError("retry policy needs op_timeout > 0")
+
+    def delay(self, attempt: int) -> float:
+        return backoff_delay(attempt, self.base_backoff, self.backoff_cap)
+
+    def gives_up(self, attempts_made: int, elapsed: float) -> bool:
+        """True when the client abandons the op after ``attempts_made`` tries."""
+        return attempts_made >= self.max_attempts or elapsed >= self.op_timeout
+
+
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -1,0 +1,279 @@
+"""Functional YCSB run under shard faults: the availability scenario.
+
+Drives a real cluster (Mongo-AS, Mongo-CS, or SQL-CS) through a workload's
+operation mix while a :class:`~repro.faults.plan.FaultPlan` kills and
+restarts shard processes at scheduled points in the op stream.  The client
+handles failures with a :class:`~repro.faults.retry.RetryPolicy` — capped
+exponential backoff on a *logical* clock (no wall time), matching the
+paper's no-replica-set deployment where a dead mongod means every op routed
+to it fails until an operator intervenes.
+
+Accounting folds into the YCSB latency histograms: successful ops record
+their service latency plus any backoff they paid; abandoned ops record the
+full latency burned before giving up *and* count as errors, so availability
+(``succeeded / attempted``) and p95 inflation both fall out of the same
+histograms the healthy run produces.  With a tracer attached, every backoff
+becomes a ``retry.backoff`` span and every fault a ``fault.*`` marker span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    ServerCrashed,
+    ShardUnavailable,
+    WorkloadError,
+)
+from repro.common.rng import SeedStream
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.ycsb.generators import (
+    CounterGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+from repro.ycsb.histogram import LatencyHistogram
+from repro.ycsb.workloads import (
+    FIELD_COUNT,
+    MAX_SCAN_LENGTH,
+    OP_INSERT,
+    OP_READ,
+    OP_RMW,
+    OP_SCAN,
+    OP_UPDATE,
+    WorkloadSpec,
+    make_field_value,
+    make_key,
+    make_record,
+)
+
+# Logical per-attempt service latencies (seconds).  These stand in for the
+# functional layer's missing clock: absolute values are nominal, but they are
+# deterministic, so healthy-vs-faulted comparisons (backoff inflation, p95
+# ratios) are meaningful.
+SERVICE_LATENCY = {
+    OP_READ: 0.0009,
+    OP_UPDATE: 0.0011,
+    OP_INSERT: 0.0010,
+    OP_SCAN: 0.0040,
+    OP_RMW: 0.0020,
+}
+# A failed attempt (connection refused / socket exception) is detected fast.
+FAILURE_DETECT_LATENCY = 0.0005
+
+_RETRYABLE = (ShardUnavailable, ServerCrashed)
+
+
+@dataclass
+class FaultedRunStats:
+    """Counts and histograms from one (possibly faulted) functional run."""
+
+    attempted: int = 0
+    succeeded: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    duration: float = 0.0  # logical seconds
+    errors: dict = field(default_factory=dict)  # op class -> abandoned ops
+    histograms: dict = field(default_factory=dict)  # op class -> LatencyHistogram
+    faults_fired: list = field(default_factory=list)  # spec strings, in order
+
+    @property
+    def error_count(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def availability(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 1.0
+
+    def p95_ms(self, op_class: str) -> float:
+        histogram = self.histograms.get(op_class)
+        return histogram.percentile(95) * 1000.0 if histogram else 0.0
+
+
+class FaultedYcsbRun:
+    """A YCSB client loop with shard-fault scheduling and retry recovery."""
+
+    def __init__(
+        self,
+        cluster,
+        workload: WorkloadSpec,
+        record_count: int,
+        operations: int,
+        plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        seed: int = 7,
+        tracer=None,
+        metrics=None,
+    ):
+        if record_count < 2:
+            raise WorkloadError("need at least two records")
+        if operations < 1:
+            raise WorkloadError("need at least one operation")
+        self.cluster = cluster
+        self.workload = workload
+        self.record_count = record_count
+        self.operations = operations
+        self.plan = plan if plan is not None else FaultPlan()
+        self.policy = policy or RetryPolicy()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.seeds = SeedStream(seed)
+        self._op_rng = self.seeds.rng_for("ops")
+        self._data_rng = self.seeds.rng_for("data")
+        self._counter = CounterGenerator(record_count)
+        self._chooser = self._make_chooser()
+        self.now = 0.0
+
+    def _make_chooser(self):
+        rng = self.seeds.rng_for("chooser")
+        dist = self.workload.request_distribution
+        if dist == "uniform":
+            gen = UniformGenerator(self.record_count, rng)
+            return lambda: gen.next()
+        if dist == "zipfian":
+            gen = ScrambledZipfianGenerator(self.record_count, rng)
+            return lambda: min(gen.next(), self._counter.last)
+        gen = LatestGenerator(self.record_count, rng)
+        self._latest = gen
+        return lambda: gen.next()
+
+    # -- fault schedule --------------------------------------------------------
+
+    def _fault_op_index(self, at: float) -> int:
+        """``at <= 1`` is a fraction of the op stream, else an op index."""
+        if at <= 1.0:
+            return int(round(at * self.operations))
+        return int(at)
+
+    def _fire_due_faults(self, op_index: int, stats: FaultedRunStats) -> None:
+        for fault in self.plan.shard_faults:
+            key = fault.spec_string()
+            if key in stats.faults_fired:
+                continue
+            if op_index < self._fault_op_index(fault.at):
+                continue
+            shard = fault.target_index()
+            if fault.kind == "kill-shard":
+                self.cluster.kill_shard(shard)
+            else:
+                self.cluster.restart_shard(shard)
+            stats.faults_fired.append(key)
+            if self.tracer:
+                self.tracer.add(
+                    f"fault.{fault.kind}", self.now, self.now,
+                    cat="fault", node="faults", lane="shards",
+                    shard=shard, op_index=op_index,
+                )
+            if self.metrics:
+                self.metrics.counter(f"faults.{fault.kind}").inc()
+
+    # -- operations ------------------------------------------------------------
+
+    def _plan_op(self, op_class: str):
+        """Draw the op's random parameters once and return a retryable thunk.
+
+        Retries must re-execute the *same* operation (same key, same value):
+        a client retrying a failed read does not pick a new key, so an op
+        routed to a dead shard keeps hitting that shard until the policy
+        gives up.  This is what makes one dead shard out of N cost ~1/N of
+        availability instead of being retried around.
+        """
+        if op_class == OP_READ:
+            key = make_key(self._chooser())
+            return lambda: self.cluster.read(key)
+        if op_class == OP_UPDATE:
+            key = make_key(self._chooser())
+            fieldname = f"field{self._op_rng.random_int(0, FIELD_COUNT - 1)}"
+            value = make_field_value(self._data_rng)
+            return lambda: self.cluster.update(key, fieldname, value)
+        if op_class == OP_INSERT:
+            index = self._counter.next()
+            key = make_key(index)
+            record = make_record(self._data_rng)
+
+            def do_insert():
+                self.cluster.insert(key, record)
+                if hasattr(self, "_latest"):
+                    self._latest.observe_insert()
+
+            return do_insert
+        if op_class == OP_SCAN:
+            start = make_key(self._chooser())
+            length = self._op_rng.random_int(1, MAX_SCAN_LENGTH)
+            return lambda: self.cluster.scan(start, length)
+        if op_class == OP_RMW:
+            key = make_key(self._chooser())
+            fieldname = f"field{self._op_rng.random_int(0, FIELD_COUNT - 1)}"
+            value = make_field_value(self._data_rng)
+
+            def do_rmw():
+                record = self.cluster.read(key)
+                if record is not None:
+                    self.cluster.update(key, fieldname, value)
+
+            return do_rmw
+        raise WorkloadError(f"unknown op class {op_class!r}")
+
+    def _run_op(self, op_class: str, stats: FaultedRunStats) -> None:
+        histogram = stats.histograms.setdefault(op_class, LatencyHistogram())
+        execute = self._plan_op(op_class)
+        latency = 0.0
+        attempt = 0
+        while True:
+            try:
+                execute()
+            except _RETRYABLE:
+                latency += FAILURE_DETECT_LATENCY
+                attempt += 1
+                if self.metrics:
+                    self.metrics.counter(f"ycsb.failed_attempts.{op_class}").inc()
+                if self.policy.gives_up(attempt, latency):
+                    stats.errors[op_class] = stats.errors.get(op_class, 0) + 1
+                    histogram.record(latency)
+                    histogram.record_error()
+                    if self.metrics:
+                        self.metrics.counter(f"ycsb.errors.{op_class}").inc()
+                    break
+                delay = self.policy.delay(attempt - 1)
+                if self.tracer:
+                    self.tracer.add(
+                        "retry.backoff",
+                        self.now + latency, self.now + latency + delay,
+                        cat="retry", node="client", lane="backoff",
+                        cls=op_class, attempt=attempt,
+                    )
+                latency += delay
+                stats.retries += 1
+                stats.backoff_seconds += delay
+                if self.metrics:
+                    self.metrics.counter("ycsb.retried_ops").inc()
+                continue
+            # Success path.
+            latency += SERVICE_LATENCY[op_class]
+            stats.succeeded += 1
+            histogram.record(latency)
+            if attempt and self.metrics:
+                self.metrics.counter(f"ycsb.recovered_ops.{op_class}").inc()
+            break
+        self.now += latency
+
+    # -- phases ---------------------------------------------------------------
+
+    def load(self) -> None:
+        """Insert records 0 .. record_count-1 (no faults fire during load)."""
+        for i in range(self.record_count):
+            self.cluster.insert(make_key(i), make_record(self._data_rng))
+
+    def run(self) -> FaultedRunStats:
+        stats = FaultedRunStats()
+        for op_index in range(self.operations):
+            self._fire_due_faults(op_index, stats)
+            op_class = self.workload.pick_operation(self._op_rng)
+            stats.attempted += 1
+            self._run_op(op_class, stats)
+        stats.duration = self.now
+        if self.metrics:
+            self.metrics.gauge("ycsb.availability").set(stats.availability)
+        return stats

@@ -13,10 +13,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
-from repro.common.errors import PlanError
+from repro.common.errors import ConfigurationError, PlanError
 from repro.hdfs.filesystem import DEFAULT_BLOCK_SIZE
 from repro.hive.metastore import Metastore
-from repro.mapreduce.jobs import HadoopParams, JobResult, JobTracker, MapPhase
+from repro.mapreduce.jobs import (
+    HadoopParams,
+    JobResult,
+    JobTracker,
+    MapPhase,
+    schedule_tasks,
+    schedule_tasks_recovering,
+    task_waves,
+)
 from repro.simcluster.profile import HardwareProfile, paper_testbed
 from repro.tpch.plans import QuerySpec, spec_for
 from repro.tpch.volumes import Calibration, VolumeModel
@@ -51,6 +59,31 @@ class HiveQueryResult:
     @property
     def map_time(self) -> float:
         return sum(j.map_time for j in self.jobs)
+
+
+@dataclass
+class FaultedHiveResult:
+    """Healthy-vs-faulted comparison of one Hive query under a node fault.
+
+    Hive inherits MapReduce's task-granular recovery: a crash costs only the
+    lost tasks' re-execution (plus degraded capacity afterwards), never a
+    query restart — the contrast :class:`repro.pdw.engine.PdwEngine` makes.
+    """
+
+    number: int
+    scale_factor: float
+    healthy: HiveQueryResult
+    faulted_total: float
+    fault: dict = field(default_factory=dict)
+    killed_attempts: int = 0
+    reexecuted_tasks: int = 0
+    speculative_copies: int = 0
+    wasted_task_seconds: float = 0.0
+    affected_jobs: list[str] = field(default_factory=list)
+
+    @property
+    def delay(self) -> float:
+        return self.faulted_total - self.healthy.total_time
 
 
 class HiveEngine:
@@ -364,6 +397,176 @@ class HiveEngine:
         if sampler:
             self._emit_utilization(result, params, sampler)
         return result
+
+    # -- fault injection ----------------------------------------------------------
+
+    def _degraded_reduce_time(self, job: JobResult, params,
+                              surviving_nodes: int, scale: float) -> float:
+        """Reduce-phase time with the wave count recomputed on fewer slots.
+
+        The span-derived part re-schedules into waves over the surviving
+        reduce slots; the remainder (the HDFS output write folded into
+        ``reduce_time`` after the tracker ran) scales with lost network
+        capacity.
+        """
+        if not job.reduce_task_spans:
+            return job.reduce_time * scale
+        task_time = job.reduce_task_spans[0][2] - job.reduce_task_spans[0][1]
+        old_slots = params.reduce_slots(self.profile)
+        span_time = task_waves(len(job.reduce_task_spans), old_slots) * task_time
+        extra = max(0.0, job.reduce_time - span_time)
+        new_slots = surviving_nodes * params.reduce_slots_per_node
+        return task_waves(len(job.reduce_task_spans), new_slots) * task_time + extra * scale
+
+    def run_query_faulted(self, number: int, scale_factor: float, fault,
+                          spec: QuerySpec | None = None,
+                          tracer=None, metrics=None,
+                          sampler=None) -> FaultedHiveResult:
+        """Re-cost one query under a node fault, with MapReduce recovery.
+
+        ``fault`` is a :class:`repro.faults.plan.FaultSpec` (duck-typed) of
+        kind ``crash`` or ``straggler`` targeting node ``nK``.  ``fault.at``
+        <= 1 is a fraction of the healthy runtime, else absolute seconds on
+        the healthy timeline.
+
+        Recovery semantics (Section 2's fault-tolerance contrast):
+
+        * **crash** — the wave active at the crash re-executes the dead
+          node's in-flight *and* completed map tasks on surviving slots
+          (map output lived on the node's disks); every later phase runs on
+          ``n-1`` nodes (fewer slots, less shuffle bandwidth).  A crash
+          mid-shuffle/reduce degrades the job's remaining time by the lost
+          capacity fraction.
+        * **straggler** — map waves overlapping the fault window run with
+          the slow node stretched ``fault.magnitude`` x and speculative
+          backup copies on healthy slots.
+
+        The healthy run is simulated internally with task tracing; the
+        caller's ``tracer``/``sampler`` receive only the *faulted* timeline
+        (fault marker, degraded-job spans, degraded-capacity series).
+        """
+        if fault.kind not in ("crash", "straggler"):
+            raise ConfigurationError(
+                f"hive fault injection handles crash/straggler, not {fault.kind!r}"
+            )
+        node = fault.target_index()
+        nodes = self.profile.nodes
+        if not 0 <= node < nodes:
+            raise ConfigurationError(
+                f"fault targets node {node}, cluster has {nodes}"
+            )
+        if nodes < 2:
+            raise ConfigurationError("need >= 2 nodes to survive a node fault")
+
+        from repro.obs.trace import Tracer
+
+        params = self._params_for(number)
+        healthy = self.run_query(number, scale_factor, spec=spec, tracer=Tracer())
+        total = healthy.total_time
+        at = fault.at * total if fault.at <= 1.0 else fault.at
+        window_end = at + fault.duration if fault.duration else total
+        scale = nodes / (nodes - 1)
+        slots_per_node = params.map_slots_per_node
+        map_slots = params.map_slots(self.profile)
+
+        out = FaultedHiveResult(
+            number=number, scale_factor=scale_factor, healthy=healthy,
+            faulted_total=0.0,
+            fault={"kind": fault.kind, "target": fault.target, "at": at},
+        )
+
+        def map_durations(job: JobResult) -> list[float]:
+            return [end - start for _slot, start, end in job.map_task_spans]
+
+        healthy_cursor = 0.0
+        faulted_cursor = 0.0
+        for job in healthy.jobs:
+            job_start = healthy_cursor
+            job_end = job_start + job.total_time
+            healthy_cursor = job_end
+            new_total = job.total_time
+            affected = False
+
+            if fault.kind == "crash":
+                if job_end <= at:
+                    pass  # finished before the crash
+                elif job_start >= at:
+                    # Whole job runs on the surviving n-1 nodes.
+                    affected = True
+                    durations = map_durations(job)
+                    new_map = (
+                        schedule_tasks(durations, (nodes - 1) * slots_per_node)
+                        if durations else job.map_time
+                    )
+                    new_total = (
+                        new_map + job.shuffle_time * scale
+                        + self._degraded_reduce_time(job, params, nodes - 1, scale)
+                        + job.overhead
+                    )
+                else:
+                    # The job active at the crash.
+                    affected = True
+                    map_end = job_start + job.map_time
+                    if at < map_end and job.map_task_spans:
+                        recovered = schedule_tasks_recovering(
+                            map_durations(job), map_slots, slots_per_node,
+                            crash_node=node, crash_time=at - job_start,
+                        )
+                        out.killed_attempts += recovered.killed_attempts
+                        out.reexecuted_tasks += recovered.reexecuted_tasks
+                        out.wasted_task_seconds += recovered.wasted_time
+                        new_total = (
+                            recovered.makespan + job.shuffle_time * scale
+                            + self._degraded_reduce_time(job, params, nodes - 1, scale)
+                            + job.overhead
+                        )
+                    else:
+                        # Mid-shuffle/reduce (or an untraced small job): the
+                        # remaining work degrades by the lost capacity.
+                        done = at - job_start
+                        new_total = done + (job.total_time - done) * scale
+            else:  # straggler
+                map_start, map_end = job_start, job_start + job.map_time
+                durations = map_durations(job)
+                if durations and map_start < window_end and map_end > at:
+                    affected = True
+                    recovered = schedule_tasks_recovering(
+                        durations, map_slots, slots_per_node,
+                        straggler_node=node, slow_factor=fault.magnitude,
+                    )
+                    out.speculative_copies += recovered.speculative_copies
+                    out.wasted_task_seconds += recovered.wasted_time
+                    new_total = job.total_time - job.map_time + recovered.makespan
+
+            if affected:
+                out.affected_jobs.append(job.name)
+                if tracer:
+                    tracer.add(
+                        f"degraded.{job.name}", faulted_cursor,
+                        faulted_cursor + new_total,
+                        cat="fault", node="hive", lane="degraded",
+                        healthy_time=job.total_time,
+                    )
+                if sampler:
+                    sampler.accumulate(
+                        "hive", "fault-degraded", faulted_cursor,
+                        faulted_cursor + new_total, level=1.0, capacity=1.0,
+                    )
+            faulted_cursor += new_total
+
+        out.faulted_total = faulted_cursor
+        if tracer:
+            tracer.add(
+                f"fault.{fault.kind}", at, at, cat="fault", node="hive",
+                lane="faults", target=fault.target,
+            )
+        if metrics:
+            metrics.counter("hive.faults.injected").inc()
+            metrics.counter("hive.faults.reexecuted_tasks").inc(out.reexecuted_tasks)
+            metrics.counter("hive.faults.speculative_copies").inc(out.speculative_copies)
+        if sampler:
+            sampler.finish(max(out.faulted_total, total))
+        return out
 
     def query_time(self, number: int, scale_factor: float) -> float:
         return self.run_query(number, scale_factor).total_time

@@ -99,6 +99,177 @@ def schedule_tasks_detailed(
     return max(t for t, _ in free_at), spans
 
 
+@dataclass
+class FaultedSchedule:
+    """Outcome of a map wave scheduled under a node fault.
+
+    ``spans`` extends the healthy ``(slot, start, end)`` triples with an
+    attempt kind: ``"map"`` (ordinary attempt), ``"killed"`` (in-flight on
+    the crashed node, died at the crash), ``"lost"`` (completed on the
+    crashed node but its map output died with it), ``"reexec"`` (the
+    re-execution of a killed/lost task on a surviving node) or
+    ``"speculative"`` (a backup copy of a straggling attempt that won).
+    ``wasted_time`` is slot-seconds burned on attempts whose output was
+    never used — the re-execution cost the degraded-mode report charges.
+    """
+
+    makespan: float
+    healthy_makespan: float
+    spans: list = field(default_factory=list)  # (slot, start, end, kind)
+    killed_attempts: int = 0
+    reexecuted_tasks: int = 0
+    speculative_copies: int = 0
+    wasted_time: float = 0.0
+
+    @property
+    def delay(self) -> float:
+        return self.makespan - self.healthy_makespan
+
+
+def schedule_tasks_recovering(
+    durations: list[float],
+    slots: int,
+    slots_per_node: int,
+    crash_node: int | None = None,
+    crash_time: float = 0.0,
+    straggler_node: int | None = None,
+    slow_factor: float = 1.0,
+    speculative: bool = True,
+) -> FaultedSchedule:
+    """Greedy slot scheduling with Hadoop's task-level fault recovery.
+
+    Two fault shapes, mirroring the mechanisms of the paper's Section 2
+    fault-tolerance argument:
+
+    * **node crash** (``crash_node`` at ``crash_time``): the node's slots
+      die at the crash.  In-flight attempts are killed; attempts that had
+      *completed* on the node are re-executed too, because their map output
+      lived on its local disks (Hadoop re-runs completed maps of a lost
+      node).  Recovery runs on surviving slots once the failure is noticed,
+      i.e. not before ``crash_time``.
+    * **straggler** (``straggler_node`` running ``slow_factor`` x slow):
+      attempts on the slow node stretch; with ``speculative`` on, tail
+      attempts get backup copies on the earliest-free healthy slots and the
+      task completes when either copy does.
+
+    Deterministic: ties break by slot id exactly as in
+    :func:`schedule_tasks_detailed`, and recovery processes tasks in their
+    original submission order.
+    """
+    if slots < 1:
+        raise ConfigurationError("need at least one slot")
+    if slots_per_node < 1:
+        raise ConfigurationError("need at least one slot per node")
+    if crash_node is not None and straggler_node is not None:
+        raise ConfigurationError("one node fault per wave")
+    if slow_factor < 1.0:
+        raise ConfigurationError("slow_factor must be >= 1")
+
+    healthy = schedule_tasks(durations, slots) if durations else 0.0
+    out = FaultedSchedule(makespan=healthy, healthy_makespan=healthy)
+    if not durations:
+        return out
+
+    def node_of(slot: int) -> int:
+        return slot // slots_per_node
+
+    if crash_node is not None:
+        free_at = [(0.0, slot) for slot in range(min(slots, len(durations)))]
+        heapq.heapify(free_at)
+        reexec: list[float] = []  # durations needing a fresh attempt
+        for duration in durations:
+            while True:
+                if not free_at:
+                    raise ConfigurationError(
+                        "crash killed every slot in the wave"
+                    )
+                start, slot = heapq.heappop(free_at)
+                if node_of(slot) == crash_node and start >= crash_time:
+                    continue  # slot is dead; never push it back
+                break
+            end = start + duration
+            if node_of(slot) == crash_node:
+                if end > crash_time:
+                    # Killed mid-flight at the crash.
+                    out.spans.append((slot, start, crash_time, "killed"))
+                    out.killed_attempts += 1
+                    out.wasted_time += crash_time - start
+                    reexec.append(duration)
+                    continue  # the slot died with the attempt
+                # Completed, but its map output is gone with the node.
+                out.spans.append((slot, start, end, "lost"))
+                out.wasted_time += duration
+                reexec.append(duration)
+            else:
+                out.spans.append((slot, start, end, "map"))
+            heapq.heappush(free_at, (end, slot))
+        # Surviving slots re-run the lost tasks, at the earliest once the
+        # failure is detected (the crash time).
+        survivors = [
+            (free, slot) for free, slot in free_at if node_of(slot) != crash_node
+        ]
+        if not survivors:
+            raise ConfigurationError("crash killed every slot in the wave")
+        heapq.heapify(survivors)
+        for duration in reexec:
+            free, slot = heapq.heappop(survivors)
+            start = max(free, crash_time)
+            end = start + duration
+            out.spans.append((slot, start, end, "reexec"))
+            out.reexecuted_tasks += 1
+            heapq.heappush(survivors, (end, slot))
+        out.makespan = max(t for t, _ in survivors)
+        return out
+
+    if straggler_node is not None and slow_factor > 1.0:
+        free_at = [(0.0, slot) for slot in range(min(slots, len(durations)))]
+        heapq.heapify(free_at)
+        # attempts: [slot, start, end, original duration]
+        attempts: list[list[float]] = []
+        for duration in durations:
+            start, slot = heapq.heappop(free_at)
+            actual = (
+                duration * slow_factor if node_of(slot) == straggler_node
+                else duration
+            )
+            attempts.append([slot, start, start + actual, duration])
+            heapq.heappush(free_at, (start + actual, slot))
+        slow_attempts = [a for a in attempts if node_of(int(a[0])) == straggler_node]
+        fast_free = [
+            (free, slot) for free, slot in free_at
+            if node_of(slot) != straggler_node
+        ]
+        if speculative and slow_attempts and fast_free:
+            heapq.heapify(fast_free)
+            # Back up the worst stragglers first (largest projected finish).
+            for attempt in sorted(slow_attempts, key=lambda a: -a[2]):
+                spec_start, fslot = heapq.heappop(fast_free)
+                spec_end = spec_start + attempt[3]
+                if spec_end < attempt[2]:
+                    out.spans.append((fslot, spec_start, spec_end, "speculative"))
+                    out.speculative_copies += 1
+                    # The original attempt is killed when the backup wins.
+                    out.wasted_time += spec_end - attempt[1]
+                    attempt[2] = spec_end
+                    heapq.heappush(fast_free, (spec_end, fslot))
+                else:
+                    heapq.heappush(fast_free, (spec_start, fslot))
+                    break  # later copies start even later; none can win
+        for slot, start, end, _dur in attempts:
+            kind = "map" if node_of(int(slot)) != straggler_node else "straggler"
+            out.spans.append((int(slot), start, end, kind))
+        out.makespan = max(a[2] for a in attempts)
+        if fast_free:
+            out.makespan = max(out.makespan, max(t for t, _ in fast_free))
+        return out
+
+    # No effective fault: fall back to the healthy detailed schedule.
+    makespan, spans = schedule_tasks_detailed(durations, slots)
+    out.makespan = makespan
+    out.spans = [(slot, start, end, "map") for slot, start, end in spans]
+    return out
+
+
 def feed_task_occupancy(
     sampler,
     node: str,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import PlanError
+from repro.common.errors import ConfigurationError, PlanError
 from repro.common.units import GB
 from repro.pdw.catalog import REPLICATED, distribution_of
 from repro.simcluster.profile import HardwareProfile, paper_testbed
@@ -40,6 +40,7 @@ class PdwParams:
     allow_replicate: bool = True  # ablation: disable small-table replication
     step_overhead: float = 1.0
     plan_overhead: float = 2.0
+    failover_overhead: float = 30.0  # detect failure, fail over, resubmit
 
 
 @dataclass
@@ -83,6 +84,37 @@ class PdwQueryResult:
             if s.name == name:
                 return s
         raise KeyError(f"no step {name!r} in {[s.name for s in self.steps]}")
+
+
+class _CalibrationView:
+    """Minimal calibration facade: lets a degraded (n-1 node) engine reuse an
+    existing engine's volume model without re-running calibration."""
+
+    def __init__(self, volumes: VolumeModel):
+        self.volumes = volumes
+
+
+@dataclass
+class FaultedPdwResult:
+    """Healthy-vs-faulted comparison of one PDW query under a node fault.
+
+    PDW has no task-level recovery: a node failure aborts the running query
+    and the whole query restarts once the appliance fails over — the cost
+    amplification Section 2 contrasts with MapReduce's re-execute-one-task
+    model.  Work done before the crash is pure waste.
+    """
+
+    number: int
+    scale_factor: float
+    healthy: PdwQueryResult
+    faulted_total: float
+    fault: dict = field(default_factory=dict)
+    restarts: int = 0
+    wasted_seconds: float = 0.0  # progress discarded by the abort
+
+    @property
+    def delay(self) -> float:
+        return self.faulted_total - self.healthy.total_time
 
 
 class PdwEngine:
@@ -363,6 +395,102 @@ class PdwEngine:
         if sampler:
             self._emit_utilization(result, sampler)
         return result
+
+    # -- fault injection ----------------------------------------------------------
+
+    def run_query_faulted(self, number: int, scale_factor: float, fault,
+                          tracer=None, metrics=None,
+                          sampler=None) -> FaultedPdwResult:
+        """Re-cost one query under a node fault, with PDW's recovery semantics.
+
+        ``fault`` is a :class:`repro.faults.plan.FaultSpec` (duck-typed) of
+        kind ``crash`` or ``straggler``; ``fault.at`` <= 1 is a fraction of
+        the healthy runtime, else absolute seconds.
+
+        * **crash** — the query aborts; every second of progress is
+          discarded.  After ``failover_overhead`` the whole query re-runs
+          from scratch on the surviving ``n-1`` nodes (slower: less scan
+          bandwidth, less DMS fabric).  This is the amplification the paper's
+          Section 2 contrasts with MapReduce: lost work = *query* granularity,
+          not task granularity.
+        * **straggler** — no speculative execution: every parallel step
+          overlapping the fault window runs at the slow node's pace
+          (``fault.magnitude`` x).
+        """
+        if fault.kind not in ("crash", "straggler"):
+            raise ConfigurationError(
+                f"pdw fault injection handles crash/straggler, not {fault.kind!r}"
+            )
+        nodes = self.profile.nodes
+        if not 0 <= fault.target_index() < nodes:
+            raise ConfigurationError(
+                f"fault targets node {fault.target_index()}, cluster has {nodes}"
+            )
+        if nodes < 2:
+            raise ConfigurationError("need >= 2 nodes to survive a node fault")
+
+        healthy = self.run_query(number, scale_factor)
+        total = healthy.total_time
+        at = fault.at * total if fault.at <= 1.0 else fault.at
+        out = FaultedPdwResult(
+            number=number, scale_factor=scale_factor, healthy=healthy,
+            faulted_total=total,
+            fault={"kind": fault.kind, "target": fault.target, "at": at},
+        )
+
+        if fault.kind == "crash":
+            from dataclasses import replace as dc_replace
+
+            degraded = PdwEngine(
+                _CalibrationView(self.volumes),
+                profile=dc_replace(self.profile, nodes=nodes - 1),
+                params=self.params,
+                cpu_weights=self.cpu_weights,
+            )
+            rerun = degraded.run_query(number, scale_factor).total_time
+            out.restarts = 1
+            out.wasted_seconds = at
+            out.faulted_total = at + self.params.failover_overhead + rerun
+            if tracer:
+                tracer.add(
+                    "pdw.aborted-attempt", 0.0, at, cat="fault", node="pdw",
+                    lane="faults", wasted=at,
+                )
+                tracer.add(
+                    f"fault.{fault.kind}", at, at, cat="fault", node="pdw",
+                    lane="faults", target=fault.target,
+                )
+                tracer.add(
+                    "pdw.query-restart", at + self.params.failover_overhead,
+                    out.faulted_total, cat="fault", node="pdw", lane="faults",
+                    surviving_nodes=nodes - 1,
+                )
+        else:  # straggler: the slow node gates every overlapping step
+            window_end = at + fault.duration if fault.duration else total
+            cursor = healthy.plan_overhead
+            faulted = healthy.plan_overhead
+            for step in healthy.steps:
+                elapsed = step.elapsed(healthy.step_overhead)
+                overlap = max(
+                    0.0, min(cursor + elapsed, window_end) - max(cursor, at)
+                )
+                faulted += elapsed + overlap * (fault.magnitude - 1.0)
+                cursor += elapsed
+            out.faulted_total = faulted
+            if tracer:
+                tracer.add(
+                    f"fault.{fault.kind}", at, min(window_end, total),
+                    cat="fault", node="pdw", lane="faults",
+                    target=fault.target, magnitude=fault.magnitude,
+                )
+        if sampler:
+            sampler.accumulate("pdw", "fault-degraded", at, out.faulted_total,
+                               level=1.0, capacity=1.0)
+            sampler.finish(max(out.faulted_total, total))
+        if metrics:
+            metrics.counter("pdw.faults.injected").inc()
+            metrics.counter("pdw.faults.query_restarts").inc(out.restarts)
+        return out
 
     def query_time(self, number: int, scale_factor: float) -> float:
         return self.run_query(number, scale_factor).total_time

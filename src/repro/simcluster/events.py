@@ -237,11 +237,41 @@ class Resource:
             raise SimulationError("release without matching request")
         if self._trace:
             self._record_release()
-        if self._waiting:
+        # Hand the slot to a waiter only while within capacity; after a
+        # mid-run shrink (set_capacity), in_use drains down instead.
+        if self._waiting and self.in_use <= self.capacity:
             self.total_grants += 1
             self._waiting.pop(0).succeed()
         else:
             self.in_use -= 1
+        if self._sample:
+            self._sample_levels()
+
+    def set_capacity(self, capacity: int) -> None:
+        """Change capacity mid-run (fault injection: a crash takes servers
+        offline, a restart brings them back).
+
+        Growing wakes queued waiters immediately.  Shrinking never preempts:
+        holders in flight finish their service and ``in_use`` drains down to
+        the new capacity as they release.
+        """
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while self._waiting and self.in_use < self.capacity:
+            waiter = self._waiting.pop(0)
+            self.in_use += 1
+            self.total_grants += 1
+            if self._trace:
+                now = self.env.now
+                wait_start = self._wait_since.pop(id(waiter), now)
+                self.total_wait_time += now - wait_start
+                self.env.tracer.add(
+                    f"{self.name}.wait", wait_start, now,
+                    cat="resource-wait", node=self.name, lane="wait",
+                )
+                self._hold_since.append(now)
+            waiter.succeed()
         if self._sample:
             self._sample_levels()
 
@@ -266,7 +296,7 @@ class Resource:
             metrics.histogram(f"resource.{self.name}.hold_time").observe(
                 now - hold_start
             )
-        if self._waiting:
+        if self._waiting and self.in_use <= self.capacity:
             waiter = self._waiting[0]
             wait_start = self._wait_since.pop(id(waiter), now)
             self.total_wait_time += now - wait_start

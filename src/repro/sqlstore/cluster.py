@@ -8,7 +8,7 @@ the range-partitioned Mongo-AS.
 
 from __future__ import annotations
 
-from repro.common.errors import ShardingError
+from repro.common.errors import ServerCrashed, ShardUnavailable, ShardingError
 from repro.docstore.cluster import hash_shard
 from repro.sqlstore.locks import IsolationLevel
 from repro.sqlstore.server import SqlServerNode
@@ -30,28 +30,56 @@ class SqlCsCluster:
             for i in range(shard_count)
         ]
 
+    def _shard_index(self, key: str) -> int:
+        return hash_shard(key, len(self.shards))
+
     def _shard(self, key: str) -> SqlServerNode:
-        return self.shards[hash_shard(key, len(self.shards))]
+        return self.shards[self._shard_index(key)]
+
+    def _on_shard(self, index: int, operation):
+        """A dead server surfaces as the typed routing failure the client
+        driver sees (connection refused -> shard unavailable)."""
+        try:
+            return operation()
+        except ServerCrashed as exc:
+            raise ShardUnavailable(
+                f"shard {index} ({self.shards[index].name}) is unavailable: {exc}",
+                shard=index,
+            ) from exc
 
     def insert(self, key: str, record: dict) -> None:
-        self._shard(key).insert(key, record)
+        index = self._shard_index(key)
+        self._on_shard(index, lambda: self.shards[index].insert(key, record))
 
     def read(self, key: str):
-        return self._shard(key).read(key)
+        index = self._shard_index(key)
+        return self._on_shard(index, lambda: self.shards[index].read(key))
 
     def update(self, key: str, fieldname: str, value: str) -> bool:
-        return self._shard(key).update(key, fieldname, value)
+        index = self._shard_index(key)
+        return self._on_shard(
+            index, lambda: self.shards[index].update(key, fieldname, value)
+        )
 
     def scan(self, start_key: str, count: int) -> list[dict]:
         """Broadcast the range to every shard and merge (hash sharding)."""
         partials: list[dict] = []
-        for shard in self.shards:
-            partials.extend(shard.scan(start_key, count))
+        for index, shard in enumerate(self.shards):
+            partials.extend(self._on_shard(
+                index, lambda s=shard: s.scan(start_key, count)
+            ))
         partials.sort(key=lambda r: r["_key"])
         return partials[:count]
 
     def shards_touched_by_scan(self, start_key: str, count: int) -> int:
         return len(self.shards)
+
+    def kill_shard(self, index: int) -> None:
+        """Fault injection: one server node stops accepting connections."""
+        self.shards[index].kill()
+
+    def restart_shard(self, index: int) -> None:
+        self.shards[index].restart()
 
     @property
     def row_count(self) -> int:

@@ -11,7 +11,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.btree import BTree
-from repro.common.errors import LockWait, StorageError, TransactionAborted
+from repro.common.errors import (
+    LockWait,
+    ServerCrashed,
+    StorageError,
+    TransactionAborted,
+)
 from repro.sqlstore.bufferpool import BufferPool
 from repro.sqlstore.locks import IsolationLevel, LockManager, LockMode
 from repro.sqlstore.pages import PAGE_SIZE, PageManager, decode_row, encode_row
@@ -51,6 +56,19 @@ class SqlServerNode:
         self._next_txid = 1
         self._ops_since_checkpoint = 0
         self.ops = 0
+        self.alive = True
+
+    def kill(self) -> None:
+        """Fault injection: the server process stops accepting connections."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """The operator restarts the process; committed state is durable."""
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise ServerCrashed(f"{self.name} is down")
 
     def _begin(self) -> int:
         txid = self._next_txid
@@ -135,6 +153,7 @@ class SqlServerNode:
     # -- operations -----------------------------------------------------------------
 
     def insert(self, key: str, record: dict[str, str]) -> None:
+        self._check_alive()
         txid = self._begin()
         data = encode_row(record)
         if len(data) + 8 > PAGE_SIZE:
@@ -151,6 +170,7 @@ class SqlServerNode:
         self._commit(txid)
 
     def read(self, key: str) -> Optional[dict[str, str]]:
+        self._check_alive()
         txid = self._begin()
         try:
             if self.isolation is IsolationLevel.READ_COMMITTED:
@@ -165,6 +185,7 @@ class SqlServerNode:
             self._commit(txid)
 
     def update(self, key: str, fieldname: str, value: str) -> bool:
+        self._check_alive()
         txid = self._begin()
         try:
             self._acquire(txid, key, LockMode.EXCLUSIVE)
@@ -184,6 +205,7 @@ class SqlServerNode:
             self._commit(txid)
 
     def scan(self, start_key: str, count: int) -> list[dict[str, str]]:
+        self._check_alive()
         txid = self._begin()
         try:
             out = []

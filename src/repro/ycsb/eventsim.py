@@ -46,10 +46,23 @@ class EventSimResult:
     histograms: dict = field(default_factory=dict)  # class -> LatencyHistogram
     window_throughputs: list = field(default_factory=list)
     completed_ops: int = 0
+    # Fault-injection accounting (all zero on a healthy run).
+    errors: dict = field(default_factory=dict)  # class -> abandoned ops
+    retried_ops: int = 0
+    backoff_seconds: float = 0.0
 
     @property
     def throughput_stderr(self) -> float:
         return std_error(self.window_throughputs)
+
+    @property
+    def error_count(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def availability(self) -> float:
+        attempted = self.completed_ops + self.error_count
+        return self.completed_ops / attempted if attempted else 1.0
 
 
 def _exponential(rng: TpchRandom64, mean: float) -> float:
@@ -79,6 +92,8 @@ def simulate_closed_loop(
     tracer=None,
     metrics=None,
     sampler=None,
+    faults=None,
+    retry_policy=None,
 ) -> EventSimResult:
     """Run N closed-loop clients over the stations and measure.
 
@@ -93,6 +108,16 @@ def simulate_closed_loop(
     a ``sampler`` (see :mod:`repro.obs.timeseries`) gets per-station busy
     and queue-depth series.  All default to off and change nothing about
     the simulated schedule.
+
+    ``faults`` (a :class:`repro.faults.plan.StationFaults`, or anything
+    iterable of :class:`~repro.faults.plan.FaultSpec`) injects faults on the
+    simulated clock: ``disk-stall``/``net-spike`` inflate a station's
+    service times over their window, ``op-error`` makes a station's ops fail
+    transiently (clients retry with ``retry_policy``'s capped exponential
+    backoff, abandoning the op when the policy gives up), and ``crash``
+    shrinks a station's capacity over the window.  With ``faults`` left
+    ``None`` the simulation draws the exact same random numbers as before
+    the fault machinery existed — byte-identical results.
     """
     if clients < 1:
         raise SimulationError("need at least one client")
@@ -101,45 +126,135 @@ def simulate_closed_loop(
     if duration <= warmup:
         raise SimulationError("duration must exceed warmup")
 
+    station_faults = None
+    policy = retry_policy
+    if faults:
+        from repro.faults.plan import StationFaults
+        from repro.faults.retry import RetryPolicy
+
+        station_faults = (
+            faults if isinstance(faults, StationFaults) else StationFaults(faults)
+        )
+        if not station_faults:
+            station_faults = None
+        elif policy is None:
+            policy = RetryPolicy()
+
     env = Environment(tracer=tracer, metrics=metrics, sampler=sampler)
     resources = {s.name: Resource(env, s.servers, name=s.name) for s in stations}
     seeds = SeedStream(seed)
 
     latencies: dict[str, list[float]] = {c: [] for c in mix}
     completions: list[float] = []
+    error_latencies: dict[str, list[float]] = {c: [] for c in mix}
+    fault_stats = {"retried": 0, "backoff": 0.0}
+
+    def clamp_end(end: float, at: float) -> float:
+        # A window with no duration holds until the end of the run.
+        return duration if end <= at else min(end, duration)
+
+    if station_faults:
+        # Annotate the schedule up front: every window is known a priori.
+        for spec in station_faults.windows:
+            end = clamp_end(spec.end, spec.at)
+            if tracer:
+                tracer.add(
+                    f"fault.{spec.kind}", spec.at, end,
+                    cat="fault", node="faults", lane=spec.target,
+                    magnitude=spec.magnitude,
+                )
+            if sampler:
+                sampler.accumulate(spec.target, "fault", spec.at, end,
+                                   level=1.0, capacity=1.0)
+            if metrics:
+                metrics.counter(f"faults.{spec.kind}").inc()
+
+        def crash_driver(resource: Resource, servers: int, crash_windows):
+            for at, end, lost in sorted(crash_windows):
+                if at > env.now:
+                    yield env.timeout(at - env.now)
+                resource.set_capacity(max(1, int(round(servers * (1.0 - lost)))))
+                restore = clamp_end(end, at)
+                if restore > env.now:
+                    yield env.timeout(restore - env.now)
+                resource.set_capacity(servers)
+
+        for s in stations:
+            crash_windows = station_faults.crash_windows(s.name)
+            if crash_windows:
+                env.process(crash_driver(resources[s.name], s.servers,
+                                         crash_windows))
 
     def client(index: int):
         rng = seeds.rng_for("client", index)
+        fault_rng = seeds.rng_for("fault", index) if station_faults else None
         while True:
             if think_time > 0:
                 yield env.timeout(_exponential(rng, think_time))
             op_class = _pick_class(rng, mix)
             start = env.now
+            failed = False
+            attempts = 0
             for station in stations:
                 mean = station.service.get(op_class, 0.0)
                 if mean <= 0.0:
                     continue
                 resource = resources[station.name]
-                grant = resource.request()
-                yield grant
-                yield env.timeout(_exponential(rng, mean))
-                # Release on the normal path only — no try/finally.  A
-                # ``finally`` here would also fire on GeneratorExit when the
-                # garbage collector finalizes clients left suspended at the
-                # ``until`` cutoff, emitting phantom hold spans into the
-                # tracer at whatever moment collection happens to run.
-                resource.release()
+                while True:
+                    grant = resource.request()
+                    yield grant
+                    service = _exponential(rng, mean)
+                    if station_faults:
+                        service *= station_faults.slowdown(station.name, env.now)
+                    yield env.timeout(service)
+                    # Release on the normal path only — no try/finally.  A
+                    # ``finally`` here would also fire on GeneratorExit when the
+                    # garbage collector finalizes clients left suspended at the
+                    # ``until`` cutoff, emitting phantom hold spans into the
+                    # tracer at whatever moment collection happens to run.
+                    resource.release()
+                    if station_faults:
+                        probability = station_faults.error_probability(
+                            station.name, env.now
+                        )
+                        if probability > 0.0 and fault_rng.random_float() < probability:
+                            attempts += 1
+                            if policy.gives_up(attempts, env.now - start):
+                                failed = True
+                                break
+                            delay = policy.delay(attempts - 1)
+                            fault_stats["retried"] += 1
+                            fault_stats["backoff"] += delay
+                            if tracer:
+                                tracer.add(
+                                    "retry.backoff", env.now, env.now + delay,
+                                    cat="retry", node="client",
+                                    lane=f"client-{index}",
+                                    cls=op_class, attempt=attempts,
+                                )
+                            if metrics:
+                                metrics.counter("ycsb.retried_ops").inc()
+                            yield env.timeout(delay)
+                            continue  # retry this station visit
+                    break
+                if failed:
+                    break
             if tracer:
                 tracer.add(
                     f"request.{op_class}", start, env.now,
                     cat="request", node="client", lane=f"client-{index}",
-                    cls=op_class,
+                    cls=op_class, **({"error": True} if failed else {}),
                 )
             if metrics:
                 metrics.counter(f"ycsb.ops.{op_class}").inc()
+                if failed:
+                    metrics.counter(f"ycsb.errors.{op_class}").inc()
             if env.now >= warmup:
-                latencies[op_class].append(env.now - start)
-                completions.append(env.now)
+                if failed:
+                    error_latencies[op_class].append(env.now - start)
+                else:
+                    latencies[op_class].append(env.now - start)
+                    completions.append(env.now)
                 if metrics:
                     metrics.counter("ycsb.measured_ops").inc()
 
@@ -176,6 +291,22 @@ def simulate_closed_loop(
             for i in range(0, len(values) - chunk + 1, chunk)
         ]
         result.latency_stderr[op_class] = std_error(means)
+
+    # Fold abandoned ops into the same histograms (YCSB accounts its errors
+    # alongside the latencies): the burned latency is recorded and the op is
+    # counted as an error.
+    from repro.ycsb.histogram import LatencyHistogram
+
+    for op_class, values in error_latencies.items():
+        if not values:
+            continue
+        histogram = result.histograms.setdefault(op_class, LatencyHistogram())
+        for value in values:
+            histogram.record(value)
+            histogram.record_error()
+        result.errors[op_class] = len(values)
+    result.retried_ops = fault_stats["retried"]
+    result.backoff_seconds = fault_stats["backoff"]
     return result
 
 

@@ -30,6 +30,7 @@ class LatencyHistogram:
     sum_latency: float = 0.0
     min_latency: float = float("inf")
     max_latency: float = 0.0
+    errors: int = 0  # ops that exhausted their retry budget (fault injection)
 
     def __post_init__(self):
         if self.buckets < 1 or self.bucket_width <= 0:
@@ -49,6 +50,10 @@ class LatencyHistogram:
         self.sum_latency += latency
         self.min_latency = min(self.min_latency, latency)
         self.max_latency = max(self.max_latency, latency)
+
+    def record_error(self) -> None:
+        """Count an op abandoned after retries; its latency is still recorded."""
+        self.errors += 1
 
     @property
     def mean(self) -> float:
@@ -76,6 +81,7 @@ class LatencyHistogram:
             self.counts[i] += count
         self.overflow += other.overflow
         self.total += other.total
+        self.errors += other.errors
         self.sum_latency += other.sum_latency
         self.min_latency = min(self.min_latency, other.min_latency)
         self.max_latency = max(self.max_latency, other.max_latency)
@@ -97,6 +103,8 @@ class LatencyHistogram:
         if self.overflow:
             lines.append(f"[{operation}] >{self.buckets * self.bucket_width * 1000:.0f}ms: "
                          f"{self.overflow}")
+        if self.errors:
+            lines.append(f"[{operation}] Errors: {self.errors}")
         return "\n".join(lines)
 
 

@@ -1,0 +1,169 @@
+"""Recovery semantics: MapReduce task re-execution vs. PDW query restart."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, FaultPlanError
+from repro.core.dss import DssStudy
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.report import dss_fault_report
+from repro.mapreduce.jobs import (
+    schedule_tasks,
+    schedule_tasks_detailed,
+    schedule_tasks_recovering,
+)
+from repro.obs import MetricsRegistry, Tracer, UtilizationSampler
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DssStudy()
+
+
+class TestRecoveringScheduler:
+    DURATIONS = [10.0, 12.0, 8.0, 11.0, 9.0, 10.0, 12.0, 9.0, 10.0, 11.0]
+
+    def test_no_fault_matches_detailed_schedule(self):
+        out = schedule_tasks_recovering(self.DURATIONS, slots=4,
+                                        slots_per_node=2)
+        makespan, spans = schedule_tasks_detailed(self.DURATIONS, 4)
+        assert out.makespan == pytest.approx(makespan)
+        assert out.delay == pytest.approx(0.0)
+        assert all(kind == "map" for *_rest, kind in out.spans)
+
+    def test_crash_reexecutes_lost_and_inflight_tasks(self):
+        out = schedule_tasks_recovering(
+            self.DURATIONS, slots=4, slots_per_node=2,
+            crash_node=0, crash_time=15.0,
+        )
+        kinds = [kind for *_rest, kind in out.spans]
+        # The crashed node had completed attempts (output lost with its
+        # disks) and in-flight attempts (killed at the crash).
+        assert "lost" in kinds and "killed" in kinds and "reexec" in kinds
+        assert out.reexecuted_tasks == kinds.count("lost") + kinds.count("killed")
+        assert out.killed_attempts == kinds.count("killed")
+        assert out.wasted_time > 0.0
+        assert out.makespan > out.healthy_makespan
+        # Every task ends up with exactly one surviving execution.
+        survived = kinds.count("map") + kinds.count("reexec")
+        assert survived == len(self.DURATIONS)
+        # Recovery cannot start before the failure is detected.
+        for slot, start, _end, kind in out.spans:
+            if kind == "reexec":
+                assert start >= 15.0
+                assert slot // 2 != 0  # never on the dead node
+
+    def test_crash_delay_is_roughly_the_reexecution_time(self):
+        out = schedule_tasks_recovering(
+            self.DURATIONS, slots=4, slots_per_node=2,
+            crash_node=0, crash_time=15.0,
+        )
+        reexec_spans = [(e - s) for _sl, s, e, k in out.spans if k == "reexec"]
+        # The delay is bounded by the re-executed work (it runs on two
+        # surviving slots, so at most the serial sum, at least one task).
+        assert out.delay <= sum(reexec_spans) + 1e-9
+        assert out.delay >= min(reexec_spans) - max(0.0, out.healthy_makespan
+                                                    - 15.0) - 1e-9
+
+    def test_crash_killing_every_slot_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            schedule_tasks_recovering(self.DURATIONS, slots=2,
+                                      slots_per_node=2, crash_node=0,
+                                      crash_time=5.0)
+
+    def test_straggler_speculation_beats_waiting(self):
+        with_spec = schedule_tasks_recovering(
+            self.DURATIONS, slots=4, slots_per_node=2,
+            straggler_node=1, slow_factor=5.0, speculative=True,
+        )
+        without = schedule_tasks_recovering(
+            self.DURATIONS, slots=4, slots_per_node=2,
+            straggler_node=1, slow_factor=5.0, speculative=False,
+        )
+        assert with_spec.speculative_copies > 0
+        assert with_spec.makespan < without.makespan
+        assert with_spec.makespan >= with_spec.healthy_makespan
+        kinds = {kind for *_rest, kind in with_spec.spans}
+        assert "speculative" in kinds and "straggler" in kinds
+
+    def test_one_fault_per_wave(self):
+        with pytest.raises(ConfigurationError):
+            schedule_tasks_recovering(self.DURATIONS, 4, 2, crash_node=0,
+                                      crash_time=1.0, straggler_node=1,
+                                      slow_factor=2.0)
+
+
+class TestHiveFaulted:
+    def test_crash_mid_query(self, study):
+        fault = FaultSpec(kind="crash", target="n3", at=0.5)
+        result = study.hive.run_query_faulted(1, 1000.0, fault)
+        assert result.faulted_total > result.healthy.total_time
+        assert result.delay > 0.0
+        assert result.reexecuted_tasks > 0
+        assert result.wasted_task_seconds > 0.0
+        assert result.affected_jobs
+
+    def test_straggler(self, study):
+        fault = FaultSpec(kind="straggler", target="n2", at=0.0,
+                          magnitude=4.0)
+        result = study.hive.run_query_faulted(1, 1000.0, fault)
+        assert result.faulted_total >= result.healthy.total_time
+        assert result.speculative_copies > 0
+
+    def test_bad_fault_rejected(self, study):
+        with pytest.raises(ConfigurationError):
+            study.hive.run_query_faulted(
+                1, 1000.0, FaultSpec(kind="disk-stall", target="disk", at=1.0)
+            )
+        with pytest.raises(ConfigurationError):
+            study.hive.run_query_faulted(
+                1, 1000.0, FaultSpec(kind="crash", target="n99999", at=0.5)
+            )
+
+
+class TestPdwFaulted:
+    def test_crash_restarts_whole_query(self, study):
+        fault = FaultSpec(kind="crash", target="n3", at=0.5)
+        result = study.pdw.run_query_faulted(1, 1000.0, fault)
+        healthy = result.healthy.total_time
+        assert result.restarts == 1
+        # All progress up to the crash is wasted, then the query reruns on
+        # n-1 nodes: the faulted total exceeds crash point + healthy time.
+        assert result.wasted_seconds == pytest.approx(0.5 * healthy)
+        assert result.faulted_total > healthy * 1.5
+        assert result.delay > 0.0
+
+    def test_straggler_inflates_overlapping_steps(self, study):
+        fault = FaultSpec(kind="straggler", target="n1", at=0.0,
+                          magnitude=3.0)
+        result = study.pdw.run_query_faulted(1, 1000.0, fault)
+        assert result.restarts == 0
+        assert result.faulted_total > result.healthy.total_time
+
+
+class TestDssFaultReport:
+    def test_amplification_ratio_exceeds_one(self, study):
+        """The acceptance demo: a crash at 50% progress costs Hive the lost
+        tasks' re-execution but costs PDW a whole-query restart."""
+        plan = FaultPlan.parse("crash:n3@0.5", seed=11)
+        tracer, metrics = Tracer(), MetricsRegistry()
+        sampler = UtilizationSampler()
+        report = dss_fault_report(study, 1, 1000.0, plan, tracer=tracer,
+                                  metrics=metrics, sampler=sampler)
+        comp = report.comparison
+        assert comp["amplification_ratio"] > 1.0
+        assert comp["pdw_delay_seconds"] > comp["hive_delay_seconds"] > 0.0
+        assert comp["hive_reexecution_cost_seconds"] > 0.0
+        assert comp["pdw_query_restart_cost_seconds"] > 0.0
+        assert report.to_dict()["schema"] == "repro-faults/1"
+        names = {s.name for s in tracer.spans}
+        assert "fault.crash" in names
+        assert any(n.startswith("degraded.") for n in names)
+        assert metrics.counter("pdw.faults.query_restarts").value == 1
+
+    def test_needs_exactly_one_node_fault(self, study):
+        with pytest.raises(FaultPlanError):
+            dss_fault_report(study, 1, 1000.0,
+                             FaultPlan.parse("disk-stall:disk@5+5x2"))
+        with pytest.raises(FaultPlanError):
+            dss_fault_report(study, 1, 1000.0,
+                             FaultPlan.parse("crash:n1@0.5;crash:n2@0.6"))
