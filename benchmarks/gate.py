@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare trajectory files, fail on regressions.
+
+Loads every ``BENCH_*.json`` in the repository root (the trajectory files
+``benchmarks/trajectory.py`` writes, one per PR), validates each against the
+``repro-bench/1`` schema, and compares a candidate file against the best
+baseline number for every benchmark it shares with an earlier file.  A
+benchmark regresses when
+
+    candidate_seconds > tolerance * min(baseline_seconds)
+
+with the comparison restricted to files of the same ``smoke`` flavour — a
+CI-sized smoke run is not comparable to a full run.  Benchmarks that are new
+in the candidate, or that timed out on either side, are reported but never
+fail the gate.  Exit 1 on any regression or invalid file, 0 otherwise.
+
+Usage::
+
+    python benchmarks/gate.py                       # newest BENCH_*.json
+    python benchmarks/gate.py --candidate BENCH_smoke.json
+    python benchmarks/gate.py --tolerance 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from trajectory import validate  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TOLERANCE = 2.0
+
+
+def load_trajectories(root: Path) -> dict:
+    """``{path: doc}`` for every BENCH_*.json under ``root`` (sorted by PR)."""
+    out = {}
+    for path in sorted(root.glob("BENCH_*.json"),
+                       key=lambda p: (len(p.name), p.name)):
+        out[path] = json.loads(path.read_text())
+    return out
+
+
+def compare(candidate: dict, baselines: list, tolerance: float) -> list:
+    """Per-benchmark verdicts: ``(name, status, detail)`` tuples.
+
+    ``status`` is one of ``ok``, ``regression``, ``new``, ``timed_out``.
+    """
+    comparable = [doc for doc in baselines
+                  if doc.get("smoke") == candidate.get("smoke")]
+    verdicts = []
+    for name in sorted(candidate.get("benchmarks", {})):
+        entry = candidate["benchmarks"][name]
+        if entry.get("timed_out"):
+            verdicts.append((name, "timed_out", "candidate section timed out"))
+            continue
+        seconds = entry.get("seconds")
+        best = None
+        for doc in comparable:
+            base = doc.get("benchmarks", {}).get(name)
+            if base is None or base.get("timed_out"):
+                continue
+            base_seconds = base.get("seconds")
+            if isinstance(base_seconds, (int, float)):
+                best = base_seconds if best is None else min(best, base_seconds)
+        if best is None:
+            verdicts.append((name, "new", f"{seconds:.4f} s (no baseline)"))
+            continue
+        ratio = seconds / best if best else float("inf")
+        detail = (f"{seconds:.4f} s vs best baseline {best:.4f} s "
+                  f"({ratio:.2f}x, tolerance {tolerance:g}x)")
+        status = "regression" if ratio > tolerance else "ok"
+        verdicts.append((name, status, detail))
+    return verdicts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--candidate", metavar="PATH",
+                        help="trajectory file to gate (default: the "
+                             "highest-numbered BENCH_*.json in the repo root)")
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="directory holding the BENCH_*.json baselines")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown factor vs the best baseline "
+                             f"(default {DEFAULT_TOLERANCE:g})")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        print("error: --tolerance must be > 0", file=sys.stderr)
+        return 2
+
+    root = Path(args.root)
+    try:
+        trajectories = load_trajectories(root)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load trajectories: {exc}", file=sys.stderr)
+        return 1
+
+    candidate_path = Path(args.candidate) if args.candidate else None
+    if candidate_path is not None and candidate_path not in trajectories:
+        try:
+            trajectories[candidate_path] = json.loads(
+                candidate_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {candidate_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    invalid = False
+    for path, doc in trajectories.items():
+        # Earlier PRs' files had a legitimately shorter benchmark list, so
+        # only the current PR's file must carry the full required set.
+        required = () if doc.get("pr", -1) < max(
+            d.get("pr", -1) for d in trajectories.values()) else None
+        problems = (validate(doc) if required is None
+                    else validate(doc, required=required))
+        for problem in problems:
+            print(f"INVALID {path.name}: {problem}", file=sys.stderr)
+        invalid = invalid or bool(problems)
+
+    if candidate_path is None:
+        committed = [p for p in trajectories if p.parent == root]
+        if not committed:
+            print("no BENCH_*.json trajectory files found; nothing to gate")
+            return 1 if invalid else 0
+        candidate_path = max(
+            committed, key=lambda p: trajectories[p].get("pr", -1))
+    candidate = trajectories[candidate_path]
+    baselines = [doc for path, doc in trajectories.items()
+                 if path != candidate_path
+                 and doc.get("pr", -1) <= candidate.get("pr", -1)]
+
+    print(f"gating {candidate_path.name} (pr={candidate.get('pr')}, "
+          f"smoke={candidate.get('smoke')}) against "
+          f"{len(baselines)} baseline file(s)")
+    verdicts = compare(candidate, baselines, args.tolerance)
+    regressed = False
+    for name, status, detail in verdicts:
+        marker = {"ok": "ok ", "new": "new", "timed_out": "t/o",
+                  "regression": "REG"}[status]
+        print(f"  [{marker}] {name:<32} {detail}")
+        regressed = regressed or status == "regression"
+
+    if regressed:
+        print("REGRESSION: candidate exceeds tolerance vs baseline",
+              file=sys.stderr)
+    return 1 if (regressed or invalid) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

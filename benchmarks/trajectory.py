@@ -5,8 +5,10 @@ The ROADMAP's north star includes making the reproduction's hot paths
 measurably faster over time.  This harness seeds that trajectory: it
 wall-clock-times the paths every study run exercises — DSS calibration +
 the SF-250 query sweep, the YCSB workload A and E figures (analytic MVA
-and the discrete-event cross-validation) — and writes ``BENCH_2.json`` so
-future PRs can regress against the numbers (``BENCH_<n>.json`` per PR).
+and the discrete-event cross-validation), critical-path extraction plus
+what-if replay — and writes ``BENCH_4.json`` so future PRs can regress
+against the numbers (``BENCH_<n>.json`` per PR; ``gate.py`` compares them
+and fails CI on a regression).
 
 Format (see EXPERIMENTS.md, "Performance trajectory")::
 
@@ -24,9 +26,9 @@ Format (see EXPERIMENTS.md, "Performance trajectory")::
 
 Usage::
 
-    python benchmarks/trajectory.py                  # full run -> BENCH_2.json
+    python benchmarks/trajectory.py                  # full run -> BENCH_4.json
     python benchmarks/trajectory.py --smoke          # CI-sized subset
-    python benchmarks/trajectory.py --check BENCH_2.json   # validate only
+    python benchmarks/trajectory.py --check BENCH_4.json   # validate only
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 SCHEMA = "repro-bench/1"
-PR = 2
+PR = 4
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / f"BENCH_{PR}.json"
 
 # A trajectory file must carry these top-level keys and benchmark names;
@@ -56,6 +58,7 @@ REQUIRED_BENCHMARKS = (
     "ycsb_workload_a_eventsim",
     "ycsb_workload_e_eventsim",
     "utilization_sampling_overhead",
+    "critpath_whatif_replay",
 )
 
 
@@ -232,6 +235,27 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
         rows = write_series_csv(utilization_csv, sampler)
         print(f"  wrote {rows} utilization rows -> {utilization_csv}")
 
+    # The causal layer's own cost: critical-path extraction plus a
+    # what-if replay over one traced Q1 @ SF 250 span DAG.
+    def critpath_section():
+        from repro.obs import critical_path, dss_whatif_report
+
+        _, tracer, _ = study.trace_query(1, 250.0, engine="hive")
+
+        def extract():
+            path = critical_path(tracer)
+            dss_whatif_report(tracer, "hive", {"map-startup": 0.0})
+            return len(path.segments)
+
+        timing = _timed(extract, runs=1 if smoke else 3)
+        record("critpath_whatif_replay", timing,
+               spans=len(tracer.spans), segments=timing["value"])
+
+    if study is not None:
+        guard(("critpath_whatif_replay",), critpath_section)
+    else:
+        skip(("critpath_whatif_replay",), "dss_calibration")
+
     return {
         "schema": SCHEMA,
         "pr": PR,
@@ -241,8 +265,13 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
     }
 
 
-def validate(doc: dict) -> list[str]:
-    """Return the list of problems (empty = valid trajectory file)."""
+def validate(doc: dict, required: tuple = REQUIRED_BENCHMARKS) -> list[str]:
+    """Return the list of problems (empty = valid trajectory file).
+
+    ``required`` defaults to the current PR's benchmark set; pass ``()``
+    for files written by earlier PRs (the gate does), whose benchmark list
+    was legitimately shorter — their entries are still shape-checked.
+    """
     problems = []
     for key in REQUIRED_KEYS:
         if key not in doc:
@@ -250,11 +279,10 @@ def validate(doc: dict) -> list[str]:
     if doc.get("schema") != SCHEMA:
         problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
     benchmarks = doc.get("benchmarks", {})
-    for name in REQUIRED_BENCHMARKS:
-        entry = benchmarks.get(name)
-        if entry is None:
+    for name in required:
+        if name not in benchmarks:
             problems.append(f"missing benchmark {name!r}")
-            continue
+    for name, entry in sorted(benchmarks.items()):
         if entry.get("timed_out") is True:
             # A guarded section hit its wall-clock limit; the partial file
             # is still a valid trajectory.

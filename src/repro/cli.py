@@ -24,6 +24,50 @@ def _require_positive(value: float, flag: str) -> None:
         raise ConfigurationError(f"{flag} must be > 0, got {value:g}")
 
 
+def _parse_whatif_for(spec: str, family: str, context: str) -> dict:
+    """Parse a --whatif spec and reject mechanisms of the wrong engine family."""
+    from repro.obs import MECHANISMS, parse_whatif
+
+    scales = parse_whatif(spec)
+    wrong = sorted(n for n in scales if MECHANISMS[n][0] != family)
+    if wrong:
+        applicable = ", ".join(
+            sorted(n for n, (fam, _) in MECHANISMS.items() if fam == family)
+        )
+        raise ConfigurationError(
+            f"--whatif mechanism(s) {', '.join(wrong)} do not apply to "
+            f"{context}; applicable: {applicable}"
+        )
+    return scales
+
+
+def _parse_query_list(spec: str, flag: str) -> list[int]:
+    """Parse a comma-separated TPC-H query list like ``1,22``."""
+    from repro.tpch.queries import QUERY_NUMBERS
+
+    numbers: list[int] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            number = int(chunk)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed {flag} entry {chunk!r}: expected a query number"
+            ) from None
+        if number not in QUERY_NUMBERS:
+            raise ConfigurationError(
+                f"{flag} query {number} is not a TPC-H query "
+                f"({min(QUERY_NUMBERS)}-{max(QUERY_NUMBERS)})"
+            )
+        if number not in numbers:
+            numbers.append(number)
+    if not numbers:
+        raise ConfigurationError(f"empty {flag} list")
+    return numbers
+
+
 def _fault_outputs(args, report, tracer, metrics, sampler) -> None:
     """Shared --fault-report/--trace/--metrics/--utilization handling."""
     from repro.faults.report import render_fault_report, write_fault_report
@@ -100,11 +144,37 @@ def _cmd_dss(args) -> int:
     _require_positive(args.trace_sf, "--trace-sf")
     if args.fault_report and not args.faults:
         raise ConfigurationError("--fault-report requires --faults")
+    if args.whatif_report and not args.whatif:
+        raise ConfigurationError("--whatif-report requires --whatif")
+    if args.decompose_report and not args.decompose:
+        raise ConfigurationError("--decompose-report requires --decompose")
+    # Specs are validated before the (slow) study construction so a typo
+    # fails fast with the one-line exit-2 convention.
+    whatif_scales = (
+        _parse_whatif_for(args.whatif, args.engine, f"engine {args.engine}")
+        if args.whatif else None
+    )
+    decompose_numbers = (
+        _parse_query_list(args.decompose, "--decompose")
+        if args.decompose else None
+    )
     study = DssStudy(calibration_sf=args.calibration_sf, seed=args.seed)
     if args.faults:
         return _dss_faults(args, study)
     observing = (args.trace or args.metrics or args.timeline
-                 or args.utilization is not None or args.bottlenecks)
+                 or args.utilization is not None or args.bottlenecks
+                 or args.critical_path is not None or args.whatif)
+    if decompose_numbers:
+        from repro.obs import render_decomposition, write_decomposition
+
+        report = study.decomposition(decompose_numbers)
+        print(render_decomposition(report))
+        if args.decompose_report:
+            write_decomposition(report, args.decompose_report)
+            print(f"wrote decomposition -> {args.decompose_report}")
+        if not observing:
+            return 0
+        print()
     if observing:
         from repro.obs import (
             UtilizationSampler,
@@ -150,6 +220,34 @@ def _cmd_dss(args) -> int:
                 title=(f"{args.engine} q{args.trace_query} "
                        f"@ SF {args.trace_sf:g} bottlenecks"),
             ))
+        if args.critical_path is not None:
+            from repro.obs import (
+                critical_path,
+                render_critical_path,
+                write_critical_path,
+            )
+
+            path = critical_path(tracer)
+            print(render_critical_path(path))
+            if args.critical_path != "-":
+                write_critical_path(path, args.critical_path)
+                print(f"wrote critical path -> {args.critical_path}")
+        if whatif_scales:
+            from repro.obs import (
+                dss_whatif_report,
+                render_whatif_report,
+                write_whatif_report,
+            )
+
+            report = dss_whatif_report(
+                tracer, args.engine, whatif_scales,
+                target={"query": args.trace_query,
+                        "scale_factor": args.trace_sf},
+            )
+            print(render_whatif_report(report))
+            if args.whatif_report:
+                write_whatif_report(report, args.whatif_report)
+                print(f"wrote what-if report -> {args.whatif_report}")
         return 0
     table = study.table3()
     for block in (
@@ -179,11 +277,18 @@ def _cmd_oltp(args) -> int:
     _require_positive(args.duration, "--duration")
     if args.fault_report and not args.faults:
         raise ConfigurationError("--fault-report requires --faults")
+    if args.whatif_report and not args.whatif:
+        raise ConfigurationError("--whatif-report requires --whatif")
+    whatif_scales = (
+        _parse_whatif_for(args.whatif, "oltp", "the oltp event simulator")
+        if args.whatif else None
+    )
     study = OltpStudy(isolation=args.isolation)
     if args.faults:
         return _oltp_faults(args, study)
     observing = (args.trace or args.metrics or args.timeline
-                 or args.utilization is not None or args.bottlenecks)
+                 or args.utilization is not None or args.bottlenecks
+                 or args.critical_path is not None or args.whatif)
     if observing:
         from repro.obs import (
             MetricsRegistry,
@@ -234,6 +339,46 @@ def _cmd_oltp(args) -> int:
                 title=(f"{args.system} workload {workload} "
                        f"@ {args.target:g} ops/s bottlenecks"),
             ))
+        if args.critical_path is not None:
+            from repro.obs import (
+                critical_path,
+                render_critical_path,
+                write_critical_path,
+            )
+
+            # An OLTP trace has no single root: take the slowest measured
+            # request — the one whose visits explain the latency tail.
+            requests = [
+                span for span in tracer.find(cat="request")
+                if span.end >= 10.0 and not span.args.get("error")
+            ]
+            if not requests:
+                raise ConfigurationError(
+                    "no measured requests to extract a critical path from "
+                    "(try a longer --duration)"
+                )
+            root = max(requests, key=lambda s: (s.duration, -s.span_id))
+            path = critical_path(tracer, root=root)
+            print(render_critical_path(path))
+            if args.critical_path != "-":
+                write_critical_path(path, args.critical_path)
+                print(f"wrote critical path -> {args.critical_path}")
+        if whatif_scales:
+            from repro.obs import (
+                oltp_whatif_report,
+                render_whatif_report,
+                write_whatif_report,
+            )
+
+            report = oltp_whatif_report(
+                tracer, whatif_scales,
+                target={"system": args.system, "workload": workload,
+                        "target_ops": args.target},
+            )
+            print(render_whatif_report(report))
+            if args.whatif_report:
+                write_whatif_report(report, args.whatif_report)
+                print(f"wrote what-if report -> {args.whatif_report}")
         return 0
     figures = [
         ("C", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read"]),
@@ -345,6 +490,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "sparkline heatmap when no PATH is given")
     dss.add_argument("--bottlenecks", action="store_true",
                      help="print the per-phase bottleneck attribution report")
+    dss.add_argument("--critical-path", metavar="PATH", nargs="?", const="-",
+                     help="trace one query; print its critical path and "
+                          "slack, or also write repro-critpath/1 JSON to PATH")
+    dss.add_argument("--whatif", metavar="SPEC",
+                     help="replay the traced query with mechanisms scaled, "
+                          "e.g. 'map-startup=0' or 'shuffle=0.5x,dms=0'")
+    dss.add_argument("--whatif-report", metavar="PATH",
+                     help="write the repro-whatif/1 JSON (requires --whatif)")
+    dss.add_argument("--decompose", metavar="QUERIES",
+                     help="fit fixed-vs-variable overhead across all SFs for "
+                          "a comma-separated query list, e.g. '1,22'")
+    dss.add_argument("--decompose-report", metavar="PATH",
+                     help="write the repro-decompose/1 JSON "
+                          "(requires --decompose)")
     dss.add_argument("--faults", metavar="PLAN",
                      help="inject faults into the traced query and compare "
                           "Hive vs PDW recovery; PLAN is "
@@ -384,6 +543,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the bottleneck attribution report "
                            "(MVA utilizations, lock rows vs the paper's "
                            "25-45%% mongostat band)")
+    oltp.add_argument("--critical-path", metavar="PATH", nargs="?", const="-",
+                      help="event-simulate one point; print the slowest "
+                           "request's critical path, or also write "
+                           "repro-critpath/1 JSON to PATH")
+    oltp.add_argument("--whatif", metavar="SPEC",
+                      help="replay the traced point with mechanisms scaled, "
+                           "e.g. 'lock-wait=0.5x' or 'disk=0,backoff=0'")
+    oltp.add_argument("--whatif-report", metavar="PATH",
+                      help="write the repro-whatif/1 JSON (requires --whatif)")
     oltp.add_argument("--faults", metavar="PLAN",
                       help="inject faults and compare healthy vs faulted: "
                            "shard faults ('kill-shard:0@0.25') run the "

@@ -305,6 +305,67 @@ class DssStudy:
             ]
         return result, attributions, sampler, tracer
 
+    # -- causal analysis: critical path, what-if, decomposition -------------------
+
+    def critical_path(self, number: int, scale_factor: float,
+                      engine: str = "hive"):
+        """Critical path and per-span slack of one traced query.
+
+        Returns ``(result, tracer, CriticalPath)``.  The path tiles the root
+        query span exactly — every second of end-to-end time is claimed by a
+        task chain, a shuffle barrier, a DSQL step or a container gap — and
+        the slack map ranks what could slip without moving the finish line.
+        """
+        from repro.obs import critical_path as extract_path
+
+        result, tracer, _ = self.trace_query(number, scale_factor, engine=engine)
+        return result, tracer, extract_path(tracer)
+
+    def whatif_query(self, number: int, scale_factor: float, scales: dict,
+                     engine: str = "hive"):
+        """What-if replay of one traced query with mechanisms scaled.
+
+        ``scales`` comes from :func:`repro.obs.parse_whatif` (e.g.
+        ``{"map-startup": 0.0}``).  Returns ``(result, tracer,
+        WhatIfReport)``; the prediction is validated in the tests against
+        re-running the engine with the corresponding cost-model parameter.
+        """
+        from repro.obs import dss_whatif_report
+
+        result, tracer, _ = self.trace_query(number, scale_factor, engine=engine)
+        report = dss_whatif_report(
+            tracer, engine, scales,
+            target={"query": number, "scale_factor": float(scale_factor)},
+        )
+        return result, tracer, report
+
+    def decomposition(self, numbers, engines=("hive", "pdw"),
+                      scale_factors=paper_data.SCALE_FACTORS):
+        """Fixed-vs-variable overhead decomposition across scale factors.
+
+        Traces every requested query at every SF, fits each phase to
+        ``t = fixed + per_sf * sf``, and returns a
+        :class:`~repro.obs.decompose.DecompositionReport` — the mechanical
+        form of the paper's growth-factor table.  SFs a query cannot finish
+        at (Hive out of scratch space, e.g. Q9 at 16 TB) are recorded as
+        skipped rather than fitted.
+        """
+        from repro.obs import DecompositionReport, decompose_query
+
+        report = DecompositionReport(sfs=[float(sf) for sf in scale_factors])
+        for number in numbers:
+            for engine in engines:
+                runs = {}
+                for sf in scale_factors:
+                    sf = float(sf)
+                    if engine == "hive" and self.hive_out_of_space(number, sf):
+                        runs[sf] = None
+                        continue
+                    _, tracer, _ = self.trace_query(number, sf, engine=engine)
+                    runs[sf] = tracer
+                report.queries.append(decompose_query(engine, number, runs))
+        return report
+
     # -- paper artifacts -----------------------------------------------------------
 
     def table3(self, scale_factors=paper_data.SCALE_FACTORS) -> Table3:

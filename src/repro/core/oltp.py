@@ -453,7 +453,8 @@ class OltpStudy:
                         target: float, scale: float = 0.02,
                         duration: float = 120.0, seed: int = 1234,
                         tracer=None, metrics=None, sampler=None,
-                        faults=None, retry_policy=None):
+                        faults=None, retry_policy=None,
+                        station_scales: dict | None = None):
         """Re-measure one figure point with the discrete-event simulator.
 
         The cluster and client population are scaled down by ``scale`` (the
@@ -468,6 +469,13 @@ class OltpStudy:
         which is how the workload A latency gap shows up as hot-lock waits.
         The cache model's verdict (miss rate, bytes fetched per miss — the
         8 KB-vs-32 KB differentiator) is recorded as gauges.
+
+        ``station_scales`` maps station names to service-time multipliers
+        (``{"hotlock": 0.5}`` halves the hot-lock demand).  It is the
+        cost-model knob the what-if engine's predictions are validated
+        against: exponential service draws scale linearly with their mean,
+        so a scaled run consumes the identical RNG sequence.  ``None``
+        leaves the code path (and output) byte-identical.
         """
         from repro.ycsb.eventsim import SimStation, simulate_closed_loop
 
@@ -482,6 +490,9 @@ class OltpStudy:
         for s in self._stations(system, workload):
             servers = max(1, round(s.servers * scale))
             service = {c: v for c, v in s.service.items() if v > 0 and c in mix}
+            if station_scales and s.name in station_scales:
+                factor = station_scales[s.name]
+                service = {c: v * factor for c, v in service.items() if v * factor > 0}
             if service:
                 stations.append(SimStation(s.name, servers, service))
         clients = max(4, round(self.params.client_threads * scale))
@@ -589,6 +600,78 @@ class OltpStudy:
             start=warmup, end=duration,
         )
         return point, attributions, sampler
+
+    # -- causal analysis: critical path & what-if ---------------------------------------
+
+    def traced_point(self, system_name: str, workload_name: str, target: float,
+                     scale: float = 0.02, duration: float = 120.0,
+                     seed: int = 1234, station_scales: dict | None = None):
+        """One event-sim point with a tracer attached.
+
+        Returns ``(CurvePoint, EventSimResult, Tracer)`` — the raw material
+        for critical-path extraction and what-if replay.
+        """
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        point, sim = self.event_sim_point(
+            system_name, workload_name, target, scale=scale,
+            duration=duration, seed=seed, tracer=tracer,
+            station_scales=station_scales,
+        )
+        return point, sim, tracer
+
+    def critical_path(self, system_name: str, workload_name: str, target: float,
+                      scale: float = 0.02, duration: float = 120.0,
+                      seed: int = 1234, warmup: float = 10.0):
+        """Critical path of the slowest measured request at one figure point.
+
+        An OLTP trace has no single query root, so the representative unit
+        of work is the worst post-warmup request — the one whose station
+        visits, lock waits and retries explain the latency tail.  Returns
+        ``(CurvePoint, EventSimResult, Tracer, CriticalPath)``.
+        """
+        from repro.obs import critical_path as extract_path
+
+        point, sim, tracer = self.traced_point(
+            system_name, workload_name, target, scale=scale,
+            duration=duration, seed=seed,
+        )
+        requests = [
+            span for span in tracer.find(cat="request")
+            if span.end >= warmup and not span.args.get("error")
+        ]
+        if not requests:
+            raise WorkloadError(
+                f"{system_name} workload {workload_name} @ {target:g}: "
+                "no measured requests to extract a critical path from"
+            )
+        root = max(requests, key=lambda s: (s.duration, -s.span_id))
+        return point, sim, tracer, extract_path(tracer, root=root)
+
+    def whatif(self, system_name: str, workload_name: str, target: float,
+               scales: dict, scale: float = 0.02, duration: float = 120.0,
+               seed: int = 1234, warmup: float = 10.0):
+        """What-if replay of one figure point with mechanisms scaled.
+
+        ``scales`` comes from :func:`repro.obs.parse_whatif` (e.g.
+        ``{"lock-wait": 0.5}``).  Returns ``(CurvePoint, EventSimResult,
+        Tracer, WhatIfReport)``; the report's prediction is validated in the
+        tests against re-running this simulator with the corresponding
+        ``station_scales`` cost-model knob.
+        """
+        from repro.obs import oltp_whatif_report
+
+        point, sim, tracer = self.traced_point(
+            system_name, workload_name, target, scale=scale,
+            duration=duration, seed=seed,
+        )
+        report = oltp_whatif_report(
+            tracer, scales, warmup=warmup,
+            target={"system": system_name, "workload": workload_name,
+                    "target_ops": target},
+        )
+        return point, sim, tracer, report
 
     # -- load phase (Section 3.4.2) -----------------------------------------------------
 

@@ -135,14 +135,21 @@ class Mongod:
         self.tracer = tracer
         self.metrics = metrics
         self.sampler = sampler
+        self._last_hold_span = None
 
     def _record_hold(self, mode: str) -> None:
         """One global-lock hold just completed as op ``self.ops - 1``."""
         if self.tracer:
-            self.tracer.add(
+            span = self.tracer.add(
                 f"lock.{mode}.hold", float(self.ops - 1), float(self.ops),
                 cat="lock", node=self.name, lane="global-lock", mode=mode,
             )
+            # The global lock serializes every op: each hold is handed the
+            # lock by the previous one — the causal chain the critical-path
+            # layer walks.
+            if self._last_hold_span is not None:
+                self.tracer.link(self._last_hold_span, span, "lock-handoff")
+            self._last_hold_span = span
         if self.metrics:
             self.metrics.counter(f"docstore.lock.{mode}_holds").inc()
         if self.sampler and mode == "write":

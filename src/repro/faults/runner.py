@@ -147,7 +147,13 @@ class FaultedYcsbRun:
             return int(round(at * self.operations))
         return int(at)
 
-    def _fire_due_faults(self, op_index: int, stats: FaultedRunStats) -> None:
+    def _fire_due_faults(self, op_index: int, stats: FaultedRunStats) -> list:
+        """Fire scheduled faults; returns the fault spans emitted (if tracing).
+
+        The spans are returned un-parented so the caller can attach them to
+        the op they delay — the next ``request.*`` span in the stream.
+        """
+        fired_spans = []
         for fault in self.plan.shard_faults:
             key = fault.spec_string()
             if key in stats.faults_fired:
@@ -161,13 +167,14 @@ class FaultedYcsbRun:
                 self.cluster.restart_shard(shard)
             stats.faults_fired.append(key)
             if self.tracer:
-                self.tracer.add(
+                fired_spans.append(self.tracer.add(
                     f"fault.{fault.kind}", self.now, self.now,
                     cat="fault", node="faults", lane="shards",
                     shard=shard, op_index=op_index,
-                )
+                ))
             if self.metrics:
                 self.metrics.counter(f"faults.{fault.kind}").inc()
+        return fired_spans
 
     # -- operations ------------------------------------------------------------
 
@@ -216,11 +223,14 @@ class FaultedYcsbRun:
             return do_rmw
         raise WorkloadError(f"unknown op class {op_class!r}")
 
-    def _run_op(self, op_class: str, stats: FaultedRunStats) -> None:
+    def _run_op(self, op_class: str, stats: FaultedRunStats,
+                pending_spans=()) -> None:
         histogram = stats.histograms.setdefault(op_class, LatencyHistogram())
         execute = self._plan_op(op_class)
         latency = 0.0
         attempt = 0
+        failed = False
+        op_spans = list(pending_spans)  # fault.* markers that delay this op
         while True:
             try:
                 execute()
@@ -230,6 +240,7 @@ class FaultedYcsbRun:
                 if self.metrics:
                     self.metrics.counter(f"ycsb.failed_attempts.{op_class}").inc()
                 if self.policy.gives_up(attempt, latency):
+                    failed = True
                     stats.errors[op_class] = stats.errors.get(op_class, 0) + 1
                     histogram.record(latency)
                     histogram.record_error()
@@ -238,12 +249,15 @@ class FaultedYcsbRun:
                     break
                 delay = self.policy.delay(attempt - 1)
                 if self.tracer:
-                    self.tracer.add(
+                    backoff = self.tracer.add(
                         "retry.backoff",
                         self.now + latency, self.now + latency + delay,
                         cat="retry", node="client", lane="backoff",
                         cls=op_class, attempt=attempt,
                     )
+                    if op_spans:
+                        self.tracer.link(op_spans[-1], backoff, "retry")
+                    op_spans.append(backoff)
                 latency += delay
                 stats.retries += 1
                 stats.backoff_seconds += delay
@@ -257,6 +271,17 @@ class FaultedYcsbRun:
             if attempt and self.metrics:
                 self.metrics.counter(f"ycsb.recovered_ops.{op_class}").inc()
             break
+        if self.tracer:
+            # The op itself, with the backoffs it paid and the fault markers
+            # that delayed it parented underneath.
+            request = self.tracer.add(
+                f"request.{op_class}", self.now, self.now + latency,
+                cat="request", node="client", lane="ops",
+                cls=op_class, attempts=attempt,
+                **({"error": True} if failed else {}),
+            )
+            for span in op_spans:
+                span.parent = request.span_id
         self.now += latency
 
     # -- phases ---------------------------------------------------------------
@@ -269,10 +294,10 @@ class FaultedYcsbRun:
     def run(self) -> FaultedRunStats:
         stats = FaultedRunStats()
         for op_index in range(self.operations):
-            self._fire_due_faults(op_index, stats)
+            fired = self._fire_due_faults(op_index, stats)
             op_class = self.workload.pick_operation(self._op_rng)
             stats.attempted += 1
-            self._run_op(op_class, stats)
+            self._run_op(op_class, stats, pending_spans=fired)
         stats.duration = self.now
         if self.metrics:
             self.metrics.gauge("ycsb.availability").set(stats.availability)

@@ -238,7 +238,8 @@ class HiveEngine:
 
     # -- tracing ------------------------------------------------------------------
 
-    def _emit_trace(self, result: HiveQueryResult, tracer, metrics) -> None:
+    def _emit_trace(self, result: HiveQueryResult, tracer, metrics,
+                    params=None) -> None:
         """Lay the finished job sequence out as spans on one query timeline.
 
         Jobs run back to back (Hive 0.7 submits each stage after the last),
@@ -246,25 +247,41 @@ class HiveEngine:
         per-attempt task spans nest inside.  Emitted *after* all cost
         adjustments, so span totals reconcile exactly with the reported
         simulated times.
+
+        Causal links make the implicit schedule explicit for the critical
+        path and what-if layers: ``stage`` chains consecutive jobs,
+        ``barrier``/``shuffle-barrier`` chain a job's phases, and ``slot``
+        chains the back-to-back task attempts sharing one slot.  Map/reduce
+        phase spans also carry the per-task ``startup`` cost so a replay can
+        subtract it (``--whatif map-startup=0``).
         """
+        params = params or self.base_params
         query = tracer.add(
             f"hive.q{result.number}", 0.0, result.total_time,
             cat="query", node="hive", lane="query",
             sf=result.scale_factor,
         )
         cursor = 0.0
+        prev_job_span = None
         for job in result.jobs:
             job_span = tracer.add(
                 f"job.{job.name}", cursor, cursor + job.total_time,
                 cat="job", node="hive", lane="jobs", parent=query.span_id,
                 failed_mapjoin=job.failed_mapjoin,
             )
+            if prev_job_span is not None:
+                tracer.link(prev_job_span, job_span, "stage")
+            prev_job_span = job_span
             t = cursor
+            prev_phase_span = None
             for phase, length, extra in (
                 ("map", job.map_time,
-                 {"tasks": job.map_tasks, "waves": job.map_waves}),
+                 {"tasks": job.map_tasks, "waves": job.map_waves,
+                  "startup": params.map_task_startup}),
                 ("shuffle", job.shuffle_time, {"bytes": job.shuffle_bytes}),
-                ("reduce", job.reduce_time, {"tasks": job.reduce_tasks}),
+                ("reduce", job.reduce_time,
+                 {"tasks": job.reduce_tasks,
+                  "startup": params.reduce_task_startup}),
                 ("overhead", job.overhead, {}),
             ):
                 if length <= 0.0:
@@ -274,16 +291,26 @@ class HiveEngine:
                     cat="phase", node="hive", lane=phase,
                     parent=job_span.span_id, **extra,
                 )
+                if prev_phase_span is not None:
+                    kind = ("shuffle-barrier" if "shuffle" in
+                            (phase, prev_phase_span.lane) else "barrier")
+                    tracer.link(prev_phase_span, phase_span, kind)
+                prev_phase_span = phase_span
                 task_spans = (
                     job.map_task_spans if phase == "map"
                     else job.reduce_task_spans if phase == "reduce" else ()
                 )
+                last_in_slot: dict = {}
                 for slot, start, end in task_spans:
-                    tracer.add(
+                    task_span = tracer.add(
                         f"{phase}-task", t + start, t + end,
                         cat="task", node="hive", lane=f"{phase}-slot-{slot:03d}",
                         parent=phase_span.span_id,
                     )
+                    prev_task = last_in_slot.get(slot)
+                    if prev_task is not None:
+                        tracer.link(prev_task, task_span, "slot")
+                    last_in_slot[slot] = task_span
                 t += length
             cursor += job.total_time
         if metrics:
@@ -393,7 +420,7 @@ class HiveEngine:
         for i in range(spec.hive_extra_jobs):
             result.jobs.append(self._small_job(f"extra.{i}", params))
         if tracer:
-            self._emit_trace(result, tracer, metrics)
+            self._emit_trace(result, tracer, metrics, params=params)
         if sampler:
             self._emit_utilization(result, params, sampler)
         return result

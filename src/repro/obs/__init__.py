@@ -19,6 +19,24 @@ from repro.obs.bottleneck import (
     lock_band_note,
     render_report,
 )
+from repro.obs.critpath import (
+    CriticalPath,
+    PathSegment,
+    critical_path,
+    dumps_critical_path,
+    pick_root,
+    render_critical_path,
+    write_critical_path,
+)
+from repro.obs.decompose import (
+    DecompositionReport,
+    QueryDecomposition,
+    decompose_query,
+    dumps_decomposition,
+    fit_fixed_variable,
+    render_decomposition,
+    write_decomposition,
+)
 from repro.obs.export import (
     ascii_timeline,
     chrome_counter_events,
@@ -28,7 +46,12 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
-from repro.obs.invariants import nesting_violations, overlap_violations, reconcile
+from repro.obs.invariants import (
+    link_violations,
+    nesting_violations,
+    overlap_violations,
+    reconcile,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.timeseries import (
     NULL_SAMPLER,
@@ -43,6 +66,19 @@ from repro.obs.timeseries import (
     write_series_json,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.whatif import (
+    MECHANISMS,
+    WhatIfReport,
+    dss_whatif_report,
+    dumps_whatif_report,
+    oltp_whatif_report,
+    parse_whatif,
+    render_whatif_report,
+    replay_hive,
+    replay_oltp,
+    replay_pdw,
+    write_whatif_report,
+)
 
 __all__ = [
     "Tracer",
@@ -77,5 +113,31 @@ __all__ = [
     "ascii_timeline",
     "nesting_violations",
     "overlap_violations",
+    "link_violations",
     "reconcile",
+    "CriticalPath",
+    "PathSegment",
+    "critical_path",
+    "pick_root",
+    "render_critical_path",
+    "dumps_critical_path",
+    "write_critical_path",
+    "MECHANISMS",
+    "WhatIfReport",
+    "parse_whatif",
+    "replay_hive",
+    "replay_pdw",
+    "replay_oltp",
+    "dss_whatif_report",
+    "oltp_whatif_report",
+    "render_whatif_report",
+    "dumps_whatif_report",
+    "write_whatif_report",
+    "QueryDecomposition",
+    "DecompositionReport",
+    "fit_fixed_variable",
+    "decompose_query",
+    "render_decomposition",
+    "dumps_decomposition",
+    "write_decomposition",
 ]

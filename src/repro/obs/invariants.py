@@ -10,6 +10,8 @@ to rule out instrumentation bugs before blaming the model.
   resource this is the mutual-exclusion invariant.
 * :func:`reconcile` — a parent interval must equal the sum of a set of
   child durations (mechanism attribution must add up).
+* :func:`link_violations` — causal links must resolve, never point at the
+  span itself, never run backwards in time, and never form a cycle.
 """
 
 from __future__ import annotations
@@ -50,6 +52,66 @@ def overlap_violations(spans: list[Span], tol: float = 1e-9) -> list[str]:
                     f"{node}/{lane}: {a.name} [{a.start:.6g}, {a.end:.6g}] "
                     f"overlaps {b.name} [{b.start:.6g}, {b.end:.6g}]"
                 )
+    return problems
+
+
+def link_violations(tracer: Tracer, tol: float = 1e-9) -> list[str]:
+    """Causal-link problems: orphans, self-links, time travel, cycles.
+
+    A link ``(src, kind)`` on span ``dst`` claims ``dst`` waited for
+    ``src``; that claim is checkable: ``src`` must exist, must not be
+    ``dst`` itself, and must end no later than ``dst`` starts (within
+    ``tol``).  The link graph over all spans must also be acyclic — checked
+    iteratively so arbitrarily deep chains cannot blow the recursion limit.
+    """
+    by_id = {s.span_id: s for s in tracer.spans}
+    problems = []
+    edges: dict[int, list[int]] = {}
+    for span in tracer.spans:
+        for src_id, kind in span.links:
+            src = by_id.get(src_id)
+            if src is None:
+                problems.append(
+                    f"{span.name}: {kind} link to unknown span id {src_id}"
+                )
+                continue
+            if src_id == span.span_id:
+                problems.append(f"{span.name}: {kind} link to itself")
+                continue
+            if src.end > span.start + tol:
+                problems.append(
+                    f"{span.name} starts at {span.start:.6g} but its {kind} "
+                    f"predecessor {src.name} ends at {src.end:.6g}"
+                )
+            edges.setdefault(span.span_id, []).append(src_id)
+
+    # Iterative three-color DFS over the predecessor graph.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {sid: WHITE for sid in by_id}
+    for start_id in by_id:
+        if color[start_id] != WHITE:
+            continue
+        stack = [(start_id, iter(edges.get(start_id, ())))]
+        color[start_id] = GRAY
+        while stack:
+            node_id, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue  # orphan, already reported
+                if color[nxt] == GRAY:
+                    problems.append(
+                        f"link cycle through span id {nxt} "
+                        f"({by_id[nxt].name})"
+                    )
+                elif color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(edges.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node_id] = BLACK
+                stack.pop()
     return problems
 
 

@@ -44,6 +44,10 @@ class Span:
     args: dict = field(default_factory=dict)
     parent: Optional[int] = None  # span_id of the enclosing span
     span_id: int = 0
+    # Causal predecessors: (src_span_id, kind) tuples.  A link says "this
+    # span could not start before src ended" — shuffle barriers, DMS waits,
+    # lock handoffs, retry chains.  Populated via :meth:`Tracer.link`.
+    links: list = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -130,6 +134,22 @@ class Tracer:
         span.end = now
         return span
 
+    # -- causal links ------------------------------------------------------------
+
+    def link(self, src: Span, dst: Span, kind: str = "seq") -> None:
+        """Record that ``dst`` causally waited on ``src`` (``kind`` names why).
+
+        Links point *backwards*: each span lists its predecessors, so path
+        extraction walks from the end of a trace toward its start.  Self-links
+        are rejected; duplicate (src, kind) pairs collapse to one entry.
+        """
+        if src.span_id == dst.span_id:
+            raise SimulationError(
+                f"span {dst.name!r} cannot causally link to itself")
+        entry = (src.span_id, kind)
+        if entry not in dst.links:
+            dst.links.append(entry)
+
     # -- queries -----------------------------------------------------------------
 
     def find(
@@ -191,6 +211,9 @@ class NullTracer:
         return None
 
     def end(self, now: float) -> None:
+        return None
+
+    def link(self, *args: Any, **kwargs: Any) -> None:
         return None
 
     def find(self, **filters: Any) -> list:

@@ -304,6 +304,7 @@ class PdwEngine:
             cat="query", node="pdw", lane="query", sf=result.scale_factor,
         )
         cursor = result.plan_overhead
+        prev_step_span = None
         for step in result.steps:
             elapsed = step.elapsed(result.step_overhead)
             step_span = tracer.add(
@@ -311,14 +312,23 @@ class PdwEngine:
                 cat="step", node="pdw", lane="steps", parent=query.span_id,
                 kind=step.kind, io_time=step.io_time, cpu_time=step.cpu_time,
                 net_time=step.net_time,
+                overhead=result.step_overhead,
             )
+            if prev_step_span is not None:
+                # DSQL steps are strictly serial: each waits on the last.
+                tracer.link(prev_step_span, step_span, "step-seq")
             if step.moved_bytes > 0.0 and step.net_time > 0.0:
-                tracer.add(
+                dms_span = tracer.add(
                     f"dms.{step.name}", cursor, cursor + step.net_time,
                     cat="dms", node="pdw", lane="dms",
                     parent=step_span.span_id,
                     bytes=step.moved_bytes, kind=step.kind,
                 )
+                if prev_step_span is not None:
+                    # The movement cannot start before the producing step
+                    # finished — the DMS wait the what-if engine scales.
+                    tracer.link(prev_step_span, dms_span, "dms-wait")
+            prev_step_span = step_span
             cursor += elapsed
         if metrics:
             metrics.counter("pdw.steps").inc(len(result.steps))

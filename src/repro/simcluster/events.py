@@ -286,10 +286,19 @@ class Resource:
         now = self.env.now
         tracer = self.env.tracer
         hold_start = self._hold_since.pop(0) if self._hold_since else now
-        tracer.add(
+        hold_span = tracer.add(
             f"{self.name}.hold", hold_start, now,
             cat="resource", node=self.name, lane="hold",
         )
+        # On a capacity-1 resource holds are strictly serial: each one is
+        # handed the slot by its predecessor — the lock-handoff chain the
+        # critical-path layer walks.  (Larger capacities interleave, so no
+        # single chain exists.)
+        if self.capacity == 1:
+            prev = getattr(self, "_last_hold_span", None)
+            if prev is not None and prev.end <= hold_span.start + 1e-9:
+                tracer.link(prev, hold_span, "lock-handoff")
+            self._last_hold_span = hold_span
         metrics = self.env.metrics
         if metrics is not None:
             metrics.counter(f"resource.{self.name}.holds").inc()

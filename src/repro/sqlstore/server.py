@@ -57,6 +57,8 @@ class SqlServerNode:
         self._ops_since_checkpoint = 0
         self.ops = 0
         self.alive = True
+        self._last_wait_span: dict = {}  # lock key -> last lock.wait span
+        self._last_checkpoint_span = None
 
     def kill(self) -> None:
         """Fault injection: the server process stops accepting connections."""
@@ -122,11 +124,18 @@ class SqlServerNode:
             self.lock_wait_events += 1
             if self.tracer:
                 clock = float(self.ops)
-                self.tracer.add(
+                span = self.tracer.add(
                     "lock.wait", clock, clock + 1.0,
                     cat="lock", node=self.name, lane="locks",
                     key=key, mode=mode.value,
                 )
+                # Waiters on the same key queue behind each other: a
+                # lock-handoff chain per contended key.  (Waits within the
+                # same logical tick have no order, so no link.)
+                prev = self._last_wait_span.get(key)
+                if prev is not None and prev.end <= span.start + 1e-9:
+                    self.tracer.link(prev, span, "lock-handoff")
+                self._last_wait_span[key] = span
             if self.metrics:
                 self.metrics.counter("sqlstore.lock_waits").inc()
             raise
@@ -140,11 +149,16 @@ class SqlServerNode:
         self._ops_since_checkpoint = 0
         if self.tracer:
             clock = float(self.ops)
-            self.tracer.add(
+            span = self.tracer.add(
                 "checkpoint", clock, clock,
                 cat="checkpoint", node=self.name, lane="checkpoint",
                 pages=written,
             )
+            # Checkpoints form their own causal sequence: each one flushes
+            # the dirty pages accumulated since the previous.
+            if self._last_checkpoint_span is not None:
+                self.tracer.link(self._last_checkpoint_span, span, "seq")
+            self._last_checkpoint_span = span
         if self.metrics:
             self.metrics.counter("sqlstore.checkpoints").inc()
             self.metrics.counter("sqlstore.checkpoint_pages").inc(written)

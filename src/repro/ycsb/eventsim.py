@@ -195,14 +195,17 @@ def simulate_closed_loop(
             start = env.now
             failed = False
             attempts = 0
+            op_spans = []  # visit/backoff spans to parent under the request
             for station in stations:
                 mean = station.service.get(op_class, 0.0)
                 if mean <= 0.0:
                     continue
                 resource = resources[station.name]
                 while True:
+                    t_enter = env.now
                     grant = resource.request()
                     yield grant
+                    t_granted = env.now
                     service = _exponential(rng, mean)
                     if station_faults:
                         service *= station_faults.slowdown(station.name, env.now)
@@ -213,6 +216,25 @@ def simulate_closed_loop(
                     # ``until`` cutoff, emitting phantom hold spans into the
                     # tracer at whatever moment collection happens to run.
                     resource.release()
+                    if tracer:
+                        # One span per station visit, split into queueing wait
+                        # and service — the what-if engine's lock-wait handle.
+                        visit = tracer.add(
+                            f"visit.{station.name}", t_enter, env.now,
+                            cat="visit", node="client",
+                            lane=f"client-{index}",
+                            cls=op_class, station=station.name,
+                            wait=t_granted - t_enter,
+                            service=env.now - t_granted,
+                        )
+                        if op_spans:
+                            prev = op_spans[-1]
+                            tracer.link(
+                                prev, visit,
+                                "retry" if prev.name == "retry.backoff"
+                                else "seq",
+                            )
+                        op_spans.append(visit)
                     if station_faults:
                         probability = station_faults.error_probability(
                             station.name, env.now
@@ -226,12 +248,15 @@ def simulate_closed_loop(
                             fault_stats["retried"] += 1
                             fault_stats["backoff"] += delay
                             if tracer:
-                                tracer.add(
+                                backoff = tracer.add(
                                     "retry.backoff", env.now, env.now + delay,
                                     cat="retry", node="client",
                                     lane=f"client-{index}",
                                     cls=op_class, attempt=attempts,
                                 )
+                                if op_spans:
+                                    tracer.link(op_spans[-1], backoff, "retry")
+                                op_spans.append(backoff)
                             if metrics:
                                 metrics.counter("ycsb.retried_ops").inc()
                             yield env.timeout(delay)
@@ -240,11 +265,13 @@ def simulate_closed_loop(
                 if failed:
                     break
             if tracer:
-                tracer.add(
+                request = tracer.add(
                     f"request.{op_class}", start, env.now,
                     cat="request", node="client", lane=f"client-{index}",
                     cls=op_class, **({"error": True} if failed else {}),
                 )
+                for span in op_spans:
+                    span.parent = request.span_id
             if metrics:
                 metrics.counter(f"ycsb.ops.{op_class}").inc()
                 if failed:

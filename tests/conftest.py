@@ -15,3 +15,16 @@ def tiny_db():
 def small_db():
     """SF 0.01 database for the query-answer tests."""
     return DbGen(scale_factor=0.01, seed=42).generate()
+
+
+@pytest.fixture(scope="session")
+def causal_study():
+    """Unfitted DSS study shared by the critical-path/what-if/decompose tests.
+
+    ``fit=False`` skips the per-query weight fitting (the slow part of a
+    fresh study); the causal layer only needs traced structure, not
+    paper-calibrated absolute times.
+    """
+    from repro.core.dss import DssStudy
+
+    return DssStudy(fit=False)

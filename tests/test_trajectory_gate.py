@@ -1,0 +1,156 @@
+"""The benchmark-trajectory harness and its regression gate."""
+
+import json
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+import gate  # noqa: E402
+import trajectory  # noqa: E402
+
+
+def _doc(pr, smoke, benchmarks):
+    return {
+        "schema": trajectory.SCHEMA,
+        "pr": pr,
+        "smoke": smoke,
+        "python": "3.12.0",
+        "benchmarks": benchmarks,
+    }
+
+
+def _entry(seconds, runs=1):
+    return {"seconds": seconds, "runs": runs}
+
+
+class TestTrajectoryManifest:
+    def test_pr_number_and_required_set(self):
+        assert trajectory.PR == 4
+        assert "critpath_whatif_replay" in trajectory.REQUIRED_BENCHMARKS
+
+    def test_committed_bench_4_is_valid(self):
+        path = BENCHMARKS_DIR.parent / "BENCH_4.json"
+        doc = json.loads(path.read_text())
+        assert trajectory.validate(doc) == []
+        assert doc["pr"] == 4
+
+    def test_validate_flags_missing_required_benchmark(self):
+        doc = _doc(4, False, {"dss_calibration": _entry(1.0)})
+        problems = trajectory.validate(doc)
+        assert any("critpath_whatif_replay" in p for p in problems)
+
+    def test_validate_with_empty_required_still_shape_checks(self):
+        doc = _doc(2, False, {"anything": {"seconds": -1.0, "runs": 1}})
+        problems = trajectory.validate(doc, required=())
+        assert any("invalid seconds" in p for p in problems)
+        good = _doc(2, False, {"anything": _entry(1.0)})
+        assert trajectory.validate(good, required=()) == []
+
+    def test_timed_out_entries_are_valid(self):
+        benchmarks = {name: {"timed_out": True, "limit_seconds": 1.0}
+                      for name in trajectory.REQUIRED_BENCHMARKS}
+        assert trajectory.validate(_doc(4, True, benchmarks)) == []
+
+
+class TestGateCompare:
+    def test_regression_detected(self):
+        candidate = _doc(4, False, {"x": _entry(3.0)})
+        baseline = _doc(2, False, {"x": _entry(1.0)})
+        verdicts = gate.compare(candidate, [baseline], tolerance=2.0)
+        assert verdicts == [("x", "regression", verdicts[0][2])]
+
+    def test_within_tolerance_is_ok(self):
+        candidate = _doc(4, False, {"x": _entry(1.9)})
+        baseline = _doc(2, False, {"x": _entry(1.0)})
+        [(name, status, _)] = gate.compare(candidate, [baseline], 2.0)
+        assert (name, status) == ("x", "ok")
+
+    def test_best_baseline_wins(self):
+        candidate = _doc(4, False, {"x": _entry(1.9)})
+        fast = _doc(2, False, {"x": _entry(0.5)})
+        slow = _doc(3, False, {"x": _entry(10.0)})
+        [(_, status, detail)] = gate.compare(candidate, [slow, fast], 2.0)
+        assert status == "regression"  # 1.9 vs best 0.5 is 3.8x
+        assert "0.5000" in detail
+
+    def test_new_benchmark_never_fails(self):
+        candidate = _doc(4, False, {"shiny": _entry(100.0)})
+        baseline = _doc(2, False, {"x": _entry(1.0)})
+        [(_, status, _)] = gate.compare(candidate, [baseline], 2.0)
+        assert status == "new"
+
+    def test_smoke_and_full_files_are_not_comparable(self):
+        candidate = _doc(4, True, {"x": _entry(10.0)})
+        baseline = _doc(2, False, {"x": _entry(1.0)})
+        [(_, status, _)] = gate.compare(candidate, [baseline], 2.0)
+        assert status == "new"  # no same-flavour baseline
+
+    def test_timed_out_sides_are_excluded(self):
+        candidate = _doc(4, False, {
+            "x": {"timed_out": True, "limit_seconds": 1.0},
+            "y": _entry(5.0),
+        })
+        baseline = _doc(2, False, {
+            "x": _entry(0.1),
+            "y": {"timed_out": True, "limit_seconds": 1.0},
+        })
+        verdicts = dict((n, s) for n, s, _ in
+                        gate.compare(candidate, [baseline], 2.0))
+        assert verdicts == {"x": "timed_out", "y": "new"}
+
+
+class TestGateMain:
+    def _write(self, root, name, doc):
+        (root / name).write_text(json.dumps(doc))
+
+    def _full_set(self, scale=1.0):
+        return {name: _entry(round(scale * (i + 1), 4))
+                for i, name in enumerate(trajectory.REQUIRED_BENCHMARKS)}
+
+    def test_exit_zero_when_within_tolerance(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_2.json", _doc(2, False, self._full_set()))
+        self._write(tmp_path, "BENCH_4.json",
+                    _doc(4, False, self._full_set(scale=1.5)))
+        assert gate.main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gating BENCH_4.json" in out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_2.json", _doc(2, False, self._full_set()))
+        self._write(tmp_path, "BENCH_4.json",
+                    _doc(4, False, self._full_set(scale=3.0)))
+        assert gate.main(["--root", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_older_files_not_held_to_new_benchmark_list(self, tmp_path, capsys):
+        old = self._full_set()
+        del old["critpath_whatif_replay"]  # legitimately absent in PR 2
+        self._write(tmp_path, "BENCH_2.json", _doc(2, False, old))
+        self._write(tmp_path, "BENCH_4.json", _doc(4, False, self._full_set()))
+        assert gate.main(["--root", str(tmp_path)]) == 0
+
+    def test_candidate_missing_required_benchmark_fails(self, tmp_path, capsys):
+        bad = self._full_set()
+        del bad["critpath_whatif_replay"]
+        self._write(tmp_path, "BENCH_4.json", _doc(4, False, bad))
+        assert gate.main(["--root", str(tmp_path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_explicit_candidate_outside_root(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_2.json", _doc(2, False, self._full_set()))
+        extra = tmp_path / "elsewhere"
+        extra.mkdir()
+        self._write(extra, "BENCH_smoke.json",
+                    _doc(4, True, self._full_set(scale=0.1)))
+        code = gate.main(["--root", str(tmp_path),
+                          "--candidate", str(extra / "BENCH_smoke.json")])
+        assert code == 0  # smoke candidate: no comparable baseline, all new
+
+    def test_bad_tolerance_exits_two(self, capsys):
+        assert gate.main(["--tolerance", "0"]) == 2
+
+    def test_repo_gate_passes_as_committed(self, capsys):
+        """The actual repo state must pass its own gate."""
+        assert gate.main([]) == 0
