@@ -111,6 +111,19 @@ def _dss_faults(args, study) -> int:
     return 0
 
 
+def _oltp_replication(args):
+    """Parse --replication (and a single --write-concern) for a faulted run."""
+    if not args.replication:
+        return None
+    from repro.replication.config import ReplicationConfig
+    from repro.replication.writeconcern import WriteConcern
+
+    config = ReplicationConfig.parse(args.replication)
+    if config is not None and args.write_concern:
+        config = config.with_concern(WriteConcern.parse(args.write_concern))
+    return config
+
+
 def _oltp_faults(args, study) -> int:
     from repro.faults import FaultPlan
     from repro.faults.report import oltp_fault_report
@@ -124,10 +137,49 @@ def _oltp_faults(args, study) -> int:
     report = oltp_fault_report(
         plan, workload=workload, system=args.system, target=args.target,
         duration=args.duration, study=study,
+        replication=_oltp_replication(args),
         tracer=tracer, metrics=metrics, sampler=sampler,
     )
     _fault_outputs(args, report, tracer, metrics, sampler)
     return 0
+
+
+def _oltp_availability(args) -> int:
+    """Chaos sweep + acknowledged-write audit (repro-availability/1)."""
+    from repro.faults.availability import (
+        availability_report,
+        render_availability_report,
+        validate_availability_report,
+        write_availability_report,
+    )
+    from repro.faults.chaos import ChaosConfig
+    from repro.replication.config import ReplicationConfig
+    from repro.replication.writeconcern import parse_concern_list
+
+    chaos = (ChaosConfig() if args.chaos in (None, "default", "on")
+             else ChaosConfig.parse(args.chaos))
+    replication = (ReplicationConfig.parse(args.replication)
+                   if args.replication else None)
+    if args.replication and replication is None:
+        raise ConfigurationError(
+            "the chaos sweep needs replication enabled; "
+            "drop '--replication off'"
+        )
+    concerns = (parse_concern_list(args.write_concern)
+                if args.write_concern else None)
+    workload = args.workload if args.workload != "all" else "A"
+    report = availability_report(
+        concerns=concerns, chaos=chaos, workload=workload,
+        operations=args.operations, seed=args.seed,
+        replication=replication,
+    )
+    validate_availability_report(report)
+    print(render_availability_report(report))
+    if args.availability_report:
+        write_availability_report(report, args.availability_report)
+        print(f"wrote availability report -> {args.availability_report}")
+    # Exit 0 only while the acknowledged-write safety invariant holds.
+    return 0 if report["invariant_ok"] else 1
 
 
 def _cmd_dss(args) -> int:
@@ -275,14 +327,22 @@ def _cmd_oltp(args) -> int:
         )
     _require_positive(args.target, "--target")
     _require_positive(args.duration, "--duration")
+    _require_positive(args.operations, "--operations")
     if args.fault_report and not args.faults:
         raise ConfigurationError("--fault-report requires --faults")
     if args.whatif_report and not args.whatif:
         raise ConfigurationError("--whatif-report requires --whatif")
+    if args.write_concern and not (args.replication or args.chaos
+                                   or args.availability_report):
+        raise ConfigurationError(
+            "--write-concern requires --replication or --chaos"
+        )
     whatif_scales = (
         _parse_whatif_for(args.whatif, "oltp", "the oltp event simulator")
         if args.whatif else None
     )
+    if args.chaos or args.availability_report:
+        return _oltp_availability(args)
     study = OltpStudy(isolation=args.isolation)
     if args.faults:
         return _oltp_faults(args, study)
@@ -560,6 +620,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "simulator")
     oltp.add_argument("--fault-report", metavar="PATH",
                       help="write the healthy-vs-faulted comparison JSON")
+    oltp.add_argument("--replication", metavar="SPEC",
+                      help="run functional clusters with HA: replica sets "
+                           "per Mongo shard, synchronous mirroring per SQL "
+                           "node; 'on' or 'replicas=3,lag=0.05,timeout=0.25' "
+                           "('off' keeps the paper's bare deployments)")
+    oltp.add_argument("--write-concern", metavar="NAME",
+                      help="write concern for replicated runs: unacked, "
+                           "safe, journaled, majority, or w:N; 'all' sweeps "
+                           "the spectrum under --chaos")
+    oltp.add_argument("--chaos", metavar="SPEC", nargs="?", const="default",
+                      help="seeded chaos run with an acknowledged-write "
+                           "audit: 'kills=2,partitions=1,lag-spikes=1' "
+                           "(bare --chaos uses that default); exits 0 only "
+                           "if the durability invariant holds")
+    oltp.add_argument("--operations", type=int, default=500,
+                      help="ops per chaos run (default 500)")
+    oltp.add_argument("--availability-report", metavar="PATH",
+                      help="write the repro-availability/1 JSON "
+                           "(implies --chaos)")
     oltp.set_defaults(func=_cmd_oltp)
 
     dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")

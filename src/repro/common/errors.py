@@ -49,6 +49,17 @@ class ServerCrashed(ReproError):
     """A simulated server process crashed mid-benchmark (Mongo-AS, workload D)."""
 
 
+class ReplicaSetUnavailable(ServerCrashed):
+    """A replica set cannot serve or acknowledge an operation right now.
+
+    Raised when no primary is elected (a failover is in progress, or there
+    is no quorum), or when a write concern requires more reachable members
+    than currently exist.  Subclasses :class:`ServerCrashed` so the YCSB
+    client's retry loop treats it like any other connection failure — the
+    retries are what carry the client across a failover window.
+    """
+
+
 class ShardUnavailable(ShardingError, ServerCrashed):
     """An operation was routed to a shard whose server process is down.
 

@@ -673,6 +673,38 @@ class OltpStudy:
         )
         return point, sim, tracer, report
 
+    # -- replication & chaos (beyond the paper's bare deployments) ----------------------
+
+    def availability_report(self, systems=None, concerns=None, *,
+                            chaos=None, workload: str = "A",
+                            shard_count: int = 4, record_count: int = 300,
+                            operations: int = 500, replicas: int = 3,
+                            seed: int = 11, replication=None,
+                            tracer=None) -> dict:
+        """Chaos-verified durability sweep (``repro-availability/1``).
+
+        The paper ran MongoDB without replica sets and SQL Server without
+        mirroring (§3.4.1), so a dead node simply took its key range down.
+        This report measures the configurations the vendors actually ship:
+        each (system, write-concern) cell runs the functional YCSB cluster
+        under a seeded chaos schedule — member kills, partitions, lag
+        spikes — and audits every *acknowledged* write after recovery.  The
+        safety invariant: nothing acknowledged at ``journaled``/``majority``
+        (or on a mirrored SQL Server) may be lost, ever; ``safe``-mode
+        losses must sit inside the 100 ms journal flush window of a fault.
+
+        Delegates to :func:`repro.faults.availability.availability_report`;
+        see there for the row fields.
+        """
+        from repro.faults.availability import availability_report
+
+        return availability_report(
+            systems, concerns, chaos=chaos, workload=workload,
+            shard_count=shard_count, record_count=record_count,
+            operations=operations, replicas=replicas, seed=seed,
+            replication=replication, tracer=tracer,
+        )
+
     # -- load phase (Section 3.4.2) -----------------------------------------------------
 
     def load_time_minutes(self, system_name: str, pre_split: bool = True) -> float:

@@ -39,6 +39,8 @@ class MongoAsCluster:
         tracer=None,
         metrics=None,
         sampler=None,
+        replication=None,
+        seed: int = 0,
     ):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
@@ -47,10 +49,19 @@ class MongoAsCluster:
         self.tracer = tracer
         self.metrics = metrics
         self.sampler = sampler
-        self.shards = [
-            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics, sampler=sampler)
-            for i in range(shard_count)
-        ]
+        self.replication = replication
+        if replication is None:
+            # Paper-faithful (§3.4.1): bare mongods, no failover.
+            self.shards = [
+                Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics,
+                       sampler=sampler)
+                for i in range(shard_count)
+            ]
+        else:
+            self.shards = [
+                replication.build_shard(f"rs-{i}", seed=seed, tracer=tracer)
+                for i in range(shard_count)
+            ]
         self.config = ConfigServer()
         self.config.bootstrap(shard=0)
         self.balancer = Balancer(threshold=balancer_threshold)
@@ -186,7 +197,9 @@ class MongoAsCluster:
 
     def kill_shard(self, index: int) -> None:
         """Fault injection: one mongod stops responding (no failover was
-        configured in the paper's deployment — no replica sets)."""
+        configured in the paper's deployment — no replica sets).  With
+        ``replication`` enabled the shard is a replica set and this kills
+        its current *primary*, which is what triggers a failover."""
         self.shards[index].kill()
 
     def restart_shard(self, index: int) -> None:
@@ -199,18 +212,53 @@ class MongoAsCluster:
             len(s.collection(self.collection)) for s in self.shards
         )
 
+    # -- replication surface (no-ops without --replication) ---------------------
+
+    def tick(self, now: float) -> None:
+        """Advance every replica set's clock (oplog, flushes, elections)."""
+        if self.replication is not None:
+            for shard in self.shards:
+                shard.tick(now)
+
+    def consume_ack_delay(self) -> float:
+        """Write-concern latency owed by the most recent write, if any."""
+        if self.replication is None:
+            return 0.0
+        return sum(s.consume_ack_delay() for s in self.shards)
+
+    def take_last_write(self):
+        """The acknowledged-write record of the most recent write, if any."""
+        if self.replication is None:
+            return None
+        for shard in self.shards:
+            write = shard.take_last_write()
+            if write is not None:
+                return write
+        return None
+
 
 class MongoCsCluster:
     """Client-side hash-sharded MongoDB (the paper's Mongo-CS)."""
 
     def __init__(self, shard_count: int = 128, collection: str = DEFAULT_COLLECTION,
-                 tracer=None, metrics=None, sampler=None):
+                 tracer=None, metrics=None, sampler=None,
+                 replication=None, seed: int = 0):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
-        self.shards = [
-            Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics, sampler=sampler)
-            for i in range(shard_count)
-        ]
+        self.replication = replication
+        if replication is None:
+            self.shards = [
+                Mongod(f"mongod-{i}", tracer=tracer, metrics=metrics,
+                       sampler=sampler)
+                for i in range(shard_count)
+            ]
+        else:
+            # Client-side failover: the driver hash-routes to the replica
+            # set and retries until the new primary is elected.
+            self.shards = [
+                replication.build_shard(f"rs-{i}", seed=seed, tracer=tracer)
+                for i in range(shard_count)
+            ]
         self.collection = collection
 
     def _shard_index(self, key: str) -> int:
@@ -276,3 +324,24 @@ class MongoCsCluster:
     @property
     def doc_count(self) -> int:
         return sum(len(s.collection(self.collection)) for s in self.shards)
+
+    # -- replication surface (no-ops without --replication) ---------------------
+
+    def tick(self, now: float) -> None:
+        if self.replication is not None:
+            for shard in self.shards:
+                shard.tick(now)
+
+    def consume_ack_delay(self) -> float:
+        if self.replication is None:
+            return 0.0
+        return sum(s.consume_ack_delay() for s in self.shards)
+
+    def take_last_write(self):
+        if self.replication is None:
+            return None
+        for shard in self.shards:
+            write = shard.take_last_write()
+            if write is not None:
+                return write
+        return None

@@ -77,7 +77,21 @@ class Journal:
             self.durable_sequence = self.entries[-1].sequence
         self.flushes += 1
 
+    @property
+    def next_flush_time(self) -> float:
+        """When the next group flush is due on the journal's own cycle."""
+        return self._last_flush_time + self.flush_interval
+
     # -- crash behaviour ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """The process dies: acknowledged-but-unflushed entries are gone.
+
+        What remains is exactly the durable prefix — the on-disk journal a
+        restart recovers from.  Sequence numbering continues after the
+        discarded tail so replayed histories stay monotonic.
+        """
+        self.entries = self.surviving_entries()
 
     def surviving_entries(self) -> list[JournalEntry]:
         """What a restart can recover: entries flushed before the crash."""
@@ -135,11 +149,34 @@ class JournaledMongod:
     def update(self, collection: str, key, fieldname: str, value) -> bool:
         from repro.docstore import bson
 
+        # Write-ahead: the intended after-image goes to the journal *before*
+        # mongod mutates the document, so a crash between the two steps can
+        # only ever lose the un-journaled application (which redo replays),
+        # never an applied-but-unjournaled write.
+        before = self.mongod.find_one(collection, key)
+        if before is None:
+            return False
+        after = dict(before)
+        after[fieldname] = value
+        self.journal.append(
+            self.clock, JournalOp.UPDATE, collection, key, bson.encode(after)
+        )
         ok = self.mongod.update(collection, key, fieldname, value)
-        if ok:
-            after = self.mongod.find_one(collection, key)
-            self.journal.append(
-                self.clock, JournalOp.UPDATE, collection, key, bson.encode(after)
+        if not ok:
+            raise StorageError(
+                f"{collection}/{key!r} vanished between journal append and apply"
+            )
+        return ok
+
+    def remove(self, collection: str, key) -> bool:
+        """Journal a tombstone (write-ahead), then remove from mongod."""
+        if self.mongod.find_one(collection, key) is None:
+            return False
+        self.journal.append(self.clock, JournalOp.REMOVE, collection, key)
+        ok = self.mongod.remove(collection, key)
+        if not ok:
+            raise StorageError(
+                f"{collection}/{key!r} vanished between journal append and apply"
             )
         return ok
 

@@ -25,8 +25,26 @@ existing figure, report, and benchmark output is byte-identical to the
 fault-free code path.
 """
 
+from repro.faults.availability import (
+    AVAILABILITY_SYSTEMS,
+    availability_report,
+    availability_row,
+    dumps_availability_report,
+    render_availability_report,
+    validate_availability_report,
+    write_availability_report,
+)
+from repro.faults.chaos import (
+    AuditReport,
+    ChaosConfig,
+    ChaosYcsbRun,
+    LostWrite,
+    WriteLedger,
+    chaos_plan,
+)
 from repro.faults.plan import (
     FAULT_KINDS,
+    MEMBER_KINDS,
     FaultPlan,
     FaultSpec,
     StationFaults,
@@ -43,7 +61,21 @@ from repro.faults.retry import RetryPolicy, backoff_delay
 from repro.faults.runner import FaultedRunStats, FaultedYcsbRun
 
 __all__ = [
+    "AVAILABILITY_SYSTEMS",
+    "AuditReport",
+    "ChaosConfig",
+    "ChaosYcsbRun",
+    "LostWrite",
+    "WriteLedger",
+    "availability_report",
+    "availability_row",
+    "chaos_plan",
+    "dumps_availability_report",
+    "render_availability_report",
+    "validate_availability_report",
+    "write_availability_report",
     "FAULT_KINDS",
+    "MEMBER_KINDS",
     "FaultSpec",
     "FaultPlan",
     "StationFaults",

@@ -1,0 +1,300 @@
+"""Chaos schedules and the acknowledged-write safety ledger.
+
+PR 3's fault plans are hand-written scripts; this module composes them into
+*seeded random* chaos — kill/restart, partition/heal, and replication-lag
+schedules drawn deterministically from a seed — and closes the loop with a
+Jepsen-style audit: every write the cluster *acknowledged* goes into a
+:class:`WriteLedger`, and after the run finishes, everything is restarted,
+healed, and settled, then the ledger is checked against what the cluster
+actually still holds.
+
+The safety invariant (the tentpole's contract):
+
+* no write acknowledged at ``journaled``/``replicated`` concern (or on a
+  mirrored SQL Server) is ever lost, across any kill/restart/elect cycle;
+* writes acknowledged at ``safe`` may be lost, but only those acknowledged
+  within one journal flush window (100 ms) of a kill or partition;
+* ``unacked`` writes carry no promise and are reported informationally.
+
+Everything is deterministic: the same seed and :class:`ChaosConfig` produce
+the same :class:`~repro.faults.plan.FaultPlan`, the same op stream, and a
+byte-identical audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeedStream
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.runner import FaultedRunStats, FaultedYcsbRun
+from repro.replication.writeconcern import WriteConcern
+
+#: Chaos events are placed in this fraction of the op stream, leaving the
+#: head for warm-up and the tail for in-run recovery to be observable.
+CHAOS_WINDOW = (0.15, 0.75)
+#: Restart/heal follows its kill/partition after this fraction of the ops.
+RECOVERY_GAP = 0.15
+#: A lag spike lasts this long on the logical clock (seconds).
+LAG_SPIKE_DURATION = 0.2
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """How much chaos to schedule (all of it seeded, none of it wall-clock)."""
+
+    kills: int = 2
+    partitions: int = 1
+    lag_spikes: int = 1
+
+    def __post_init__(self):
+        if min(self.kills, self.partitions, self.lag_spikes) < 0:
+            raise ConfigurationError("chaos event counts must be >= 0")
+        if self.kills + self.partitions + self.lag_spikes == 0:
+            raise ConfigurationError("chaos config schedules no events")
+
+    def spec_string(self) -> str:
+        return (
+            f"kills={self.kills},partitions={self.partitions},"
+            f"lag-spikes={self.lag_spikes}"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosConfig":
+        """Parse ``kills=2,partitions=1,lag-spikes=1`` (any subset)."""
+        kwargs: dict = {}
+        names = {"kills": "kills", "partitions": "partitions",
+                 "lag-spikes": "lag_spikes", "lag_spikes": "lag_spikes"}
+        for chunk in text.strip().lower().split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            key, sep, value = chunk.partition("=")
+            if not sep or key.strip() not in names:
+                raise ConfigurationError(
+                    f"bad chaos option {chunk!r}; expected "
+                    "kills=N,partitions=N,lag-spikes=N"
+                )
+            try:
+                kwargs[names[key.strip()]] = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad chaos value {chunk!r}"
+                ) from None
+        if not kwargs:
+            raise ConfigurationError("empty chaos config")
+        return cls(**kwargs)
+
+
+def chaos_plan(
+    config: ChaosConfig,
+    operations: int,
+    shard_count: int,
+    replicas: int,
+    seed: int,
+) -> FaultPlan:
+    """Draw a deterministic fault schedule from the chaos seed.
+
+    With ``replicas >= 2`` events target replica-set members (the first kill
+    always hits member 0 — the initial primary — so every schedule exercises
+    at least one election); with bare shards they fall back to the PR 3
+    shard-level kill/restart pair.  Partition and lag events need members,
+    so they degrade to kills/no-ops respectively on bare clusters.
+    """
+    if operations < 40:
+        raise ConfigurationError("chaos needs at least 40 operations")
+    rng = SeedStream(seed).rng_for("chaos", "schedule")
+    lo = max(2, int(CHAOS_WINDOW[0] * operations))
+    hi = max(lo + 1, int(CHAOS_WINDOW[1] * operations))
+    gap = max(1, int(RECOVERY_GAP * operations))
+    replicated = replicas >= 2
+    specs: list[FaultSpec] = []
+    seen: set[str] = set()
+
+    def place(spec: FaultSpec) -> None:
+        if spec.spec_string() not in seen:
+            seen.add(spec.spec_string())
+            specs.append(spec)
+
+    for i in range(config.kills):
+        at = rng.random_int(lo, hi)
+        shard = rng.random_int(0, shard_count - 1)
+        back = min(at + gap, operations - 2)
+        if replicated:
+            member = 0 if i == 0 else rng.random_int(0, replicas - 1)
+            place(FaultSpec("kill-member", f"{shard}.{member}", at))
+            place(FaultSpec("restart-member", f"{shard}.{member}", back))
+        else:
+            place(FaultSpec("kill-shard", str(shard), at))
+            place(FaultSpec("restart-shard", str(shard), back))
+    for _ in range(config.partitions):
+        at = rng.random_int(lo, hi)
+        shard = rng.random_int(0, shard_count - 1)
+        if replicated:
+            member = rng.random_int(0, replicas - 1)
+            back = min(at + gap, operations - 2)
+            place(FaultSpec("partition-member", f"{shard}.{member}", at))
+            place(FaultSpec("heal-member", f"{shard}.{member}", back))
+        else:
+            back = min(at + gap, operations - 2)
+            place(FaultSpec("kill-shard", str(shard), at))
+            place(FaultSpec("restart-shard", str(shard), back))
+    if replicated:
+        for _ in range(config.lag_spikes):
+            at = rng.random_int(lo, hi)
+            shard = rng.random_int(0, shard_count - 1)
+            member = rng.random_int(0, replicas - 1)
+            factor = round(rng.uniform(2.0, 6.0), 3)
+            place(FaultSpec(
+                "lag-spike", f"{shard}.{member}", at,
+                duration=LAG_SPIKE_DURATION, magnitude=factor,
+            ))
+    specs.sort(key=lambda s: (s.at, s.kind, s.target))
+    if not specs:
+        raise ConfigurationError(
+            "chaos config produced no events for this topology"
+        )
+    return FaultPlan(faults=tuple(specs), seed=seed)
+
+
+@dataclass
+class LostWrite:
+    """One acknowledged write the final audit could not find."""
+
+    key: str
+    fieldname: str | None
+    concern: str
+    ack_time: float
+    allowed: bool  # within the concern's documented loss window
+
+
+@dataclass
+class AuditReport:
+    """The ledger verdict after recovery and settling."""
+
+    acked: dict = field(default_factory=dict)       # concern -> count
+    lost: list = field(default_factory=list)        # LostWrite, all of them
+    checked: int = 0
+
+    @property
+    def lost_allowed(self) -> int:
+        return sum(1 for w in self.lost if w.allowed)
+
+    @property
+    def violations(self) -> list:
+        return [w for w in self.lost if not w.allowed]
+
+    @property
+    def invariant_ok(self) -> bool:
+        return not self.violations
+
+
+class WriteLedger:
+    """Every acknowledged write, keyed so the audit can find its survivor.
+
+    Later acknowledged writes to the same key/field supersede earlier ones
+    (only the latest acknowledged value is owed to the client), so the
+    ledger keeps one record per key for inserts and one per (key, field)
+    for updates.
+    """
+
+    #: Concerns that promise nothing (losses are informational only).
+    _NO_PROMISE = ("unacked",)
+    #: Concerns whose losses are allowed inside the journal flush window.
+    _WINDOWED = ("safe",)
+
+    def __init__(self):
+        self.inserts: dict = {}   # key -> record
+        self.updates: dict = {}   # (key, fieldname) -> record
+        self.acked_counts: dict = {}
+
+    def record(self, write) -> None:
+        """``write`` is a :class:`repro.replication.replicaset.LastWrite`."""
+        self.acked_counts[write.concern] = (
+            self.acked_counts.get(write.concern, 0) + 1
+        )
+        if write.op == "insert":
+            self.inserts[write.key] = write
+        elif write.op == "update":
+            self.updates[(write.key, write.fieldname)] = write
+
+    def _loss_allowed(self, write, loss_events: list[float]) -> bool:
+        if write.concern in self._NO_PROMISE:
+            return True
+        if write.concern not in self._WINDOWED:
+            return False  # journaled/replicated/mirrored promise zero loss
+        window = WriteConcern.parse(write.concern).loss_window
+        return any(
+            -1e-9 <= event - write.ack_time <= window + 1e-9
+            for event in loss_events
+        )
+
+    def audit(self, read_fn, loss_events: list[float]) -> AuditReport:
+        """Check every ledgered write against the recovered cluster.
+
+        ``read_fn(key)`` returns the document (without its key field) or
+        ``None``; ``loss_events`` are the logical times of kills and
+        partitions, used to decide whether a ``safe``-mode loss falls in
+        the documented 100 ms window.
+        """
+        report = AuditReport(acked=dict(self.acked_counts))
+        for key, write in sorted(self.inserts.items()):
+            report.checked += 1
+            if read_fn(key) is None:
+                report.lost.append(LostWrite(
+                    key=key, fieldname=None, concern=write.concern,
+                    ack_time=write.ack_time,
+                    allowed=self._loss_allowed(write, loss_events),
+                ))
+        for (key, fieldname), write in sorted(self.updates.items()):
+            report.checked += 1
+            document = read_fn(key)
+            value = document.get(fieldname) if document else None
+            if value != write.value:
+                report.lost.append(LostWrite(
+                    key=key, fieldname=fieldname, concern=write.concern,
+                    ack_time=write.ack_time,
+                    allowed=self._loss_allowed(write, loss_events),
+                ))
+        return report
+
+
+class ChaosYcsbRun(FaultedYcsbRun):
+    """A faulted YCSB run that maintains the acknowledged-write ledger and
+    audits the safety invariant after recovery."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ledger = WriteLedger()
+
+    def _on_acked_write(self, write, stats: FaultedRunStats) -> None:
+        self.ledger.record(write)
+
+    # -- recovery + audit ------------------------------------------------------
+
+    def _loss_event_times(self) -> list[float]:
+        return [
+            at for spec, at in self.fault_log
+            if spec.startswith(("kill-", "partition-"))
+        ]
+
+    def recover_all(self) -> None:
+        """Operator cleanup: heal partitions, restart everything, settle."""
+        shards = getattr(self.cluster, "shards", [])
+        for shard in shards:
+            if hasattr(shard, "heal_member"):
+                for index, member in enumerate(shard.members):
+                    if member.partitioned:
+                        shard.heal_member(index)
+            if hasattr(shard, "restart"):
+                shard.restart()
+        if getattr(self.cluster, "replication", None) is not None:
+            for shard in shards:
+                shard.settle(self.now + 1.0)
+            self.now = max(self.now, max(s.now for s in shards))
+
+    def audit(self) -> AuditReport:
+        """Recover the cluster, then check the ledger against it."""
+        self.recover_all()
+        return self.ledger.audit(self.cluster.read, self._loss_event_times())

@@ -48,6 +48,19 @@ FAULT_KINDS = frozenset({
     "net-spike",      # network/log latency inflation over a window
     "kill-shard",     # one shard process dies (no replica sets, §3.4.1)
     "restart-shard",  # ... and is manually restarted
+    # Replica-set member faults (PR 5): target is "shard.member", e.g.
+    # ``kill-member:2.0@0.5`` kills member 0 of shard 2's replica set.
+    "kill-member",       # one replica-set member process dies
+    "restart-member",    # ... and is restarted (journal-durable state back)
+    "partition-member",  # member unreachable (state intact, no traffic)
+    "heal-member",       # the partition heals
+    "lag-spike",         # replication lag x magnitude over the duration
+})
+
+# Kinds that operate on one member of a replica-set shard.
+MEMBER_KINDS = frozenset({
+    "kill-member", "restart-member", "partition-member", "heal-member",
+    "lag-spike",
 })
 
 # Kinds that inflate service times / error ops at an event-sim station.
@@ -95,6 +108,15 @@ class FaultSpec:
                 f"fault target {self.target!r} does not name an index"
             )
         return int(digits)
+
+    def member_target(self) -> tuple[int, int]:
+        """The target parsed as ``shard.member`` (``2.0`` -> (2, 0))."""
+        parts = self.target.split(".")
+        if len(parts) != 2 or not all(p.isdigit() for p in parts):
+            raise FaultPlanError(
+                f"fault target {self.target!r} does not name shard.member"
+            )
+        return int(parts[0]), int(parts[1])
 
     def to_dict(self) -> dict:
         return {
@@ -152,6 +174,10 @@ class FaultPlan:
     @property
     def shard_faults(self) -> list[FaultSpec]:
         return self.of_kind("kill-shard", "restart-shard")
+
+    @property
+    def member_faults(self) -> list[FaultSpec]:
+        return self.of_kind(*MEMBER_KINDS)
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "FaultPlan":

@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.common.errors import FaultPlanError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import MEMBER_KINDS, FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.faults.runner import FaultedYcsbRun
 from repro.ycsb.workloads import WORKLOADS, make_key
@@ -159,14 +159,21 @@ def dss_fault_report(study, number: int, scale_factor: float,
 _CLUSTERS = ("mongo-as", "mongo-cs", "sql-cs")
 
 
-def _build_cluster(system: str, shard_count: int, record_count: int):
-    """A small functional cluster with keys spread evenly across shards."""
+def _build_cluster(system: str, shard_count: int, record_count: int,
+                   replication=None, seed: int = 0):
+    """A small functional cluster with keys spread evenly across shards.
+
+    ``replication`` (a :class:`repro.replication.config.ReplicationConfig`)
+    turns every Mongo shard into a replica set and every SQL Server node
+    into a mirrored pair; ``None`` keeps the paper's bare deployments.
+    """
     if system == "mongo-as":
         from repro.docstore.cluster import MongoAsCluster
 
         cluster = MongoAsCluster(shard_count=shard_count,
                                  max_chunk_docs=10 * record_count,
-                                 mongos_count=2)
+                                 mongos_count=2,
+                                 replication=replication, seed=seed)
         # Pre-split so each shard owns ~1/shard_count of the key range (the
         # paper's load strategy, §3.4.2); chunks round-robin across shards.
         chunks = 8 * shard_count
@@ -178,11 +185,13 @@ def _build_cluster(system: str, shard_count: int, record_count: int):
     if system == "mongo-cs":
         from repro.docstore.cluster import MongoCsCluster
 
-        return MongoCsCluster(shard_count=shard_count)
+        return MongoCsCluster(shard_count=shard_count,
+                              replication=replication, seed=seed)
     if system == "sql-cs":
         from repro.sqlstore.cluster import SqlCsCluster
 
-        return SqlCsCluster(shard_count=shard_count)
+        return SqlCsCluster(shard_count=shard_count,
+                            mirrored=replication is not None)
     raise FaultPlanError(
         f"unknown OLTP system {system!r}; expected one of {', '.join(_CLUSTERS)}"
     )
@@ -214,7 +223,7 @@ def oltp_fault_report(plan: FaultPlan, workload: str = "A",
                       record_count: int = 2000, operations: int = 4000,
                       policy: RetryPolicy | None = None,
                       target: float = 40_000.0, duration: float = 120.0,
-                      study=None,
+                      study=None, replication=None,
                       tracer=None, metrics=None, sampler=None) -> FaultReport:
     """YCSB under faults: availability and latency degradation.
 
@@ -236,7 +245,7 @@ def oltp_fault_report(plan: FaultPlan, workload: str = "A",
             f"unknown workload {workload!r}; expected one of "
             f"{', '.join(sorted(WORKLOADS))}"
         )
-    shard_faults = plan.shard_faults
+    shard_faults = plan.shard_faults + plan.member_faults
     station_faults = plan.station_faults
     if shard_faults and station_faults:
         raise FaultPlanError(
@@ -247,8 +256,16 @@ def oltp_fault_report(plan: FaultPlan, workload: str = "A",
         raise FaultPlanError("OLTP fault report needs at least one fault")
 
     if shard_faults:
+        if plan.member_faults and replication is None:
+            raise FaultPlanError(
+                "member-level faults need --replication (the paper's bare "
+                "deployments have no replica-set members to target)"
+            )
         for fault in shard_faults:
-            index = fault.target_index()
+            if fault.kind in MEMBER_KINDS:
+                index, _member = fault.member_target()
+            else:
+                index = fault.target_index()
             if not 0 <= index < shard_count:
                 raise FaultPlanError(
                     f"fault targets shard {index}, cluster has {shard_count}"
@@ -257,7 +274,9 @@ def oltp_fault_report(plan: FaultPlan, workload: str = "A",
         spec = WORKLOADS[workload]
 
         def run(with_plan: FaultPlan) -> object:
-            cluster = _build_cluster(system, shard_count, record_count)
+            cluster = _build_cluster(system, shard_count, record_count,
+                                     replication=replication,
+                                     seed=plan.seed or 7)
             runner = FaultedYcsbRun(
                 cluster, spec, record_count=record_count,
                 operations=operations, plan=with_plan, policy=policy,
@@ -296,6 +315,8 @@ def oltp_fault_report(plan: FaultPlan, workload: str = "A",
             "shard_count": shard_count,
             "record_count": record_count,
             "operations": operations,
+            "replication": (replication.spec_string()
+                            if replication is not None else "off"),
             "retry_policy": {
                 "max_attempts": policy.max_attempts,
                 "base_backoff": policy.base_backoff,

@@ -10,6 +10,7 @@ the same fault plan always yields the same retry schedule.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
@@ -19,7 +20,15 @@ def backoff_delay(attempt: int, base: float, cap: float) -> float:
     """Capped exponential backoff: ``min(cap, base * 2**attempt)``.
 
     ``attempt`` counts completed failures (0 -> first retry waits ``base``).
+    Large attempts short-circuit to ``cap``: ``2.0**1024`` overflows a C
+    double, so the doubling stops as soon as it can no longer change the
+    answer.
     """
+    if base <= 0.0:
+        return 0.0
+    # base * 2**attempt >= cap  <=>  attempt >= log2(cap / base).
+    if cap <= base or attempt >= math.log2(cap / base):
+        return cap
     return min(cap, base * (2.0 ** attempt))
 
 

@@ -21,12 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import (
+    FaultPlanError,
     ServerCrashed,
     ShardUnavailable,
     WorkloadError,
 )
 from repro.common.rng import SeedStream
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import MEMBER_KINDS, FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.ycsb.generators import (
     CounterGenerator,
@@ -124,6 +125,8 @@ class FaultedYcsbRun:
         self._data_rng = self.seeds.rng_for("data")
         self._counter = CounterGenerator(record_count)
         self._chooser = self._make_chooser()
+        self._last_op_info = None  # (op_class, key, fieldname, value)
+        self.fault_log: list[tuple[str, float]] = []  # (spec, fired at)
         self.now = 0.0
 
     def _make_chooser(self):
@@ -154,27 +157,62 @@ class FaultedYcsbRun:
         the op they delay — the next ``request.*`` span in the stream.
         """
         fired_spans = []
-        for fault in self.plan.shard_faults:
+        for fault in self.plan.shard_faults + self.plan.member_faults:
             key = fault.spec_string()
             if key in stats.faults_fired:
                 continue
             if op_index < self._fault_op_index(fault.at):
                 continue
-            shard = fault.target_index()
-            if fault.kind == "kill-shard":
-                self.cluster.kill_shard(shard)
+            if fault.kind in MEMBER_KINDS:
+                shard, member = fault.member_target()
+                self._fire_member_fault(fault, shard, member)
+                target_args = {"shard": shard, "member": member}
             else:
-                self.cluster.restart_shard(shard)
+                shard = fault.target_index()
+                if fault.kind == "kill-shard":
+                    self.cluster.kill_shard(shard)
+                else:
+                    self.cluster.restart_shard(shard)
+                target_args = {"shard": shard}
             stats.faults_fired.append(key)
+            self.fault_log.append((key, self.now))
             if self.tracer:
                 fired_spans.append(self.tracer.add(
                     f"fault.{fault.kind}", self.now, self.now,
                     cat="fault", node="faults", lane="shards",
-                    shard=shard, op_index=op_index,
+                    op_index=op_index, **target_args,
                 ))
             if self.metrics:
                 self.metrics.counter(f"faults.{fault.kind}").inc()
         return fired_spans
+
+    def _fire_member_fault(self, fault, shard_index: int,
+                           member_index: int) -> None:
+        """Apply a replica-set member fault (needs replication enabled)."""
+        shard = self.cluster.shards[shard_index]
+        if not hasattr(shard, "kill_member"):
+            raise FaultPlanError(
+                f"fault {fault.spec_string()!r} targets a replica-set member "
+                "but the cluster has no replication configured"
+            )
+        if fault.kind == "kill-member":
+            shard.kill_member(member_index)
+        elif fault.kind == "restart-member":
+            shard.restart_member(member_index)
+        elif fault.kind == "partition-member":
+            shard.partition_member(member_index)
+        elif fault.kind == "heal-member":
+            shard.heal_member(member_index)
+        else:  # lag-spike: duration is logical seconds on the run clock
+            shard.lag_spike(
+                member_index, fault.magnitude, self.now + fault.duration
+            )
+
+    def _tick_cluster(self, at: float | None = None) -> None:
+        """Advance replica-set clocks (oplog shipping, flushes, elections)."""
+        tick = getattr(self.cluster, "tick", None)
+        if tick is not None:
+            tick(self.now if at is None else at)
 
     # -- operations ------------------------------------------------------------
 
@@ -189,16 +227,19 @@ class FaultedYcsbRun:
         """
         if op_class == OP_READ:
             key = make_key(self._chooser())
+            self._last_op_info = (op_class, key, None, None)
             return lambda: self.cluster.read(key)
         if op_class == OP_UPDATE:
             key = make_key(self._chooser())
             fieldname = f"field{self._op_rng.random_int(0, FIELD_COUNT - 1)}"
             value = make_field_value(self._data_rng)
+            self._last_op_info = (op_class, key, fieldname, value)
             return lambda: self.cluster.update(key, fieldname, value)
         if op_class == OP_INSERT:
             index = self._counter.next()
             key = make_key(index)
             record = make_record(self._data_rng)
+            self._last_op_info = (op_class, key, None, record)
 
             def do_insert():
                 self.cluster.insert(key, record)
@@ -209,11 +250,13 @@ class FaultedYcsbRun:
         if op_class == OP_SCAN:
             start = make_key(self._chooser())
             length = self._op_rng.random_int(1, MAX_SCAN_LENGTH)
+            self._last_op_info = (op_class, start, None, None)
             return lambda: self.cluster.scan(start, length)
         if op_class == OP_RMW:
             key = make_key(self._chooser())
             fieldname = f"field{self._op_rng.random_int(0, FIELD_COUNT - 1)}"
             value = make_field_value(self._data_rng)
+            self._last_op_info = (op_class, key, fieldname, value)
 
             def do_rmw():
                 record = self.cluster.read(key)
@@ -263,9 +306,21 @@ class FaultedYcsbRun:
                 stats.backoff_seconds += delay
                 if self.metrics:
                     self.metrics.counter("ycsb.retried_ops").inc()
+                # Time passes while the client backs off: replica sets ship
+                # their oplogs and run elections, which is what lets a retry
+                # loop carry the client across a failover window.
+                self._tick_cluster(self.now + latency)
                 continue
             # Success path.
             latency += SERVICE_LATENCY[op_class]
+            consume_ack = getattr(self.cluster, "consume_ack_delay", None)
+            if consume_ack is not None:
+                latency += consume_ack()  # write-concern ack cost
+            take_write = getattr(self.cluster, "take_last_write", None)
+            if take_write is not None:
+                write = take_write()
+                if write is not None:
+                    self._on_acked_write(write, stats)
             stats.succeeded += 1
             histogram.record(latency)
             if attempt and self.metrics:
@@ -282,7 +337,38 @@ class FaultedYcsbRun:
             )
             for span in op_spans:
                 span.parent = request.span_id
+            if attempt:
+                self._emit_election_waits(request, self.now, self.now + latency)
         self.now += latency
+
+    def _emit_election_waits(self, request, start: float, end: float) -> None:
+        """Attribute the slice of a retried op spent inside a failover window.
+
+        Each overlap of the op's latency window with a replica set's closed
+        downtime window becomes an ``election.wait`` child span
+        (``cat="election"``), so critical paths show the stall and the
+        what-if engine can answer "what if elections were instant?".  The
+        wait is linked from the set's ``election.failover`` span when the
+        window was closed by an election (a ``handoff`` edge).
+        """
+        for shard in getattr(self.cluster, "shards", []):
+            for win_start, win_end in getattr(shard, "downtime", ()):
+                lo, hi = max(start, win_start), min(end, win_end)
+                if hi <= lo:
+                    continue
+                wait = self.tracer.add(
+                    "election.wait", lo, hi, cat="election", node="client",
+                    lane="ops", shard=shard.name,
+                )
+                wait.parent = request.span_id
+                for failover in self.tracer.find(cat="election",
+                                                 node=shard.name):
+                    if failover.start <= lo and hi <= failover.end + 1e-9:
+                        self.tracer.link(failover, wait, "handoff")
+                        break
+
+    def _on_acked_write(self, write, stats: FaultedRunStats) -> None:
+        """Hook: a write was acknowledged at its concern (chaos ledger)."""
 
     # -- phases ---------------------------------------------------------------
 
@@ -290,10 +376,19 @@ class FaultedYcsbRun:
         """Insert records 0 .. record_count-1 (no faults fire during load)."""
         for i in range(self.record_count):
             self.cluster.insert(make_key(i), make_record(self._data_rng))
+        # Load-phase writes don't owe the run phase their ack bookkeeping.
+        consume_ack = getattr(self.cluster, "consume_ack_delay", None)
+        if consume_ack is not None:
+            consume_ack()
+        take_write = getattr(self.cluster, "take_last_write", None)
+        if take_write is not None:
+            while take_write() is not None:
+                pass
 
     def run(self) -> FaultedRunStats:
         stats = FaultedRunStats()
         for op_index in range(self.operations):
+            self._tick_cluster()
             fired = self._fire_due_faults(op_index, stats)
             op_class = self.workload.pick_operation(self._op_rng)
             stats.attempted += 1

@@ -51,6 +51,7 @@ MECHANISMS = {
     "log": ("oltp", "log-station visits"),
     "journal": ("oltp", "journal-station visits"),
     "backoff": ("oltp", "retry backoff delays"),
+    "election": ("oltp", "replica-set failover waits (election windows)"),
 }
 
 # Stations the ``lock-wait`` mechanism covers (the OltpStudy lock stations).
@@ -219,7 +220,8 @@ def replay_oltp(tracer, scales: dict, warmup: float = 10.0) -> dict:
     replayed visit by visit: a station visit's wait+service both scale with
     the station's factor — the wait is queueing behind *other clients'*
     service at the same station, which the corresponding cost-model knob
-    scales identically.  Backoff delays scale with ``backoff``.
+    scales identically.  Backoff delays scale with ``backoff``; failover
+    stalls (``cat="election"`` children) scale with ``election``.
     """
     per_class: dict = {}
     children = _children_index(tracer)
@@ -237,6 +239,10 @@ def replay_oltp(tracer, scales: dict, warmup: float = 10.0) -> dict:
                 latency -= (1.0 - factor) * visit_time
             elif child.cat == "retry":
                 latency -= (1.0 - scales.get("backoff", 1.0)) * child.duration
+            elif child.cat == "election":
+                # Time this request spent stalled behind a replica-set
+                # failover — a faster election timeout shrinks it directly.
+                latency -= (1.0 - scales.get("election", 1.0)) * child.duration
         cls = request.args.get("cls", request.name)
         per_class.setdefault(cls, []).append(max(0.0, latency))
     if not per_class:

@@ -1,0 +1,52 @@
+"""Server-side redundancy the paper left out: replica sets + write concerns.
+
+The paper benchmarked every system in its most fragile configuration —
+MongoDB with "no logging" and no replica sets (§3.4.1).  This package turns
+that single point into a spectrum: :mod:`writeconcern` names the durability
+levels, :mod:`replicaset` models primary/secondary mongods with oplog
+shipping, seeded elections, and rollback-file recovery on the virtual
+clock, and :mod:`repro.sqlstore.mirroring` gives SQL Server its synchronous
+log-shipping counterpart.
+"""
+
+from repro.replication.config import ReplicationConfig
+from repro.replication.replicaset import (
+    DEFAULT_ELECTION_TIMEOUT,
+    DEFAULT_LAG,
+    LastWrite,
+    OplogEntry,
+    ReplicaMember,
+    ReplicaSet,
+    RolledBack,
+)
+from repro.replication.writeconcern import (
+    CONCERNS,
+    JOURNAL_LOSS_WINDOW,
+    JOURNALED,
+    MAJORITY,
+    SAFE,
+    SPECTRUM,
+    UNACKED,
+    WriteConcern,
+    parse_concern_list,
+)
+
+__all__ = [
+    "CONCERNS",
+    "DEFAULT_ELECTION_TIMEOUT",
+    "DEFAULT_LAG",
+    "JOURNALED",
+    "JOURNAL_LOSS_WINDOW",
+    "LastWrite",
+    "MAJORITY",
+    "OplogEntry",
+    "ReplicaMember",
+    "ReplicaSet",
+    "ReplicationConfig",
+    "RolledBack",
+    "SAFE",
+    "SPECTRUM",
+    "UNACKED",
+    "WriteConcern",
+    "parse_concern_list",
+]

@@ -1,0 +1,107 @@
+"""Replication topology configuration, parsed from the CLI.
+
+``--replication replicas=3,lag=0.05,timeout=0.25`` turns every Mongo shard
+into a :class:`~repro.replication.replicaset.ReplicaSet` of that shape (and
+``--replication mirrored`` gives each SQL-CS shard a synchronous mirror).
+``--replication off`` — the default — is the paper-faithful configuration:
+bare processes, no failover, exactly PR 3's error accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.replication.replicaset import (
+    DEFAULT_ELECTION_TIMEOUT,
+    DEFAULT_LAG,
+    ReplicaSet,
+)
+from repro.replication.writeconcern import SAFE, WriteConcern
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """How much server-side redundancy each shard gets."""
+
+    replicas: int = 3
+    lag: float = DEFAULT_LAG
+    election_timeout: float = DEFAULT_ELECTION_TIMEOUT
+    concern: WriteConcern = SAFE
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ConfigurationError("replication needs replicas >= 1")
+        if self.lag < 0:
+            raise ConfigurationError("replication lag must be >= 0")
+        if self.election_timeout <= 0:
+            raise ConfigurationError("election timeout must be > 0")
+        needed = self.concern.required_members(self.replicas)
+        if self.concern.w > self.replicas:
+            raise ConfigurationError(
+                f"write concern {self.concern.name} needs {self.concern.w} "
+                f"members but the set has {self.replicas}"
+            )
+        if needed > self.replicas:
+            raise ConfigurationError(
+                f"write concern {self.concern.name} needs {needed} members "
+                f"but the set has {self.replicas}"
+            )
+
+    def with_concern(self, concern: WriteConcern) -> "ReplicationConfig":
+        return replace(self, concern=concern)
+
+    def build_shard(self, name: str, seed: int = 0, tracer=None) -> ReplicaSet:
+        return ReplicaSet(
+            name,
+            self.replicas,
+            lag=self.lag,
+            election_timeout=self.election_timeout,
+            concern=self.concern,
+            seed=seed,
+            tracer=tracer,
+        )
+
+    def spec_string(self) -> str:
+        return (
+            f"replicas={self.replicas},lag={self.lag:g},"
+            f"timeout={self.election_timeout:g}"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ReplicationConfig | None":
+        """Parse the CLI value; ``off``/``none`` -> None (paper-faithful)."""
+        spec = text.strip().lower()
+        if spec in ("off", "none", ""):
+            return None
+        if spec in ("on", "mirrored"):
+            return cls()
+        kwargs: dict = {}
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise ConfigurationError(
+                    f"bad replication option {chunk!r}; expected key=value "
+                    "(replicas=N, lag=S, timeout=S)"
+                )
+            key, _, value = chunk.partition("=")
+            key = key.strip()
+            try:
+                if key == "replicas":
+                    kwargs["replicas"] = int(value)
+                elif key == "lag":
+                    kwargs["lag"] = float(value)
+                elif key == "timeout":
+                    kwargs["election_timeout"] = float(value)
+                else:
+                    raise ConfigurationError(
+                        f"unknown replication option {key!r}; expected "
+                        "replicas, lag, or timeout"
+                    )
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad replication value {chunk!r}"
+                ) from None
+        return cls(**kwargs)

@@ -1,0 +1,132 @@
+"""The write-concern spectrum the paper collapsed to a single point.
+
+Section 3.4.1: "For our experiments, we elected to run MongoDB without
+logging" — i.e. the paper benchmarked exactly one durability configuration
+(safe-mode acks, journal off, no replica sets).  This module makes that
+choice one point on a measurable spectrum:
+
+* ``unacked``   — fire-and-forget (``w=0``): no server round trip at all;
+* ``safe``      — ``getLastError`` w=1, no journal ack: the paper's config.
+  The ack races the 100 ms journal flush, so a crash can lose up to one
+  flush window of acknowledged writes;
+* ``journaled`` — ``j:1``: the ack waits for the journal's group flush.
+  Nothing acknowledged is ever lost to a crash, at the cost of up to one
+  flush interval of added write latency;
+* ``replicated``— ``w=N`` / ``w=majority`` (with ``j:1`` on the ack set,
+  today's defaults): the ack additionally waits for N members to have the
+  write durable, surviving failovers as well as crashes.
+
+Parsed from the CLI as ``unacked | safe | journaled | majority | w:N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: Worst-case age (seconds) of an acknowledged-but-lost write at ``safe``.
+JOURNAL_LOSS_WINDOW = 0.1
+
+
+@dataclass(frozen=True)
+class WriteConcern:
+    """One point on the durability spectrum.
+
+    ``w`` is the number of members that must hold the write before the ack
+    (0 = fire and forget, 1 = primary only); ``majority`` makes ``w`` a
+    function of the replica-set size; ``journal`` means those members must
+    have it *durable* (journal-flushed), not just applied in memory.
+    """
+
+    name: str
+    w: int = 1
+    majority: bool = False
+    journal: bool = False
+
+    def __post_init__(self):
+        if self.w < 0:
+            raise ConfigurationError(f"write concern needs w >= 0, got {self.w}")
+        if self.majority and self.w > 1:
+            raise ConfigurationError("write concern is majority or w=N, not both")
+
+    def required_members(self, member_count: int) -> int:
+        """How many members must hold the write for a set of this size."""
+        if self.majority:
+            return member_count // 2 + 1
+        return min(self.w, member_count)
+
+    @property
+    def acked(self) -> bool:
+        return self.w > 0 or self.majority
+
+    @property
+    def durable_on_crash(self) -> bool:
+        """An acked write survives any crash of the members that acked it."""
+        return self.journal
+
+    @property
+    def loss_window(self) -> float:
+        """Worst-case seconds of acked writes one crash can lose."""
+        return 0.0 if self.journal else JOURNAL_LOSS_WINDOW
+
+    def spec_string(self) -> str:
+        return self.name
+
+    @classmethod
+    def parse(cls, text: str) -> "WriteConcern":
+        """Parse a CLI concern name; raises ConfigurationError on bad input."""
+        spec = text.strip().lower()
+        if spec in CONCERNS:
+            return CONCERNS[spec]
+        if spec.startswith("w:"):
+            try:
+                w = int(spec[2:])
+            except ValueError:
+                raise ConfigurationError(
+                    f"malformed write concern {text!r}: expected w:<count>"
+                ) from None
+            if w < 2:
+                raise ConfigurationError(
+                    f"w:{w} is not a replication concern; use unacked/safe/"
+                    "journaled for w<=1"
+                )
+            return cls(name=spec, w=w, journal=True)
+        raise ConfigurationError(
+            f"unknown write concern {text!r}; expected one of "
+            f"{', '.join(CONCERNS)} or w:N"
+        )
+
+
+UNACKED = WriteConcern(name="unacked", w=0)
+SAFE = WriteConcern(name="safe", w=1)
+JOURNALED = WriteConcern(name="journaled", w=1, journal=True)
+MAJORITY = WriteConcern(name="majority", w=1, majority=True, journal=True)
+#: ``replicated`` is an alias for the modern default, w=majority with j:1.
+CONCERNS: dict[str, WriteConcern] = {
+    "unacked": UNACKED,
+    "safe": SAFE,
+    "journaled": JOURNALED,
+    "majority": MAJORITY,
+    "replicated": MAJORITY,
+}
+
+#: The sweep order availability reports use (weakest to strongest).
+SPECTRUM = (UNACKED, SAFE, JOURNALED, MAJORITY)
+
+
+def parse_concern_list(text: str) -> list[WriteConcern]:
+    """Parse ``"safe,journaled,majority"`` (or ``"all"``) into concerns."""
+    if text.strip().lower() == "all":
+        return list(SPECTRUM)
+    concerns: list[WriteConcern] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        concern = WriteConcern.parse(chunk)
+        if concern not in concerns:
+            concerns.append(concern)
+    if not concerns:
+        raise ConfigurationError("empty write-concern list")
+    return concerns

@@ -22,13 +22,27 @@ class SqlCsCluster:
         shard_count: int = 8,
         pool_pages: int = 4096,
         isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+        mirrored: bool = False,
     ):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
-        self.shards = [
-            SqlServerNode(f"sql-{i}", pool_pages=pool_pages, isolation=isolation)
-            for i in range(shard_count)
-        ]
+        self.mirrored = mirrored
+        if mirrored:
+            from repro.sqlstore.mirroring import MirroredSqlServerNode
+
+            self.shards = [
+                MirroredSqlServerNode(
+                    f"sql-{i}", pool_pages=pool_pages, isolation=isolation
+                )
+                for i in range(shard_count)
+            ]
+        else:
+            self.shards = [
+                SqlServerNode(
+                    f"sql-{i}", pool_pages=pool_pages, isolation=isolation
+                )
+                for i in range(shard_count)
+            ]
 
     def _shard_index(self, key: str) -> int:
         return hash_shard(key, len(self.shards))
@@ -84,3 +98,22 @@ class SqlCsCluster:
     @property
     def row_count(self) -> int:
         return sum(s.row_count for s in self.shards)
+
+    # -- replication surface (no-ops without mirroring) --------------------------
+
+    def tick(self, now: float) -> None:
+        """Mirroring is synchronous: nothing accrues between operations."""
+
+    def consume_ack_delay(self) -> float:
+        if not self.mirrored:
+            return 0.0
+        return sum(s.consume_ack_delay() for s in self.shards)
+
+    def take_last_write(self):
+        if not self.mirrored:
+            return None
+        for shard in self.shards:
+            write = shard.take_last_write()
+            if write is not None:
+                return write
+        return None

@@ -1,0 +1,163 @@
+"""Chaos schedules + the acknowledged-write safety invariant, per system."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults.availability import CHAOS_RETRY_POLICY, _build_chaos_cluster
+from repro.faults.chaos import (
+    ChaosConfig,
+    ChaosYcsbRun,
+    WriteLedger,
+    chaos_plan,
+)
+from repro.replication import JOURNALED, MAJORITY, SAFE, UNACKED
+from repro.replication.config import ReplicationConfig
+from repro.replication.replicaset import LastWrite
+from repro.ycsb.workloads import WORKLOADS
+
+
+class TestChaosConfig:
+    def test_parse(self):
+        config = ChaosConfig.parse("kills=3,partitions=0,lag-spikes=2")
+        assert (config.kills, config.partitions, config.lag_spikes) == (3, 0, 2)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig.parse("kills=lots")
+        with pytest.raises(ConfigurationError):
+            ChaosConfig.parse("mayhem=1")
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(kills=0, partitions=0, lag_spikes=0)
+
+
+class TestChaosPlan:
+    def test_deterministic(self):
+        a = chaos_plan(ChaosConfig(), 500, 4, 3, 11)
+        b = chaos_plan(ChaosConfig(), 500, 4, 3, 11)
+        assert a.spec_string() == b.spec_string()
+        assert a.spec_string() != chaos_plan(
+            ChaosConfig(), 500, 4, 3, 12
+        ).spec_string()
+
+    def test_first_kill_targets_the_initial_primary(self):
+        plan = chaos_plan(ChaosConfig(kills=2), 500, 4, 3, 11)
+        kills = sorted(plan.of_kind("kill-member"), key=lambda s: s.at)
+        assert kills[0].member_target()[1] == 0  # member 0 = first primary
+
+    def test_every_kill_is_paired_with_a_restart(self):
+        plan = chaos_plan(ChaosConfig(kills=3), 500, 4, 3, 11)
+        killed = {s.target for s in plan.of_kind("kill-member")}
+        restarted = {s.target for s in plan.of_kind("restart-member")}
+        assert killed == restarted
+
+    def test_bare_cluster_degrades_to_shard_faults(self):
+        plan = chaos_plan(ChaosConfig(), 500, 4, 0, 11)
+        kinds = {s.kind for s in plan.faults}
+        assert kinds <= {"kill-shard", "restart-shard"}
+
+    def test_needs_enough_operations(self):
+        with pytest.raises(ConfigurationError):
+            chaos_plan(ChaosConfig(), 20, 4, 3, 11)
+
+
+class TestWriteLedger:
+    @staticmethod
+    def _write(key, concern, ack_time, op="insert", fieldname=None,
+               value=None):
+        return LastWrite(seq=1, op=op, collection="usertable", key=key,
+                         fieldname=fieldname, value=value, write_time=ack_time,
+                         ack_time=ack_time, concern=concern)
+
+    def test_lost_journaled_write_is_a_violation(self):
+        ledger = WriteLedger()
+        ledger.record(self._write("k1", "journaled", 0.5))
+        report = ledger.audit(lambda key: None, loss_events=[0.55])
+        assert not report.invariant_ok
+        assert len(report.violations) == 1
+
+    def test_safe_loss_inside_the_window_is_allowed(self):
+        ledger = WriteLedger()
+        ledger.record(self._write("k1", "safe", 0.5))
+        report = ledger.audit(lambda key: None, loss_events=[0.55])
+        assert report.invariant_ok
+        assert report.lost_allowed == 1
+
+    def test_safe_loss_outside_the_window_is_a_violation(self):
+        ledger = WriteLedger()
+        ledger.record(self._write("k1", "safe", 0.5))
+        report = ledger.audit(lambda key: None, loss_events=[2.0])
+        assert not report.invariant_ok
+
+    def test_unacked_losses_are_informational(self):
+        ledger = WriteLedger()
+        ledger.record(self._write("k1", "unacked", 0.5))
+        report = ledger.audit(lambda key: None, loss_events=[])
+        assert report.invariant_ok and report.lost_allowed == 1
+
+    def test_update_audit_checks_the_value(self):
+        ledger = WriteLedger()
+        ledger.record(self._write("k1", "journaled", 0.5, op="update",
+                                  fieldname="field0", value="v2"))
+        ok = ledger.audit(lambda key: {"field0": "v2"}, [])
+        stale = ledger.audit(lambda key: {"field0": "v1"}, [])
+        assert ok.invariant_ok and not stale.invariant_ok
+
+    def test_later_ack_supersedes_earlier(self):
+        ledger = WriteLedger()
+        ledger.record(self._write("k1", "journaled", 0.1, op="update",
+                                  fieldname="field0", value="old"))
+        ledger.record(self._write("k1", "journaled", 0.2, op="update",
+                                  fieldname="field0", value="new"))
+        report = ledger.audit(lambda key: {"field0": "new"}, [])
+        assert report.checked == 1 and report.invariant_ok
+
+
+def run_chaos(system, concern, operations=500, seed=11):
+    if system == "sql-cs":
+        replication = ReplicationConfig(replicas=3)
+        replicas = 0
+    else:
+        replication = ReplicationConfig(replicas=3, concern=concern)
+        replicas = 3
+    plan = chaos_plan(ChaosConfig(), operations, 4, replicas, seed)
+    cluster = _build_chaos_cluster(system, 4, 300, replication, seed)
+    runner = ChaosYcsbRun(
+        cluster, WORKLOADS["A"], record_count=300, operations=operations,
+        plan=plan, policy=CHAOS_RETRY_POLICY, seed=seed,
+    )
+    runner.load()
+    stats = runner.run()
+    return stats, runner.audit()
+
+
+class TestSafetyInvariant:
+    """The tentpole's contract, exercised with 500-op chaos runs."""
+
+    @pytest.mark.parametrize("system", ["mongo-as", "mongo-cs"])
+    def test_journaled_and_majority_lose_nothing(self, system):
+        for concern in (JOURNALED, MAJORITY):
+            _stats, audit = run_chaos(system, concern)
+            assert audit.lost == [], f"{system}/{concern.name} lost writes"
+            assert audit.invariant_ok
+
+    @pytest.mark.parametrize("system", ["mongo-as", "mongo-cs"])
+    def test_safe_losses_are_bounded_by_the_journal_window(self, system):
+        _stats, audit = run_chaos(system, SAFE)
+        assert audit.invariant_ok  # every loss inside the 100 ms window
+        assert audit.violations == []
+
+    def test_unacked_carries_no_promise(self):
+        _stats, audit = run_chaos("mongo-as", UNACKED)
+        assert audit.invariant_ok
+        assert all(w.allowed for w in audit.lost)
+
+    def test_mirrored_sql_loses_nothing(self):
+        _stats, audit = run_chaos("sql-cs", None)
+        assert audit.lost == []
+        assert audit.invariant_ok
+
+    def test_chaos_runs_stay_available(self):
+        """Replica sets + retries keep the client loop fully served."""
+        stats, _audit = run_chaos("mongo-as", MAJORITY)
+        assert stats.availability == 1.0
+        assert stats.attempted == 500

@@ -64,6 +64,37 @@ class TestOltpFaultDeterminism:
         assert trace_a == trace_b
 
 
+class TestChaosDeterminism:
+    """Same seed + same chaos schedule => byte-identical availability report."""
+
+    def _run(self):
+        from repro.faults.availability import (
+            availability_report,
+            dumps_availability_report,
+        )
+        from repro.faults.chaos import ChaosConfig
+
+        report = availability_report(
+            systems=["mongo-as", "sql-cs"],
+            chaos=ChaosConfig(kills=1, partitions=1, lag_spikes=1),
+            operations=150, record_count=150, seed=23,
+        )
+        return dumps_availability_report(report)
+
+    def test_byte_identical_availability_report(self):
+        assert self._run() == self._run()
+
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        from repro.faults.chaos import ChaosConfig, chaos_plan
+
+        specs = {
+            chaos_plan(ChaosConfig(), 500, 4, 3, seed).spec_string()
+            for _ in range(3)
+            for seed in (41,)
+        }
+        assert len(specs) == 1
+
+
 class TestEventSimFaultDeterminism:
     def _run(self, faults):
         tracer, metrics = Tracer(), MetricsRegistry()

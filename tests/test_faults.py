@@ -98,6 +98,16 @@ class TestRetryPolicy:
         assert backoff_delay(1, 0.05, 1.0) == pytest.approx(0.10)
         assert backoff_delay(10, 0.05, 1.0) == pytest.approx(1.0)
 
+    def test_huge_attempt_counts_do_not_overflow(self):
+        # 2**2000 overflows float; deep retry loops must still get the cap.
+        assert backoff_delay(2000, 0.05, 1.0) == pytest.approx(1.0)
+        policy = RetryPolicy(max_attempts=10_000)
+        assert policy.delay(2000) == pytest.approx(policy.backoff_cap)
+
+    def test_degenerate_cap_at_or_below_base(self):
+        assert backoff_delay(0, 0.5, 0.5) == pytest.approx(0.5)
+        assert backoff_delay(7, 0.5, 0.1) == pytest.approx(0.1)
+
     def test_gives_up_on_attempts_and_timeout(self):
         policy = RetryPolicy(max_attempts=3, op_timeout=2.0)
         assert not policy.gives_up(2, 0.5)

@@ -54,6 +54,71 @@ class TestJournal:
             j.append(0.5, JournalOp.INSERT, "c", "k")
 
 
+class TestWriteAhead:
+    """Writes hit the journal before the mongod — order is the guarantee."""
+
+    def test_update_survives_once_flushed(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": "k", "field0": "v1"})
+        node.advance(0.15)
+        node.update("c", "k", "field0", "v2")
+        node.advance(0.15)
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", "k")["field0"] == "v2"
+
+    def test_failed_journal_append_leaves_mongod_untouched(self):
+        """If the journal write fails, the data page must not change."""
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": "k", "field0": "v1"})
+        node.advance(0.15)
+        node.journal.flush(10.0)  # journal clock runs ahead of node.clock
+        with pytest.raises(StorageError):
+            node.update("c", "k", "field0", "v2")
+        assert node.find_one("c", "k")["field0"] == "v1"
+
+    def test_update_of_missing_key_is_not_journaled(self):
+        node = JournaledMongod(Mongod("m0"))
+        assert node.update("c", "ghost", "field0", "v") is False
+        assert node.journal.entries == []
+
+    def test_remove_within_window_resurrects_on_recovery(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": "k", "field0": "v"})
+        node.advance(0.15)  # the insert is durable
+        assert node.remove("c", "k") is True
+        assert node.find_one("c", "k") is None  # gone on the live node...
+        node.advance(0.05)  # ...but the tombstone never flushed
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", "k") is not None
+
+    def test_flushed_remove_stays_removed(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": "k", "field0": "v"})
+        node.advance(0.15)
+        node.remove("c", "k")
+        node.advance(0.15)
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", "k") is None
+
+    def test_remove_of_missing_key_is_not_journaled(self):
+        node = JournaledMongod(Mongod("m0"))
+        assert node.remove("c", "ghost") is False
+        assert node.journal.entries == []
+
+    def test_replay_interleaves_updates_and_removes(self):
+        node = JournaledMongod(Mongod("m0"))
+        node.insert("c", {"_id": "keep", "field0": "v1"})
+        node.insert("c", {"_id": "drop", "field0": "v1"})
+        node.advance(0.15)
+        node.update("c", "keep", "field0", "v2")
+        node.remove("c", "drop")
+        node.insert("c", {"_id": "drop", "field0": "v3"})  # re-insert
+        node.advance(0.15)
+        recovered = node.crash_and_recover()
+        assert recovered.find_one("c", "keep")["field0"] == "v2"
+        assert recovered.find_one("c", "drop")["field0"] == "v3"
+
+
 class TestDurabilityGap:
     """The paper's §3.4.1 argument, executed."""
 
