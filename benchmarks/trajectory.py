@@ -5,8 +5,9 @@ The ROADMAP's north star includes making the reproduction's hot paths
 measurably faster over time.  This harness seeds that trajectory: it
 wall-clock-times the paths every study run exercises — DSS calibration +
 the SF-250 query sweep, the YCSB workload A and E figures (analytic MVA
-and the discrete-event cross-validation), critical-path extraction plus
-what-if replay — and writes ``BENCH_4.json`` so future PRs can regress
+and the discrete-event cross-validation), the open-loop frontier knee
+search, critical-path extraction plus
+what-if replay — and writes ``BENCH_6.json`` so future PRs can regress
 against the numbers (``BENCH_<n>.json`` per PR; ``gate.py`` compares them
 and fails CI on a regression).
 
@@ -26,9 +27,9 @@ Format (see EXPERIMENTS.md, "Performance trajectory")::
 
 Usage::
 
-    python benchmarks/trajectory.py                  # full run -> BENCH_4.json
+    python benchmarks/trajectory.py                  # full run -> BENCH_6.json
     python benchmarks/trajectory.py --smoke          # CI-sized subset
-    python benchmarks/trajectory.py --check BENCH_4.json   # validate only
+    python benchmarks/trajectory.py --check BENCH_6.json   # validate only
 """
 
 from __future__ import annotations
@@ -44,7 +45,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 SCHEMA = "repro-bench/1"
-PR = 4
+PR = 6
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / f"BENCH_{PR}.json"
 
 # A trajectory file must carry these top-level keys and benchmark names;
@@ -57,6 +58,7 @@ REQUIRED_BENCHMARKS = (
     "ycsb_workload_e_mva",
     "ycsb_workload_a_eventsim",
     "ycsb_workload_e_eventsim",
+    "ycsb_frontier_knee",
     "utilization_sampling_overhead",
     "critpath_whatif_replay",
 )
@@ -203,6 +205,27 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
                              duration=duration))
     else:
         skip(eventsim_names, "ycsb_workload_mva")
+
+    # The open-loop frontier: Poisson arrivals, CO-correct accounting, and
+    # the knee bisection over one system/workload cell.  This is the cost
+    # of a single frontier row, i.e. 1/8 of the default `--frontier` sweep.
+    def frontier_section():
+        from repro.ycsb.frontier import frontier_report
+
+        budget = (dict(measure_ops=1500, warmup_ops=300, min_window_s=0.2)
+                  if smoke else
+                  dict(measure_ops=8000, warmup_ops=2000, min_window_s=0.5))
+
+        def knee():
+            report = frontier_report(systems=["mongo-as"], workloads=["A"],
+                                     seed=11, slo_ms=20.0, **budget)
+            return report["rows"][0]["knee"]["evaluations"]
+
+        timing = _timed(knee)
+        record("ycsb_frontier_knee", timing,
+               knee_probes=timing["value"], **budget)
+
+    guard(("ycsb_frontier_knee",), frontier_section)
 
     # Overhead of the new sampling layer on a traced hot path: Q1 with a
     # sampler attached vs. bare.  Also produces the CI utilization artifact.

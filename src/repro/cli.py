@@ -314,6 +314,55 @@ def _cmd_dss(args) -> int:
     return 0
 
 
+def _oltp_frontier(args) -> int:
+    """``oltp --frontier``: open-loop sweep + knee search per system."""
+    from repro.core.oltp import OltpStudy
+    from repro.ycsb.frontier import (
+        render_frontier_report,
+        validate_frontier_report,
+        write_frontier_report,
+    )
+
+    _require_positive(args.slo_ms, "--slo-ms")
+    _require_positive(args.frontier_ops, "--frontier-ops")
+    _require_positive(args.frontier_window, "--frontier-window")
+    systems = None
+    if args.frontier_systems:
+        systems = [s.strip() for s in args.frontier_systems.split(",")
+                   if s.strip()]
+    workloads = None
+    if args.frontier_workloads:
+        workloads = [w.strip().upper() for w in
+                     args.frontier_workloads.split(",") if w.strip()]
+    metrics = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    study = OltpStudy(isolation=args.isolation)
+    from repro.ycsb.frontier import frontier_report as build_frontier
+
+    report = build_frontier(
+        systems=systems, workloads=workloads, slo_ms=args.slo_ms,
+        seed=args.seed, measure_ops=args.frontier_ops,
+        warmup_ops=max(args.frontier_ops // 4, 1),
+        min_window_s=args.frontier_window,
+        concern=args.write_concern, faults=args.faults,
+        params=study.params, isolation=study.isolation, metrics=metrics,
+    )
+    validate_frontier_report(report)
+    print(render_frontier_report(report))
+    if args.frontier_report:
+        write_frontier_report(report, args.frontier_report)
+        print(f"wrote frontier report -> {args.frontier_report}")
+    if args.metrics:
+        from repro.obs import write_metrics
+
+        write_metrics(args.metrics, metrics)
+        print(f"wrote metrics -> {args.metrics}")
+    return 0
+
+
 def _cmd_oltp(args) -> int:
     from repro.core.oltp import OltpStudy
     from repro.core.report import render_oltp_load_times, render_ycsb_figure
@@ -333,14 +382,17 @@ def _cmd_oltp(args) -> int:
     if args.whatif_report and not args.whatif:
         raise ConfigurationError("--whatif-report requires --whatif")
     if args.write_concern and not (args.replication or args.chaos
-                                   or args.availability_report):
+                                   or args.availability_report
+                                   or args.frontier or args.frontier_report):
         raise ConfigurationError(
-            "--write-concern requires --replication or --chaos"
+            "--write-concern requires --replication, --chaos, or --frontier"
         )
     whatif_scales = (
         _parse_whatif_for(args.whatif, "oltp", "the oltp event simulator")
         if args.whatif else None
     )
+    if args.frontier or args.frontier_report:
+        return _oltp_frontier(args)
     if args.chaos or args.availability_report:
         return _oltp_availability(args)
     study = OltpStudy(isolation=args.isolation)
@@ -639,6 +691,31 @@ def build_parser() -> argparse.ArgumentParser:
     oltp.add_argument("--availability-report", metavar="PATH",
                       help="write the repro-availability/1 JSON "
                            "(implies --chaos)")
+    oltp.add_argument("--frontier", action="store_true",
+                      help="sweep open-loop Poisson arrival rates and "
+                           "bisect each system's saturation knee (max "
+                           "sustained throughput with coordinated-omission-"
+                           "correct p99 under --slo-ms); composes with "
+                           "--faults, --write-concern, and --metrics")
+    oltp.add_argument("--frontier-report", metavar="PATH",
+                      help="write the repro-frontier/1 JSON "
+                           "(implies --frontier)")
+    oltp.add_argument("--slo-ms", type=float, default=250.0,
+                      help="frontier p99 objective in ms (default 250; "
+                           "values under the 100 ms journal flush window "
+                           "are unreachable for journaled writes: exit 2)")
+    oltp.add_argument("--frontier-systems", metavar="LIST",
+                      help="comma-separated systems to sweep (default "
+                           "sql-cs,mongo-as,mongo-cs,mongo-as-safe)")
+    oltp.add_argument("--frontier-workloads", metavar="LIST",
+                      help="comma-separated workloads to sweep (default A,C)")
+    oltp.add_argument("--frontier-ops", type=int, default=40000,
+                      help="measured arrivals per probe (default 40000; "
+                           "warmup adds a quarter of this)")
+    oltp.add_argument("--frontier-window", type=float, default=2.0,
+                      help="minimum measured seconds per probe (default 2; "
+                           "overloaded rates need wall time for the backlog "
+                           "to surface in p99 — lower only for smoke runs)")
     oltp.set_defaults(func=_cmd_oltp)
 
     dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")

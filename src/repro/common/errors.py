@@ -41,6 +41,16 @@ class WorkloadError(ReproError):
     """A benchmark workload definition or run request is invalid."""
 
 
+class SloUnreachableError(ConfigurationError):
+    """A frontier latency SLO cannot be met at any probed arrival rate.
+
+    Raised by the knee search when even the lowest rate of the bracket
+    violates the p99 objective.  Subclasses :class:`ConfigurationError`
+    because the requested objective, not the system, is at fault — the CLI
+    reports it as a one-line usage error (exit 2).
+    """
+
+
 class OutOfDiskSpace(StorageError):
     """A node ran out of simulated disk space (Hive Q9 at 16 TB)."""
 

@@ -449,6 +449,37 @@ class OltpStudy:
 
     # -- event-simulation cross-validation -----------------------------------------
 
+    def sim_stations(self, system_name: str, workload_name: str,
+                     scale: float = 0.02,
+                     station_scales: dict | None = None):
+        """Scaled-down event-sim stations plus the normalized op mix.
+
+        The cluster is scaled by ``scale`` (server counts shrink, service
+        times stay, so utilizations are preserved); ``station_scales`` maps
+        station names to service-time multipliers (the what-if validation
+        knob).  Returns ``(stations, mix)`` ready for
+        :func:`repro.ycsb.eventsim.simulate_closed_loop` or
+        :func:`~repro.ycsb.eventsim.simulate_open_loop`.
+        """
+        from repro.ycsb.eventsim import SimStation
+
+        system = self.systems[system_name]
+        workload = WORKLOADS[workload_name]
+        mix = {c: f for c, f in self._mix(workload).items() if f > 0}
+        total = sum(mix.values())
+        mix = {c: f / total for c, f in mix.items()}
+
+        stations = []
+        for s in self._stations(system, workload):
+            servers = max(1, round(s.servers * scale))
+            service = {c: v for c, v in s.service.items() if v > 0 and c in mix}
+            if station_scales and s.name in station_scales:
+                factor = station_scales[s.name]
+                service = {c: v * factor for c, v in service.items() if v * factor > 0}
+            if service:
+                stations.append(SimStation(s.name, servers, service))
+        return stations, mix
+
     def event_sim_point(self, system_name: str, workload_name: str,
                         target: float, scale: float = 0.02,
                         duration: float = 120.0, seed: int = 1234,
@@ -477,24 +508,14 @@ class OltpStudy:
         so a scaled run consumes the identical RNG sequence.  ``None``
         leaves the code path (and output) byte-identical.
         """
-        from repro.ycsb.eventsim import SimStation, simulate_closed_loop
+        from repro.ycsb.eventsim import simulate_closed_loop
 
         point = self.evaluate(system_name, workload_name, target)
         system = self.systems[system_name]
         workload = WORKLOADS[workload_name]
-        mix = {c: f for c, f in self._mix(workload).items() if f > 0}
-        total = sum(mix.values())
-        mix = {c: f / total for c, f in mix.items()}
-
-        stations = []
-        for s in self._stations(system, workload):
-            servers = max(1, round(s.servers * scale))
-            service = {c: v for c, v in s.service.items() if v > 0 and c in mix}
-            if station_scales and s.name in station_scales:
-                factor = station_scales[s.name]
-                service = {c: v * factor for c, v in service.items() if v * factor > 0}
-            if service:
-                stations.append(SimStation(s.name, servers, service))
+        stations, mix = self.sim_stations(system_name, workload_name,
+                                          scale=scale,
+                                          station_scales=station_scales)
         clients = max(4, round(self.params.client_threads * scale))
         scaled_target = max(1.0, target * scale)
         # Think time from the response-time law at the scaled population.
@@ -515,6 +536,75 @@ class OltpStudy:
         if metrics:
             metrics.gauge("oltp.sim.throughput").set(sim.throughput)
         return point, sim
+
+    # -- open-loop frontier (capacity planning beyond the paper's protocol) --------
+
+    def open_loop_point(self, system_name: str, workload_name: str,
+                        rate: float, scale: float = 1.0,
+                        duration: float = 30.0, warmup: float = 5.0,
+                        seed: int = 1234, workers: int | None = None,
+                        tracer=None, metrics=None, sampler=None,
+                        faults=None, retry_policy=None,
+                        station_scales: dict | None = None):
+        """Measure one *open-loop* point: Poisson arrivals at ``rate`` ops/s.
+
+        ``rate`` is the cluster-scale target; arrivals and stations are both
+        scaled down by ``scale``.  The default is the **full** cluster:
+        unlike the closed-loop figures, a frontier run must saturate in the
+        right place, and the bottlenecks here are serialization points (the
+        global lock, the hot row, the group-committed log) whose one-server
+        stations cannot shrink — ``scale < 1`` inflates their relative
+        capacity and pushes the knee far past the real peak.  Use small
+        scales only for latency shape, never for capacity.  ``workers``
+        defaults to the paper's 800 client threads scaled — the finite
+        dispatch pool whose slips the intended-start-time accounting
+        charges back to the operations (no coordinated omission).  Returns
+        the :class:`~repro.ycsb.eventsim.OpenLoopResult` with **unscaled**
+        ``offered_rate``/``throughput`` so the numbers compose with the MVA
+        figures.
+        """
+        from repro.ycsb.eventsim import simulate_open_loop
+
+        stations, mix = self.sim_stations(system_name, workload_name,
+                                          scale=scale,
+                                          station_scales=station_scales)
+        if workers is None:
+            workers = max(4, round(self.params.client_threads * scale))
+        scaled_rate = max(1e-9, rate * scale)
+        if metrics:
+            metrics.gauge("frontier.scale").set(scale)
+            metrics.gauge("frontier.workers").set(workers)
+        result = simulate_open_loop(
+            stations, mix, rate=scaled_rate, workers=workers,
+            duration=duration, warmup=warmup, seed=seed,
+            tracer=tracer, metrics=metrics, sampler=sampler,
+            faults=faults, retry_policy=retry_policy,
+        )
+        # Report at cluster scale: rates scale back up, latencies are
+        # scale-invariant by construction.
+        result.offered_rate = rate
+        result.throughput = result.throughput / scale
+        result.window_throughputs = [x / scale for x in result.window_throughputs]
+        return result
+
+    def frontier_report(self, systems=None, workloads=None, *,
+                        slo_ms: float = 250.0, seed: int = 42,
+                        scale: float = 1.0, measure_ops: int = 40000,
+                        warmup_ops: int = 10000, min_window_s: float = 2.0,
+                        concern: str | None = None, faults=None) -> dict:
+        """Open-loop latency-throughput frontier (``repro-frontier/1``).
+
+        Delegates to :func:`repro.ycsb.frontier.frontier_report`; see there
+        for the sweep, the knee search, and the row fields.
+        """
+        from repro.ycsb.frontier import frontier_report
+
+        return frontier_report(
+            systems=systems, workloads=workloads, slo_ms=slo_ms, seed=seed,
+            scale=scale, measure_ops=measure_ops, warmup_ops=warmup_ops,
+            min_window_s=min_window_s, concern=concern, faults=faults,
+            params=self.params, isolation=self.isolation,
+        )
 
     # Service stations that model a serialization point inside one process
     # rather than a pool of cluster hardware; the bottleneck report gives

@@ -52,6 +52,8 @@ MECHANISMS = {
     "journal": ("oltp", "journal-station visits"),
     "backoff": ("oltp", "retry backoff delays"),
     "election": ("oltp", "replica-set failover waits (election windows)"),
+    "dispatch": ("oltp", "open-loop dispatch waits (intended-to-start lag "
+                         "behind a full worker pool)"),
 }
 
 # Stations the ``lock-wait`` mechanism covers (the OltpStudy lock stations).
@@ -243,6 +245,12 @@ def replay_oltp(tracer, scales: dict, warmup: float = 10.0) -> dict:
                 # Time this request spent stalled behind a replica-set
                 # failover — a faster election timeout shrinks it directly.
                 latency -= (1.0 - scales.get("election", 1.0)) * child.duration
+            elif child.cat == "dispatch":
+                # Open-loop queueing before the op even started: intended
+                # arrival to worker grant.  Only exists in
+                # coordinated-omission-correct traces — a bigger worker
+                # pool (or a faster server) shrinks exactly this span.
+                latency -= (1.0 - scales.get("dispatch", 1.0)) * child.duration
         cls = request.args.get("cls", request.name)
         per_class.setdefault(cls, []).append(max(0.0, latency))
     if not per_class:

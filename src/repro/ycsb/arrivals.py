@@ -1,0 +1,66 @@
+"""Open-loop arrival processes for the latency-throughput frontier.
+
+The paper's YCSB protocol is a *closed loop*: 800 client threads each wait
+for their previous operation to finish before issuing the next one.  A
+closed loop cannot overload the system — when the server slows down, the
+clients slow down with it — which is exactly the coordinated-omission trap:
+latency measured from each operation's *actual* start time silently drops
+the queueing delay the slowdown inflicted on every operation that *should*
+have started in the meantime.
+
+An **open loop** decouples arrivals from completions: operations arrive on
+a Poisson process at a target rate whether or not the system keeps up, the
+way independent users do.  :class:`PoissonArrivals` generates that schedule
+deterministically (one :class:`~repro.common.rng.TpchRandom64` stream per
+seed, exponential inter-arrival gaps), so the frontier sweep's runs are
+byte-reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.common.errors import SimulationError
+from repro.common.rng import TpchRandom64
+
+
+class PoissonArrivals:
+    """Deterministic Poisson arrival schedule at a target mean rate.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1 / rate``; the
+    arrival times are their strictly-monotone running sum.  The whole
+    schedule is a pure function of ``(rate, seed)``: two generators built
+    with the same arguments produce byte-identical sequences, which is what
+    makes the frontier's bracketed bisection replayable.
+    """
+
+    def __init__(self, rate: float, seed: int = 1234):
+        if rate <= 0:
+            raise SimulationError(f"arrival rate must be > 0, got {rate:g}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = TpchRandom64(seed)
+        self._now = 0.0
+
+    def next_arrival(self) -> float:
+        """Advance to and return the next arrival time (monotone)."""
+        u = self._rng.random_float()
+        # 1 - u is in (0, 1], so the log argument never hits zero and the
+        # gap is non-negative and finite.
+        self._now += -math.log(1.0 - u) / self.rate
+        return self._now
+
+    def until(self, horizon: float) -> Iterator[float]:
+        """Yield every arrival time strictly before ``horizon``."""
+        while True:
+            at = self.next_arrival()
+            if at >= horizon:
+                return
+            yield at
+
+    def take(self, count: int) -> list[float]:
+        """The next ``count`` arrival times as a list."""
+        if count < 0:
+            raise SimulationError(f"cannot take {count} arrivals")
+        return [self.next_arrival() for _ in range(count)]

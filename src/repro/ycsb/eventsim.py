@@ -346,3 +346,363 @@ def mva_prediction(stations: list[SimStation], mix: dict, clients: int,
         Station(s.name, s.servers, service=dict(s.service)) for s in stations
     ]
     return closed_mva(analytic, mix, clients, think_time)
+
+
+# -- open-loop (frontier) simulation ---------------------------------------------
+
+
+@dataclass
+class OpenLoopResult:
+    """Measured output of one open-loop (Poisson-arrival) simulation.
+
+    Latency accounting is **coordinated-omission-correct**: every latency is
+    measured from the operation's *intended* start time — the moment its
+    Poisson arrival was scheduled — so queueing delay from missed departures
+    (all workers busy because the server stalled) is charged to the
+    operation.  The ``uncorrected_*`` fields measure from the moment a
+    worker actually picked the operation up, which is what a closed-loop
+    client (and a naive load generator) reports; the gap between the two is
+    the understatement coordinated omission hides.
+
+    Measured arrivals still in flight when the run ends are **censored
+    observations**, not discards: each contributes its lower bound
+    ``end - intended`` to the pooled ``mean``/``p50``/``p95``/``p99``/
+    ``p999``.  Dropping them would resurrect the survivorship cousin of
+    coordinated omission — above saturation the slowest operations are
+    exactly the ones that never finish.  The per-class dicts and
+    ``uncorrected_*`` fields cover completed operations only (an op that
+    never dispatched has no uncorrected latency at all).
+    """
+
+    offered_rate: float  # target arrival rate, ops/s
+    throughput: float = 0.0  # completions/s over the measurement period
+    arrivals: int = 0  # measured-window arrivals
+    completed_ops: int = 0  # measured-window completions
+    unfinished_ops: int = 0  # measured arrivals still in flight at cutoff
+    latency: dict = field(default_factory=dict)  # class -> mean (intended)
+    latency_p95: dict = field(default_factory=dict)
+    latency_p99: dict = field(default_factory=dict)
+    uncorrected_p99: dict = field(default_factory=dict)  # class -> p99
+    histograms: dict = field(default_factory=dict)  # class -> LatencyHistogram
+    # Overall (all classes pooled) intended-start-time percentiles.
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    p999: float = 0.0
+    uncorrected_overall_p99: float = 0.0
+    max_dispatch_lag: float = 0.0  # worst intended-to-dispatch slip
+    window_throughputs: list = field(default_factory=list)
+    # Fault-injection accounting (all zero on a healthy run).
+    errors: dict = field(default_factory=dict)  # class -> abandoned ops
+    retried_ops: int = 0
+    backoff_seconds: float = 0.0
+
+    @property
+    def error_count(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of measured arrivals completed inside the run."""
+        return self.completed_ops / self.arrivals if self.arrivals else 1.0
+
+
+def simulate_open_loop(
+    stations: list[SimStation],
+    mix: dict,
+    rate: float,
+    workers: int | None = None,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    windows: int = 6,
+    seed: int = 1234,
+    tracer=None,
+    metrics=None,
+    sampler=None,
+    faults=None,
+    retry_policy=None,
+) -> OpenLoopResult:
+    """Drive the stations with open-loop Poisson arrivals at ``rate`` ops/s.
+
+    Unlike :func:`simulate_closed_loop`, arrivals do not wait for prior
+    completions: each operation has an *intended* start time drawn from a
+    :class:`~repro.ycsb.arrivals.PoissonArrivals` schedule, and its latency
+    is measured from that intended time through completion.  With a finite
+    ``workers`` pool (a real load generator's thread count) an operation
+    whose intended slot finds every worker busy is dispatched late — the
+    wait is recorded as a ``dispatch.wait`` span and *included* in the
+    operation's latency, which is the coordinated-omission fix.
+    ``workers=None`` dispatches every arrival immediately (a pure open
+    loop); the queueing then happens inside the stations and is charged to
+    the operation all the same.
+
+    ``faults``/``retry_policy`` compose exactly as in the closed loop:
+    ``disk-stall``/``net-spike`` inflate service times over their window,
+    ``op-error`` drives retries with capped backoff, ``crash`` shrinks a
+    station's capacity.  Everything is a pure function of ``seed`` — each
+    operation draws from its own :class:`~repro.common.rng.SeedStream`
+    substream, so results do not depend on event interleaving.
+    """
+    if rate <= 0:
+        raise SimulationError(f"arrival rate must be > 0, got {rate:g}")
+    if workers is not None and workers < 1:
+        raise SimulationError("need at least one worker")
+    if not mix or abs(sum(mix.values()) - 1.0) > 1e-9:
+        raise SimulationError("op mix must sum to 1")
+    if duration <= warmup:
+        raise SimulationError("duration must exceed warmup")
+
+    from repro.ycsb.arrivals import PoissonArrivals
+
+    station_faults = None
+    policy = retry_policy
+    if faults:
+        from repro.faults.plan import StationFaults
+        from repro.faults.retry import RetryPolicy
+
+        station_faults = (
+            faults if isinstance(faults, StationFaults) else StationFaults(faults)
+        )
+        if not station_faults:
+            station_faults = None
+        elif policy is None:
+            policy = RetryPolicy()
+
+    env = Environment(tracer=tracer, metrics=metrics, sampler=sampler)
+    resources = {s.name: Resource(env, s.servers, name=s.name) for s in stations}
+    pool = Resource(env, workers, name=None) if workers is not None else None
+    seeds = SeedStream(seed)
+
+    result = OpenLoopResult(offered_rate=rate)
+    latencies: dict[str, list[float]] = {c: [] for c in mix}
+    uncorrected: dict[str, list[float]] = {c: [] for c in mix}
+    error_latencies: dict[str, list[float]] = {c: [] for c in mix}
+    completions: list[float] = []
+    pending: dict[int, float] = {}  # measured in-flight ops: index -> intended
+    counters = {"arrivals": 0, "started": 0, "finished": 0,
+                "retried": 0, "backoff": 0.0, "lag": 0.0}
+
+    def clamp_end(end: float, at: float) -> float:
+        return duration if end <= at else min(end, duration)
+
+    if station_faults:
+        for spec in station_faults.windows:
+            end = clamp_end(spec.end, spec.at)
+            if tracer:
+                tracer.add(
+                    f"fault.{spec.kind}", spec.at, end,
+                    cat="fault", node="faults", lane=spec.target,
+                    magnitude=spec.magnitude,
+                )
+            if sampler:
+                sampler.accumulate(spec.target, "fault", spec.at, end,
+                                   level=1.0, capacity=1.0)
+            if metrics:
+                metrics.counter(f"faults.{spec.kind}").inc()
+
+        def crash_driver(resource: Resource, servers: int, crash_windows):
+            for at, end, lost in sorted(crash_windows):
+                if at > env.now:
+                    yield env.timeout(at - env.now)
+                resource.set_capacity(max(1, int(round(servers * (1.0 - lost)))))
+                restore = clamp_end(end, at)
+                if restore > env.now:
+                    yield env.timeout(restore - env.now)
+                resource.set_capacity(servers)
+
+        for s in stations:
+            crash_windows = station_faults.crash_windows(s.name)
+            if crash_windows:
+                env.process(crash_driver(resources[s.name], s.servers,
+                                         crash_windows))
+
+    def operation(index: int, intended: float, measured: bool):
+        rng = seeds.rng_for("op", index)
+        fault_rng = seeds.rng_for("op-fault", index) if station_faults else None
+        op_class = _pick_class(rng, mix)
+        counters["started"] += 1
+        if measured:
+            pending[index] = intended
+        dispatch = intended
+        op_spans = []
+        if pool is not None:
+            grant = pool.request()
+            yield grant
+            dispatch = env.now
+            lag = dispatch - intended
+            counters["lag"] = max(counters["lag"], lag)
+            if tracer and lag > 0.0:
+                op_spans.append(tracer.add(
+                    "dispatch.wait", intended, dispatch,
+                    cat="dispatch", node="client", lane=f"op-{index}",
+                    cls=op_class, wait=lag,
+                ))
+        failed = False
+        attempts = 0
+        for station in stations:
+            mean = station.service.get(op_class, 0.0)
+            if mean <= 0.0:
+                continue
+            resource = resources[station.name]
+            while True:
+                t_enter = env.now
+                grant = resource.request()
+                yield grant
+                t_granted = env.now
+                service = _exponential(rng, mean)
+                if station_faults:
+                    service *= station_faults.slowdown(station.name, env.now)
+                yield env.timeout(service)
+                # Release on the normal path only (see the closed loop's
+                # note on GC-time phantom spans).
+                resource.release()
+                if tracer:
+                    visit = tracer.add(
+                        f"visit.{station.name}", t_enter, env.now,
+                        cat="visit", node="client", lane=f"op-{index}",
+                        cls=op_class, station=station.name,
+                        wait=t_granted - t_enter,
+                        service=env.now - t_granted,
+                    )
+                    if op_spans:
+                        prev = op_spans[-1]
+                        tracer.link(
+                            prev, visit,
+                            "retry" if prev.name == "retry.backoff" else "seq",
+                        )
+                    op_spans.append(visit)
+                if station_faults:
+                    probability = station_faults.error_probability(
+                        station.name, env.now
+                    )
+                    if probability > 0.0 and fault_rng.random_float() < probability:
+                        attempts += 1
+                        if policy.gives_up(attempts, env.now - intended):
+                            failed = True
+                            break
+                        delay = policy.delay(attempts - 1)
+                        counters["retried"] += 1
+                        counters["backoff"] += delay
+                        if tracer:
+                            backoff = tracer.add(
+                                "retry.backoff", env.now, env.now + delay,
+                                cat="retry", node="client",
+                                lane=f"op-{index}",
+                                cls=op_class, attempt=attempts,
+                            )
+                            if op_spans:
+                                tracer.link(op_spans[-1], backoff, "retry")
+                            op_spans.append(backoff)
+                        if metrics:
+                            metrics.counter("ycsb.retried_ops").inc()
+                        yield env.timeout(delay)
+                        continue
+                break
+            if failed:
+                break
+        if pool is not None:
+            pool.release()
+        if tracer:
+            request = tracer.add(
+                f"request.{op_class}", intended, env.now,
+                cat="request", node="client", lane=f"op-{index}",
+                cls=op_class, intended=intended, dispatch=dispatch,
+                **({"error": True} if failed else {}),
+            )
+            for span in op_spans:
+                span.parent = request.span_id
+        if metrics:
+            metrics.counter(f"ycsb.ops.{op_class}").inc()
+            if failed:
+                metrics.counter(f"ycsb.errors.{op_class}").inc()
+        if measured:
+            pending.pop(index, None)
+            counters["finished"] += 1
+            if failed:
+                error_latencies[op_class].append(env.now - intended)
+            else:
+                latencies[op_class].append(env.now - intended)
+                uncorrected[op_class].append(env.now - dispatch)
+                completions.append(env.now)
+            if metrics:
+                metrics.counter("ycsb.measured_ops").inc()
+
+    def arrival_source():
+        schedule = PoissonArrivals(rate, seeds.seed_for("arrivals"))
+        index = 0
+        for at in schedule.until(duration):
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            measured = at >= warmup
+            if measured:
+                counters["arrivals"] += 1
+            env.process(operation(index, at, measured))
+            index += 1
+
+    env.process(arrival_source())
+    env.run(until=duration)
+    if sampler:
+        sampler.finish(env.now)
+
+    measure = duration - warmup
+    result.arrivals = counters["arrivals"]
+    result.completed_ops = len(completions)
+    finished_errors = sum(len(v) for v in error_latencies.values())
+    result.unfinished_ops = (
+        counters["arrivals"] - len(completions) - finished_errors
+    )
+    result.throughput = len(completions) / measure
+    result.max_dispatch_lag = counters["lag"]
+    window = measure / windows
+    counts = [0] * windows
+    for t in completions:
+        counts[min(windows - 1, int((t - warmup) / window))] += 1
+    result.window_throughputs = [c / window for c in counts]
+
+    from repro.ycsb.histogram import LatencyHistogram, from_latencies
+
+    pooled: list[float] = []
+    pooled_uncorrected: list[float] = []
+    for op_class, values in latencies.items():
+        if not values:
+            continue
+        result.latency[op_class] = arithmetic_mean(values)
+        result.latency_p95[op_class] = percentile(values, 95)
+        result.latency_p99[op_class] = percentile(values, 99)
+        result.uncorrected_p99[op_class] = percentile(uncorrected[op_class], 99)
+        result.histograms[op_class] = from_latencies(values)
+        pooled.extend(values)
+        pooled_uncorrected.extend(uncorrected[op_class])
+    # Censored observations: measured arrivals still queued or in service at
+    # cutoff contribute their lower bound end - intended to the pooled
+    # percentiles.  Above saturation the never-finishing ops ARE the tail;
+    # dropping them would understate p99 the same way coordinated omission
+    # does.
+    censored = [env.now - intended for intended in pending.values()]
+    corrected = pooled + censored
+    if corrected:
+        result.mean = arithmetic_mean(corrected)
+        result.p50 = percentile(corrected, 50)
+        result.p95 = percentile(corrected, 95)
+        result.p99 = percentile(corrected, 99)
+        result.p999 = percentile(corrected, 99.9)
+    if pooled_uncorrected:
+        result.uncorrected_overall_p99 = percentile(pooled_uncorrected, 99)
+
+    for op_class, values in error_latencies.items():
+        if not values:
+            continue
+        histogram = result.histograms.setdefault(op_class, LatencyHistogram())
+        for value in values:
+            histogram.record(value)
+            histogram.record_error()
+        result.errors[op_class] = len(values)
+    result.retried_ops = counters["retried"]
+    result.backoff_seconds = counters["backoff"]
+    if metrics:
+        metrics.gauge("frontier.offered_rate").set(rate)
+        metrics.gauge("frontier.throughput").set(result.throughput)
+        metrics.gauge("frontier.p99").set(result.p99)
+        metrics.gauge("frontier.max_dispatch_lag").set(result.max_dispatch_lag)
+    return result

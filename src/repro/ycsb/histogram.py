@@ -42,6 +42,16 @@ class LatencyHistogram:
         if latency < 0:
             raise WorkloadError("negative latency")
         index = int(latency / self.bucket_width)
+        # Bucket i covers [i*w, (i+1)*w).  Float division can round either
+        # way at the boundaries (0.003/0.001 == 2.999...96 but
+        # 0.007/0.001 == 7.000...01), which used to drop an exactly-3 ms
+        # latency into the 2-3 ms bucket and understate the percentile one
+        # whole bucket.  Correct against the edges explicitly instead of
+        # trusting the quotient.
+        if (index + 1) * self.bucket_width <= latency:
+            index += 1
+        elif index * self.bucket_width > latency:
+            index -= 1
         if index >= self.buckets:
             self.overflow += 1
         else:

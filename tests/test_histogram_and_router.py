@@ -64,6 +64,59 @@ class TestLatencyHistogram:
         assert h.total == len(samples)
 
 
+class TestBucketBoundaries:
+    """Regression: float division used to misplace exact-boundary latencies.
+
+    ``0.003 / 0.001`` is ``2.999...96`` in IEEE arithmetic, so an
+    exactly-3 ms latency landed in the [2 ms, 3 ms) bucket and every
+    percentile that resolved to it came back one bucket (1 ms) low —
+    right where p99/p999 of a millisecond-scale workload live.
+    """
+
+    def test_boundary_latency_lands_in_its_own_bucket(self):
+        # Bucket 3 covers [3 ms, 4 ms): a 3 ms latency belongs there, and
+        # YCSB reports its upper edge.
+        h = from_latencies([0.003] * 100)
+        assert h.counts[3] == 100
+        assert h.counts[2] == 0
+        assert h.percentile(99) == pytest.approx(0.004)
+        assert h.percentile(99.9) == pytest.approx(0.004)
+
+    def test_every_millisecond_boundary(self):
+        """All 999 in-range exact boundaries index their own bucket, both
+        the quotient-rounds-down (3 ms) and rounds-up (7 ms) flavours."""
+        for k in range(1, 1000):
+            h = LatencyHistogram()
+            h.record(k * 0.001)
+            assert h.counts[k] == 1, f"{k} ms landed in the wrong bucket"
+
+    def test_interior_values_unmoved(self):
+        h = LatencyHistogram()
+        h.record(0.0035)
+        assert h.counts[3] == 1
+
+    def test_overflow_edge_still_overflows(self):
+        h = LatencyHistogram()
+        h.record(1.0)  # == buckets * width, first value past the range
+        assert h.overflow == 1
+        assert sum(h.counts) == 0
+
+    @given(st.integers(min_value=0, max_value=999),
+           st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=80)
+    def test_bucket_invariant_holds_everywhere(self, k, denominator):
+        """record() must honour bucket i = [i*w, (i+1)*w) for arbitrary
+        latencies, including ugly fractions near boundaries."""
+        latency = k * 0.001 + 0.001 / denominator
+        h = LatencyHistogram()
+        h.record(latency)
+        if h.overflow:
+            assert latency >= h.buckets * h.bucket_width
+            return
+        index = h.counts.index(1)
+        assert index * h.bucket_width <= latency < (index + 1) * h.bucket_width
+
+
 class TestMongosRouter:
     def _config(self):
         cfg = ConfigServer()

@@ -1,0 +1,155 @@
+"""Coordinated-omission-correct accounting in the open-loop simulator.
+
+The regression at the heart of this file: stall the server mid-run and the
+open loop must charge every missed departure's queueing delay to the
+operations (latency from *intended* start), while a paired closed-loop run
+over the same stalled stations — the paper's own protocol — reports nearly
+unchanged latencies because its clients simply stop issuing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.obs import Tracer
+from repro.ycsb.eventsim import (
+    SimStation,
+    simulate_closed_loop,
+    simulate_open_loop,
+)
+
+MIX = {"read": 1.0}
+
+
+def small_stations():
+    """One two-server disk: capacity 2000 ops/s at 1 ms service."""
+    return [SimStation("disk", 2, {"read": 0.001})]
+
+
+def stalled_run(**kwargs):
+    """Open loop at half capacity with the disk 50x slower over [2s, 5s)."""
+    return simulate_open_loop(
+        small_stations(), MIX, rate=1000.0, workers=8,
+        duration=8.0, warmup=1.0, seed=21,
+        faults=FaultPlan.parse("disk-stall:disk@2+3x50").station_faults,
+        **kwargs,
+    )
+
+
+class TestCoordinatedOmission:
+    def test_stall_is_charged_to_intended_start_times(self):
+        result = stalled_run()
+        # The stall parks ~3s of arrivals behind 8 workers: the corrected
+        # p99 must see whole seconds of queueing...
+        assert result.p99 > 0.5
+        # ...while the uncorrected (dispatch-measured) view, which is what
+        # a coordinating load generator reports, hides an order of
+        # magnitude of it.
+        assert result.p99 > 10.0 * result.uncorrected_overall_p99
+        assert result.max_dispatch_lag > 1.0
+
+    def test_paired_closed_loop_understates_the_stall(self):
+        """The paper's protocol over the same stalled stations: clients slow
+        down with the server, so the recorded p99 misses the queueing that
+        the open loop charges."""
+        open_result = stalled_run()
+        closed = simulate_closed_loop(
+            small_stations(), MIX, clients=8, think_time=0.0,
+            duration=8.0, warmup=1.0, seed=21,
+            faults=FaultPlan.parse("disk-stall:disk@2+3x50").station_faults,
+        )
+        closed_p99 = closed.latency_p99["read"]
+        assert open_result.p99 > 5.0 * closed_p99
+
+    def test_healthy_run_has_no_correction_gap(self):
+        """At low utilization intended and dispatch starts coincide, so the
+        corrected and uncorrected percentiles agree."""
+        result = simulate_open_loop(
+            small_stations(), MIX, rate=400.0, workers=64,
+            duration=6.0, warmup=1.0, seed=4,
+        )
+        assert result.p99 == pytest.approx(
+            result.uncorrected_overall_p99, rel=0.2)
+        assert result.max_dispatch_lag < 0.01
+        assert result.unfinished_ops <= 2
+
+
+class TestCensoredTail:
+    def test_unfinished_ops_count_toward_percentiles(self):
+        """Above capacity the never-finishing backlog IS the tail; p99 must
+        reflect it instead of surveying only the survivors."""
+        result = simulate_open_loop(
+            small_stations(), MIX, rate=4000.0, workers=4000,
+            duration=4.0, warmup=1.0, seed=8,
+        )
+        assert result.unfinished_ops > 1000
+        assert result.goodput_fraction < 0.9
+        # Backlog grows ~linearly for 3 measured seconds; the censored
+        # lower bounds push p99 into whole seconds.
+        assert result.p99 > 0.5
+
+    def test_percentiles_survive_zero_completions(self):
+        """A fully wedged server completes nothing; dropping in-flight ops
+        would report p99 = 0 for the worst possible run."""
+        result = simulate_open_loop(
+            [SimStation("disk", 1, {"read": 10.0})], MIX,
+            rate=50.0, workers=100, duration=1.0, warmup=0.0, seed=3,
+        )
+        assert result.completed_ops <= 1
+        assert result.unfinished_ops > 20
+        assert result.p99 > 0.3
+        assert result.mean > 0.0
+
+    def test_saturation_caps_throughput(self):
+        result = simulate_open_loop(
+            small_stations(), MIX, rate=4000.0, workers=4000,
+            duration=4.0, warmup=1.0, seed=8,
+        )
+        assert result.throughput < 2300.0  # capacity is 2000 ops/s
+
+
+class TestDeterminismAndTrace:
+    def test_same_seed_byte_identical(self):
+        a = dataclasses.asdict(stalled_run())
+        b = dataclasses.asdict(stalled_run())
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = simulate_open_loop(small_stations(), MIX, rate=500.0,
+                               duration=3.0, warmup=0.5, seed=1)
+        b = simulate_open_loop(small_stations(), MIX, rate=500.0,
+                               duration=3.0, warmup=0.5, seed=2)
+        assert a.p99 != b.p99
+
+    def test_dispatch_waits_become_spans(self):
+        tracer = Tracer()
+        stalled_run(tracer=tracer)
+        dispatch = tracer.find(cat="dispatch")
+        assert dispatch, "overload must emit dispatch.wait spans"
+        requests = tracer.find(cat="request")
+        assert requests
+        # Request spans start at the intended arrival and carry both
+        # timestamps so downstream tools can recompute either accounting.
+        for span in requests[:50]:
+            assert span.args["dispatch"] >= span.args["intended"]
+            assert span.start == span.args["intended"]
+        # Dispatch spans are parented under their request like visits are.
+        parents = {s.parent for s in dispatch}
+        request_ids = {s.span_id for s in requests}
+        assert parents <= request_ids
+
+
+class TestValidation:
+    def test_bad_rate_rejected(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            simulate_open_loop(small_stations(), MIX, rate=0.0)
+
+    def test_warmup_must_leave_a_window(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            simulate_open_loop(small_stations(), MIX, rate=100.0,
+                               duration=5.0, warmup=5.0)

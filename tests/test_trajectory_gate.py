@@ -27,14 +27,15 @@ def _entry(seconds, runs=1):
 
 class TestTrajectoryManifest:
     def test_pr_number_and_required_set(self):
-        assert trajectory.PR == 4
+        assert trajectory.PR == 6
         assert "critpath_whatif_replay" in trajectory.REQUIRED_BENCHMARKS
+        assert "ycsb_frontier_knee" in trajectory.REQUIRED_BENCHMARKS
 
-    def test_committed_bench_4_is_valid(self):
-        path = BENCHMARKS_DIR.parent / "BENCH_4.json"
+    def test_committed_bench_6_is_valid(self):
+        path = BENCHMARKS_DIR.parent / "BENCH_6.json"
         doc = json.loads(path.read_text())
         assert trajectory.validate(doc) == []
-        assert doc["pr"] == 4
+        assert doc["pr"] == 6
 
     def test_validate_flags_missing_required_benchmark(self):
         doc = _doc(4, False, {"dss_calibration": _entry(1.0)})
