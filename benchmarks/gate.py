@@ -35,6 +35,16 @@ from trajectory import validate  # noqa: E402
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TOLERANCE = 2.0
 
+#: Absolute ceilings on benchmark *metadata*: ``(benchmark, meta key)`` ->
+#: max allowed value.  Wall-clock comparisons only catch slowdowns loosely
+#: (machines differ, hence the 2x tolerance); a ratio measured within one
+#: process is machine-neutral, so it gets a hard ceiling instead.
+META_THRESHOLDS = {
+    # Attaching a UtilizationSampler to a traced query must stay cheap
+    # relative to the bare run (was 19.6x before batched accumulation).
+    ("utilization_sampling_overhead", "overhead_ratio"): 8.0,
+}
+
 
 def load_trajectories(root: Path) -> dict:
     """``{path: doc}`` for every BENCH_*.json under ``root`` (sorted by PR)."""
@@ -75,6 +85,16 @@ def compare(candidate: dict, baselines: list, tolerance: float) -> list:
                   f"({ratio:.2f}x, tolerance {tolerance:g}x)")
         status = "regression" if ratio > tolerance else "ok"
         verdicts.append((name, status, detail))
+    for (bench, key), limit in sorted(META_THRESHOLDS.items()):
+        entry = candidate.get("benchmarks", {}).get(bench)
+        if not entry or entry.get("timed_out"):
+            continue
+        value = entry.get("meta", {}).get(key)
+        if not isinstance(value, (int, float)):
+            continue  # older files legitimately lack the meta key
+        status = "regression" if value > limit else "ok"
+        verdicts.append((f"{bench}.{key}", status,
+                         f"{value:g} vs ceiling {limit:g}"))
     return verdicts
 
 

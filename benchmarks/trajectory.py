@@ -7,7 +7,7 @@ wall-clock-times the paths every study run exercises — DSS calibration +
 the SF-250 query sweep, the YCSB workload A and E figures (analytic MVA
 and the discrete-event cross-validation), the open-loop frontier knee
 search, critical-path extraction plus
-what-if replay — and writes ``BENCH_6.json`` so future PRs can regress
+what-if replay — and writes ``BENCH_7.json`` so future PRs can regress
 against the numbers (``BENCH_<n>.json`` per PR; ``gate.py`` compares them
 and fails CI on a regression).
 
@@ -27,9 +27,9 @@ Format (see EXPERIMENTS.md, "Performance trajectory")::
 
 Usage::
 
-    python benchmarks/trajectory.py                  # full run -> BENCH_6.json
+    python benchmarks/trajectory.py                  # full run -> BENCH_7.json
     python benchmarks/trajectory.py --smoke          # CI-sized subset
-    python benchmarks/trajectory.py --check BENCH_6.json   # validate only
+    python benchmarks/trajectory.py --check BENCH_7.json   # validate only
 """
 
 from __future__ import annotations
@@ -45,7 +45,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 SCHEMA = "repro-bench/1"
-PR = 6
+PR = 7
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / f"BENCH_{PR}.json"
 
 # A trajectory file must carry these top-level keys and benchmark names;

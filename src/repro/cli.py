@@ -18,6 +18,11 @@ import sys
 
 from repro.common.errors import ConfigurationError
 
+#: Default burn-rate rules for --live-report: chaos runs live on a
+#: compressed virtual clock (ops ~1 ms, elections ~250 ms), so the windows
+#: are short by wall-clock standards.
+DEFAULT_SLO_RULES = "p99<=25ms@100ms,200ms"
+
 
 def _require_positive(value: float, flag: str) -> None:
     if value <= 0:
@@ -180,6 +185,38 @@ def _oltp_availability(args) -> int:
         print(f"wrote availability report -> {args.availability_report}")
     # Exit 0 only while the acknowledged-write safety invariant holds.
     return 0 if report["invariant_ok"] else 1
+
+
+def _oltp_live(args) -> int:
+    """One chaos run watched live (repro-live/1): dashboard + SLO alerts."""
+    from repro.core.oltp import OltpStudy
+    from repro.obs import (
+        SpanSamplePolicy,
+        parse_slo_rules,
+        render_live_report,
+        validate_live_report,
+        write_live_report,
+    )
+
+    # Specs are parsed before the run so a typo is a one-line exit 2.
+    rules = parse_slo_rules(args.slo_rules)
+    span_sample = (SpanSamplePolicy.parse(args.span_sample)
+                   if args.span_sample else None)
+    chaos = (None if args.chaos in (None, "default", "on") else args.chaos)
+    workload = args.workload if args.workload != "all" else "A"
+    study = OltpStudy(isolation=args.isolation)
+    report = study.live_report(
+        args.system, concern=args.write_concern or "safe",
+        workload=workload, slo_rules=rules, slice_s=args.live_slice,
+        chaos=chaos, operations=args.operations, seed=args.seed,
+        replication=_oltp_replication(args), span_sample=span_sample,
+    )
+    validate_live_report(report)
+    print(render_live_report(report))
+    if args.live_report != "-":
+        write_live_report(report, args.live_report)
+        print(f"wrote live report -> {args.live_report}")
+    return 0
 
 
 def _cmd_dss(args) -> int:
@@ -383,16 +420,26 @@ def _cmd_oltp(args) -> int:
         raise ConfigurationError("--whatif-report requires --whatif")
     if args.write_concern and not (args.replication or args.chaos
                                    or args.availability_report
-                                   or args.frontier or args.frontier_report):
+                                   or args.frontier or args.frontier_report
+                                   or args.live_report is not None):
         raise ConfigurationError(
-            "--write-concern requires --replication, --chaos, or --frontier"
+            "--write-concern requires --replication, --chaos, "
+            "--live-report, or --frontier"
         )
+    if args.live_report is None and (args.slo_rules != DEFAULT_SLO_RULES
+                                     or args.span_sample):
+        raise ConfigurationError(
+            "--slo-rules/--span-sample require --live-report"
+        )
+    _require_positive(args.live_slice, "--live-slice")
     whatif_scales = (
         _parse_whatif_for(args.whatif, "oltp", "the oltp event simulator")
         if args.whatif else None
     )
     if args.frontier or args.frontier_report:
         return _oltp_frontier(args)
+    if args.live_report is not None:
+        return _oltp_live(args)
     if args.chaos or args.availability_report:
         return _oltp_availability(args)
     study = OltpStudy(isolation=args.isolation)
@@ -691,6 +738,24 @@ def build_parser() -> argparse.ArgumentParser:
     oltp.add_argument("--availability-report", metavar="PATH",
                       help="write the repro-availability/1 JSON "
                            "(implies --chaos)")
+    oltp.add_argument("--live-report", metavar="PATH", nargs="?", const="-",
+                      help="watch one chaos run live — windowed latency "
+                           "digests, online burn-rate SLO alerts, ASCII "
+                           "dashboard (repro-live/1); bare flag prints "
+                           "the dashboard without writing JSON")
+    oltp.add_argument("--slo-rules", metavar="SPEC",
+                      default=DEFAULT_SLO_RULES,
+                      help="';'-separated burn-rate rules for "
+                           f"--live-report (default {DEFAULT_SLO_RULES}; "
+                           "windows are virtual-clock)")
+    oltp.add_argument("--span-sample", metavar="SPEC",
+                      help="tail-biased span sampling for --live-report: "
+                           "RATE[,slow_ms=N] keeps every fault/retry/"
+                           "election/slow/error span and head-samples "
+                           "the rest")
+    oltp.add_argument("--live-slice", type=float, default=0.1,
+                      help="live dashboard slice width in virtual "
+                           "seconds (default 0.1)")
     oltp.add_argument("--frontier", action="store_true",
                       help="sweep open-loop Poisson arrival rates and "
                            "bisect each system's saturation knee (max "

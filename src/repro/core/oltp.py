@@ -485,7 +485,8 @@ class OltpStudy:
                         duration: float = 120.0, seed: int = 1234,
                         tracer=None, metrics=None, sampler=None,
                         faults=None, retry_policy=None,
-                        station_scales: dict | None = None):
+                        station_scales: dict | None = None,
+                        live=None, bounded=False):
         """Re-measure one figure point with the discrete-event simulator.
 
         The cluster and client population are scaled down by ``scale`` (the
@@ -532,6 +533,7 @@ class OltpStudy:
             duration=duration, seed=seed,
             tracer=tracer, metrics=metrics, sampler=sampler,
             faults=faults, retry_policy=retry_policy,
+            live=live, bounded=bounded,
         )
         if metrics:
             metrics.gauge("oltp.sim.throughput").set(sim.throughput)
@@ -545,7 +547,8 @@ class OltpStudy:
                         seed: int = 1234, workers: int | None = None,
                         tracer=None, metrics=None, sampler=None,
                         faults=None, retry_policy=None,
-                        station_scales: dict | None = None):
+                        station_scales: dict | None = None,
+                        live=None, bounded=False):
         """Measure one *open-loop* point: Poisson arrivals at ``rate`` ops/s.
 
         ``rate`` is the cluster-scale target; arrivals and stations are both
@@ -579,6 +582,7 @@ class OltpStudy:
             duration=duration, warmup=warmup, seed=seed,
             tracer=tracer, metrics=metrics, sampler=sampler,
             faults=faults, retry_policy=retry_policy,
+            live=live, bounded=bounded,
         )
         # Report at cluster scale: rates scale back up, latencies are
         # scale-invariant by construction.
@@ -794,6 +798,76 @@ class OltpStudy:
             operations=operations, replicas=replicas, seed=seed,
             replication=replication, tracer=tracer,
         )
+
+    def live_report(self, system: str = "mongo-as", *,
+                    concern="safe", workload: str = "A",
+                    slo_rules="p99<=25ms@100ms,200ms",
+                    slice_s: float = 0.1, chaos=None,
+                    shard_count: int = 4, record_count: int = 300,
+                    operations: int = 500, replicas: int = 3,
+                    seed: int = 11, replication=None,
+                    span_sample=None) -> dict:
+        """Watch one seeded chaos run live (``repro-live/1``).
+
+        Runs a single (system, write-concern) chaos scenario — the same
+        machinery as :meth:`availability_report` — with a
+        :class:`~repro.obs.LiveTelemetry` collector attached: windowed
+        latency digests, online multi-window burn-rate SLO evaluation on
+        the virtual clock, and fault/election events noted for alert
+        attribution.  A primary kill shows up as a burn-rate alert
+        *attributed to the kill*, then clears after failover.
+
+        ``slo_rules`` is the ``;``-separated grammar of
+        :func:`repro.obs.parse_slo_rules` (or an already-parsed list);
+        ``span_sample`` optionally attaches a tail-biased
+        :class:`~repro.obs.SamplingTracer` (``RATE[,slow_ms=N]`` spec or a
+        :class:`~repro.obs.SpanSamplePolicy`).  The defaults use short
+        windows because the chaos runs live on a compressed virtual
+        clock: ops take ~1 ms, elections ~250 ms.
+        """
+        from repro.faults.availability import availability_row
+        from repro.faults.chaos import ChaosConfig
+        from repro.obs import (
+            LiveTelemetry,
+            SamplingTracer,
+            SpanSamplePolicy,
+            build_live_report,
+            parse_slo_rules,
+        )
+        from repro.replication.writeconcern import WriteConcern
+
+        rules = (parse_slo_rules(slo_rules)
+                 if isinstance(slo_rules, str) else list(slo_rules or []))
+        if isinstance(chaos, str):
+            chaos = ChaosConfig.parse(chaos)
+        chaos = chaos or ChaosConfig()
+        tracer = None
+        if span_sample is not None:
+            policy = (SpanSamplePolicy.parse(span_sample)
+                      if isinstance(span_sample, str) else span_sample)
+            tracer = SamplingTracer(policy)
+        live = LiveTelemetry(slice_s=slice_s, rules=rules)
+        concern_obj = None
+        if system != "sql-cs":
+            concern_obj = (WriteConcern.parse(concern)
+                           if isinstance(concern, str) else concern)
+        row = availability_row(
+            system, concern_obj, chaos=chaos, workload=workload,
+            shard_count=shard_count, record_count=record_count,
+            operations=operations, replicas=replicas, seed=seed,
+            replication=replication, tracer=tracer, live=live,
+        )
+        scenario = {
+            "kind": "chaos",
+            "system": system,
+            "concern": row["concern"],
+            "workload": workload,
+            "operations": operations,
+            "seed": seed,
+            "chaos": chaos.spec_string(),
+            "plan": row["plan"],
+        }
+        return build_live_report(live, scenario, sampler=tracer)
 
     # -- load phase (Section 3.4.2) -----------------------------------------------------
 

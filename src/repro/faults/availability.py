@@ -94,6 +94,7 @@ def availability_row(
     policy: RetryPolicy | None = None,
     replication: ReplicationConfig | None = None,
     tracer=None,
+    live=None,
 ) -> dict:
     """Run one seeded chaos scenario and audit it into a report row.
 
@@ -133,7 +134,7 @@ def availability_row(
     runner = ChaosYcsbRun(
         cluster, WORKLOADS[workload], record_count=record_count,
         operations=operations, plan=plan, policy=policy, seed=seed,
-        tracer=tracer,
+        tracer=tracer, live=live,
     )
     runner.load()
     stats = runner.run()

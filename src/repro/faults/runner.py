@@ -107,6 +107,7 @@ class FaultedYcsbRun:
         seed: int = 7,
         tracer=None,
         metrics=None,
+        live=None,
     ):
         if record_count < 2:
             raise WorkloadError("need at least two records")
@@ -120,6 +121,7 @@ class FaultedYcsbRun:
         self.policy = policy or RetryPolicy()
         self.tracer = tracer
         self.metrics = metrics
+        self.live = live
         self.seeds = SeedStream(seed)
         self._op_rng = self.seeds.rng_for("ops")
         self._data_rng = self.seeds.rng_for("data")
@@ -339,6 +341,9 @@ class FaultedYcsbRun:
                 span.parent = request.span_id
             if attempt:
                 self._emit_election_waits(request, self.now, self.now + latency)
+        if self.live:
+            self.live.record_op(self.now + latency, latency, error=failed,
+                                cls=op_class)
         self.now += latency
 
     def _emit_election_waits(self, request, start: float, end: float) -> None:
@@ -396,4 +401,23 @@ class FaultedYcsbRun:
         stats.duration = self.now
         if self.metrics:
             self.metrics.gauge("ycsb.availability").set(stats.availability)
+        if self.live:
+            # Each fired fault becomes an event interval: from its fire
+            # time through the replica-set downtime window it opened (kill
+            # -> election completes), so a burn-rate alert detected during
+            # the failover attributes to the kill itself.  Faults that
+            # caused no downtime (lag spikes, heals) stay instant markers.
+            downtimes = []
+            for shard in getattr(self.cluster, "shards", []):
+                for win_start, win_end in getattr(shard, "downtime", ()):
+                    downtimes.append((shard.name, win_start,
+                                      min(win_end, self.now)))
+            for spec, fired_at in self.fault_log:
+                end = fired_at
+                for _name, win_start, win_end in downtimes:
+                    if win_start - 1e-9 <= fired_at <= win_end + 1e-9:
+                        end = max(end, win_end)
+                        break
+                self.live.note_event(spec, fired_at, end)
+            self.live.finish(self.now)
         return stats

@@ -285,11 +285,15 @@ def feed_task_occupancy(
     contributes ``level`` over ``[offset + start, offset + end)`` against
     ``capacity`` total slots, so the series value is the fraction of slots
     (or, with ``level`` set to a per-task rate, of aggregate bandwidth)
-    occupied in each bucket.
+    occupied in each bucket.  Spans feed the sampler's batched
+    :meth:`~repro.obs.UtilizationSampler.accumulate_many` path — one
+    series lookup per phase, not per task attempt.
     """
-    for _slot, start, end in task_spans:
-        sampler.accumulate(node, resource, offset + start, offset + end,
-                           level=level, capacity=capacity)
+    sampler.accumulate_many(
+        node, resource,
+        [(offset + start, offset + end) for _slot, start, end in task_spans],
+        level=level, capacity=capacity,
+    )
 
 
 def task_waves(task_count: int, slots: int) -> int:

@@ -37,6 +37,7 @@ from repro.obs.decompose import (
     render_decomposition,
     write_decomposition,
 )
+from repro.obs.digest import QuantileDigest, WindowedDigest
 from repro.obs.export import (
     ascii_timeline,
     chrome_counter_events,
@@ -52,7 +53,17 @@ from repro.obs.invariants import (
     overlap_violations,
     reconcile,
 )
+from repro.obs.live import (
+    LiveTelemetry,
+    build_live_report,
+    dumps_live_report,
+    render_live_report,
+    validate_live_report,
+    write_live_report,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampling import SamplingTracer, SpanSamplePolicy
+from repro.obs.slo import Alert, SloMonitor, SloRule, parse_slo_rules
 from repro.obs.timeseries import (
     NULL_SAMPLER,
     NullSampler,
@@ -140,4 +151,18 @@ __all__ = [
     "render_decomposition",
     "dumps_decomposition",
     "write_decomposition",
+    "QuantileDigest",
+    "WindowedDigest",
+    "SamplingTracer",
+    "SpanSamplePolicy",
+    "SloRule",
+    "SloMonitor",
+    "Alert",
+    "parse_slo_rules",
+    "LiveTelemetry",
+    "build_live_report",
+    "validate_live_report",
+    "dumps_live_report",
+    "write_live_report",
+    "render_live_report",
 ]

@@ -1,0 +1,423 @@
+"""``repro-live/1``: the live telemetry pipeline and its dashboard report.
+
+:class:`LiveTelemetry` is the always-on collector: every completed
+operation lands in a :class:`~repro.obs.digest.WindowedDigest` slice
+(bounded memory, no per-op lists), errors and censored in-flight ops are
+counted per slice, and fault/chaos/election events are noted as labelled
+intervals.  When SLO rules are attached, a
+:class:`~repro.obs.slo.SloMonitor` is evaluated *online* at every
+virtual-time slice boundary as the run advances — alerts fire during the
+run, on the virtual clock, not in a post-hoc pass.
+
+The report is the house shape (``build``/``validate``/``dumps``/``write``/
+``render``): deterministic JSON plus an ASCII dashboard — one row per
+slice with windowed p50/p99/throughput/errors, ``!`` markers where alerts
+were open, the event timeline, and a telemetry self-overhead section
+(slice/bucket counts and span sampler retention) proving the pipeline's
+memory stays bounded.
+
+Zero-cost contract: every producer hook takes ``live=None`` and guards
+with one truthiness check; a run without ``--live-report`` constructs
+nothing from this module.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.common.errors import ConfigurationError
+from repro.obs.digest import (
+    DEFAULT_GROWTH,
+    DEFAULT_MIN_VALUE,
+    QuantileDigest,
+    WindowedDigest,
+)
+from repro.obs.slo import SloMonitor
+
+SCHEMA = "repro-live/1"
+
+#: Default dashboard slice width in virtual seconds.
+DEFAULT_SLICE_S = 1.0
+
+
+def _round(value: float, digits: int = 6) -> float:
+    return round(float(value), digits)
+
+
+class LiveTelemetry:
+    """Bounded-memory live collector + online SLO evaluation.
+
+    Implements the :class:`~repro.obs.slo.SloMonitor` source protocol
+    (``window``, ``errors_in``, ``events``).  Operations must be recorded
+    in nondecreasing virtual-time order — both event simulators and the
+    fault runners advance a monotonic clock, so this holds everywhere.
+    """
+
+    def __init__(self, slice_s: float = DEFAULT_SLICE_S, rules=None,
+                 growth: float = DEFAULT_GROWTH,
+                 min_value: float = DEFAULT_MIN_VALUE):
+        if slice_s <= 0.0:
+            raise ConfigurationError(
+                f"live slice width must be > 0, got {slice_s}")
+        self.slice_s = slice_s
+        self.growth = growth
+        self.min_value = min_value
+        self.windowed = WindowedDigest(slice_s, growth, min_value)
+        self.class_digests: dict[str, QuantileDigest] = {}
+        self.class_errors: dict[str, int] = {}
+        self.error_slices: dict[int, int] = {}
+        self.events: list[tuple[str, float, float]] = []
+        self.monitor = SloMonitor(rules) if rules else None
+        self.ops = 0
+        self.errors = 0
+        self.censored = 0
+        self.record_calls = 0
+        self.finished_at: float | None = None
+        self._next_boundary = 1  # first slice boundary not yet evaluated
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- recording (hot path) ----------------------------------------------------
+
+    def _advance(self, t: float) -> None:
+        if self.monitor is None:
+            return
+        width = self.slice_s
+        while self._next_boundary * width <= t:
+            self.monitor.evaluate(self._next_boundary * width, self)
+            self._next_boundary += 1
+
+    def record_op(self, t: float, latency: float, error: bool = False,
+                  cls: str | None = None) -> None:
+        """Record one finished op at completion time ``t``.
+
+        ``cls`` additionally feeds a per-op-class (un-windowed) digest so
+        bounded-memory runs can still report per-class percentiles.
+        Error latencies are counted, not digested — error ops would
+        otherwise pollute the success percentiles the SLO rules target.
+        """
+        self._advance(t)
+        self.record_calls += 1
+        if error:
+            index = int(t / self.slice_s)
+            self.error_slices[index] = self.error_slices.get(index, 0) + 1
+            self.errors += 1
+            if cls is not None:
+                self.class_errors[cls] = self.class_errors.get(cls, 0) + 1
+        else:
+            self.windowed.record(t, latency)
+            self.ops += 1
+            if cls is not None:
+                digest = self.class_digests.get(cls)
+                if digest is None:
+                    digest = QuantileDigest(self.growth, self.min_value)
+                    self.class_digests[cls] = digest
+                digest.record(latency)
+
+    def record_censored(self, t: float, lower_bound: float) -> None:
+        """Record an op still in flight at cutoff ``t`` (lower bound only)."""
+        self._advance(t)
+        self.record_calls += 1
+        self.windowed.record_censored(t, lower_bound)
+        self.censored += 1
+
+    def note_event(self, label: str, start: float, end: float) -> None:
+        """Note a fault/chaos/election interval for alert attribution."""
+        self.events.append((str(label), float(start), float(end)))
+
+    def finish(self, end: float) -> None:
+        """Evaluate remaining boundaries and close open alerts at ``end``."""
+        self._advance(end)
+        if self.monitor is not None:
+            if self._next_boundary * self.slice_s > end:
+                # End mid-slice: one final evaluation at the true end time
+                # so short runs still get at least one verdict.
+                self.monitor.evaluate(end, self)
+            self.monitor.finish(end, self)
+        self.finished_at = end
+
+    # -- SloMonitor source protocol ----------------------------------------------
+
+    def window(self, start: float, end: float) -> QuantileDigest:
+        return self.windowed.window(start, end)
+
+    def errors_in(self, start: float, end: float) -> int:
+        width = self.slice_s
+        return sum(
+            n for index, n in self.error_slices.items()
+            if index * width < end and (index + 1) * width > start
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def alerts(self) -> list:
+        return self.monitor.alerts if self.monitor else []
+
+    def digest_buckets(self) -> int:
+        return sum(
+            len(d.buckets) + len(d.censored_buckets)
+            for d in self.windowed.slices.values()
+        )
+
+
+def build_live_report(live: LiveTelemetry, scenario: dict,
+                      sampler=None) -> dict:
+    """Assemble the ``repro-live/1`` document from a finished collector."""
+    if live.finished_at is None:
+        raise ConfigurationError(
+            "live telemetry must be finish()ed before reporting")
+    duration = live.finished_at
+    width = live.slice_s
+    last_slice = max(
+        [int(math.ceil(duration / width)) - 1, 0]
+        + list(live.windowed.slices) + list(live.error_slices)
+    )
+    empty = QuantileDigest()
+    series = []
+    for index in range(0, last_slice + 1):
+        # Slices with no ops still get a row — gaps in the timeline are
+        # signal (a wedged server), not something to elide.
+        digest = live.windowed.slices.get(index, empty)
+        errors = live.error_slices.get(index, 0)
+        t0 = index * width
+        slice_end = min((index + 1) * width, duration)
+        span = max(slice_end - t0, 1e-9)
+        series.append({
+            "t": _round(t0),
+            "ops": digest.count,
+            "errors": errors,
+            "censored": digest.censored_count,
+            "throughput": _round(digest.count / span, 3),
+            "p50": _round(digest.percentile(50)),
+            "p99": _round(digest.percentile(99)),
+            "max": _round(digest.max if digest.observations else 0.0),
+        })
+    total = live.windowed.total()
+    totals = {
+        "ops": live.ops,
+        "errors": live.errors,
+        "censored": live.censored,
+        "throughput": _round(live.ops / duration if duration else 0.0, 3),
+        "p50": _round(total.percentile(50)),
+        "p95": _round(total.percentile(95)),
+        "p99": _round(total.percentile(99)),
+        "p999": _round(total.percentile(99.9)),
+        "mean": _round(total.mean),
+        "max": _round(total.max if total.observations else 0.0),
+    }
+    telemetry = {
+        "slices": len(live.windowed.slices),
+        "digest_buckets": live.digest_buckets(),
+        "record_calls": live.record_calls,
+        "events_noted": len(live.events),
+    }
+    if sampler is not None and hasattr(sampler, "sample_stats"):
+        telemetry["span_sampling"] = sampler.sample_stats()
+    rules = [r.spec_string() for r in live.monitor.rules] if live.monitor \
+        else []
+    return {
+        "schema": SCHEMA,
+        "scenario": dict(scenario),
+        "slice_s": _round(width),
+        "duration": _round(duration),
+        "totals": totals,
+        "series": series,
+        "rules": rules,
+        "alerts": live.monitor.to_dicts() if live.monitor else [],
+        "events": [
+            {"label": label, "start": _round(start), "end": _round(end)}
+            for label, start, end in live.events
+        ],
+        "telemetry": telemetry,
+    }
+
+
+_SERIES_REQUIRED = {
+    "t": float, "ops": int, "errors": int, "censored": int,
+    "throughput": float, "p50": float, "p99": float, "max": float,
+}
+
+_TOTALS_REQUIRED = {
+    "ops": int, "errors": int, "censored": int, "throughput": float,
+    "p50": float, "p95": float, "p99": float, "p999": float,
+    "mean": float, "max": float,
+}
+
+_ALERT_REQUIRED = ("rule", "fired_at", "cleared_at", "peak_burn", "event")
+
+
+def _check_fields(obj: dict, required: dict, what: str) -> None:
+    for field, kind in required.items():
+        if field not in obj:
+            raise ConfigurationError(f"{what} is missing {field!r}")
+        value = obj[field]
+        if kind is float:
+            ok = isinstance(value, (int, float)) and not isinstance(
+                value, bool)
+        elif kind is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind)
+        if not ok:
+            raise ConfigurationError(
+                f"{what} field {field!r} has type {type(value).__name__}, "
+                f"expected {kind.__name__}")
+
+
+def validate_live_report(data: dict) -> None:
+    """Schema check; raises :class:`ConfigurationError` on any mismatch."""
+    if not isinstance(data, dict):
+        raise ConfigurationError("live report must be an object")
+    if data.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"live report schema is {data.get('schema')!r}, "
+            f"expected {SCHEMA!r}")
+    if not isinstance(data.get("scenario"), dict):
+        raise ConfigurationError("live report needs a scenario object")
+    for field in ("slice_s", "duration"):
+        value = data.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(f"live report needs numeric {field!r}")
+    totals = data.get("totals")
+    if not isinstance(totals, dict):
+        raise ConfigurationError("live report needs a totals object")
+    _check_fields(totals, _TOTALS_REQUIRED, "totals")
+    series = data.get("series")
+    if not isinstance(series, list) or not series:
+        raise ConfigurationError(
+            "live report needs a non-empty series list")
+    for index, row in enumerate(series):
+        if not isinstance(row, dict):
+            raise ConfigurationError(f"series row {index} is not an object")
+        _check_fields(row, _SERIES_REQUIRED, f"series row {index}")
+    if not isinstance(data.get("rules"), list):
+        raise ConfigurationError("live report needs a rules list")
+    alerts = data.get("alerts")
+    if not isinstance(alerts, list):
+        raise ConfigurationError("live report needs an alerts list")
+    for index, alert in enumerate(alerts):
+        if not isinstance(alert, dict):
+            raise ConfigurationError(f"alert {index} is not an object")
+        for field in _ALERT_REQUIRED:
+            if field not in alert:
+                raise ConfigurationError(
+                    f"alert {index} is missing {field!r}")
+        fired = alert["fired_at"]
+        cleared = alert["cleared_at"]
+        if cleared is not None and cleared < fired:
+            raise ConfigurationError(
+                f"alert {index} clears before it fires")
+    events = data.get("events")
+    if not isinstance(events, list):
+        raise ConfigurationError("live report needs an events list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "label" not in event:
+            raise ConfigurationError(f"event {index} needs a label")
+    telemetry = data.get("telemetry")
+    if not isinstance(telemetry, dict):
+        raise ConfigurationError("live report needs a telemetry object")
+    for field in ("slices", "digest_buckets", "record_calls"):
+        if not isinstance(telemetry.get(field), int):
+            raise ConfigurationError(
+                f"telemetry is missing integer {field!r}")
+
+
+def dumps_live_report(data: dict) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, trailing newline."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_live_report(data: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_live_report(data))
+
+
+def _fmt_ms(seconds: float) -> str:
+    if seconds <= 0.0:
+        return "-"
+    ms = seconds * 1000.0
+    if ms < 10.0:
+        return f"{ms:.2f}ms"
+    if ms < 1000.0:
+        return f"{ms:.0f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_live_report(data: dict) -> str:
+    """ASCII dashboard: one row per slice, alert markers, overhead footer."""
+    scenario = data["scenario"]
+    context = "  ".join(
+        f"{key} {scenario[key]}" for key in sorted(scenario)
+    )
+    lines = [f"live telemetry  {context}".rstrip()]
+    lines.append(
+        f"  slice {data['slice_s']:g}s  duration {data['duration']:g}s  "
+        f"ops {data['totals']['ops']}  errors {data['totals']['errors']}  "
+        f"overall p99 {_fmt_ms(data['totals']['p99'])}"
+    )
+    if data["rules"]:
+        lines.append("  rules: " + "; ".join(data["rules"]))
+    # Alert intervals per slice for the marker column.
+    alert_spans = [
+        (a["fired_at"], a["cleared_at"] if a["cleared_at"] is not None
+         else data["duration"], a["rule"])
+        for a in data["alerts"]
+    ]
+    peak_tput = max((row["throughput"] for row in data["series"]),
+                    default=0.0) or 1.0
+    lines.append(
+        f"  {'t':>7s} {'ops':>6s} {'err':>4s} {'p50':>8s} {'p99':>8s} "
+        f"{'throughput':30s} alerts"
+    )
+    width = data["slice_s"]
+    for row in data["series"]:
+        bar = "#" * int(round(row["throughput"] / peak_tput * 24))
+        t0, t1 = row["t"], row["t"] + width
+        marks = [
+            rule for fired, cleared, rule in alert_spans
+            if fired < t1 and cleared > t0
+        ]
+        marker = ("! " + "; ".join(sorted(set(marks)))) if marks else ""
+        lines.append(
+            f"  {row['t']:7.1f} {row['ops']:6d} {row['errors']:4d} "
+            f"{_fmt_ms(row['p50']):>8s} {_fmt_ms(row['p99']):>8s} "
+            f"{bar:30s} {marker}".rstrip()
+        )
+    if data["alerts"]:
+        lines.append("  alerts:")
+        for alert in data["alerts"]:
+            cleared = (
+                f"cleared {alert['cleared_at']:.1f}s"
+                if alert["cleared_at"] is not None else "still open"
+            )
+            cause = f"  cause: {alert['event']}" if alert["event"] else ""
+            lines.append(
+                f"    {alert['rule']}  fired {alert['fired_at']:.1f}s  "
+                f"{cleared}  peak burn {alert['peak_burn']:.1f}x{cause}"
+            )
+    else:
+        lines.append("  alerts: none")
+    if data["events"]:
+        lines.append("  events:")
+        for event in data["events"]:
+            lines.append(
+                f"    {event['label']}  "
+                f"[{event['start']:.1f}s, {event['end']:.1f}s]"
+            )
+    telemetry = data["telemetry"]
+    overhead = (
+        f"  telemetry overhead: {telemetry['slices']} slices, "
+        f"{telemetry['digest_buckets']} digest buckets, "
+        f"{telemetry['record_calls']} record calls"
+    )
+    sampling = telemetry.get("span_sampling")
+    if sampling:
+        overhead += (
+            f"; spans kept {sampling['kept']} / "
+            f"dropped {sampling['dropped']}"
+        )
+    lines.append(overhead)
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Tail-biased span sampling: bounded-memory tracing for long runs.
+
+A full :class:`~repro.obs.trace.Tracer` keeps every span, which is exactly
+right for short diagnostic runs and exactly wrong for million-op ones.
+:class:`SamplingTracer` keeps a *biased* subset chosen the way production
+tracing systems do:
+
+* **head sampling** — a seeded coin flip keeps a fixed fraction of ordinary
+  spans, preserving the shape of the common case;
+* **tail biasing** — spans that explain tail latency are always kept:
+  errors (``args["error"]``), every ``retry``/``fault``/``election`` span,
+  and anything slower than ``slow_s``.
+
+Dropped spans are still *constructed and returned* — callers assign
+``span.parent`` and build causal links off the return value, and span ids
+must stay identical to an unsampled run so links remain stable — they are
+simply not retained in ``spans``.  ``kept``/``dropped`` counters make the
+sampling rate auditable in reports.
+
+Determinism: the keep/drop coin is a :class:`~repro.common.rng.TpchRandom64`
+consumed once per head-sampled decision in record order, so the same seed
+yields the same retained set byte for byte.  When tracing is off nothing
+here is ever constructed — the ``tracer=None`` zero-cost contract of
+:mod:`repro.obs.trace` is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import TpchRandom64
+from repro.obs.trace import Span, Tracer
+
+#: Span categories that are always retained regardless of the head rate:
+#: they are rare, cheap to keep, and disproportionately explain the tail.
+#: (``dispatch`` is deliberately absent — open-loop runs emit one dispatch
+#: span per op, so always keeping them would defeat the memory bound.)
+ALWAYS_KEEP_CATS = frozenset({"fault", "retry", "election"})
+
+#: Default slow-span threshold: anything >= 100 ms of simulated time is a
+#: tail event in every workload this repo runs (normal ops are ~1 ms).
+DEFAULT_SLOW_S = 0.100
+
+
+class SpanSamplePolicy:
+    """Parsed ``--span-sample`` spec: head rate plus tail-keep knobs."""
+
+    __slots__ = ("rate", "slow_s", "seed")
+
+    def __init__(self, rate: float, slow_s: float = DEFAULT_SLOW_S,
+                 seed: int = 1):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"span sample rate must be in [0, 1], got {rate}")
+        if slow_s < 0.0:
+            raise ConfigurationError(
+                f"span sample slow threshold must be >= 0, got {slow_s}")
+        self.rate = rate
+        self.slow_s = slow_s
+        self.seed = seed
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 1) -> "SpanSamplePolicy":
+        """Parse ``RATE`` or ``RATE,slow_ms=N`` (e.g. ``0.05,slow_ms=250``)."""
+        parts = [p.strip() for p in str(spec).split(",") if p.strip()]
+        if not parts:
+            raise ConfigurationError("empty span-sample spec")
+        try:
+            rate = float(parts[0])
+        except ValueError:
+            raise ConfigurationError(
+                f"span-sample rate {parts[0]!r} is not a number")
+        slow_s = DEFAULT_SLOW_S
+        for part in parts[1:]:
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"span-sample option {part!r} is not KEY=VALUE")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key != "slow_ms":
+                raise ConfigurationError(
+                    f"unknown span-sample option {key!r}; expected slow_ms")
+            try:
+                slow_s = float(value) / 1000.0
+            except ValueError:
+                raise ConfigurationError(
+                    f"span-sample slow_ms {value!r} is not a number")
+        return cls(rate, slow_s, seed)
+
+    def spec_string(self) -> str:
+        return f"{self.rate:g},slow_ms={self.slow_s * 1000.0:g}"
+
+
+class SamplingTracer(Tracer):
+    """A Tracer that retains a tail-biased sample of the spans it records.
+
+    Span ids, parent nesting, and causal links behave exactly as in the
+    full tracer (every span is constructed and returned); only the
+    ``spans`` retention list is thinned.
+    """
+
+    def __init__(self, policy: SpanSamplePolicy):
+        super().__init__()
+        self.policy = policy
+        self.kept = 0
+        self.dropped = 0
+        self._coin = TpchRandom64(policy.seed)
+
+    def _keep(self, span: Span) -> bool:
+        if span.cat in ALWAYS_KEEP_CATS:
+            return True
+        if span.args.get("error"):
+            return True
+        if span.duration >= self.policy.slow_s:
+            return True
+        # The coin is consumed for every head-sampled decision (kept or
+        # not) so the retained set is a pure function of the seed and the
+        # span sequence, independent of which spans the rules kept above.
+        return self._coin.random_float() < self.policy.rate
+
+    def _retain(self, span: Span) -> None:
+        if self._keep(span):
+            self.spans.append(span)
+            self.kept += 1
+        else:
+            self.dropped += 1
+
+    # -- recording overrides -----------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        cat: str = "",
+        node: str = "sim",
+        lane: str = "main",
+        parent: Optional[int] = None,
+        **args: Any,
+    ) -> Span:
+        from repro.common.errors import SimulationError
+
+        if end < start:
+            raise SimulationError(f"span {name!r} ends before it starts")
+        if parent is None and self._open:
+            parent = self._open[-1].span_id
+        span = Span(
+            name=name, start=start, end=end, cat=cat, node=node, lane=lane,
+            args=dict(args), parent=parent, span_id=self._next_id,
+        )
+        self._next_id += 1
+        self._retain(span)
+        return span
+
+    def begin(
+        self,
+        name: str,
+        now: float,
+        *,
+        cat: str = "",
+        node: str = "sim",
+        lane: str = "main",
+        **args: Any,
+    ) -> Span:
+        # Duration is unknown until end(); retention is decided there.
+        parent = self._open[-1].span_id if self._open else None
+        span = Span(
+            name=name, start=now, end=now, cat=cat, node=node, lane=lane,
+            args=dict(args), parent=parent, span_id=self._next_id,
+        )
+        self._next_id += 1
+        self._open.append(span)
+        return span
+
+    def end(self, now: float) -> Span:
+        from repro.common.errors import SimulationError
+
+        if not self._open:
+            raise SimulationError("Tracer.end with no open span")
+        span = self._open.pop()
+        if now < span.start:
+            raise SimulationError(f"span {span.name!r} ends before it starts")
+        span.end = now
+        self._retain(span)
+        return span
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Total spans offered to the sampler (kept + dropped)."""
+        return self.kept + self.dropped
+
+    def sample_stats(self) -> dict:
+        recorded = self.recorded
+        return {
+            "policy": self.policy.spec_string(),
+            "recorded": recorded,
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "keep_fraction": self.kept / recorded if recorded else 0.0,
+        }

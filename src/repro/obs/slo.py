@@ -1,0 +1,276 @@
+"""Multi-window burn-rate SLO rules evaluated on the virtual clock.
+
+The grammar is the SRE-workbook shape, one rule per clause::
+
+    p99<=250ms@5s,60s ; error_rate<=1%@10s,60s
+
+reads "p99 must stay at or under 250 ms — alert when the 5 s *and* 60 s
+windows are both burning error budget at >= 1x".  For a percentile target
+``pXX <= T`` the error budget is the fraction of ops allowed over ``T``
+(``1 - XX/100``), and the burn rate of a window is::
+
+    burn = (fraction of ops in the window over T) / budget
+
+Multi-window semantics are the standard ones: a rule **fires** when every
+window burns at >= 1.0 (the short window gives fast detection, the long
+window suppresses blips), and the open alert **clears** when the shortest
+window drops back under 1.0 (the long window would otherwise hold an
+alert open for minutes of virtual time after recovery).
+
+Each alert is attributed to the concurrent fault/chaos/election event when
+one overlaps its detection window — a primary-kill alert names the kill,
+not just "p99 high".  Metrics: ``p50/p95/p99/p999`` and ``mean`` (latency
+thresholds in ``ms`` or ``s``), ``error_rate`` (threshold ``N%`` or a
+fraction).  All evaluation reads :class:`~repro.obs.digest.WindowedDigest`
+sketches — nothing here stores per-op data.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigurationError
+
+#: Metrics a rule may target, with the percentile value where relevant.
+_PERCENTILE_METRICS = {"p50": 50.0, "p95": 95.0, "p99": 99.0, "p999": 99.9}
+SLO_METRICS = tuple(_PERCENTILE_METRICS) + ("mean", "error_rate")
+
+
+def _parse_duration(text: str, what: str) -> float:
+    """``250ms`` / ``5s`` / ``1m`` -> seconds; ConfigurationError otherwise."""
+    text = text.strip()
+    for suffix, scale in (("ms", 1e-3), ("s", 1.0), ("m", 60.0)):
+        if text.endswith(suffix):
+            body = text[: -len(suffix)]
+            try:
+                value = float(body)
+            except ValueError:
+                break
+            if value <= 0.0 or not math.isfinite(value):
+                raise ConfigurationError(
+                    f"{what} {text!r} must be a positive duration")
+            return value * scale
+    raise ConfigurationError(
+        f"{what} {text!r} is not a duration (use e.g. 250ms, 5s, 1m)")
+
+
+class SloRule:
+    """One parsed burn-rate rule: metric, threshold, and its windows."""
+
+    __slots__ = ("metric", "threshold", "windows")
+
+    def __init__(self, metric: str, threshold: float, windows):
+        if metric not in SLO_METRICS:
+            raise ConfigurationError(
+                f"unknown SLO metric {metric!r}; expected one of "
+                f"{', '.join(SLO_METRICS)}")
+        if threshold <= 0.0 or not math.isfinite(threshold):
+            raise ConfigurationError(
+                f"SLO threshold for {metric} must be positive, "
+                f"got {threshold}")
+        windows = sorted(set(float(w) for w in windows))
+        if not windows:
+            raise ConfigurationError(
+                f"SLO rule for {metric} needs at least one window")
+        if any(w <= 0.0 for w in windows):
+            raise ConfigurationError(
+                f"SLO windows for {metric} must be positive")
+        self.metric = metric
+        self.threshold = threshold
+        self.windows = tuple(windows)
+
+    @classmethod
+    def parse(cls, clause: str) -> "SloRule":
+        """Parse one ``METRIC<=THRESHOLD@WINDOW[,WINDOW...]`` clause."""
+        clause = clause.strip()
+        if "<=" not in clause:
+            raise ConfigurationError(
+                f"SLO rule {clause!r} needs '<=' "
+                f"(e.g. p99<=250ms@5s,60s)")
+        metric, _, rest = clause.partition("<=")
+        metric = metric.strip()
+        if "@" not in rest:
+            raise ConfigurationError(
+                f"SLO rule {clause!r} needs '@WINDOWS' "
+                f"(e.g. p99<=250ms@5s,60s)")
+        threshold_text, _, windows_text = rest.partition("@")
+        threshold_text = threshold_text.strip()
+        if metric == "error_rate":
+            try:
+                if threshold_text.endswith("%"):
+                    threshold = float(threshold_text[:-1]) / 100.0
+                else:
+                    threshold = float(threshold_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"error_rate threshold {threshold_text!r} is not "
+                    f"a number or percentage")
+            if not 0.0 < threshold <= 1.0:
+                raise ConfigurationError(
+                    f"error_rate threshold must be in (0, 1], "
+                    f"got {threshold}")
+        else:
+            threshold = _parse_duration(
+                threshold_text, f"{metric} threshold")
+        windows = [
+            _parse_duration(part, f"{metric} window")
+            for part in windows_text.split(",") if part.strip()
+        ]
+        return cls(metric, threshold, windows)
+
+    @property
+    def budget(self) -> float:
+        """Error budget: the fraction of bad events the rule tolerates."""
+        if self.metric in _PERCENTILE_METRICS:
+            return 1.0 - _PERCENTILE_METRICS[self.metric] / 100.0
+        return 1.0  # mean/error_rate burn is a direct ratio to threshold
+
+    def spec_string(self) -> str:
+        if self.metric == "error_rate":
+            threshold = f"{self.threshold * 100.0:g}%"
+        elif self.threshold < 1.0:
+            threshold = f"{self.threshold * 1000.0:g}ms"
+        else:
+            threshold = f"{self.threshold:g}s"
+        windows = ",".join(f"{w:g}s" for w in self.windows)
+        return f"{self.metric}<={threshold}@{windows}"
+
+    def burn(self, digest, errors: int) -> float:
+        """Burn rate of one window given its merged digest + error count."""
+        if self.metric == "error_rate":
+            total = digest.observations + errors
+            if total == 0:
+                return 0.0
+            return (errors / total) / self.threshold
+        if self.metric == "mean":
+            return digest.mean / self.threshold if digest.count else 0.0
+        n = digest.observations
+        if n == 0:
+            return 0.0
+        fraction_over = digest.count_over(self.threshold) / n
+        return fraction_over / self.budget
+
+
+def parse_slo_rules(spec: str) -> list:
+    """Parse a ``;``-separated rule list; ConfigurationError on any clause."""
+    clauses = [part for part in str(spec).split(";") if part.strip()]
+    if not clauses:
+        raise ConfigurationError("empty --slo-rules spec")
+    return [SloRule.parse(clause) for clause in clauses]
+
+
+class Alert:
+    """One firing of a rule, with optional attribution to a live event."""
+
+    __slots__ = ("rule", "fired_at", "cleared_at", "peak_burn", "event")
+
+    def __init__(self, rule: SloRule, fired_at: float):
+        self.rule = rule
+        self.fired_at = fired_at
+        self.cleared_at: float | None = None
+        self.peak_burn = 0.0
+        self.event: str | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.cleared_at is None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule.spec_string(),
+            "fired_at": round(self.fired_at, 6),
+            "cleared_at": (
+                round(self.cleared_at, 6)
+                if self.cleared_at is not None else None
+            ),
+            "peak_burn": round(self.peak_burn, 4),
+            "event": self.event,
+        }
+
+
+class SloMonitor:
+    """Evaluates rules against a live telemetry source at slice boundaries.
+
+    The ``source`` duck type needs two reads, both digest-backed:
+
+    * ``source.window(start, end)`` -> merged :class:`QuantileDigest`
+    * ``source.errors_in(start, end)`` -> error count in the interval
+
+    and optionally ``source.events`` — ``(label, start, end)`` triples of
+    fault/chaos/election activity used for alert attribution.
+    """
+
+    def __init__(self, rules):
+        self.rules = list(rules)
+        self.alerts: list[Alert] = []
+        self._open: dict[int, Alert] = {}
+
+    def evaluate(self, now: float, source) -> None:
+        """Evaluate every rule at virtual time ``now``."""
+        for index, rule in enumerate(self.rules):
+            burns = []
+            for window in rule.windows:
+                digest = source.window(max(0.0, now - window), now)
+                errors = source.errors_in(max(0.0, now - window), now)
+                burns.append(rule.burn(digest, errors))
+            open_alert = self._open.get(index)
+            firing = bool(burns) and min(burns) >= 1.0
+            short_burn = burns[0] if burns else 0.0
+            if open_alert is None:
+                if firing:
+                    alert = Alert(rule, now)
+                    alert.peak_burn = short_burn
+                    alert.event = self._attribute(rule, now, source)
+                    self._open[index] = alert
+                    self.alerts.append(alert)
+            else:
+                open_alert.peak_burn = max(open_alert.peak_burn, short_burn)
+                if short_burn < 1.0:
+                    open_alert.cleared_at = now
+                    del self._open[index]
+
+    def finish(self, now: float, source=None) -> None:
+        """Close any still-open alerts at end of run (cleared_at = end).
+
+        When ``source`` is given, alerts that fired before their cause was
+        noted (events can be logged after the slice that detected the
+        burn) get one final attribution pass.
+        """
+        for index in sorted(self._open):
+            self._open[index].cleared_at = now
+        self._open.clear()
+        if source is not None:
+            for alert in self.alerts:
+                if alert.event is None:
+                    alert.event = self._attribute(
+                        alert.rule, alert.fired_at, source)
+
+    def _attribute(self, rule: SloRule, fired_at: float, source):
+        """Name the event overlapping the detection window, if any.
+
+        Looks back over the shortest window first (the one that detected
+        the burn), then the longest.  Among overlapping events the one
+        covering the most of the detection window wins (a kill's failover
+        interval beats an instant marker that merely coincides); ties go
+        to the latest-starting event — the freshest cause.
+        """
+        events = getattr(source, "events", None) or []
+        for lookback in (rule.windows[0], rule.windows[-1]):
+            start = fired_at - lookback
+            best = None  # ((overlap, ev_start), label)
+            for label, ev_start, ev_end in events:
+                if ev_start <= fired_at and ev_end >= start:
+                    overlap = min(ev_end, fired_at) - max(ev_start, start)
+                    key = (overlap, ev_start)
+                    if best is None or key > best[0]:
+                        best = (key, label)
+            if best is not None:
+                return best[1]
+        return None
+
+    @property
+    def open_alerts(self) -> list:
+        return [self._open[i] for i in sorted(self._open)]
+
+    def to_dicts(self) -> list:
+        return [alert.to_dict() for alert in self.alerts]

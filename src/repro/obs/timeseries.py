@@ -96,13 +96,21 @@ class Series:
 
 
 class _Accumulator:
-    """Mutable per-key state while sampling is in progress."""
+    """Mutable per-key state while sampling is in progress.
 
-    __slots__ = ("capacity", "buckets", "open_since", "open_level", "last_time")
+    Reported windows are buffered in ``pending`` (one append per report)
+    and spread into ``buckets`` lazily, the first time the series is
+    materialized — producers on the simulator's hot path never pay the
+    bucket walk.
+    """
+
+    __slots__ = ("capacity", "buckets", "pending", "open_since",
+                 "open_level", "last_time")
 
     def __init__(self, capacity: float):
         self.capacity = capacity
         self.buckets: dict[int, float] = {}  # bucket index -> level-seconds
+        self.pending: list[tuple[float, float, float]] = []  # (start, end, level)
         self.open_since: Optional[float] = None
         self.open_level: float = 0.0
         self.last_time: float = 0.0
@@ -143,20 +151,41 @@ class UtilizationSampler:
             )
         return accum
 
-    def _spread(self, accum: _Accumulator, start: float, end: float,
-                level: float) -> None:
-        """Distribute ``level`` over ``[start, end)`` into interval buckets."""
-        if end <= start or level == 0.0:
+    def _flush(self, accum: _Accumulator) -> None:
+        """Spread every pending window into the interval buckets.
+
+        Runs once per series at materialization, not once per report.  A
+        window inside a single bucket is one dict update; windows spanning
+        several buckets add whole ``level * dt`` slabs to the fully
+        covered middle buckets and compute overlaps only at the two edges.
+        """
+        pending = accum.pending
+        if not pending:
             return
         dt = self.interval
-        first = int(start / dt)
-        last = int(math.ceil(end / dt))
         buckets = accum.buckets
-        for i in range(first, last):
-            lo = i * dt
-            overlap = min(end, lo + dt) - max(start, lo)
-            if overlap > 0:
-                buckets[i] = buckets.get(i, 0.0) + level * overlap
+        get = buckets.get
+        ceil = math.ceil
+        for start, end, level in pending:
+            if end <= start or level == 0.0:
+                continue
+            first = int(start / dt)
+            last = int(ceil(end / dt))
+            if last <= first + 1:
+                buckets[first] = get(first, 0.0) + level * (end - start)
+                continue
+            head = (first + 1) * dt - start
+            if head > 0:
+                buckets[first] = get(first, 0.0) + level * head
+            if last > first + 2:
+                slab = level * dt
+                for i in range(first + 1, last - 1):
+                    buckets[i] = get(i, 0.0) + slab
+            tail = end - (last - 1) * dt
+            if tail > 0:
+                i = last - 1
+                buckets[i] = get(i, 0.0) + level * tail
+        pending.clear()
 
     def accumulate(self, node: str, resource: str, start: float, end: float,
                    level: float = 1.0, capacity: float = 1.0,
@@ -167,9 +196,36 @@ class UtilizationSampler:
                 f"{node}/{resource}: window ends before it starts"
             )
         accum = self._accum(node, resource, metric, capacity)
-        self._spread(accum, start, end, level)
-        accum.last_time = max(accum.last_time, end)
-        self._end = max(self._end, end)
+        accum.pending.append((start, end, level))
+        if end > accum.last_time:
+            accum.last_time = end
+        if end > self._end:
+            self._end = end
+
+    def accumulate_many(self, node: str, resource: str, windows,
+                        level: float = 1.0, capacity: float = 1.0,
+                        metric: str = BUSY) -> None:
+        """Batched :meth:`accumulate`: many ``(start, end)`` windows at once.
+
+        Resolves the series accumulator once for the whole batch, so
+        task-heavy producers (thousands of attempt spans per phase) pay
+        one list append per window instead of a lookup-and-spread per
+        call.
+        """
+        accum = self._accum(node, resource, metric, capacity)
+        pending = accum.pending
+        last = accum.last_time
+        for start, end in windows:
+            if end < start:
+                raise SimulationError(
+                    f"{node}/{resource}: window ends before it starts"
+                )
+            pending.append((start, end, level))
+            if end > last:
+                last = end
+        accum.last_time = last
+        if last > self._end:
+            self._end = last
 
     def set_level(self, node: str, resource: str, now: float, level: float,
                   capacity: float = 1.0, metric: str = BUSY) -> None:
@@ -181,11 +237,13 @@ class UtilizationSampler:
         """
         accum = self._accum(node, resource, metric, capacity)
         if accum.open_since is not None:
-            self._spread(accum, accum.open_since, now, accum.open_level)
+            accum.pending.append((accum.open_since, now, accum.open_level))
         accum.open_since = now
         accum.open_level = level
-        accum.last_time = max(accum.last_time, now)
-        self._end = max(self._end, now)
+        if now > accum.last_time:
+            accum.last_time = now
+        if now > self._end:
+            self._end = now
 
     def sample(self, node: str, resource: str, now: float, value: float) -> None:
         """Record an instantaneous gauge reading (last write per bucket wins)."""
@@ -198,7 +256,8 @@ class UtilizationSampler:
         close_at = self._end if end is None else max(end, self._end)
         for accum in self._accums.values():
             if accum.open_since is not None:
-                self._spread(accum, accum.open_since, close_at, accum.open_level)
+                accum.pending.append(
+                    (accum.open_since, close_at, accum.open_level))
                 accum.open_since = close_at
                 accum.last_time = max(accum.last_time, close_at)
         self._end = close_at
@@ -243,6 +302,7 @@ class UtilizationSampler:
                 values.append(last)
             return Series(node, resource, metric, self.interval, 1.0, values)
         accum = self._accums[key]
+        self._flush(accum)
         scale = self.interval * (accum.capacity if metric == BUSY else 1.0)
         values = [accum.buckets.get(i, 0.0) / scale for i in range(count)]
         if metric == BUSY:
@@ -264,6 +324,9 @@ class NullSampler:
         return 0
 
     def accumulate(self, *args, **kwargs) -> None:
+        return None
+
+    def accumulate_many(self, *args, **kwargs) -> None:
         return None
 
     def set_level(self, *args, **kwargs) -> None:

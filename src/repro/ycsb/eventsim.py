@@ -94,6 +94,8 @@ def simulate_closed_loop(
     sampler=None,
     faults=None,
     retry_policy=None,
+    live=None,
+    bounded=False,
 ) -> EventSimResult:
     """Run N closed-loop clients over the stations and measure.
 
@@ -118,6 +120,14 @@ def simulate_closed_loop(
     shrinks a station's capacity over the window.  With ``faults`` left
     ``None`` the simulation draws the exact same random numbers as before
     the fault machinery existed — byte-identical results.
+
+    ``live`` (a :class:`~repro.obs.live.LiveTelemetry`) streams every
+    measured completion into bounded-memory windowed digests and evaluates
+    SLO burn-rate rules online on the virtual clock.  ``bounded=True``
+    additionally drops the store-everything latency lists: percentiles,
+    means and histograms then come from the digests (within one log-bucket
+    of exact; ``latency_stderr`` is unavailable).  Both default off and
+    leave the unwatched run byte-identical.
     """
     if clients < 1:
         raise SimulationError("need at least one client")
@@ -125,6 +135,8 @@ def simulate_closed_loop(
         raise SimulationError("op mix must sum to 1")
     if duration <= warmup:
         raise SimulationError("duration must exceed warmup")
+    if bounded and not live:
+        raise SimulationError("bounded mode needs a live telemetry sink")
 
     station_faults = None
     policy = retry_policy
@@ -145,9 +157,14 @@ def simulate_closed_loop(
     seeds = SeedStream(seed)
 
     latencies: dict[str, list[float]] = {c: [] for c in mix}
-    completions: list[float] = []
     error_latencies: dict[str, list[float]] = {c: [] for c in mix}
     fault_stats = {"retried": 0, "backoff": 0.0}
+    # Window throughput is counted incrementally (same arithmetic the old
+    # store-everything completions list fed) so no per-op times are kept.
+    measure = duration - warmup
+    window_width = measure / windows
+    window_counts = [0] * windows
+    completed = [0]
 
     def clamp_end(end: float, at: float) -> float:
         # A window with no duration holds until the end of the run.
@@ -168,6 +185,8 @@ def simulate_closed_loop(
                                    level=1.0, capacity=1.0)
             if metrics:
                 metrics.counter(f"faults.{spec.kind}").inc()
+            if live:
+                live.note_event(f"{spec.kind}:{spec.target}", spec.at, end)
 
         def crash_driver(resource: Resource, servers: int, crash_windows):
             for at, end, lost in sorted(crash_windows):
@@ -277,11 +296,19 @@ def simulate_closed_loop(
                 if failed:
                     metrics.counter(f"ycsb.errors.{op_class}").inc()
             if env.now >= warmup:
+                if live:
+                    live.record_op(env.now, env.now - start, error=failed,
+                                   cls=op_class)
                 if failed:
-                    error_latencies[op_class].append(env.now - start)
+                    if not bounded:
+                        error_latencies[op_class].append(env.now - start)
                 else:
-                    latencies[op_class].append(env.now - start)
-                    completions.append(env.now)
+                    completed[0] += 1
+                    window_counts[
+                        min(windows - 1, int((env.now - warmup) / window_width))
+                    ] += 1
+                    if not bounded:
+                        latencies[op_class].append(env.now - start)
                 if metrics:
                     metrics.counter("ycsb.measured_ops").inc()
 
@@ -290,48 +317,61 @@ def simulate_closed_loop(
     env.run(until=duration)
     if sampler:
         sampler.finish(env.now)
+    if live:
+        live.finish(env.now)
 
-    measure = duration - warmup
     result = EventSimResult(
-        throughput=len(completions) / measure,
-        completed_ops=len(completions),
+        throughput=completed[0] / measure,
+        completed_ops=completed[0],
     )
-    window = measure / windows
-    counts = [0] * windows
-    for t in completions:
-        counts[min(windows - 1, int((t - warmup) / window))] += 1
-    result.window_throughputs = [c / window for c in counts]
+    result.window_throughputs = [c / window_width for c in window_counts]
 
-    from repro.ycsb.histogram import from_latencies
+    from repro.ycsb.histogram import LatencyHistogram, from_digest, from_latencies
 
-    for op_class, values in latencies.items():
-        if not values:
-            continue
-        result.latency[op_class] = arithmetic_mean(values)
-        result.latency_p95[op_class] = percentile(values, 95)
-        result.latency_p99[op_class] = percentile(values, 99)
-        result.histograms[op_class] = from_latencies(values)
-        # Std error across evenly sized chunks approximates window error.
-        chunk = max(1, len(values) // windows)
-        means = [
-            arithmetic_mean(values[i : i + chunk])
-            for i in range(0, len(values) - chunk + 1, chunk)
-        ]
-        result.latency_stderr[op_class] = std_error(means)
+    if bounded:
+        # Digest-backed results: within one log-bucket of the exact values,
+        # O(log(max/min)) memory per class, no stderr (it needs raw chunks).
+        for op_class in mix:
+            digest = live.class_digests.get(op_class)
+            if digest is not None and digest.count:
+                result.latency[op_class] = digest.mean
+                result.latency_p95[op_class] = digest.percentile(95)
+                result.latency_p99[op_class] = digest.percentile(99)
+                result.histograms[op_class] = from_digest(digest)
+            errors = live.class_errors.get(op_class, 0)
+            if errors:
+                histogram = result.histograms.setdefault(
+                    op_class, LatencyHistogram())
+                histogram.errors += errors
+                result.errors[op_class] = errors
+    else:
+        for op_class, values in latencies.items():
+            if not values:
+                continue
+            result.latency[op_class] = arithmetic_mean(values)
+            result.latency_p95[op_class] = percentile(values, 95)
+            result.latency_p99[op_class] = percentile(values, 99)
+            result.histograms[op_class] = from_latencies(values)
+            # Std error across evenly sized chunks approximates window error.
+            chunk = max(1, len(values) // windows)
+            means = [
+                arithmetic_mean(values[i : i + chunk])
+                for i in range(0, len(values) - chunk + 1, chunk)
+            ]
+            result.latency_stderr[op_class] = std_error(means)
 
-    # Fold abandoned ops into the same histograms (YCSB accounts its errors
-    # alongside the latencies): the burned latency is recorded and the op is
-    # counted as an error.
-    from repro.ycsb.histogram import LatencyHistogram
-
-    for op_class, values in error_latencies.items():
-        if not values:
-            continue
-        histogram = result.histograms.setdefault(op_class, LatencyHistogram())
-        for value in values:
-            histogram.record(value)
-            histogram.record_error()
-        result.errors[op_class] = len(values)
+        # Fold abandoned ops into the same histograms (YCSB accounts its
+        # errors alongside the latencies): the burned latency is recorded
+        # and the op is counted as an error.
+        for op_class, values in error_latencies.items():
+            if not values:
+                continue
+            histogram = result.histograms.setdefault(
+                op_class, LatencyHistogram())
+            for value in values:
+                histogram.record(value)
+                histogram.record_error()
+            result.errors[op_class] = len(values)
     result.retried_ops = fault_stats["retried"]
     result.backoff_seconds = fault_stats["backoff"]
     return result
@@ -422,6 +462,8 @@ def simulate_open_loop(
     sampler=None,
     faults=None,
     retry_policy=None,
+    live=None,
+    bounded=False,
 ) -> OpenLoopResult:
     """Drive the stations with open-loop Poisson arrivals at ``rate`` ops/s.
 
@@ -443,6 +485,12 @@ def simulate_open_loop(
     station's capacity.  Everything is a pure function of ``seed`` — each
     operation draws from its own :class:`~repro.common.rng.SeedStream`
     substream, so results do not depend on event interleaving.
+
+    ``live``/``bounded`` behave as in :func:`simulate_closed_loop`: a
+    :class:`~repro.obs.live.LiveTelemetry` sink streams completions (and
+    the censored in-flight ops at cutoff) into windowed digests with
+    online SLO evaluation; ``bounded=True`` replaces the store-everything
+    latency lists with those digests.
     """
     if rate <= 0:
         raise SimulationError(f"arrival rate must be > 0, got {rate:g}")
@@ -452,6 +500,8 @@ def simulate_open_loop(
         raise SimulationError("op mix must sum to 1")
     if duration <= warmup:
         raise SimulationError("duration must exceed warmup")
+    if bounded and not live:
+        raise SimulationError("bounded mode needs a live telemetry sink")
 
     from repro.ycsb.arrivals import PoissonArrivals
 
@@ -478,10 +528,20 @@ def simulate_open_loop(
     latencies: dict[str, list[float]] = {c: [] for c in mix}
     uncorrected: dict[str, list[float]] = {c: [] for c in mix}
     error_latencies: dict[str, list[float]] = {c: [] for c in mix}
-    completions: list[float] = []
     pending: dict[int, float] = {}  # measured in-flight ops: index -> intended
     counters = {"arrivals": 0, "started": 0, "finished": 0,
                 "retried": 0, "backoff": 0.0, "lag": 0.0}
+    # Incremental window throughput (same arithmetic the old completions
+    # list fed) plus, in bounded mode, a digest for the uncorrected pool.
+    measure = duration - warmup
+    window_width = measure / windows
+    window_counts = [0] * windows
+    completed = [0]
+    uncorrected_digest = None
+    if bounded:
+        from repro.obs.digest import QuantileDigest
+
+        uncorrected_digest = QuantileDigest(live.growth, live.min_value)
 
     def clamp_end(end: float, at: float) -> float:
         return duration if end <= at else min(end, duration)
@@ -500,6 +560,8 @@ def simulate_open_loop(
                                    level=1.0, capacity=1.0)
             if metrics:
                 metrics.counter(f"faults.{spec.kind}").inc()
+            if live:
+                live.note_event(f"{spec.kind}:{spec.target}", spec.at, end)
 
         def crash_driver(resource: Resource, servers: int, crash_windows):
             for at, end, lost in sorted(crash_windows):
@@ -619,12 +681,22 @@ def simulate_open_loop(
         if measured:
             pending.pop(index, None)
             counters["finished"] += 1
+            if live:
+                live.record_op(env.now, env.now - intended, error=failed,
+                               cls=op_class)
             if failed:
-                error_latencies[op_class].append(env.now - intended)
+                if not bounded:
+                    error_latencies[op_class].append(env.now - intended)
             else:
-                latencies[op_class].append(env.now - intended)
-                uncorrected[op_class].append(env.now - dispatch)
-                completions.append(env.now)
+                completed[0] += 1
+                window_counts[
+                    min(windows - 1, int((env.now - warmup) / window_width))
+                ] += 1
+                if bounded:
+                    uncorrected_digest.record(env.now - dispatch)
+                else:
+                    latencies[op_class].append(env.now - intended)
+                    uncorrected[op_class].append(env.now - dispatch)
             if metrics:
                 metrics.counter("ycsb.measured_ops").inc()
 
@@ -644,60 +716,93 @@ def simulate_open_loop(
     env.run(until=duration)
     if sampler:
         sampler.finish(env.now)
+    if live:
+        # Measured arrivals still in flight at cutoff are censored lower
+        # bounds in the live digests too — same no-survivorship rule as
+        # the corrected pool below.
+        for intended in pending.values():
+            live.record_censored(env.now, env.now - intended)
+        live.finish(env.now)
 
-    measure = duration - warmup
     result.arrivals = counters["arrivals"]
-    result.completed_ops = len(completions)
-    finished_errors = sum(len(v) for v in error_latencies.values())
-    result.unfinished_ops = (
-        counters["arrivals"] - len(completions) - finished_errors
+    result.completed_ops = completed[0]
+    finished_errors = (
+        live.errors if bounded
+        else sum(len(v) for v in error_latencies.values())
     )
-    result.throughput = len(completions) / measure
+    result.unfinished_ops = (
+        counters["arrivals"] - completed[0] - finished_errors
+    )
+    result.throughput = completed[0] / measure
     result.max_dispatch_lag = counters["lag"]
-    window = measure / windows
-    counts = [0] * windows
-    for t in completions:
-        counts[min(windows - 1, int((t - warmup) / window))] += 1
-    result.window_throughputs = [c / window for c in counts]
+    result.window_throughputs = [c / window_width for c in window_counts]
 
-    from repro.ycsb.histogram import LatencyHistogram, from_latencies
+    from repro.ycsb.histogram import LatencyHistogram, from_digest, from_latencies
 
-    pooled: list[float] = []
-    pooled_uncorrected: list[float] = []
-    for op_class, values in latencies.items():
-        if not values:
-            continue
-        result.latency[op_class] = arithmetic_mean(values)
-        result.latency_p95[op_class] = percentile(values, 95)
-        result.latency_p99[op_class] = percentile(values, 99)
-        result.uncorrected_p99[op_class] = percentile(uncorrected[op_class], 99)
-        result.histograms[op_class] = from_latencies(values)
-        pooled.extend(values)
-        pooled_uncorrected.extend(uncorrected[op_class])
-    # Censored observations: measured arrivals still queued or in service at
-    # cutoff contribute their lower bound end - intended to the pooled
-    # percentiles.  Above saturation the never-finishing ops ARE the tail;
-    # dropping them would understate p99 the same way coordinated omission
-    # does.
-    censored = [env.now - intended for intended in pending.values()]
-    corrected = pooled + censored
-    if corrected:
-        result.mean = arithmetic_mean(corrected)
-        result.p50 = percentile(corrected, 50)
-        result.p95 = percentile(corrected, 95)
-        result.p99 = percentile(corrected, 99)
-        result.p999 = percentile(corrected, 99.9)
-    if pooled_uncorrected:
-        result.uncorrected_overall_p99 = percentile(pooled_uncorrected, 99)
+    if bounded:
+        # Digest-backed results: within one log-bucket of exact, bounded
+        # memory, no per-class uncorrected_p99 (kept pooled only).
+        for op_class in mix:
+            digest = live.class_digests.get(op_class)
+            if digest is not None and digest.count:
+                result.latency[op_class] = digest.mean
+                result.latency_p95[op_class] = digest.percentile(95)
+                result.latency_p99[op_class] = digest.percentile(99)
+                result.histograms[op_class] = from_digest(digest)
+            errors = live.class_errors.get(op_class, 0)
+            if errors:
+                histogram = result.histograms.setdefault(
+                    op_class, LatencyHistogram())
+                histogram.errors += errors
+                result.errors[op_class] = errors
+        pooled_digest = live.windowed.total()
+        if pooled_digest.observations:
+            result.mean = pooled_digest.mean_with_censored
+            result.p50 = pooled_digest.percentile(50)
+            result.p95 = pooled_digest.percentile(95)
+            result.p99 = pooled_digest.percentile(99)
+            result.p999 = pooled_digest.percentile(99.9)
+        if uncorrected_digest.count:
+            result.uncorrected_overall_p99 = uncorrected_digest.percentile(99)
+    else:
+        pooled: list[float] = []
+        pooled_uncorrected: list[float] = []
+        for op_class, values in latencies.items():
+            if not values:
+                continue
+            result.latency[op_class] = arithmetic_mean(values)
+            result.latency_p95[op_class] = percentile(values, 95)
+            result.latency_p99[op_class] = percentile(values, 99)
+            result.uncorrected_p99[op_class] = percentile(
+                uncorrected[op_class], 99)
+            result.histograms[op_class] = from_latencies(values)
+            pooled.extend(values)
+            pooled_uncorrected.extend(uncorrected[op_class])
+        # Censored observations: measured arrivals still queued or in
+        # service at cutoff contribute their lower bound end - intended to
+        # the pooled percentiles.  Above saturation the never-finishing
+        # ops ARE the tail; dropping them would understate p99 the same
+        # way coordinated omission does.
+        censored = [env.now - intended for intended in pending.values()]
+        corrected = pooled + censored
+        if corrected:
+            result.mean = arithmetic_mean(corrected)
+            result.p50 = percentile(corrected, 50)
+            result.p95 = percentile(corrected, 95)
+            result.p99 = percentile(corrected, 99)
+            result.p999 = percentile(corrected, 99.9)
+        if pooled_uncorrected:
+            result.uncorrected_overall_p99 = percentile(pooled_uncorrected, 99)
 
-    for op_class, values in error_latencies.items():
-        if not values:
-            continue
-        histogram = result.histograms.setdefault(op_class, LatencyHistogram())
-        for value in values:
-            histogram.record(value)
-            histogram.record_error()
-        result.errors[op_class] = len(values)
+        for op_class, values in error_latencies.items():
+            if not values:
+                continue
+            histogram = result.histograms.setdefault(
+                op_class, LatencyHistogram())
+            for value in values:
+                histogram.record(value)
+                histogram.record_error()
+            result.errors[op_class] = len(values)
     result.retried_ops = counters["retried"]
     result.backoff_seconds = counters["backoff"]
     if metrics:

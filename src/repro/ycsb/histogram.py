@@ -124,3 +124,37 @@ def from_latencies(latencies: list[float], **kwargs) -> LatencyHistogram:
     for latency in latencies:
         histogram.record(latency)
     return histogram
+
+
+def from_digest(digest, **kwargs) -> LatencyHistogram:
+    """Build a YCSB histogram from a :class:`~repro.obs.digest.QuantileDigest`.
+
+    Each log bucket's population is placed at its upper edge — the value
+    the digest would report for any observation in it — so the resulting
+    fixed-width histogram is within one digest bucket of the histogram the
+    raw stream would have produced.  Bounded-memory runs use this to keep
+    the ``LatencyHistogram``-shaped report fields without per-op lists.
+    """
+    histogram = LatencyHistogram(**kwargs)
+    for index in sorted(digest.buckets):
+        edge = digest.bucket_edge(index)
+        count = digest.buckets[index]
+        slot = int(edge / histogram.bucket_width)
+        if (slot + 1) * histogram.bucket_width <= edge:
+            slot += 1
+        elif slot * histogram.bucket_width > edge:
+            slot -= 1
+        if slot >= histogram.buckets:
+            histogram.overflow += count
+        else:
+            histogram.counts[slot] += count
+        histogram.total += count
+        histogram.sum_latency += edge * count
+        histogram.min_latency = min(histogram.min_latency, edge)
+        histogram.max_latency = max(histogram.max_latency, edge)
+    # Exact stream stats override the bucket-edge approximations.
+    if digest.count:
+        histogram.sum_latency = digest.total
+        histogram.min_latency = digest.min
+        histogram.max_latency = digest.max
+    return histogram

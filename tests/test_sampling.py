@@ -1,0 +1,97 @@
+"""Tail-biased span sampling (repro.obs.sampling)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs import SamplingTracer, SpanSamplePolicy, Tracer
+
+
+class TestPolicyParse:
+    def test_rate_only(self):
+        policy = SpanSamplePolicy.parse("0.05")
+        assert policy.rate == 0.05
+        assert policy.slow_s == 0.100
+
+    def test_rate_and_slow(self):
+        policy = SpanSamplePolicy.parse("0.2,slow_ms=250")
+        assert policy.rate == 0.2
+        assert policy.slow_s == pytest.approx(0.250)
+        assert policy.spec_string() == "0.2,slow_ms=250"
+
+    @pytest.mark.parametrize("spec", [
+        "", "abc", "1.5", "-0.1", "0.1,slow_ms=x", "0.1,slow=5",
+        "0.1,slow_ms",
+    ])
+    def test_malformed(self, spec):
+        with pytest.raises(ConfigurationError):
+            SpanSamplePolicy.parse(spec)
+
+
+class TestRetention:
+    def test_tail_categories_always_kept_at_rate_zero(self):
+        tracer = SamplingTracer(SpanSamplePolicy(0.0))
+        for cat in ("fault", "retry", "election"):
+            tracer.add(f"{cat}-span", 0.0, 0.001, cat=cat)
+        tracer.add("plain", 0.0, 0.001, cat="op")
+        assert {s.cat for s in tracer.spans} == {"fault", "retry", "election"}
+        assert tracer.kept == 3
+        assert tracer.dropped == 1
+
+    def test_errors_and_slow_spans_always_kept(self):
+        tracer = SamplingTracer(SpanSamplePolicy(0.0, slow_s=0.1))
+        tracer.add("failed", 0.0, 0.001, cat="op", error=True)
+        tracer.add("slow", 0.0, 0.5, cat="op")
+        tracer.add("fast-ok", 0.0, 0.001, cat="op")
+        assert [s.name for s in tracer.spans] == ["failed", "slow"]
+
+    def test_rate_one_keeps_everything(self):
+        tracer = SamplingTracer(SpanSamplePolicy(1.0))
+        for i in range(50):
+            tracer.add(f"op-{i}", i * 0.001, i * 0.001 + 0.0005, cat="op")
+        assert tracer.kept == 50
+        assert tracer.dropped == 0
+
+    def test_counters_account_for_every_span(self):
+        tracer = SamplingTracer(SpanSamplePolicy(0.3, seed=7))
+        for i in range(200):
+            tracer.add(f"op-{i}", 0.0, 0.001, cat="op")
+        assert tracer.kept + tracer.dropped == 200
+        assert tracer.recorded == 200
+        # The head rate is a coin, not a quota, but 200 flips at 0.3
+        # land well inside these bounds.
+        assert 20 < tracer.kept < 120
+        stats = tracer.sample_stats()
+        assert stats["kept"] == tracer.kept
+        assert stats["keep_fraction"] == pytest.approx(tracer.kept / 200)
+
+    def test_same_seed_same_retained_set(self):
+        def run():
+            tracer = SamplingTracer(SpanSamplePolicy(0.1, seed=42))
+            for i in range(300):
+                tracer.add(f"op-{i}", i * 0.001, i * 0.001 + 0.0002,
+                           cat="op")
+            return [s.span_id for s in tracer.spans]
+
+        assert run() == run()
+
+    def test_dropped_spans_still_returned_with_stable_ids(self):
+        """Span ids must match an unsampled run so links stay valid."""
+        full = Tracer()
+        sampled = SamplingTracer(SpanSamplePolicy(0.0))
+        for tracer in (full, sampled):
+            outer = tracer.begin("outer", 0.0, cat="op")
+            inner = tracer.add("inner", 0.0, 0.001, cat="op")
+            assert inner.parent == outer.span_id
+            tracer.end(0.002)
+        assert [s.span_id for s in full.spans[:1]] == [1]
+        # The sampled run dropped both spans but handed out the same ids.
+        assert sampled.spans == []
+        assert sampled.dropped == 2
+
+    def test_begin_end_retention_decided_at_end(self):
+        tracer = SamplingTracer(SpanSamplePolicy(0.0, slow_s=0.1))
+        tracer.begin("becomes-slow", 0.0, cat="op")
+        tracer.end(0.5)  # 500 ms > slow_s: kept despite rate 0
+        tracer.begin("stays-fast", 1.0, cat="op")
+        tracer.end(1.001)
+        assert [s.name for s in tracer.spans] == ["becomes-slow"]

@@ -1,0 +1,169 @@
+"""Burn-rate SLO rules and the multi-window monitor (repro.obs.slo)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs import SloMonitor, SloRule, parse_slo_rules
+from repro.obs.digest import QuantileDigest
+
+
+class TestGrammar:
+    def test_percentile_rule(self):
+        rule = SloRule.parse("p99<=250ms@5s,60s")
+        assert rule.metric == "p99"
+        assert rule.threshold == pytest.approx(0.250)
+        assert rule.windows == (5.0, 60.0)
+        assert rule.budget == pytest.approx(0.01)
+        assert rule.spec_string() == "p99<=250ms@5s,60s"
+
+    def test_error_rate_percent_and_fraction(self):
+        assert SloRule.parse("error_rate<=1%@10s").threshold == \
+            pytest.approx(0.01)
+        assert SloRule.parse("error_rate<=0.05@10s").threshold == \
+            pytest.approx(0.05)
+
+    def test_mean_rule_and_minutes(self):
+        rule = SloRule.parse("mean<=5ms@1m")
+        assert rule.threshold == pytest.approx(0.005)
+        assert rule.windows == (60.0,)
+
+    def test_rule_list(self):
+        rules = parse_slo_rules("p99<=250ms@5s,60s ; error_rate<=1%@10s")
+        assert [r.metric for r in rules] == ["p99", "error_rate"]
+
+    @pytest.mark.parametrize("spec", [
+        "", ";", "p99<=250ms", "p99@5s", "p42<=250ms@5s", "p99<=abc@5s",
+        "p99<=250ms@abc", "p99<=250ms@-5s", "p99<=-1ms@5s",
+        "error_rate<=150%@5s", "error_rate<=0@5s", "p99<=250ms@",
+    ])
+    def test_malformed(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_slo_rules(spec)
+
+
+def digest_with(over: int, under: int, threshold: float = 0.1):
+    digest = QuantileDigest()
+    digest.record_many([threshold * 10.0] * over)
+    digest.record_many([threshold / 10.0] * under)
+    return digest
+
+
+class TestBurnMath:
+    def test_percentile_burn_is_fraction_over_budget(self):
+        # 10 of 100 ops over the threshold against a 1% budget: 10x burn.
+        rule = SloRule.parse("p99<=100ms@5s")
+        assert rule.burn(digest_with(10, 90), errors=0) == pytest.approx(
+            10.0, rel=0.05)
+
+    def test_burn_zero_when_idle(self):
+        rule = SloRule.parse("p99<=100ms@5s")
+        assert rule.burn(QuantileDigest(), errors=0) == 0.0
+
+    def test_error_rate_burn(self):
+        rule = SloRule.parse("error_rate<=10%@5s")
+        # 30 errors out of 60 total: 50% observed vs 10% allowed = 5x.
+        assert rule.burn(digest_with(0, 30), errors=30) == pytest.approx(5.0)
+
+    def test_mean_burn(self):
+        rule = SloRule.parse("mean<=100ms@5s")
+        digest = QuantileDigest()
+        digest.record_many([0.2, 0.2])
+        assert rule.burn(digest, errors=0) == pytest.approx(2.0)
+
+
+class FakeSource:
+    """Scripted SloMonitor source: per-second op latencies + events."""
+
+    def __init__(self, seconds, events=()):
+        self.seconds = seconds  # list of (latency, count) per 1s slice
+        self.events = list(events)
+
+    def window(self, start, end):
+        digest = QuantileDigest()
+        for index, (latency, count) in enumerate(self.seconds):
+            if index < end and index + 1 > start:
+                digest.record_many([latency] * count)
+        return digest
+
+    def errors_in(self, start, end):
+        return 0
+
+
+class TestMonitor:
+    def test_fires_only_when_all_windows_burn_and_clears_on_short(self):
+        # 100 ms ops for 2 s, then healthy again: the 1 s window fires
+        # immediately, but the rule needs the 3 s window too.
+        seconds = [(0.001, 100)] * 3 + [(0.5, 100)] * 3 + [(0.001, 100)] * 4
+        source = FakeSource(seconds)
+        monitor = SloMonitor(parse_slo_rules("p99<=100ms@1s,3s"))
+        for t in range(1, 11):
+            monitor.evaluate(float(t), source)
+        monitor.finish(10.0, source)
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        # Slice 4 (ops in [3,4)) burns the 1 s window, but the 3 s window
+        # still holds 2/3 healthy slices (66% > 1% budget is burning too,
+        # so it actually fires at t=4).
+        assert alert.fired_at == 4.0
+        # Clears once the short window is healthy again: slices [6,7) on.
+        assert alert.cleared_at == 7.0
+        assert alert.peak_burn >= 1.0
+
+    def test_blip_shorter_than_long_window_budget_suppressed(self):
+        # One bad op in 1000 over the long window stays inside the 1%
+        # budget, so the long window never reaches 1x and nothing fires.
+        seconds = [(0.001, 500)] * 5
+        seconds[2] = (0.5, 1)  # a single slow op
+        monitor = SloMonitor(parse_slo_rules("p99<=100ms@1s,5s"))
+        source = FakeSource(seconds)
+        for t in range(1, 6):
+            monitor.evaluate(float(t), source)
+        monitor.finish(5.0, source)
+        assert monitor.alerts == []
+
+    def test_still_open_alert_closed_at_finish(self):
+        seconds = [(0.5, 100)] * 3
+        monitor = SloMonitor(parse_slo_rules("p99<=100ms@1s,2s"))
+        source = FakeSource(seconds)
+        for t in range(1, 4):
+            monitor.evaluate(float(t), source)
+        monitor.finish(3.0, source)
+        (alert,) = monitor.alerts
+        assert alert.cleared_at == 3.0
+
+    def test_attribution_prefers_overlapping_interval(self):
+        # An instant marker coincides with detection, but the kill's
+        # failover interval covers more of the detection window — the
+        # alert must name the kill.
+        seconds = [(0.001, 100)] * 2 + [(0.5, 100)] * 2
+        events = [
+            ("kill-member:1", 1.8, 3.1),
+            ("marker:coincidence", 2.9, 2.9),
+        ]
+        monitor = SloMonitor(parse_slo_rules("p99<=100ms@1s,2s"))
+        source = FakeSource(seconds, events)
+        for t in range(1, 5):
+            monitor.evaluate(float(t), source)
+        monitor.finish(4.0, source)
+        (alert,) = monitor.alerts
+        assert alert.event == "kill-member:1"
+
+    def test_late_noted_event_attributed_at_finish(self):
+        seconds = [(0.5, 100)] * 2
+        monitor = SloMonitor(parse_slo_rules("p99<=100ms@1s"))
+        source = FakeSource(seconds)  # no events known yet
+        monitor.evaluate(1.0, source)
+        assert monitor.alerts[0].event is None
+        source.events.append(("kill-member:0", 0.2, 1.5))
+        monitor.finish(2.0, source)
+        assert monitor.alerts[0].event == "kill-member:0"
+
+    def test_alert_to_dict_shape(self):
+        seconds = [(0.5, 100)] * 2
+        monitor = SloMonitor(parse_slo_rules("p99<=100ms@1s"))
+        source = FakeSource(seconds)
+        monitor.evaluate(1.0, source)
+        monitor.finish(2.0, source)
+        (row,) = monitor.to_dicts()
+        assert set(row) == {"rule", "fired_at", "cleared_at", "peak_burn",
+                            "event"}

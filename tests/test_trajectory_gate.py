@@ -27,15 +27,46 @@ def _entry(seconds, runs=1):
 
 class TestTrajectoryManifest:
     def test_pr_number_and_required_set(self):
-        assert trajectory.PR == 6
+        assert trajectory.PR == 7
         assert "critpath_whatif_replay" in trajectory.REQUIRED_BENCHMARKS
-        assert "ycsb_frontier_knee" in trajectory.REQUIRED_BENCHMARKS
+        assert "utilization_sampling_overhead" in trajectory.REQUIRED_BENCHMARKS
 
-    def test_committed_bench_6_is_valid(self):
-        path = BENCHMARKS_DIR.parent / "BENCH_6.json"
+    def test_committed_bench_7_is_valid(self):
+        path = BENCHMARKS_DIR.parent / "BENCH_7.json"
         doc = json.loads(path.read_text())
         assert trajectory.validate(doc) == []
-        assert doc["pr"] == 6
+        assert doc["pr"] == 7
+
+    def test_committed_overhead_ratio_inside_ceiling(self):
+        """The batched sampler keeps tracing overhead under the gate."""
+        path = BENCHMARKS_DIR.parent / "BENCH_7.json"
+        doc = json.loads(path.read_text())
+        entry = doc["benchmarks"]["utilization_sampling_overhead"]
+        limit = gate.META_THRESHOLDS[
+            ("utilization_sampling_overhead", "overhead_ratio")]
+        assert entry["meta"]["overhead_ratio"] <= limit
+
+    def test_meta_threshold_gating(self):
+        candidate = _doc(7, False, {
+            "utilization_sampling_overhead": {
+                "seconds": 0.01, "runs": 3,
+                "meta": {"overhead_ratio": 9.5},
+            },
+        })
+        verdicts = dict(
+            (name, status)
+            for name, status, _ in gate.compare(candidate, [], 2.0)
+        )
+        assert verdicts[
+            "utilization_sampling_overhead.overhead_ratio"] == "regression"
+        candidate["benchmarks"]["utilization_sampling_overhead"][
+            "meta"]["overhead_ratio"] = 1.5
+        verdicts = dict(
+            (name, status)
+            for name, status, _ in gate.compare(candidate, [], 2.0)
+        )
+        assert verdicts[
+            "utilization_sampling_overhead.overhead_ratio"] == "ok"
 
     def test_validate_flags_missing_required_benchmark(self):
         doc = _doc(4, False, {"dss_calibration": _entry(1.0)})
