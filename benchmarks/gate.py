@@ -43,6 +43,11 @@ META_THRESHOLDS = {
     # Attaching a UtilizationSampler to a traced query must stay cheap
     # relative to the bare run (was 19.6x before batched accumulation).
     ("utilization_sampling_overhead", "overhead_ratio"): 8.0,
+    # Virtual-clock time for the throttled scale-up to finish rebalancing
+    # (deterministic per seed, machine-neutral).  The full scenario commits
+    # in ~0.4 virtual seconds; past this ceiling the migration engine is
+    # stalling foreground traffic far longer than the scenario intends.
+    ("reshard_time_to_rebalance", "rebalance_virtual_s"): 1.5,
 }
 
 

@@ -6,8 +6,9 @@ measurably faster over time.  This harness seeds that trajectory: it
 wall-clock-times the paths every study run exercises — DSS calibration +
 the SF-250 query sweep, the YCSB workload A and E figures (analytic MVA
 and the discrete-event cross-validation), the open-loop frontier knee
-search, critical-path extraction plus
-what-if replay — and writes ``BENCH_7.json`` so future PRs can regress
+search, the elastic-resharding scenario (live chunk migration plus the
+write-safety audit), critical-path extraction plus
+what-if replay — and writes ``BENCH_8.json`` so future PRs can regress
 against the numbers (``BENCH_<n>.json`` per PR; ``gate.py`` compares them
 and fails CI on a regression).
 
@@ -27,9 +28,9 @@ Format (see EXPERIMENTS.md, "Performance trajectory")::
 
 Usage::
 
-    python benchmarks/trajectory.py                  # full run -> BENCH_7.json
+    python benchmarks/trajectory.py                  # full run -> BENCH_8.json
     python benchmarks/trajectory.py --smoke          # CI-sized subset
-    python benchmarks/trajectory.py --check BENCH_7.json   # validate only
+    python benchmarks/trajectory.py --check BENCH_8.json   # validate only
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 SCHEMA = "repro-bench/1"
-PR = 7
+PR = 8
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / f"BENCH_{PR}.json"
 
 # A trajectory file must carry these top-level keys and benchmark names;
@@ -59,6 +60,7 @@ REQUIRED_BENCHMARKS = (
     "ycsb_workload_a_eventsim",
     "ycsb_workload_e_eventsim",
     "ycsb_frontier_knee",
+    "reshard_time_to_rebalance",
     "utilization_sampling_overhead",
     "critpath_whatif_replay",
 )
@@ -226,6 +228,37 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
                knee_probes=timing["value"], **budget)
 
     guard(("ycsb_frontier_knee",), frontier_section)
+
+    # Elastic resharding end to end: a seeded YCSB run whose topology
+    # changes mid-stream, with the throttled migration engine, retry
+    # semantics, and the acknowledged-write audit.  ``seconds`` is the
+    # harness wall-clock; the *virtual* rebalance time rides in the meta,
+    # where the gate holds it to a hard ceiling (it is machine-neutral).
+    def reshard_section():
+        from repro.faults.reshard import reshard_row
+
+        params = (dict(reshard="scale:shards=3@0.3", shard_count=2,
+                       record_count=150, operations=300)
+                  if smoke else
+                  dict(reshard="scale:shards=6@0.3", shard_count=4,
+                       record_count=300, operations=600))
+
+        def rebalance():
+            row = reshard_row(
+                "mongo-as", params["reshard"],
+                shard_count=params["shard_count"],
+                record_count=params["record_count"],
+                operations=params["operations"], seed=11,
+            )
+            return row["time_to_rebalance_s"]
+
+        timing = _timed(rebalance, runs=1 if smoke else 3)
+        record("reshard_time_to_rebalance", timing,
+               rebalance_virtual_s=timing["value"],
+               operations=params["operations"],
+               shards=params["shard_count"])
+
+    guard(("reshard_time_to_rebalance",), reshard_section)
 
     # Overhead of the new sampling layer on a traced hot path: Q1 with a
     # sampler attached vs. bare.  Also produces the CI utilization artifact.

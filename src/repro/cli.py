@@ -187,6 +187,45 @@ def _oltp_availability(args) -> int:
     return 0 if report["invariant_ok"] else 1
 
 
+def _oltp_reshard(args) -> int:
+    """Elastic resharding under live traffic (repro-reshard/1)."""
+    from repro.faults.chaos import ChaosConfig
+    from repro.faults.reshard import (
+        render_reshard_report,
+        reshard_report,
+        validate_reshard_report,
+        write_reshard_report,
+    )
+    from repro.replication.config import ReplicationConfig
+    from repro.replication.writeconcern import WriteConcern
+
+    reshard = args.reshard or "scale:shards=6@0.3"
+    chaos = (None if args.chaos is None
+             else ChaosConfig() if args.chaos in ("default", "on")
+             else ChaosConfig.parse(args.chaos))
+    concern = (WriteConcern.parse(args.write_concern)
+               if args.write_concern else None)
+    replication = (ReplicationConfig.parse(args.replication)
+                   if args.replication else None)
+    if not 0.0 < args.reshard_throttle <= 1.0:
+        raise ConfigurationError(
+            "--reshard-throttle must be in (0, 1]"
+        )
+    workload = args.workload if args.workload != "all" else "A"
+    report = reshard_report(
+        reshard=reshard, throttle=args.reshard_throttle, chaos=chaos,
+        concern=concern, workload=workload, operations=args.operations,
+        seed=args.seed, replication=replication,
+    )
+    validate_reshard_report(report)
+    print(render_reshard_report(report))
+    if args.reshard_report:
+        write_reshard_report(report, args.reshard_report)
+        print(f"wrote reshard report -> {args.reshard_report}")
+    # Exit 0 only while no acked write was lost across a migration.
+    return 0 if report["invariant_ok"] else 1
+
+
 def _oltp_live(args) -> int:
     """One chaos run watched live (repro-live/1): dashboard + SLO alerts."""
     from repro.core.oltp import OltpStudy
@@ -421,10 +460,11 @@ def _cmd_oltp(args) -> int:
     if args.write_concern and not (args.replication or args.chaos
                                    or args.availability_report
                                    or args.frontier or args.frontier_report
+                                   or args.reshard or args.reshard_report
                                    or args.live_report is not None):
         raise ConfigurationError(
             "--write-concern requires --replication, --chaos, "
-            "--live-report, or --frontier"
+            "--live-report, --reshard, or --frontier"
         )
     if args.live_report is None and (args.slo_rules != DEFAULT_SLO_RULES
                                      or args.span_sample):
@@ -440,6 +480,8 @@ def _cmd_oltp(args) -> int:
         return _oltp_frontier(args)
     if args.live_report is not None:
         return _oltp_live(args)
+    if args.reshard or args.reshard_report:
+        return _oltp_reshard(args)
     if args.chaos or args.availability_report:
         return _oltp_availability(args)
     study = OltpStudy(isolation=args.isolation)
@@ -738,6 +780,22 @@ def build_parser() -> argparse.ArgumentParser:
     oltp.add_argument("--availability-report", metavar="PATH",
                       help="write the repro-availability/1 JSON "
                            "(implies --chaos)")
+    oltp.add_argument("--reshard", metavar="SPEC", nargs="?",
+                      const="scale:shards=6@0.3",
+                      help="elastic resharding under live traffic: a "
+                           "topology plan like 'scale:shards=6@0.3' or "
+                           "'drain:shard=1@0.35' (bare flag uses the "
+                           "former), optionally ';'-joined with extra "
+                           "fault specs; composes with --chaos and "
+                           "--write-concern; exits 0 only if no acked "
+                           "write is lost across a migration")
+    oltp.add_argument("--reshard-report", metavar="PATH",
+                      help="write the repro-reshard/1 JSON "
+                           "(implies --reshard)")
+    oltp.add_argument("--reshard-throttle", type=float, default=0.5,
+                      metavar="FRACTION",
+                      help="migration copy duty cycle in (0, 1] "
+                           "(default 0.5)")
     oltp.add_argument("--live-report", metavar="PATH", nargs="?", const="-",
                       help="watch one chaos run live — windowed latency "
                            "digests, online burn-rate SLO alerts, ASCII "

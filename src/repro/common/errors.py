@@ -33,6 +33,32 @@ class FaultPlanError(ConfigurationError):
     """A fault-injection plan is malformed (bad spec string or schedule)."""
 
 
+class StaleConfigError(ShardingError):
+    """A router's cached chunk map is stale and a refresh did not fix it.
+
+    Mirrors mongos' ``StaleConfig`` wire error: the shard rejects a request
+    carrying an outdated shardVersion, the router refreshes from the config
+    server and retries once.  If the refreshed map *still* cannot route the
+    key (the chunk is mid-handoff or its shard is being drained), this typed
+    error surfaces instead of the request silently hitting the wrong shard.
+    """
+
+
+class ChunkMoving(ShardingError):
+    """The key's chunk is inside a migration commit's critical section.
+
+    During the short commit window of a chunk migration, neither the source
+    (ownership is being released) nor the destination (ownership is not yet
+    committed) may accept operations for the moving key range.  Clients
+    retry through their :class:`RetryPolicy`; one backoff step comfortably
+    outlasts the window.
+    """
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message)
+        self.shard = shard
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 

@@ -11,6 +11,8 @@ from repro.docstore.cluster import (
 from repro.docstore.journal import Journal, JournaledMongod
 from repro.docstore.mongod import Collection, GlobalLock, Mongod
 from repro.docstore.mongostat import format_mongostat, snapshot, summarize
+from repro.docstore.reshard import MigrationEngine
+from repro.docstore.ring import HashRing, moved_keys, vnode_point
 from repro.docstore.wire import WireServer
 
 __all__ = [
@@ -29,6 +31,10 @@ __all__ = [
     "Mongod",
     "Journal",
     "JournaledMongod",
+    "MigrationEngine",
+    "HashRing",
+    "moved_keys",
+    "vnode_point",
     "format_mongostat",
     "snapshot",
     "summarize",

@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.errors import ShardingError
+from repro.common.errors import (
+    ServerCrashed,
+    ShardUnavailable,
+    ShardingError,
+    StaleConfigError,
+)
 
 
 @dataclass
@@ -83,10 +88,17 @@ class ConfigServer:
         return sorted(out, key=lambda c: (c.low is not None, c.low))
 
     def split_chunk(self, chunk: Chunk, at_key: str) -> tuple[Chunk, Chunk]:
-        """Split one chunk at a key; both halves stay on the same shard."""
+        """Split one chunk at a key; both halves stay on the same shard.
+
+        A split key equal to either boundary is rejected: it would create an
+        empty chunk that the balancer then migrates forever (every rebalance
+        round picks it up at zero cost and the spread never closes).
+        ``low=None`` means -inf, so the degenerate left half also appears
+        when splitting the unbounded first chunk at the empty string.
+        """
         if not chunk.contains(at_key):
             raise ShardingError(f"split key {at_key!r} outside chunk")
-        if chunk.low == at_key:
+        if chunk.low == at_key or (chunk.low is None and at_key == ""):
             raise ShardingError("split key equals chunk lower bound")
         index = self.chunks.index(chunk)
         left = Chunk(low=chunk.low, high=at_key, shard=chunk.shard,
@@ -105,6 +117,79 @@ class ConfigServer:
         return counts
 
 
+def migrate_chunk(config: ConfigServer, chunk: Chunk, shards: list,
+                  target: int, collection: str, tracer=None, metrics=None,
+                  cleanup: list | None = None) -> int:
+    """Move one chunk's documents abort-safely; returns the docs moved.
+
+    The copy→commit order is what makes a crash mid-migration lose nothing:
+
+    1. read the whole snapshot from the source (a dead source aborts here —
+       ownership and data untouched);
+    2. write every document to the destination, clearing any stray copy a
+       previously aborted attempt left behind (a dead destination aborts
+       here, rolling back what landed — ownership stays at the source);
+    3. only then flip ownership and bump the metadata version, and finally
+       delete from the source.  A source crash during the deletes leaves
+       strays that routing can no longer see; they are queued on ``cleanup``
+       for retry rather than ever deleting before the flip.
+
+    Both abort paths surface as the typed :class:`ShardUnavailable` naming
+    the dead shard, so a balancer round racing a ``kill_shard`` fails
+    cleanly and succeeds after ``restart_shard``.
+    """
+    source = chunk.shard
+    low = chunk.low if chunk.low is not None else ""
+    high = chunk.high if chunk.high is not None else "￿"
+    try:
+        keys = shards[source].collection(collection).keys_in_range(low, high)
+        documents = [shards[source].find_one(collection, key) for key in keys]
+    except ServerCrashed as exc:
+        raise ShardUnavailable(
+            f"chunk migration aborted: source shard {source} is "
+            f"unavailable: {exc}", shard=source,
+        ) from exc
+    copied: list = []
+    try:
+        for key, document in zip(keys, documents):
+            if document is None:
+                continue
+            shards[target].remove(collection, key)
+            shards[target].insert(collection, document)
+            copied.append(key)
+    except ServerCrashed as exc:
+        try:
+            for key in copied:
+                shards[target].remove(collection, key)
+        except ServerCrashed:
+            pass  # destination died holding strays; next attempt clears them
+        raise ShardUnavailable(
+            f"chunk migration aborted: destination shard {target} is "
+            f"unavailable: {exc}", shard=target,
+        ) from exc
+    chunk.shard = target
+    index = config.migrations
+    config.migrations += 1
+    config.migrated_docs += len(copied)
+    config.version += 1
+    try:
+        for key in copied:
+            shards[source].remove(collection, key)
+    except ServerCrashed:
+        if cleanup is not None:
+            cleanup.append((source, collection, list(copied)))
+    if tracer:
+        tracer.add(
+            "chunk.migrate", float(index), float(index + 1),
+            cat="migration", node="balancer", lane="migrations",
+            source=source, target=target, docs=len(copied),
+        )
+    if metrics:
+        metrics.counter("docstore.migrations").inc()
+        metrics.counter("docstore.migrated_docs").inc(len(copied))
+    return len(copied)
+
+
 class Balancer:
     """Moves chunks from the most- to the least-loaded shard until balanced.
 
@@ -118,12 +203,23 @@ class Balancer:
             raise ShardingError("balancer threshold must be >= 2")
         self.threshold = threshold
 
-    def needs_balancing(self, config: ConfigServer, shard_count: int) -> bool:
+    def _counts(self, config: ConfigServer, shard_count: int,
+                exclude: set | None) -> dict:
+        """Chunk counts per *eligible* shard (drained shards are excluded
+        so the balancer never refills a shard being retired)."""
         counts = config.shard_chunk_counts(shard_count)
-        return max(counts) - min(counts) >= self.threshold
+        return {i: c for i, c in enumerate(counts)
+                if not exclude or i not in exclude}
+
+    def needs_balancing(self, config: ConfigServer, shard_count: int,
+                        exclude: set | None = None) -> bool:
+        counts = self._counts(config, shard_count, exclude)
+        if len(counts) < 2:
+            return False
+        return max(counts.values()) - min(counts.values()) >= self.threshold
 
     def rebalance(self, config: ConfigServer, shards: list, collection: str,
-                  tracer=None, metrics=None) -> int:
+                  tracer=None, metrics=None, exclude: set | None = None) -> int:
         """Run migrations until balanced; returns number of chunks moved.
 
         With a ``tracer`` attached each migration becomes a span on the
@@ -131,10 +227,10 @@ class Balancer:
         target shards and the document count moved.
         """
         moved = 0
-        while self.needs_balancing(config, len(shards)):
-            counts = config.shard_chunk_counts(len(shards))
-            source = counts.index(max(counts))
-            target = counts.index(min(counts))
+        while self.needs_balancing(config, len(shards), exclude):
+            counts = self._counts(config, len(shards), exclude)
+            source = max(counts, key=lambda i: (counts[i], -i))
+            target = min(counts, key=lambda i: (counts[i], i))
             chunk = next(c for c in config.chunks if c.shard == source)
             self._migrate(config, chunk, shards, target, collection,
                           tracer=tracer, metrics=metrics)
@@ -143,29 +239,8 @@ class Balancer:
 
     def _migrate(self, config: ConfigServer, chunk: Chunk, shards: list,
                  target: int, collection: str, tracer=None, metrics=None) -> None:
-        source_shard = shards[chunk.shard]
-        source = chunk.shard
-        low = chunk.low if chunk.low is not None else ""
-        high = chunk.high if chunk.high is not None else "￿"
-        keys = source_shard.collection(collection).keys_in_range(low, high)
-        for key in keys:
-            document = source_shard.find_one(collection, key)
-            shards[target].insert(collection, document)
-            source_shard.remove(collection, key)
-        chunk.shard = target
-        index = config.migrations
-        config.migrations += 1
-        config.migrated_docs += len(keys)
-        config.version += 1
-        if tracer:
-            tracer.add(
-                "chunk.migrate", float(index), float(index + 1),
-                cat="migration", node="balancer", lane="migrations",
-                source=source, target=target, docs=len(keys),
-            )
-        if metrics:
-            metrics.counter("docstore.migrations").inc()
-            metrics.counter("docstore.migrated_docs").inc(len(keys))
+        migrate_chunk(config, chunk, shards, target, collection,
+                      tracer=tracer, metrics=metrics)
 
 
 class MongosRouter:
@@ -187,7 +262,15 @@ class MongosRouter:
         self.refresh()
 
     def refresh(self) -> None:
-        self._cached_chunks = list(self._config.chunks)
+        # A *snapshot*, not shared Chunk objects: a later migration flipping
+        # ``chunk.shard`` on the config server must not magically update a
+        # cache that never refreshed — that coherence is exactly what the
+        # stale-config protocol pays for.
+        self._cached_chunks = [
+            Chunk(low=c.low, high=c.high, shard=c.shard,
+                  doc_count=c.doc_count)
+            for c in self._config.chunks
+        ]
         self._cached_version = self._config.version
         self.refreshes += 1
 
@@ -195,12 +278,34 @@ class MongosRouter:
     def is_stale(self) -> bool:
         return self._cached_version != self._config.version
 
-    def route(self, key: str) -> Chunk:
-        """Resolve the chunk for a key, refreshing a stale cache first."""
-        if self.is_stale:
-            self.stale_routes += 1
-            self.refresh()
+    def _lookup(self, key: str) -> Optional[Chunk]:
         for chunk in self._cached_chunks:
             if chunk.contains(key):
                 return chunk
-        raise ShardingError(f"no chunk covers key {key!r}")
+        return None
+
+    def route(self, key: str) -> Chunk:
+        """Resolve the chunk for a key, refreshing a stale cache first.
+
+        A cache whose epoch lags the config server refreshes before routing
+        (the staleConfig/setShardVersion bounce, counted in
+        ``stale_routes``).  If the snapshot still cannot cover the key —
+        its chunk map predates a split/merge the epoch check missed — the
+        router retries exactly once after another ``refresh()`` and then
+        surfaces the typed :class:`StaleConfigError` instead of silently
+        routing to the wrong shard.
+        """
+        if self.is_stale:
+            self.stale_routes += 1
+            self.refresh()
+        chunk = self._lookup(key)
+        if chunk is None:
+            self.stale_routes += 1
+            self.refresh()
+            chunk = self._lookup(key)
+        if chunk is None:
+            raise StaleConfigError(
+                f"no chunk covers key {key!r} at metadata version "
+                f"{self._cached_version} (after refresh)"
+            )
+        return chunk

@@ -8,17 +8,42 @@
 * :class:`MongoCsCluster` — the authors' client-side variant: the same
   mongod processes, but the client hash-routes keys itself; no mongos, no
   config server, no balancer, and scans must broadcast to every shard.
+
+Both clusters optionally support **live elastic resharding** (PR 8): attach
+a :class:`~repro.docstore.reshard.MigrationEngine` and call
+``scale_to``/``drain_shard`` mid-run.  Mongo-AS hands off range chunks;
+Mongo-CS (constructed with ``elastic=True``) hands off consistent-hash-ring
+arcs — the range-vs-hash elasticity comparison the reshard report measures.
+Without an engine attached nothing changes: routing, placement, and every
+counter behave exactly as before.
 """
 
 from __future__ import annotations
 
 import zlib
 
-from repro.common.errors import ServerCrashed, ShardUnavailable, ShardingError
-from repro.docstore.chunks import Balancer, Chunk, ConfigServer, MongosRouter
+from repro.common.errors import (
+    ChunkMoving,
+    ConfigurationError,
+    ServerCrashed,
+    ShardUnavailable,
+    ShardingError,
+    StaleConfigError,
+)
+from repro.docstore.chunks import (
+    Balancer,
+    Chunk,
+    ConfigServer,
+    MongosRouter,
+    migrate_chunk,
+)
 from repro.docstore.mongod import Mongod
+from repro.docstore.reshard import Migration, MigrationEngine
+from repro.docstore.ring import HashRing, vnode_point
 
 DEFAULT_COLLECTION = "usertable"
+
+_KEY_MAX = "￿"  # sorts after every YCSB key
 
 
 def hash_shard(key: str, shard_count: int) -> int:
@@ -26,7 +51,95 @@ def hash_shard(key: str, shard_count: int) -> int:
     return zlib.crc32(key.encode("utf-8")) % shard_count
 
 
-class MongoAsCluster:
+class _ElasticMixin:
+    """Shared live-resharding plumbing: engine hooks, IO accounting, retired
+    shards, and deferred stray cleanup.  Inert until an engine is attached."""
+
+    def _init_elastic(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._engine: MigrationEngine | None = None
+        self._retired: set[int] = set()
+        self._pending_cleanup: list = []
+        self._pending_io = 0.0
+        self._now = 0.0
+
+    @property
+    def reshard_engine(self) -> MigrationEngine | None:
+        return self._engine
+
+    @property
+    def retired_shards(self) -> set[int]:
+        return set(self._retired)
+
+    def _require_engine(self) -> MigrationEngine:
+        if self._engine is None:
+            raise ConfigurationError(
+                "live resharding requires a migration engine "
+                "(run with --reshard, or call attach_reshard())"
+            )
+        return self._engine
+
+    def _guard_moving(self, key: str) -> None:
+        if self._engine is None:
+            return
+        frozen = self._engine.frozen_shard(key, self._now)
+        if frozen is not None:
+            raise ChunkMoving(
+                f"key {key!r} is inside a migration commit window",
+                shard=frozen,
+            )
+
+    def _charge_io(self, shard: int) -> None:
+        if self._engine is not None:
+            self._pending_io += self._engine.op_cost(shard, self._now)
+
+    def _note_write(self, key: str) -> None:
+        if self._engine is not None:
+            self._engine.note_write(key)
+
+    def consume_io_wait(self) -> float:
+        """Disk-queueing + utilization latency owed by the ops since the
+        last call (zero unless a migration engine is attached)."""
+        owed, self._pending_io = self._pending_io, 0.0
+        return owed
+
+    def _advance_elastic(self, now: float) -> None:
+        self._now = max(self._now, now)
+        if self._engine is not None:
+            self._engine.advance(self._now)
+            self._retry_cleanup()
+
+    def _retry_cleanup(self) -> None:
+        """Delete migrated-away strays once their shard is reachable again.
+
+        Source-side deletes always run *after* the ownership flip, so a
+        crash can only ever leave extra copies that routing no longer sees —
+        never lose the authoritative one."""
+        if not self._pending_cleanup:
+            return
+        remaining = []
+        for shard_index, collection, keys in self._pending_cleanup:
+            try:
+                for key in keys:
+                    self.shards[shard_index].remove(collection, key)
+            except ServerCrashed:
+                remaining.append((shard_index, collection, keys))
+        self._pending_cleanup = remaining
+
+    def _drain_backfill_noise(self, *shard_indices: int) -> None:
+        """Migration traffic must not leak into client-facing replication
+        bookkeeping: absorb ack delays and last-write records the engine's
+        copies produced on replica-set shards."""
+        if getattr(self, "replication", None) is None:
+            return
+        for index in shard_indices:
+            shard = self.shards[index]
+            shard.consume_ack_delay()
+            while shard.take_last_write() is not None:
+                pass
+
+
+class MongoAsCluster(_ElasticMixin):
     """Auto-sharded MongoDB: chunks + mongos routing + balancer."""
 
     def __init__(
@@ -74,6 +187,7 @@ class MongoAsCluster:
             MongosRouter(self.config, f"mongos-{i}") for i in range(mongos_count)
         ]
         self._next_router = 0
+        self._init_elastic(seed=seed)
 
     def _router(self) -> MongosRouter:
         router = self.routers[self._next_router]
@@ -84,6 +198,122 @@ class MongoAsCluster:
     def stale_routes(self) -> int:
         """Metadata refreshes forced by splits/migrations, across all mongos."""
         return sum(r.stale_routes for r in self.routers)
+
+    # -- live resharding ---------------------------------------------------------
+
+    def attach_reshard(self, throttle: float = 1.0,
+                       offered_load: float = 0.7) -> MigrationEngine:
+        """Create and wire the engine that executes chunk handoffs live."""
+        self._engine = MigrationEngine(
+            self._shard_share, len(self.shards), throttle=throttle,
+            offered_load=offered_load, tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        return self._engine
+
+    def _shard_share(self, shard: int) -> float:
+        """This shard's fraction of the data — range sharding follows the
+        *document* distribution, so a hot chunk means a hot shard."""
+        total = 0
+        mine = 0
+        for chunk in self.config.chunks:
+            total += chunk.doc_count
+            if chunk.shard == shard:
+                mine += chunk.doc_count
+        if total <= 0:
+            active = len(self.shards) - len(self._retired)
+            return 1.0 / max(1, active)
+        return mine / total
+
+    def scale_to(self, count: int, now: float = 0.0) -> int:
+        """Grow to ``count`` total shards; chunks migrate to even the spread.
+
+        Returns the number of chunk migrations queued.  The new shards start
+        empty and cold — data only arrives through the throttled engine, so
+        the capacity gain phases in as commits land.
+        """
+        self._require_engine()
+        if count <= len(self.shards):
+            raise ShardingError(
+                f"scale target {count} does not grow the {len(self.shards)}-"
+                f"shard cluster; use drain_shard to scale down"
+            )
+        for i in range(len(self.shards), count):
+            if self.replication is None:
+                self.shards.append(
+                    Mongod(f"mongod-{i}", tracer=self.tracer,
+                           metrics=self.metrics, sampler=self.sampler))
+            else:
+                self.shards.append(self.replication.build_shard(
+                    f"rs-{i}", seed=self._seed, tracer=self.tracer))
+        return self._plan_even_spread(now)
+
+    def drain_shard(self, index: int, now: float = 0.0) -> int:
+        """Evacuate and retire one shard; returns the migrations queued."""
+        self._require_engine()
+        if not 0 <= index < len(self.shards):
+            raise ShardingError(f"no shard {index} to drain")
+        if index in self._retired:
+            raise ShardingError(f"shard {index} is already drained")
+        if len(self.shards) - len(self._retired) < 2:
+            raise ShardingError("cannot drain the last active shard")
+        self._retired.add(index)
+        survivors = [i for i in range(len(self.shards))
+                     if i not in self._retired]
+        counts = {i: 0 for i in survivors}
+        for chunk in self.config.chunks:
+            if chunk.shard in counts:
+                counts[chunk.shard] += 1
+        queued = 0
+        for chunk in [c for c in self.config.chunks if c.shard == index]:
+            target = min(counts, key=lambda i: (counts[i], i))
+            counts[target] += 1
+            self._submit_chunk_migration(chunk, target, now)
+            queued += 1
+        return queued
+
+    def _plan_even_spread(self, now: float) -> int:
+        active = [i for i in range(len(self.shards))
+                  if i not in self._retired]
+        counts = {i: 0 for i in active}
+        by_shard: dict[int, list[Chunk]] = {i: [] for i in active}
+        for chunk in self.config.chunks:
+            counts.setdefault(chunk.shard, 0)
+            counts[chunk.shard] += 1
+            by_shard.setdefault(chunk.shard, []).append(chunk)
+        queued = 0
+        while True:
+            source = max(active, key=lambda i: (counts[i], -i))
+            target = min(active, key=lambda i: (counts[i], i))
+            if counts[source] - counts[target] <= 1 or not by_shard[source]:
+                break
+            chunk = by_shard[source].pop(0)
+            counts[source] -= 1
+            counts[target] += 1
+            self._submit_chunk_migration(chunk, target, now)
+            queued += 1
+        return queued
+
+    def _submit_chunk_migration(self, chunk: Chunk, target: int,
+                                now: float) -> None:
+        label = f"chunk[{chunk.low or ''}..{chunk.high or '+inf'})@{chunk.shard}->{target}"
+        self._engine.submit(Migration(
+            source=chunk.shard, target=target, label=label,
+            covers=chunk.contains,
+            count_docs=lambda c=chunk: c.doc_count,
+            commit=lambda c=chunk, t=target: self._commit_chunk(c, t),
+        ), now)
+
+    def _commit_chunk(self, chunk: Chunk, target: int) -> int:
+        source = chunk.shard
+        try:
+            return migrate_chunk(
+                self.config, chunk, self.shards, target, self.collection,
+                tracer=None, metrics=None,  # the engine records spans/counters
+                cleanup=self._pending_cleanup,
+            )
+        finally:
+            self._drain_backfill_noise(source, target)
 
     # -- chunk maintenance -------------------------------------------------------
 
@@ -98,15 +328,21 @@ class MongoAsCluster:
     def _maybe_split(self, chunk: Chunk) -> None:
         if chunk.doc_count <= self.max_chunk_docs:
             return
+        if chunk.shard in self._retired:
+            return  # the whole chunk is queued to leave; splitting races it
+        if self._engine is not None and not self._engine.idle:
+            probe = chunk.low if chunk.low is not None else ""
+            if self._engine.is_migrating(probe):
+                return  # a migrating chunk cannot split (mongos refuses too)
         shard = self.shards[chunk.shard]
         low = chunk.low if chunk.low is not None else ""
         keys = shard.collection(self.collection).keys_in_range(
-            low, chunk.high if chunk.high is not None else "￿"
+            low, chunk.high if chunk.high is not None else _KEY_MAX
         )
         if len(keys) < 2:
             return
         median = keys[len(keys) // 2]
-        if median == chunk.low:
+        if median == chunk.low or (chunk.low is None and median == ""):
             return
         self.config.split_chunk(chunk, median)
 
@@ -114,6 +350,7 @@ class MongoAsCluster:
         return self.balancer.rebalance(
             self.config, self.shards, self.collection,
             tracer=self.tracer, metrics=self.metrics,
+            exclude=self._retired or None,
         )
 
     # -- mongos operations ----------------------------------------------------------
@@ -130,9 +367,36 @@ class MongoAsCluster:
                 shard=index,
             ) from exc
 
+    def _route(self, key: str) -> Chunk:
+        """Route through a mongos cache, then verify at the shard.
+
+        The verification models the setShardVersion handshake: when the
+        cached route and the config server disagree on the owner (the cache
+        snapshot predates a migration commit), the shard bounces the request,
+        the mongos refreshes once and retries; a second disagreement
+        surfaces the typed :class:`StaleConfigError`.  Returns the
+        *authoritative* chunk so callers' bookkeeping (doc counts, splits)
+        lands on the config server's copy, not a cache snapshot.
+        """
+        router = self._router()
+        cached = router.route(key)
+        self._guard_moving(key)
+        chunk = self.config.chunk_for(key)
+        if cached.shard != chunk.shard:
+            router.stale_routes += 1
+            router.refresh()
+            cached = router.route(key)
+            if cached.shard != chunk.shard:
+                raise StaleConfigError(
+                    f"router {router.name} cannot converge on an owner "
+                    f"for key {key!r}"
+                )
+        self._charge_io(chunk.shard)
+        return chunk
+
     def insert(self, key: str, record: dict) -> None:
         self.routed_ops += 1
-        chunk = self._router().route(key)
+        chunk = self._route(key)
         self._on_shard(
             chunk.shard,
             lambda: self.shards[chunk.shard].insert(
@@ -140,11 +404,12 @@ class MongoAsCluster:
             ),
         )
         chunk.doc_count += 1
+        self._note_write(key)
         self._maybe_split(chunk)
 
     def read(self, key: str) -> dict | None:
         self.routed_ops += 1
-        chunk = self._router().route(key)
+        chunk = self._route(key)
         document = self._on_shard(
             chunk.shard,
             lambda: self.shards[chunk.shard].find_one(self.collection, key),
@@ -155,13 +420,16 @@ class MongoAsCluster:
 
     def update(self, key: str, fieldname: str, value: str) -> bool:
         self.routed_ops += 1
-        chunk = self._router().route(key)
-        return self._on_shard(
+        chunk = self._route(key)
+        changed = self._on_shard(
             chunk.shard,
             lambda: self.shards[chunk.shard].update(
                 self.collection, key, fieldname, value
             ),
         )
+        if changed:
+            self._note_write(key)
+        return changed
 
     def scan(self, start_key: str, count: int) -> list[dict]:
         """Range scan: visits chunks in key order, usually just one."""
@@ -215,7 +483,8 @@ class MongoAsCluster:
     # -- replication surface (no-ops without --replication) ---------------------
 
     def tick(self, now: float) -> None:
-        """Advance every replica set's clock (oplog, flushes, elections)."""
+        """Advance the virtual clock: migrations, then replica-set oplogs."""
+        self._advance_elastic(now)
         if self.replication is not None:
             for shard in self.shards:
                 shard.tick(now)
@@ -237,14 +506,25 @@ class MongoAsCluster:
         return None
 
 
-class MongoCsCluster:
-    """Client-side hash-sharded MongoDB (the paper's Mongo-CS)."""
+class MongoCsCluster(_ElasticMixin):
+    """Client-side hash-sharded MongoDB (the paper's Mongo-CS).
+
+    ``elastic=True`` swaps the paper's mod-N routing for a consistent-hash
+    ring with the *same* crc32 key hash, which is what makes live scaling
+    possible: resizing mod-N reshuffles nearly every key, while the ring
+    only hands off the arcs the new topology claims.  Placement differs
+    from mod-N, so elastic mode is opt-in (reshard scenarios) and the
+    default stays byte-identical to the paper's deployment.
+    """
 
     def __init__(self, shard_count: int = 128, collection: str = DEFAULT_COLLECTION,
                  tracer=None, metrics=None, sampler=None,
-                 replication=None, seed: int = 0):
+                 replication=None, seed: int = 0, elastic: bool = False):
         if shard_count < 1:
             raise ShardingError("need at least one shard")
+        self.tracer = tracer
+        self.metrics = metrics
+        self.sampler = sampler
         self.replication = replication
         if replication is None:
             self.shards = [
@@ -260,9 +540,183 @@ class MongoCsCluster:
                 for i in range(shard_count)
             ]
         self.collection = collection
+        self.ring: HashRing | None = (
+            HashRing(range(shard_count)) if elastic else None
+        )
+        self._init_elastic(seed=seed)
+
+    # -- live resharding ---------------------------------------------------------
+
+    def attach_reshard(self, throttle: float = 1.0,
+                       offered_load: float = 0.7) -> MigrationEngine:
+        if self.ring is None:
+            raise ConfigurationError(
+                "live resharding needs the consistent-hash ring; construct "
+                "the cluster with elastic=True"
+            )
+        self._engine = MigrationEngine(
+            self._shard_share, len(self.shards), throttle=throttle,
+            offered_load=offered_load, tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        return self._engine
+
+    def _shard_share(self, shard: int) -> float:
+        """Hash routing spreads by ring arc, not data: the share is the
+        fraction of the ring the shard owns (uniform-ish by construction)."""
+        if self.ring is None:
+            return 1.0 / len(self.shards)
+        return self.ring.shares().get(shard, 0.0)
+
+    def scale_to(self, count: int, now: float = 0.0) -> int:
+        """Grow to ``count`` shards; ring arcs hand off to the new nodes."""
+        self._require_engine()
+        if count <= len(self.shards):
+            raise ShardingError(
+                f"scale target {count} does not grow the {len(self.shards)}-"
+                f"shard cluster; use drain_shard to scale down"
+            )
+        added = list(range(len(self.shards), count))
+        for i in added:
+            if self.replication is None:
+                self.shards.append(
+                    Mongod(f"mongod-{i}", tracer=self.tracer,
+                           metrics=self.metrics, sampler=self.sampler))
+            else:
+                self.shards.append(self.replication.build_shard(
+                    f"rs-{i}", seed=self._seed, tracer=self.tracer))
+        old_ring = self.ring
+        self.ring = old_ring.with_nodes(
+            [i for i in range(count) if i not in self._retired])
+        return self._submit_arc_handoffs(old_ring, self.ring, added,
+                                         adding=True, now=now)
+
+    def drain_shard(self, index: int, now: float = 0.0) -> int:
+        """Retire one shard; its ring arcs hand off to the survivors."""
+        self._require_engine()
+        if not 0 <= index < len(self.shards):
+            raise ShardingError(f"no shard {index} to drain")
+        if index in self._retired:
+            raise ShardingError(f"shard {index} is already drained")
+        if len(self.shards) - len(self._retired) < 2:
+            raise ShardingError("cannot drain the last active shard")
+        self._retired.add(index)
+        old_ring = self.ring
+        self.ring = old_ring.with_nodes(
+            [i for i in range(len(self.shards)) if i not in self._retired])
+        return self._submit_arc_handoffs(old_ring, self.ring, [index],
+                                         adding=False, now=now)
+
+    def _submit_arc_handoffs(self, old_ring: HashRing, new_ring: HashRing,
+                             changed: list[int], adding: bool,
+                             now: float) -> int:
+        """One migration per (source, dest) pair whose arcs change hands.
+
+        Because both rings hash the same vnode points, every arc a changed
+        node gains or loses has exactly one owner on the other ring, so the
+        pair set is computable from ring geometry alone — no key inventory
+        needed.  Membership is the pure predicate "old ring says source AND
+        new ring says dest", which automatically covers keys inserted while
+        the handoff is still queued.
+        """
+        pairs: set[tuple[int, int]] = set()
+        for node in changed:
+            for replica in range(old_ring.vnodes):
+                point = vnode_point(node, replica)
+                if adding:
+                    pairs.add((old_ring.owner_of_hash(point), node))
+                else:
+                    pairs.add((node, new_ring.owner_of_hash(point)))
+        queued = 0
+        for source, dest in sorted(p for p in pairs if p[0] != p[1]):
+            def covers(key: str, s=source, d=dest) -> bool:
+                return (old_ring.node_for(key) == s
+                        and new_ring.node_for(key) == d)
+            self._engine.submit(Migration(
+                source=source, target=dest,
+                label=f"arc@{source}->{dest}",
+                covers=covers,
+                count_docs=lambda s=source, c=covers: len(
+                    self._keys_on(s, c)),
+                commit=lambda s=source, d=dest, c=covers:
+                    self._commit_arc(s, d, c),
+            ), now)
+            queued += 1
+        return queued
+
+    def _keys_on(self, shard: int, covers) -> list[str]:
+        try:
+            collection = self.shards[shard].collection(self.collection)
+        except ServerCrashed:
+            return []  # sizing only; the commit path retries until reachable
+        return [k for k in collection.keys_in_range("", _KEY_MAX)
+                if covers(k)]
+
+    def _commit_arc(self, source: int, dest: int, covers) -> int:
+        """Atomically copy an arc's documents to their new owner.
+
+        Source-side deletes are *deferred* to the post-flip cleanup queue:
+        ownership flips the moment this returns, so deleting first could
+        strand a read between a partial delete and the flip.  Until cleanup
+        runs, the strays are invisible — routing prefers the new owner and
+        elastic scans filter every document through current ownership.
+
+        A dead source must raise here (not return an empty snapshot): a
+        vacuous commit would flip ownership away from rows that still only
+        exist on the crashed shard — exactly the acknowledged-write loss
+        the abort path exists to prevent.
+        """
+        try:
+            collection = self.shards[source].collection(self.collection)
+            keys = [k for k in collection.keys_in_range("", _KEY_MAX)
+                    if covers(k)]
+        except ServerCrashed as exc:
+            raise ShardUnavailable(
+                f"arc handoff aborted: source shard {source} is "
+                f"unavailable: {exc}", shard=source,
+            ) from exc
+        copied: list[str] = []
+        try:
+            for key in keys:
+                document = self.shards[source].find_one(self.collection, key)
+                if document is None:
+                    continue
+                self.shards[dest].remove(self.collection, key)
+                self.shards[dest].insert(self.collection, document)
+                copied.append(key)
+        except ServerCrashed as exc:
+            try:
+                for key in copied:
+                    self.shards[dest].remove(self.collection, key)
+            except ServerCrashed:
+                pass  # dest died holding strays; the next attempt clears them
+            dead = dest if not self._alive(dest) else source
+            raise ShardUnavailable(
+                f"arc handoff aborted: shard {dead} is unavailable: {exc}",
+                shard=dead,
+            ) from exc
+        finally:
+            self._drain_backfill_noise(source, dest)
+        if copied:
+            self._pending_cleanup.append(
+                (source, self.collection, copied))
+        return len(copied)
+
+    def _alive(self, index: int) -> bool:
+        shard = self.shards[index]
+        alive = getattr(shard, "alive", True)
+        return alive() if callable(alive) else bool(alive)
+
+    # -- routing ----------------------------------------------------------------
 
     def _shard_index(self, key: str) -> int:
-        return hash_shard(key, len(self.shards))
+        if self.ring is None:
+            return hash_shard(key, len(self.shards))
+        if self._engine is not None and not self._engine.idle:
+            override = self._engine.route_override(key)
+            if override is not None:
+                return override  # mid-handoff keys stay with the old owner
+        return self.ring.node_for(key)
 
     def _shard(self, key: str) -> Mongod:
         return self.shards[self._shard_index(key)]
@@ -277,16 +731,21 @@ class MongoCsCluster:
             ) from exc
 
     def insert(self, key: str, record: dict) -> None:
+        self._guard_moving(key)
         index = self._shard_index(key)
+        self._charge_io(index)
         self._on_shard(
             index,
             lambda: self.shards[index].insert(
                 self.collection, {"_id": key, **record}
             ),
         )
+        self._note_write(key)
 
     def read(self, key: str) -> dict | None:
+        self._guard_moving(key)
         index = self._shard_index(key)
+        self._charge_io(index)
         document = self._on_shard(
             index, lambda: self.shards[index].find_one(self.collection, key)
         )
@@ -295,25 +754,38 @@ class MongoCsCluster:
         return document
 
     def update(self, key: str, fieldname: str, value: str) -> bool:
+        self._guard_moving(key)
         index = self._shard_index(key)
-        return self._on_shard(
+        self._charge_io(index)
+        changed = self._on_shard(
             index,
             lambda: self.shards[index].update(self.collection, key, fieldname, value),
         )
+        if changed:
+            self._note_write(key)
+        return changed
 
     def scan(self, start_key: str, count: int) -> list[dict]:
         """Hash sharding scatters ranges: every shard must be queried."""
         partials: list[dict] = []
         for index, shard in enumerate(self.shards):
-            partials.extend(self._on_shard(
+            if index in self._retired and self.ring is not None:
+                continue  # a drained shard holds at most already-moved strays
+            documents = self._on_shard(
                 index,
                 lambda s=shard: s.scan(self.collection, start_key, count),
-            ))
+            )
+            if self.ring is not None:
+                # Elastic mode can leave short-lived strays (post-flip,
+                # pre-cleanup); ownership filtering keeps scans exact.
+                documents = [d for d in documents
+                             if self._shard_index(d["_id"]) == index]
+            partials.extend(documents)
         partials.sort(key=lambda d: d["_id"])
         return partials[:count]
 
     def shards_touched_by_scan(self, start_key: str, count: int) -> int:
-        return len(self.shards)
+        return len(self.shards) - len(self._retired)
 
     def kill_shard(self, index: int) -> None:
         self.shards[index].kill()
@@ -328,6 +800,7 @@ class MongoCsCluster:
     # -- replication surface (no-ops without --replication) ---------------------
 
     def tick(self, now: float) -> None:
+        self._advance_elastic(now)
         if self.replication is not None:
             for shard in self.shards:
                 shard.tick(now)

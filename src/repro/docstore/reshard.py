@@ -1,0 +1,420 @@
+"""Throttled live migration of chunks / key ranges on the virtual clock.
+
+The balancer's instant ``_migrate`` answers "where should data live?"; this
+module answers "what does *moving* it cost while the workload is running?".
+A :class:`MigrationEngine` executes a queue of :class:`Migration`\\ s with
+the real protocol's three phases:
+
+* **copy** — the snapshot streams from source to destination in throttled
+  batches.  Each batch occupies both shards' disk+NIC FIFO
+  (:class:`ShardIo`), so foreground ops routed to either shard queue behind
+  the copy traffic — the visible throughput dip and p99 spike.
+* **catch-up** — writes that landed on the moving range during the copy
+  (tracked via :meth:`MigrationEngine.note_write`) are replayed, again on
+  the FIFO, again throttled.
+* **commit** — a short critical section (:data:`COMMIT_CRITICAL_S`) during
+  which ops on the moving keys bounce with the typed
+  :class:`~repro.common.errors.ChunkMoving` (clients retry through their
+  ``RetryPolicy``; one backoff outlasts the window).  At the end of the
+  window the cluster's commit callback atomically transfers the documents
+  and flips ownership.  If a shard involved is dead, the commit *aborts* —
+  ownership stays at the source, nothing acknowledged is lost — and is
+  re-attempted :data:`MIGRATION_RETRY_S` later.
+
+Steady-state capacity is modelled MVA-style: each foreground op pays
+``service / (1 - rho)`` for its shard, where ``rho`` is the shard's offered
+utilization — proportional to its share of the data (range sharding) or of
+the hash ring.  Scaling from N to M shards drops each share toward ``1/M``,
+which is exactly the post-rebalance latency gain the reshard report
+measures.
+
+Everything runs on the caller's logical clock (``advance(now)`` from the
+cluster tick); no wall time, byte-deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ServerCrashed, ShardingError, SimulationError
+
+#: Seconds of source+destination disk/NIC occupancy per document copied.
+PER_DOC_COPY_S = 0.0008
+#: Seconds to replay one write that landed mid-copy (catch-up phase).
+CATCHUP_PER_MOD_S = 0.0004
+#: The commit critical section: ops on the moving range bounce within it.
+COMMIT_CRITICAL_S = 0.02
+#: Documents per copy batch (one FIFO occupancy per batch).
+COPY_BATCH_DOCS = 32
+#: An aborted commit (dead shard) is re-attempted after this long.
+MIGRATION_RETRY_S = 0.25
+#: Foreground per-op disk service at a shard, before utilization inflation.
+FOREGROUND_SERVICE_S = 0.0004
+#: Utilization cap so the M/M/1-style inflation never divides by ~zero.
+MAX_UTILIZATION = 0.95
+
+
+class ShardIo:
+    """One shard's disk+NIC modelled as a single FIFO on the virtual clock."""
+
+    __slots__ = ("busy_until", "busy_seconds")
+
+    def __init__(self):
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+
+    def wait(self, now: float) -> float:
+        """How long a foreground op arriving at ``now`` queues behind copies."""
+        return max(0.0, self.busy_until - now)
+
+
+class Migration:
+    """One key range (a chunk, or a consistent-hash arc) changing shards.
+
+    The cluster supplies the data-plane callables so the engine stays
+    storage-agnostic: ``covers(key)`` membership, ``count_docs()`` for the
+    snapshot size at copy start, and ``commit()`` which atomically transfers
+    the documents and flips ownership, returning the doc count moved — or
+    raises a :class:`~repro.common.errors.ServerCrashed` family error to
+    abort (ownership must then still be at the source).
+    """
+
+    __slots__ = (
+        "source", "target", "label", "covers", "count_docs", "commit",
+        "state", "queued_at", "copy_started", "copy_done", "catchup_done",
+        "commit_start", "commit_end", "committed_at", "to_copy", "copied",
+        "mods", "batches", "aborts", "moved_docs", "next_batch_at",
+        "in_flight",
+    )
+
+    def __init__(self, source: int, target: int, label: str,
+                 covers: Callable[[str], bool],
+                 count_docs: Callable[[], int],
+                 commit: Callable[[], int]):
+        self.source = source
+        self.target = target
+        self.label = label
+        self.covers = covers
+        self.count_docs = count_docs
+        self.commit = commit
+        self.state = "queued"
+        self.queued_at = 0.0
+        self.copy_started = 0.0
+        self.copy_done = 0.0
+        self.catchup_done = 0.0
+        self.commit_start = 0.0
+        self.commit_end = 0.0
+        self.committed_at = 0.0
+        self.to_copy = 0
+        self.copied = 0
+        self.mods = 0
+        self.batches = 0
+        self.aborts = 0
+        self.moved_docs = 0
+        self.next_batch_at = 0.0
+        self.in_flight: Optional[tuple] = None  # (done_at, doc_count)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "source": self.source,
+            "target": self.target,
+            "docs": self.moved_docs,
+            "batches": self.batches,
+            "mods": self.mods,
+            "aborts": self.aborts,
+            "copy_started": self.copy_started,
+            "committed_at": self.committed_at,
+        }
+
+
+class MigrationEngine:
+    """Executes queued migrations on the virtual clock, one at a time.
+
+    ``throttle`` in (0, 1] is the fraction of the disk/NIC bandwidth the
+    migration may use: each batch's busy window is followed by an idle gap
+    sized so the duty cycle equals the throttle (MongoDB's
+    ``_secondaryThrottle`` knob, reduced to its effect).
+    """
+
+    def __init__(self, share_fn: Callable[[int], float], base_shards: int,
+                 throttle: float = 1.0, offered_load: float = 0.7,
+                 tracer=None, metrics=None):
+        if not 0.0 < throttle <= 1.0:
+            raise ShardingError(
+                f"migration throttle must be in (0, 1], got {throttle}")
+        if not 0.0 <= offered_load < 1.0:
+            raise ShardingError(
+                f"offered load must be in [0, 1), got {offered_load}")
+        self._share_fn = share_fn
+        self.base_shards = max(1, base_shards)
+        self.throttle = throttle
+        self.offered_load = offered_load
+        self.tracer = tracer
+        self.metrics = metrics
+        self._io: Dict[int, ShardIo] = {}
+        self._queue: List[Migration] = []
+        self._active: Optional[Migration] = None
+        self.completed: List[Migration] = []
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._now = 0.0
+        self._last_commit_span = None
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, migration: Migration, now: float) -> None:
+        migration.queued_at = now
+        self._queue.append(migration)
+        if self.started_at is None:
+            self.started_at = now
+
+    @property
+    def idle(self) -> bool:
+        return self._active is None and not self._queue
+
+    @property
+    def migrations(self) -> int:
+        return len(self.completed)
+
+    @property
+    def moved_docs(self) -> int:
+        return sum(m.moved_docs for m in self.completed)
+
+    @property
+    def aborted_commits(self) -> int:
+        done = sum(m.aborts for m in self.completed)
+        active = self._active.aborts if self._active else 0
+        return done + active + sum(m.aborts for m in self._queue)
+
+    @property
+    def time_to_rebalance(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        if not self.idle:
+            return None
+        return self.completed_at - self.started_at
+
+    def is_migrating(self, covers_probe: str) -> bool:
+        """Whether any queued or active migration covers ``covers_probe``."""
+        for m in ([self._active] if self._active else []) + self._queue:
+            if m.covers(covers_probe):
+                return True
+        return False
+
+    def route_override(self, key: str) -> Optional[int]:
+        """The *source* shard for a key still mid-handoff, else ``None``.
+
+        Ring-based clusters route through this before the new ring: until a
+        migration commits, its keys are authoritative at the old owner.
+        """
+        for m in ([self._active] if self._active else []) + self._queue:
+            if m.covers(key):
+                return m.source
+        return None
+
+    def io_for(self, shard: int) -> ShardIo:
+        if shard not in self._io:
+            self._io[shard] = ShardIo()
+        return self._io[shard]
+
+    # -- foreground coupling -----------------------------------------------------
+
+    def note_write(self, key: str) -> None:
+        """A foreground write landed; if it hit the moving range, it becomes
+        catch-up work."""
+        m = self._active
+        if m and m.state in ("copying", "catchup") and m.covers(key):
+            m.mods += 1
+
+    def frozen_shard(self, key: str, now: float) -> Optional[int]:
+        """The source shard index if ``key`` is inside a commit critical
+        section at ``now``, else ``None``."""
+        m = self._active
+        if (m and m.state == "committing"
+                and m.commit_start <= now < m.commit_end
+                and m.covers(key)):
+            return m.source
+        return None
+
+    def op_cost(self, shard: int, now: float) -> float:
+        """Queueing (behind copy traffic) + utilization-inflated disk service
+        one foreground op pays at ``shard``."""
+        io = self._io.get(shard)
+        wait = io.wait(now) if io else 0.0
+        rho = min(MAX_UTILIZATION,
+                  self.offered_load * self.base_shards * self._share_fn(shard))
+        return wait + FOREGROUND_SERVICE_S / (1.0 - rho)
+
+    # -- the clock -------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Make all migration progress due by ``now``."""
+        self._now = max(self._now, now)
+        while True:
+            if self._active is None:
+                if not self._queue:
+                    return
+                self._active = self._queue.pop(0)
+                self._begin(self._active, now)
+            if not self._step(self._active, now):
+                return
+
+    def _begin(self, m: Migration, now: float) -> None:
+        m.state = "copying"
+        m.copy_started = max(now, m.queued_at)
+        m.next_batch_at = m.copy_started
+        m.to_copy = m.count_docs()
+
+    def _occupy_pair(self, source: int, target: int, start: float,
+                     seconds: float) -> tuple[float, float]:
+        """Occupy both shards' FIFOs for one transfer; returns (begin, end)."""
+        src, dst = self.io_for(source), self.io_for(target)
+        begin = max(start, src.busy_until, dst.busy_until)
+        end = begin + seconds
+        src.busy_until = dst.busy_until = end
+        src.busy_seconds += seconds
+        dst.busy_seconds += seconds
+        return begin, end
+
+    def _step(self, m: Migration, now: float) -> bool:
+        """One state-machine step; returns False when blocked until after
+        ``now``."""
+        if m.state == "copying":
+            if m.in_flight is not None:
+                done_at, docs = m.in_flight
+                if now < done_at:
+                    return False
+                m.copied += docs
+                m.in_flight = None
+                return True
+            if m.copied < m.to_copy:
+                if now < m.next_batch_at:
+                    return False
+                docs = min(COPY_BATCH_DOCS, m.to_copy - m.copied)
+                begin, end = self._occupy_pair(
+                    m.source, m.target, m.next_batch_at,
+                    docs * PER_DOC_COPY_S)
+                m.in_flight = (end, docs)
+                m.batches += 1
+                # Idle gap after the batch keeps the duty cycle == throttle.
+                m.next_batch_at = begin + docs * PER_DOC_COPY_S / self.throttle
+                return True
+            m.copy_done = max(m.copy_started, now)
+            m.state = "catchup"
+            if m.mods:
+                _, end = self._occupy_pair(
+                    m.source, m.target, m.copy_done,
+                    m.mods * CATCHUP_PER_MOD_S / self.throttle)
+                m.catchup_done = end
+            else:
+                m.catchup_done = m.copy_done
+            return True
+        if m.state == "catchup":
+            if now < m.catchup_done:
+                return False
+            m.state = "committing"
+            m.commit_start = m.catchup_done
+            m.commit_end = m.commit_start + COMMIT_CRITICAL_S
+            return True
+        if m.state == "committing":
+            if now < m.commit_end:
+                return False
+            try:
+                m.moved_docs = m.commit()
+            except ServerCrashed:
+                # Abort: ownership stays at the source; retry the commit
+                # window after the back-off (nothing acknowledged is lost).
+                m.aborts += 1
+                m.commit_start = now + MIGRATION_RETRY_S
+                m.commit_end = m.commit_start + COMMIT_CRITICAL_S
+                return True
+            m.state = "done"
+            m.committed_at = m.commit_end
+            self.completed.append(m)
+            self.completed_at = m.commit_end
+            self._active = None
+            self._emit_spans(m)
+            if self.metrics:
+                self.metrics.counter("docstore.migrations").inc()
+                self.metrics.counter("docstore.migrated_docs").inc(
+                    m.moved_docs)
+                if m.aborts:
+                    self.metrics.counter(
+                        "docstore.migration_aborts").inc(m.aborts)
+            return True
+        return False
+
+    def _emit_spans(self, m: Migration) -> None:
+        if not self.tracer:
+            return
+        lane = f"{m.source}->{m.target}"
+        copy = self.tracer.add(
+            "migration.copy", m.copy_started, m.copy_done,
+            cat="migration", node="balancer", lane=lane,
+            label=m.label, docs=m.to_copy, batches=m.batches,
+        )
+        prev = copy
+        if m.catchup_done > m.copy_done:
+            catchup = self.tracer.add(
+                "migration.catchup", m.copy_done, m.catchup_done,
+                cat="migration", node="balancer", lane=lane,
+                label=m.label, mods=m.mods,
+            )
+            self.tracer.link(prev, catchup, "seq")
+            prev = catchup
+        commit = self.tracer.add(
+            "migration.commit", m.commit_start, m.commit_end,
+            cat="migration", node="balancer", lane=lane,
+            label=m.label, docs=m.moved_docs, aborts=m.aborts,
+        )
+        self.tracer.link(prev, commit, "seq")
+        if self._last_commit_span is not None:
+            # Migrations run one at a time: each commit hands the engine to
+            # the next migration's copy — the chain critpath walks.
+            self.tracer.link(self._last_commit_span, copy, "handoff")
+        self._last_commit_span = commit
+
+    def _next_event_time(self, now: float) -> float:
+        m = self._active
+        if m is None:
+            return now
+        if m.state == "copying":
+            if m.in_flight is not None:
+                return m.in_flight[0]
+            return max(now, m.next_batch_at)
+        if m.state == "catchup":
+            return m.catchup_done
+        if m.state == "committing":
+            return m.commit_end
+        return now
+
+    def run_to_completion(self, now: float) -> float:
+        """Advance the virtual clock until every migration commits.
+
+        Used after the op stream ends so time-to-rebalance is well defined
+        even when the workload finishes mid-migration.  Aborted commits keep
+        retrying; a shard that never comes back makes the plan unfinishable,
+        which surfaces as the guard error rather than an infinite loop.
+        """
+        t = max(now, self._now)
+        for _ in range(1_000_000):
+            self.advance(t)
+            if self.idle:
+                return t
+            nxt = self._next_event_time(t)
+            t = nxt if nxt > t else t + 1e-3
+        raise SimulationError(
+            "migrations did not complete (is a shard permanently down?)")
+
+    def stats(self) -> dict:
+        return {
+            "migrations": self.migrations,
+            "moved_docs": self.moved_docs,
+            "aborted_commits": self.aborted_commits,
+            "batches": sum(m.batches for m in self.completed),
+            "mods_replayed": sum(m.mods for m in self.completed),
+            "time_to_rebalance": self.time_to_rebalance,
+            "copy_busy_seconds": round(
+                sum(io.busy_seconds for io in self._io.values()), 9),
+        }

@@ -45,9 +45,20 @@ from repro.faults.chaos import (
 from repro.faults.plan import (
     FAULT_KINDS,
     MEMBER_KINDS,
+    TOPOLOGY_KINDS,
     FaultPlan,
     FaultSpec,
     StationFaults,
+)
+from repro.faults.reshard import (
+    RESHARD_SYSTEMS,
+    ReshardYcsbRun,
+    dumps_reshard_report,
+    render_reshard_report,
+    reshard_report,
+    reshard_row,
+    validate_reshard_report,
+    write_reshard_report,
 )
 from repro.faults.report import (
     FaultReport,
@@ -76,9 +87,18 @@ __all__ = [
     "write_availability_report",
     "FAULT_KINDS",
     "MEMBER_KINDS",
+    "TOPOLOGY_KINDS",
     "FaultSpec",
     "FaultPlan",
     "StationFaults",
+    "RESHARD_SYSTEMS",
+    "ReshardYcsbRun",
+    "reshard_report",
+    "reshard_row",
+    "dumps_reshard_report",
+    "render_reshard_report",
+    "validate_reshard_report",
+    "write_reshard_report",
     "RetryPolicy",
     "backoff_delay",
     "FaultedYcsbRun",

@@ -167,6 +167,7 @@ class LostWrite:
     concern: str
     ack_time: float
     allowed: bool  # within the concern's documented loss window
+    migrated: bool = False  # the key's chunk/arc changed shards mid-run
 
 
 @dataclass
@@ -176,6 +177,8 @@ class AuditReport:
     acked: dict = field(default_factory=dict)       # concern -> count
     lost: list = field(default_factory=list)        # LostWrite, all of them
     checked: int = 0
+    migrations: int = 0   # chunk/arc handoffs the ledger knew about
+    migrated_checked: int = 0  # ledgered writes whose key changed shards
 
     @property
     def lost_allowed(self) -> int:
@@ -208,6 +211,8 @@ class WriteLedger:
         self.inserts: dict = {}   # key -> record
         self.updates: dict = {}   # (key, fieldname) -> record
         self.acked_counts: dict = {}
+        self._migration_covers: list = []  # covers(key) of committed moves
+        self.migrations = 0
 
     def record(self, write) -> None:
         """``write`` is a :class:`repro.replication.replicaset.LastWrite`."""
@@ -218,6 +223,20 @@ class WriteLedger:
             self.inserts[write.key] = write
         elif write.op == "update":
             self.updates[(write.key, write.fieldname)] = write
+
+    def note_migration(self, covers) -> None:
+        """A chunk/arc handoff committed; ``covers(key)`` tests membership.
+
+        The audit uses this to mark each checked (and each lost) write as
+        migrated or not — "no write acked at its concern is lost
+        mid-migration" is only falsifiable if the audit knows which writes
+        actually rode a migration.
+        """
+        self.migrations += 1
+        self._migration_covers.append(covers)
+
+    def _migrated(self, key: str) -> bool:
+        return any(covers(key) for covers in self._migration_covers)
 
     def _loss_allowed(self, write, loss_events: list[float]) -> bool:
         if write.concern in self._NO_PROMISE:
@@ -238,17 +257,25 @@ class WriteLedger:
         partitions, used to decide whether a ``safe``-mode loss falls in
         the documented 100 ms window.
         """
-        report = AuditReport(acked=dict(self.acked_counts))
+        report = AuditReport(acked=dict(self.acked_counts),
+                             migrations=self.migrations)
         for key, write in sorted(self.inserts.items()):
             report.checked += 1
+            migrated = self._migrated(key)
+            if migrated:
+                report.migrated_checked += 1
             if read_fn(key) is None:
                 report.lost.append(LostWrite(
                     key=key, fieldname=None, concern=write.concern,
                     ack_time=write.ack_time,
                     allowed=self._loss_allowed(write, loss_events),
+                    migrated=migrated,
                 ))
         for (key, fieldname), write in sorted(self.updates.items()):
             report.checked += 1
+            migrated = self._migrated(key)
+            if migrated:
+                report.migrated_checked += 1
             document = read_fn(key)
             value = document.get(fieldname) if document else None
             if value != write.value:
@@ -256,6 +283,7 @@ class WriteLedger:
                     key=key, fieldname=fieldname, concern=write.concern,
                     ack_time=write.ack_time,
                     allowed=self._loss_allowed(write, loss_events),
+                    migrated=migrated,
                 ))
         return report
 

@@ -55,6 +55,12 @@ FAULT_KINDS = frozenset({
     "partition-member",  # member unreachable (state intact, no traffic)
     "heal-member",       # the partition heals
     "lag-spike",         # replication lag x magnitude over the duration
+    # Topology events (PR 8): live elastic resharding.  ``scale:shards=6@0.3``
+    # grows the cluster to six shards 30% into the op stream (chunks / hash-
+    # ring ranges migrate on the virtual clock); ``drain:shard=2@0.5`` moves
+    # everything off shard 2 and retires it.
+    "scale",          # grow the cluster to target="shards=N" total shards
+    "drain",          # evacuate and retire target="shard=K"
 })
 
 # Kinds that operate on one member of a replica-set shard.
@@ -66,8 +72,11 @@ MEMBER_KINDS = frozenset({
 # Kinds that inflate service times / error ops at an event-sim station.
 STATION_KINDS = frozenset({"disk-stall", "net-spike", "op-error", "crash"})
 
+# Kinds that change cluster topology mid-run (elastic resharding).
+TOPOLOGY_KINDS = frozenset({"scale", "drain"})
+
 _SPEC_RE = re.compile(
-    r"^(?P<kind>[a-z-]+):(?P<target>[A-Za-z0-9_.-]+)@(?P<at>\d+(?:\.\d+)?)"
+    r"^(?P<kind>[a-z-]+):(?P<target>[A-Za-z0-9_.=-]+)@(?P<at>\d+(?:\.\d+)?)"
     r"(?:\+(?P<duration>\d+(?:\.\d+)?))?"
     r"(?:x(?P<magnitude>\d+(?:\.\d+)?))?$"
 )
@@ -95,6 +104,12 @@ class FaultSpec:
             raise FaultPlanError(f"fault duration must be >= 0, got {self.duration}")
         if self.magnitude <= 0:
             raise FaultPlanError(f"fault magnitude must be > 0, got {self.magnitude}")
+        # Topology targets are validated eagerly so a malformed spec string
+        # fails at parse time (CLI exit 2), not mid-run.
+        if self.kind == "scale":
+            self.scale_target()
+        elif self.kind == "drain":
+            self.drain_target()
 
     @property
     def end(self) -> float:
@@ -108,6 +123,29 @@ class FaultSpec:
                 f"fault target {self.target!r} does not name an index"
             )
         return int(digits)
+
+    def scale_target(self) -> int:
+        """The target parsed as ``shards=N`` -> N (total shard count)."""
+        match = re.fullmatch(r"shards=(\d+)", self.target)
+        if match is None:
+            raise FaultPlanError(
+                f"scale target {self.target!r} must look like shards=N"
+            )
+        count = int(match.group(1))
+        if count < 1:
+            raise FaultPlanError(
+                f"scale target must name at least one shard, got {count}"
+            )
+        return count
+
+    def drain_target(self) -> int:
+        """The target parsed as ``shard=K`` -> K (shard index to retire)."""
+        match = re.fullmatch(r"shard=(\d+)", self.target)
+        if match is None:
+            raise FaultPlanError(
+                f"drain target {self.target!r} must look like shard=K"
+            )
+        return int(match.group(1))
 
     def member_target(self) -> tuple[int, int]:
         """The target parsed as ``shard.member`` (``2.0`` -> (2, 0))."""
@@ -178,6 +216,10 @@ class FaultPlan:
     @property
     def member_faults(self) -> list[FaultSpec]:
         return self.of_kind(*MEMBER_KINDS)
+
+    @property
+    def topology_faults(self) -> list[FaultSpec]:
+        return self.of_kind(*TOPOLOGY_KINDS)
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "FaultPlan":

@@ -21,13 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import (
+    ChunkMoving,
     FaultPlanError,
     ServerCrashed,
     ShardUnavailable,
+    StaleConfigError,
     WorkloadError,
 )
 from repro.common.rng import SeedStream
-from repro.faults.plan import MEMBER_KINDS, FaultPlan
+from repro.faults.plan import MEMBER_KINDS, TOPOLOGY_KINDS, FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.ycsb.generators import (
     CounterGenerator,
@@ -64,7 +66,11 @@ SERVICE_LATENCY = {
 # A failed attempt (connection refused / socket exception) is detected fast.
 FAILURE_DETECT_LATENCY = 0.0005
 
-_RETRYABLE = (ShardUnavailable, ServerCrashed)
+# ``ChunkMoving`` (a migration commit's critical section) and
+# ``StaleConfigError`` (a routing cache that refuses to converge) are both
+# transient by construction: one backoff outlasts the commit window, and a
+# refresh converges as soon as the metadata settles.
+_RETRYABLE = (ShardUnavailable, ServerCrashed, ChunkMoving, StaleConfigError)
 
 
 @dataclass
@@ -74,6 +80,7 @@ class FaultedRunStats:
     attempted: int = 0
     succeeded: int = 0
     retries: int = 0
+    chunk_moving_retries: int = 0  # bounced off a migration commit window
     backoff_seconds: float = 0.0
     duration: float = 0.0  # logical seconds
     errors: dict = field(default_factory=dict)  # op class -> abandoned ops
@@ -159,16 +166,21 @@ class FaultedYcsbRun:
         the op they delay — the next ``request.*`` span in the stream.
         """
         fired_spans = []
-        for fault in self.plan.shard_faults + self.plan.member_faults:
+        for fault in (self.plan.shard_faults + self.plan.member_faults
+                      + self.plan.topology_faults):
             key = fault.spec_string()
             if key in stats.faults_fired:
                 continue
             if op_index < self._fault_op_index(fault.at):
                 continue
+            lane = "shards"
             if fault.kind in MEMBER_KINDS:
                 shard, member = fault.member_target()
                 self._fire_member_fault(fault, shard, member)
                 target_args = {"shard": shard, "member": member}
+            elif fault.kind in TOPOLOGY_KINDS:
+                target_args = self._fire_topology_fault(fault)
+                lane = "topology"
             else:
                 shard = fault.target_index()
                 if fault.kind == "kill-shard":
@@ -181,7 +193,7 @@ class FaultedYcsbRun:
             if self.tracer:
                 fired_spans.append(self.tracer.add(
                     f"fault.{fault.kind}", self.now, self.now,
-                    cat="fault", node="faults", lane="shards",
+                    cat="fault", node="faults", lane=lane,
                     op_index=op_index, **target_args,
                 ))
             if self.metrics:
@@ -209,6 +221,21 @@ class FaultedYcsbRun:
             shard.lag_spike(
                 member_index, fault.magnitude, self.now + fault.duration
             )
+
+    def _fire_topology_fault(self, fault) -> dict:
+        """Apply a live-resharding event (needs an elastic cluster)."""
+        if not hasattr(self.cluster, "scale_to"):
+            raise FaultPlanError(
+                f"fault {fault.spec_string()!r} reshapes the cluster but "
+                "this cluster type does not support live resharding"
+            )
+        if fault.kind == "scale":
+            count = fault.scale_target()
+            queued = self.cluster.scale_to(count, now=self.now)
+            return {"shards": count, "migrations": queued}
+        index = fault.drain_target()
+        queued = self.cluster.drain_shard(index, now=self.now)
+        return {"shard": index, "migrations": queued}
 
     def _tick_cluster(self, at: float | None = None) -> None:
         """Advance replica-set clocks (oplog shipping, flushes, elections)."""
@@ -276,12 +303,19 @@ class FaultedYcsbRun:
         attempt = 0
         failed = False
         op_spans = list(pending_spans)  # fault.* markers that delay this op
+        consume_io = getattr(self.cluster, "consume_io_wait", None)
         while True:
             try:
                 execute()
-            except _RETRYABLE:
+            except _RETRYABLE as exc:
                 latency += FAILURE_DETECT_LATENCY
+                if consume_io is not None:
+                    latency += consume_io()  # queueing paid before the bounce
                 attempt += 1
+                if isinstance(exc, ChunkMoving):
+                    stats.chunk_moving_retries += 1
+                    if self.metrics:
+                        self.metrics.counter("ycsb.chunk_moving_retries").inc()
                 if self.metrics:
                     self.metrics.counter(f"ycsb.failed_attempts.{op_class}").inc()
                 if self.policy.gives_up(attempt, latency):
@@ -315,6 +349,8 @@ class FaultedYcsbRun:
                 continue
             # Success path.
             latency += SERVICE_LATENCY[op_class]
+            if consume_io is not None:
+                latency += consume_io()  # migration copy queueing + rho
             consume_ack = getattr(self.cluster, "consume_ack_delay", None)
             if consume_ack is not None:
                 latency += consume_ack()  # write-concern ack cost
@@ -389,6 +425,9 @@ class FaultedYcsbRun:
         if take_write is not None:
             while take_write() is not None:
                 pass
+        consume_io = getattr(self.cluster, "consume_io_wait", None)
+        if consume_io is not None:
+            consume_io()
 
     def run(self) -> FaultedRunStats:
         stats = FaultedRunStats()

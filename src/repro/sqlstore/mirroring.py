@@ -103,6 +103,15 @@ class MirroredSqlServerNode:
             )
         return ok
 
+    def remove(self, key: str) -> bool:
+        ok = self.principal.remove(key)
+        if ok:
+            self._ship(lambda node: node.remove(key))
+        return ok
+
+    def keys_in_range(self, low: str, high: str) -> list[str]:
+        return self.principal.keys_in_range(low, high)
+
     def scan(self, start_key: str, count: int) -> list[dict]:
         return self.principal.scan(start_key, count)
 

@@ -218,6 +218,35 @@ class SqlServerNode:
         finally:
             self._commit(txid)
 
+    def remove(self, key: str) -> bool:
+        """Delete one row transactionally (used by elastic shard handoff)."""
+        self._check_alive()
+        txid = self._begin()
+        try:
+            self._acquire(txid, key, LockMode.EXCLUSIVE)
+            page_id = self.index.get(key)
+            if page_id is None:
+                return False
+            self._access(page_id, dirty=True)
+            page = self.pages.get(page_id)
+            before = page.get(key)
+            page.delete(key)
+            self.index.delete(key)
+            self.wal.append(txid, LogOp.DELETE, key=key, before=before)
+            return True
+        finally:
+            self._commit(txid)
+
+    def keys_in_range(self, low: str, high: str) -> list[str]:
+        """All keys in [low, high), sorted — migration snapshot enumeration.
+
+        Metadata-only (walks the index, touches no pages); the data-plane
+        cost of actually moving the rows is modelled by the migration
+        engine's throttled copy batches.
+        """
+        self._check_alive()
+        return [k for k, _ in self.index.items() if low <= k < high]
+
     def scan(self, start_key: str, count: int) -> list[dict[str, str]]:
         self._check_alive()
         txid = self._begin()

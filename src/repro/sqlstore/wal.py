@@ -20,6 +20,7 @@ class LogOp(Enum):
     BEGIN = "begin"
     UPDATE = "update"
     INSERT = "insert"
+    DELETE = "delete"
     COMMIT = "commit"
     ABORT = "abort"
     CHECKPOINT = "checkpoint"

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.errors import ShardingError, StorageError
+from repro.common.errors import ShardUnavailable, ShardingError, StorageError
 from repro.docstore import (
     ConfigServer,
     GlobalLock,
@@ -149,6 +149,20 @@ class TestChunks:
         with pytest.raises(ShardingError):
             cfg2.pre_split(["a"], 2)
 
+    def test_split_at_lower_bound_rejected(self):
+        """A degenerate split (key == lower bound) would mint an empty chunk
+        the balancer then shuffles forever; the config server refuses it."""
+        cfg = ConfigServer()
+        cfg.bootstrap()
+        chunk = cfg.chunk_for("anything")
+        with pytest.raises(ShardingError):
+            cfg.split_chunk(chunk, "")  # low=None means -inf: "" degenerates
+        cfg.split_chunk(chunk, "m")
+        right = cfg.chunk_for("m")
+        with pytest.raises(ShardingError):
+            cfg.split_chunk(right, "m")
+        assert cfg.splits == 1
+
     def test_balancer_moves_chunks_and_docs(self):
         cluster = MongoAsCluster(shard_count=2, max_chunk_docs=10, balancer_threshold=2)
         for i in range(200):
@@ -165,6 +179,67 @@ class TestChunks:
         assert cluster.doc_count == 200
         for i in (0, 57, 199):
             assert cluster.read(make_key(i)) is not None
+
+
+class TestBalancerFaultRace:
+    @staticmethod
+    def _skewed_cluster():
+        cluster = MongoAsCluster(shard_count=2, max_chunk_docs=10,
+                                 balancer_threshold=2, mongos_count=1)
+        for i in range(120):
+            cluster.insert(make_key(i), {"f": "v"})
+        assert cluster.balancer.needs_balancing(cluster.config, 2)
+        return cluster
+
+    def test_kill_source_aborts_round_and_restart_recovers(self):
+        cluster = self._skewed_cluster()
+        heavy = max(range(2),
+                    key=lambda i: cluster.config.shard_chunk_counts(2)[i])
+        cluster.kill_shard(heavy)
+        with pytest.raises(ShardUnavailable) as exc:
+            cluster.run_balancer()
+        assert exc.value.shard == heavy
+        # The aborted round flipped no ownership off the dead shard.
+        assert cluster.balancer.needs_balancing(cluster.config, 2)
+        cluster.restart_shard(heavy)
+        assert cluster.run_balancer() > 0
+        counts = cluster.config.shard_chunk_counts(2)
+        assert max(counts) - min(counts) < 2
+        assert cluster.doc_count == 120
+        for i in (0, 59, 119):
+            assert cluster.read(make_key(i)) is not None
+
+    def test_kill_target_aborts_round_and_restart_recovers(self):
+        cluster = self._skewed_cluster()
+        light = min(range(2),
+                    key=lambda i: cluster.config.shard_chunk_counts(2)[i])
+        cluster.kill_shard(light)
+        with pytest.raises(ShardUnavailable) as exc:
+            cluster.run_balancer()
+        assert exc.value.shard == light
+        cluster.restart_shard(light)
+        assert cluster.run_balancer() > 0
+        assert cluster.doc_count == 120
+
+    def test_chunk_counts_stay_consistent_over_split_migrate_cycles(self):
+        cluster = MongoAsCluster(shard_count=4, max_chunk_docs=8,
+                                 balancer_threshold=2, mongos_count=1)
+        for i in range(300):
+            cluster.insert(make_key(i), {"f": "v"})
+            if i % 50 == 49:
+                cluster.run_balancer()
+        counts = cluster.config.shard_chunk_counts(4)
+        assert sum(counts) == len(cluster.config.chunks)
+        assert max(counts) - min(counts) < cluster.balancer.threshold
+        assert sum(c.doc_count for c in cluster.config.chunks) == 300
+        assert cluster.doc_count == 300
+        # Every chunk's doc_count matches what its shard actually holds.
+        for chunk in cluster.config.chunks:
+            low = chunk.low if chunk.low is not None else ""
+            high = chunk.high if chunk.high is not None else "￿"
+            held = cluster.shards[chunk.shard].collection(
+                "usertable").keys_in_range(low, high)
+            assert len(held) == chunk.doc_count
 
 
 class TestMongoAsCluster:

@@ -27,24 +27,34 @@ def _entry(seconds, runs=1):
 
 class TestTrajectoryManifest:
     def test_pr_number_and_required_set(self):
-        assert trajectory.PR == 7
+        assert trajectory.PR == 8
         assert "critpath_whatif_replay" in trajectory.REQUIRED_BENCHMARKS
         assert "utilization_sampling_overhead" in trajectory.REQUIRED_BENCHMARKS
+        assert "reshard_time_to_rebalance" in trajectory.REQUIRED_BENCHMARKS
 
-    def test_committed_bench_7_is_valid(self):
-        path = BENCHMARKS_DIR.parent / "BENCH_7.json"
+    def test_committed_bench_8_is_valid(self):
+        path = BENCHMARKS_DIR.parent / "BENCH_8.json"
         doc = json.loads(path.read_text())
         assert trajectory.validate(doc) == []
-        assert doc["pr"] == 7
+        assert doc["pr"] == 8
 
     def test_committed_overhead_ratio_inside_ceiling(self):
         """The batched sampler keeps tracing overhead under the gate."""
-        path = BENCHMARKS_DIR.parent / "BENCH_7.json"
+        path = BENCHMARKS_DIR.parent / "BENCH_8.json"
         doc = json.loads(path.read_text())
         entry = doc["benchmarks"]["utilization_sampling_overhead"]
         limit = gate.META_THRESHOLDS[
             ("utilization_sampling_overhead", "overhead_ratio")]
         assert entry["meta"]["overhead_ratio"] <= limit
+
+    def test_committed_rebalance_time_inside_ceiling(self):
+        """The throttled scale-up commits within the virtual-clock budget."""
+        path = BENCHMARKS_DIR.parent / "BENCH_8.json"
+        doc = json.loads(path.read_text())
+        entry = doc["benchmarks"]["reshard_time_to_rebalance"]
+        limit = gate.META_THRESHOLDS[
+            ("reshard_time_to_rebalance", "rebalance_virtual_s")]
+        assert 0.0 < entry["meta"]["rebalance_virtual_s"] <= limit
 
     def test_meta_threshold_gating(self):
         candidate = _doc(7, False, {
