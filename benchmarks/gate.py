@@ -12,7 +12,14 @@ benchmark regresses when
 with the comparison restricted to files of the same ``smoke`` flavour — a
 CI-sized smoke run is not comparable to a full run.  Benchmarks that are new
 in the candidate, or that timed out on either side, are reported but never
-fail the gate.  Exit 1 on any regression or invalid file, 0 otherwise.
+fail the gate.  When both sides carry a ``host`` fingerprint and the
+fingerprints differ, a would-be regression is annotated ``cross-host``
+instead of failing — wall clocks from different machines are not
+comparable (files from before the fingerprint was recorded are treated as
+same-host, keeping the old strictness).  On a real tolerance failure the
+gate renders a ``repro-compare/1`` attribution (via ``repro.obs.compare``)
+so the CI log says *which subsystem* regressed, not just that something
+got slower.  Exit 1 on any regression or invalid file, 0 otherwise.
 
 Usage::
 
@@ -29,6 +36,7 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from trajectory import validate  # noqa: E402
 
@@ -60,13 +68,31 @@ def load_trajectories(root: Path) -> dict:
     return out
 
 
+def best_baselines(candidate: dict, baselines: list) -> dict:
+    """``{benchmark: (best entry, owning doc)}`` among same-flavour files."""
+    comparable = [doc for doc in baselines
+                  if doc.get("smoke") == candidate.get("smoke")]
+    best = {}
+    for name in candidate.get("benchmarks", {}):
+        for doc in comparable:
+            base = doc.get("benchmarks", {}).get(name)
+            if base is None or base.get("timed_out"):
+                continue
+            seconds = base.get("seconds")
+            if not isinstance(seconds, (int, float)):
+                continue
+            if name not in best or seconds < best[name][0]["seconds"]:
+                best[name] = (base, doc)
+    return best
+
+
 def compare(candidate: dict, baselines: list, tolerance: float) -> list:
     """Per-benchmark verdicts: ``(name, status, detail)`` tuples.
 
-    ``status`` is one of ``ok``, ``regression``, ``new``, ``timed_out``.
+    ``status`` is one of ``ok``, ``regression``, ``cross-host``, ``new``,
+    ``timed_out``.
     """
-    comparable = [doc for doc in baselines
-                  if doc.get("smoke") == candidate.get("smoke")]
+    best_by_name = best_baselines(candidate, baselines)
     verdicts = []
     for name in sorted(candidate.get("benchmarks", {})):
         entry = candidate["benchmarks"][name]
@@ -74,21 +100,23 @@ def compare(candidate: dict, baselines: list, tolerance: float) -> list:
             verdicts.append((name, "timed_out", "candidate section timed out"))
             continue
         seconds = entry.get("seconds")
-        best = None
-        for doc in comparable:
-            base = doc.get("benchmarks", {}).get(name)
-            if base is None or base.get("timed_out"):
-                continue
-            base_seconds = base.get("seconds")
-            if isinstance(base_seconds, (int, float)):
-                best = base_seconds if best is None else min(best, base_seconds)
-        if best is None:
+        if name not in best_by_name:
             verdicts.append((name, "new", f"{seconds:.4f} s (no baseline)"))
             continue
+        base_entry, base_doc = best_by_name[name]
+        best = base_entry["seconds"]
         ratio = seconds / best if best else float("inf")
         detail = (f"{seconds:.4f} s vs best baseline {best:.4f} s "
                   f"({ratio:.2f}x, tolerance {tolerance:g}x)")
         status = "regression" if ratio > tolerance else "ok"
+        if status == "regression":
+            cand_host = candidate.get("host")
+            base_host = base_doc.get("host")
+            if cand_host and base_host and cand_host != base_host:
+                # Both sides are fingerprinted and the machines differ:
+                # annotate instead of failing (wall clocks don't transfer).
+                status = "cross-host"
+                detail += " [hosts differ: annotated, not gated]"
         verdicts.append((name, status, detail))
     for (bench, key), limit in sorted(META_THRESHOLDS.items()):
         entry = candidate.get("benchmarks", {}).get(bench)
@@ -164,16 +192,57 @@ def main(argv: list[str] | None = None) -> int:
           f"{len(baselines)} baseline file(s)")
     verdicts = compare(candidate, baselines, args.tolerance)
     regressed = False
+    regressed_names = []
     for name, status, detail in verdicts:
         marker = {"ok": "ok ", "new": "new", "timed_out": "t/o",
-                  "regression": "REG"}[status]
+                  "cross-host": "X-H", "regression": "REG"}[status]
         print(f"  [{marker}] {name:<32} {detail}")
-        regressed = regressed or status == "regression"
+        if status == "regression":
+            regressed = True
+            # META_THRESHOLDS verdicts are named "bench.key"; only real
+            # benchmark entries can be attributed by the compare layer.
+            if name in candidate.get("benchmarks", {}):
+                regressed_names.append(name)
 
     if regressed:
         print("REGRESSION: candidate exceeds tolerance vs baseline",
               file=sys.stderr)
+        _print_attribution(candidate, baselines, regressed_names)
     return 1 if (regressed or invalid) else 0
+
+
+def _print_attribution(candidate: dict, baselines: list,
+                       names: list) -> None:
+    """Render a ``repro-compare/1`` diff for the regressed benchmarks.
+
+    Best-effort: the gate's verdict is already decided, so any failure in
+    the attribution path is reported but never changes the exit code.
+    """
+    if not names:
+        return
+    try:
+        from repro.obs.compare import compare_runs, render_compare_report
+
+        best = best_baselines(candidate, baselines)
+        merged = {
+            "schema": candidate.get("schema"),
+            "pr": min((doc.get("pr", -1) for _, doc in best.values()),
+                      default=-1),
+            "smoke": candidate.get("smoke"),
+            "python": candidate.get("python"),
+            "benchmarks": {name: entry for name, (entry, _) in best.items()},
+        }
+        hosts = {id(doc): doc.get("host") for _, doc in best.values()}
+        host_values = [h for h in hosts.values() if h]
+        if len(set(map(str, host_values))) == 1:
+            merged["host"] = host_values[0]
+        report = compare_runs(merged, candidate, a_label="best-baseline",
+                              b_label="candidate", names=names)
+        print("attribution (repro-compare/1):", file=sys.stderr)
+        for line in render_compare_report(report).splitlines():
+            print(f"  {line}", file=sys.stderr)
+    except Exception as exc:  # pragma: no cover - diagnostic path only
+        print(f"(compare attribution unavailable: {exc})", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ the SF-250 query sweep, the YCSB workload A and E figures (analytic MVA
 and the discrete-event cross-validation), the open-loop frontier knee
 search, the elastic-resharding scenario (live chunk migration plus the
 write-safety audit), critical-path extraction plus
-what-if replay — and writes ``BENCH_8.json`` so future PRs can regress
+what-if replay — and writes ``BENCH_9.json`` so future PRs can regress
 against the numbers (``BENCH_<n>.json`` per PR; ``gate.py`` compares them
 and fails CI on a regression).
 
@@ -19,18 +19,28 @@ Format (see EXPERIMENTS.md, "Performance trajectory")::
       "pr": 2,
       "smoke": false,
       "python": "3.12.3",
+      "host": {"python": ..., "platform": ..., "cpu_count": ...},
       "benchmarks": {
         "<name>": {"seconds": <best-of-runs wall seconds>,
-                   "runs": <int>, "meta": {...}},
+                   "runs": <int>,
+                   "max_seconds": ..., "stddev": ...,   # when runs > 1
+                   "profile": {...},                    # with --profile
+                   "meta": {...}},
         ...
       }
     }
 
+``--profile`` re-runs each benchmark once under :class:`ProfiledRun` and
+embeds the top-5 hot functions + subsystem counters per entry, so
+``repro --compare`` can attribute a regression to a subsystem instead of
+just reporting a slower wall clock.
+
 Usage::
 
-    python benchmarks/trajectory.py                  # full run -> BENCH_8.json
+    python benchmarks/trajectory.py                  # full run -> BENCH_9.json
     python benchmarks/trajectory.py --smoke          # CI-sized subset
-    python benchmarks/trajectory.py --check BENCH_8.json   # validate only
+    python benchmarks/trajectory.py --smoke --profile
+    python benchmarks/trajectory.py --check BENCH_9.json   # validate only
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ import argparse
 import json
 import platform
 import signal
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -46,7 +57,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 SCHEMA = "repro-bench/1"
-PR = 8
+PR = 9
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / f"BENCH_{PR}.json"
 
 # A trajectory file must carry these top-level keys and benchmark names;
@@ -66,15 +77,43 @@ REQUIRED_BENCHMARKS = (
 )
 
 
+#: Set by ``--profile``: benchmark thunks read ``_PROF["prof"]`` to thread
+#: the profiler into producers (it is non-None only during the extra
+#: profiled repetition ``_timed`` runs after its timing loop).
+_PROF: dict = {"enabled": False, "prof": None}
+
+
 def _timed(fn, runs: int = 1) -> dict:
-    """Best-of-``runs`` wall-clock timing (the usual benchmarking guard)."""
-    best = float("inf")
+    """Best-of-``runs`` wall-clock timing (the usual benchmarking guard).
+
+    ``seconds`` is the best run; with ``runs > 1`` the spread rides along
+    (``max_seconds``/``stddev``) so the regression gate and the compare
+    layer can tell noise from a real slowdown.  With ``--profile`` one
+    extra repetition runs under a :class:`ProfiledRun` — *after* the timing
+    loop, so the profiler never pollutes ``seconds``.
+    """
+    times = []
     value = None
     for _ in range(runs):
         t0 = time.perf_counter()
         value = fn()
-        best = min(best, time.perf_counter() - t0)
-    return {"seconds": round(best, 4), "runs": runs, "value": value}
+        times.append(time.perf_counter() - t0)
+    timing = {"seconds": round(min(times), 4), "runs": runs, "value": value}
+    if runs > 1:
+        timing["max_seconds"] = round(max(times), 4)
+        timing["stddev"] = round(statistics.stdev(times), 4)
+    if _PROF["enabled"]:
+        from repro.obs import ProfiledRun, profile_summary
+
+        prof = ProfiledRun().start()
+        _PROF["prof"] = prof
+        try:
+            fn()
+        finally:
+            _PROF["prof"] = None
+            prof.stop()
+        timing["profile"] = profile_summary(prof, top=5)
+    return timing
 
 
 class SectionTimeout(Exception):
@@ -108,6 +147,9 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
 
     def record(name: str, timing: dict, **meta) -> None:
         entry = {"seconds": timing["seconds"], "runs": timing["runs"]}
+        for key in ("max_seconds", "stddev", "profile"):
+            if key in timing:
+                entry[key] = timing[key]
         if meta:
             entry["meta"] = meta
         benchmarks[name] = entry
@@ -192,19 +234,26 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
 
     duration = 20.0 if smoke else 60.0
     eventsim_names = ("ycsb_workload_a_eventsim", "ycsb_workload_e_eventsim")
+    # The measured window excludes the sim's 10 s warmup, so the virtual
+    # rate is ops / (duration - warmup) — deterministic, unlike the
+    # wall-clock rate that is derived from the best-of timing.
+    measured_window = duration - 10.0
+
+    def eventsim_bench(name: str, workload: str, target: float) -> None:
+        timing = _timed(lambda: oltp.event_sim_point(
+            "mongo-as", workload, target,
+            duration=duration, prof=_PROF["prof"])[1].completed_ops)
+        ops = timing["value"]
+        record(name, timing, duration=duration, ops=ops,
+               ops_per_virtual_s=round(ops / measured_window, 3),
+               ops_per_wall_s=round(ops / timing["seconds"], 3)
+               if timing["seconds"] else 0.0)
+
     if oltp is not None:
         guard(eventsim_names[:1],
-              lambda: record("ycsb_workload_a_eventsim",
-                             _timed(lambda: oltp.event_sim_point(
-                                 "mongo-as", "A", 10_000,
-                                 duration=duration)[1].completed_ops),
-                             duration=duration))
+              lambda: eventsim_bench("ycsb_workload_a_eventsim", "A", 10_000))
         guard(eventsim_names[1:],
-              lambda: record("ycsb_workload_e_eventsim",
-                             _timed(lambda: oltp.event_sim_point(
-                                 "mongo-as", "E", 2_000,
-                                 duration=duration)[1].completed_ops),
-                             duration=duration))
+              lambda: eventsim_bench("ycsb_workload_e_eventsim", "E", 2_000))
     else:
         skip(eventsim_names, "ycsb_workload_mva")
 
@@ -312,11 +361,14 @@ def run_benchmarks(smoke: bool, utilization_csv: str | None = None,
     else:
         skip(("critpath_whatif_replay",), "dss_calibration")
 
+    from repro.obs import host_meta
+
     return {
         "schema": SCHEMA,
         "pr": PR,
         "smoke": smoke,
         "python": platform.python_version(),
+        "host": host_meta(),
         "benchmarks": benchmarks,
     }
 
@@ -356,6 +408,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized subset (fewer queries/targets, "
                              "shorter sims)")
+    parser.add_argument("--profile", action="store_true",
+                        help="re-run each benchmark once under the "
+                             "self-profiler and embed top-5 hot functions "
+                             "+ subsystem counters per entry (timings stay "
+                             "unprofiled)")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
                         help=f"output path (default {DEFAULT_OUTPUT.name})")
     parser.add_argument("--utilization-csv", metavar="PATH",
@@ -386,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"smoke={doc['smoke']} benchmarks=[{names}]")
         return 1 if problems else 0
 
+    _PROF["enabled"] = bool(args.profile)
     doc = run_benchmarks(args.smoke, utilization_csv=args.utilization_csv,
                          section_timeout=args.section_timeout)
     problems = validate(doc)

@@ -73,6 +73,56 @@ def _parse_query_list(spec: str, flag: str) -> list[int]:
     return numbers
 
 
+def _profiling_enabled(args) -> bool:
+    """Any of the --profile family turns the self-profiler on."""
+    return bool(args.profile or args.profile_report
+                or args.profile_speedscope or args.profile_folded)
+
+
+def _profile_outputs(args, prof, scenario: dict) -> None:
+    """Shared --profile-report/--profile-speedscope/--profile-folded handling."""
+    from repro.obs import (
+        build_prof_report,
+        render_prof_report,
+        validate_prof_report,
+        write_folded,
+        write_prof_report,
+        write_speedscope,
+    )
+
+    prof.stop()
+    report = build_prof_report(prof, scenario)
+    validate_prof_report(report)
+    print(render_prof_report(report))
+    if args.profile_report:
+        write_prof_report(report, args.profile_report)
+        print(f"wrote profile -> {args.profile_report}")
+    if args.profile_speedscope:
+        write_speedscope(prof, args.profile_speedscope)
+        print(f"wrote speedscope profile -> {args.profile_speedscope}")
+    if args.profile_folded:
+        stacks = write_folded(prof, args.profile_folded)
+        print(f"wrote {stacks} folded stacks -> {args.profile_folded}")
+
+
+def _cmd_compare(args) -> int:
+    """Top-level ``--compare A B``: diff two report files (repro-compare/1)."""
+    from repro.obs import (
+        compare_files,
+        render_compare_report,
+        validate_compare_report,
+        write_compare_report,
+    )
+
+    report = compare_files(args.compare[0], args.compare[1])
+    validate_compare_report(report)
+    print(render_compare_report(report))
+    if args.compare_report:
+        write_compare_report(report, args.compare_report)
+        print(f"wrote compare report -> {args.compare_report}")
+    return 0
+
+
 def _fault_outputs(args, report, tracer, metrics, sampler) -> None:
     """Shared --fault-report/--trace/--metrics/--utilization handling."""
     from repro.faults.report import render_fault_report, write_fault_report
@@ -244,17 +294,34 @@ def _oltp_live(args) -> int:
     chaos = (None if args.chaos in (None, "default", "on") else args.chaos)
     workload = args.workload if args.workload != "all" else "A"
     study = OltpStudy(isolation=args.isolation)
+    prof = None
+    if _profiling_enabled(args):
+        from repro.obs import ProfiledRun
+
+        prof = ProfiledRun().start()
     report = study.live_report(
         args.system, concern=args.write_concern or "safe",
         workload=workload, slo_rules=rules, slice_s=args.live_slice,
         chaos=chaos, operations=args.operations, seed=args.seed,
         replication=_oltp_replication(args), span_sample=span_sample,
+        prof=prof,
     )
     validate_live_report(report)
-    print(render_live_report(report))
+    if prof is not None:
+        with prof.section("report.render"):
+            rendered = render_live_report(report)
+    else:
+        rendered = render_live_report(report)
+    print(rendered)
     if args.live_report != "-":
         write_live_report(report, args.live_report)
         print(f"wrote live report -> {args.live_report}")
+    if prof is not None:
+        _profile_outputs(args, prof, {
+            "kind": "oltp-live", "system": args.system, "workload": workload,
+            "chaos": chaos or "default", "operations": args.operations,
+            "seed": args.seed,
+        })
     return 0
 
 
@@ -286,12 +353,16 @@ def _cmd_dss(args) -> int:
         _parse_query_list(args.decompose, "--decompose")
         if args.decompose else None
     )
+    profiling = _profiling_enabled(args)
+    if profiling and args.faults:
+        raise ConfigurationError("--profile does not compose with --faults")
     study = DssStudy(calibration_sf=args.calibration_sf, seed=args.seed)
     if args.faults:
         return _dss_faults(args, study)
     observing = (args.trace or args.metrics or args.timeline
                  or args.utilization is not None or args.bottlenecks
-                 or args.critical_path is not None or args.whatif)
+                 or args.critical_path is not None or args.whatif
+                 or profiling)
     if decompose_numbers:
         from repro.obs import render_decomposition, write_decomposition
 
@@ -317,9 +388,14 @@ def _cmd_dss(args) -> int:
         sampler = None
         if args.utilization is not None or args.bottlenecks:
             sampler = UtilizationSampler()
+        prof = None
+        if profiling:
+            from repro.obs import ProfiledRun
+
+            prof = ProfiledRun().start()
         result, tracer, metrics = study.trace_query(
             args.trace_query, args.trace_sf, engine=args.engine,
-            sampler=sampler,
+            sampler=sampler, prof=prof,
         )
         print(
             f"{args.engine} q{args.trace_query} @ SF {args.trace_sf:g}: "
@@ -333,7 +409,12 @@ def _cmd_dss(args) -> int:
             write_metrics(args.metrics, metrics)
             print(f"wrote metrics -> {args.metrics}")
         if args.timeline:
-            print(ascii_timeline(tracer))
+            if prof is not None:
+                with prof.section("report.render"):
+                    timeline = ascii_timeline(tracer)
+            else:
+                timeline = ascii_timeline(tracer)
+            print(timeline)
         if args.utilization == "-":
             print(sparkline_heatmap(sampler))
         elif args.utilization is not None:
@@ -376,6 +457,11 @@ def _cmd_dss(args) -> int:
             if args.whatif_report:
                 write_whatif_report(report, args.whatif_report)
                 print(f"wrote what-if report -> {args.whatif_report}")
+        if prof is not None:
+            _profile_outputs(args, prof, {
+                "kind": "dss", "engine": args.engine,
+                "query": args.trace_query, "scale_factor": args.trace_sf,
+            })
         return 0
     table = study.table3()
     for block in (
@@ -476,6 +562,17 @@ def _cmd_oltp(args) -> int:
         _parse_whatif_for(args.whatif, "oltp", "the oltp event simulator")
         if args.whatif else None
     )
+    profiling = _profiling_enabled(args)
+    if profiling and (args.frontier or args.frontier_report or args.reshard
+                      or args.reshard_report or args.availability_report
+                      or args.faults
+                      or (args.chaos and args.live_report is None)):
+        # The profiler hooks the event-sim and live paths today; the sweep
+        # modes run many simulations whose profiles would blur together.
+        raise ConfigurationError(
+            "--profile composes with the traced event-sim point and "
+            "--live-report only"
+        )
     if args.frontier or args.frontier_report:
         return _oltp_frontier(args)
     if args.live_report is not None:
@@ -489,7 +586,8 @@ def _cmd_oltp(args) -> int:
         return _oltp_faults(args, study)
     observing = (args.trace or args.metrics or args.timeline
                  or args.utilization is not None or args.bottlenecks
-                 or args.critical_path is not None or args.whatif)
+                 or args.critical_path is not None or args.whatif
+                 or profiling)
     if observing:
         from repro.obs import (
             MetricsRegistry,
@@ -504,18 +602,32 @@ def _cmd_oltp(args) -> int:
         )
 
         workload = args.workload if args.workload != "all" else "A"
-        tracer, metrics = Tracer(), MetricsRegistry()
+        # A profile-only run skips span/metrics collection: the point of
+        # --profile is to measure the simulator itself, and span
+        # construction is its own (instrumented) cost.
+        span_observing = (args.trace or args.metrics or args.timeline
+                          or args.utilization is not None or args.bottlenecks
+                          or args.critical_path is not None or args.whatif)
+        tracer = Tracer() if span_observing else None
+        metrics = MetricsRegistry() if span_observing else None
         sampler = None
         if args.utilization is not None:
             sampler = UtilizationSampler(interval=0.5)
+        prof = None
+        if profiling:
+            from repro.obs import ProfiledRun
+
+            prof = ProfiledRun().start()
         point, sim = study.event_sim_point(
             args.system, workload, args.target, duration=args.duration,
             seed=args.seed, tracer=tracer, metrics=metrics, sampler=sampler,
+            prof=prof,
         )
+        spans = len(tracer.spans) if tracer is not None else 0
         print(
             f"{args.system} workload {workload} @ {args.target:g} ops/s target: "
             f"event-sim {sim.throughput:.0f} ops/s (scaled), "
-            f"{sim.completed_ops} measured ops, {len(tracer.spans)} spans"
+            f"{sim.completed_ops} measured ops, {spans} spans"
         )
         if args.trace:
             count = write_chrome_trace(args.trace, tracer, metrics,
@@ -525,7 +637,12 @@ def _cmd_oltp(args) -> int:
             write_metrics(args.metrics, metrics)
             print(f"wrote metrics -> {args.metrics}")
         if args.timeline:
-            print(ascii_timeline(tracer, cat="resource"))
+            if prof is not None:
+                with prof.section("report.render"):
+                    timeline = ascii_timeline(tracer, cat="resource")
+            else:
+                timeline = ascii_timeline(tracer, cat="resource")
+            print(timeline)
         if args.utilization == "-":
             print(sparkline_heatmap(sampler))
         elif args.utilization is not None:
@@ -580,6 +697,12 @@ def _cmd_oltp(args) -> int:
             if args.whatif_report:
                 write_whatif_report(report, args.whatif_report)
                 print(f"wrote what-if report -> {args.whatif_report}")
+        if prof is not None:
+            _profile_outputs(args, prof, {
+                "kind": "oltp", "system": args.system, "workload": workload,
+                "target": args.target, "duration": args.duration,
+                "seed": args.seed,
+            })
         return 0
     figures = [
         ("C", [5_000, 10_000, 20_000, 40_000, 80_000, 160_000], ["read"]),
@@ -662,13 +785,39 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _add_profile_flags(sub_parser) -> None:
+    """Self-profiling flags shared by the dss and oltp subcommands."""
+    sub_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the run itself (wall-clock stack sampler + exact "
+             "subsystem counters) and print the repro-prof/1 summary")
+    sub_parser.add_argument(
+        "--profile-report", metavar="PATH",
+        help="write the repro-prof/1 JSON (implies --profile)")
+    sub_parser.add_argument(
+        "--profile-speedscope", metavar="PATH",
+        help="write sampled stacks as a speedscope.app document "
+             "(implies --profile)")
+    sub_parser.add_argument(
+        "--profile-folded", metavar="PATH",
+        help="write folded stacks for flamegraph.pl (implies --profile)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Can the Elephants Handle the NoSQL "
         "Onslaught?' (VLDB 2012)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                        help="diff two report JSON files (repro-bench/1, "
+                             "repro-prof/1, or repro-live/1 — both the same "
+                             "kind) and attribute the regression; prints a "
+                             "repro-compare/1 table")
+    parser.add_argument("--compare-report", metavar="PATH",
+                        help="write the repro-compare/1 JSON "
+                             "(requires --compare)")
+    sub = parser.add_subparsers(dest="command", required=False)
 
     dss = sub.add_parser("dss", help="run the TPC-H study (Tables 2-5, Fig 1)")
     dss.add_argument("--calibration-sf", type=float, default=0.01)
@@ -712,6 +861,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(e.g. 'crash:n3@0.5' or 'straggler:n2@0.3x4')")
     dss.add_argument("--fault-report", metavar="PATH",
                      help="write the healthy-vs-faulted comparison JSON")
+    _add_profile_flags(dss)
     dss.set_defaults(func=_cmd_dss)
 
     oltp = sub.add_parser("oltp", help="run the YCSB study (Figures 2-6)")
@@ -839,6 +989,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="minimum measured seconds per probe (default 2; "
                            "overloaded rates need wall time for the backlog "
                            "to surface in p99 — lower only for smoke runs)")
+    _add_profile_flags(oltp)
     oltp.set_defaults(func=_cmd_oltp)
 
     dbgen = sub.add_parser("dbgen", help="generate TPC-H .tbl files")
@@ -881,6 +1032,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "func", None) is None:
+            if args.compare:
+                return _cmd_compare(args)
+            parser.error("a command or --compare is required")
+        if args.compare:
+            raise ConfigurationError(
+                "--compare is a standalone mode; drop the subcommand"
+            )
+        if args.compare_report:
+            raise ConfigurationError("--compare-report requires --compare")
         return args.func(args)
     except ConfigurationError as exc:
         # Bad input (unknown workload, non-positive scale factor, malformed

@@ -224,7 +224,7 @@ class DssStudy:
         return self.pdw.query_time(number, scale_factor)
 
     def trace_query(self, number: int, scale_factor: float, engine: str = "hive",
-                    tracer=None, metrics=None, sampler=None):
+                    tracer=None, metrics=None, sampler=None, prof=None):
         """Run one query with observability attached.
 
         Returns ``(result, tracer, metrics)``; fresh collectors are created
@@ -232,7 +232,10 @@ class DssStudy:
         The trace's root query span equals the reported query time exactly
         (spans are emitted after every cost adjustment), so exporters and
         the invariant suite can reconcile them; the sampler's series share
-        the same cursor layout as the phase spans.
+        the same cursor layout as the phase spans.  ``prof`` (a
+        :class:`~repro.obs.prof.ProfiledRun`) charges the engine's host
+        time to ``hive.query``/``pdw.query`` and its span construction to
+        ``span.construct`` without touching the simulated result.
         """
         from repro.obs import MetricsRegistry, Tracer
 
@@ -241,12 +244,12 @@ class DssStudy:
         if engine == "hive":
             result = self.hive.run_query(
                 number, scale_factor, tracer=tracer, metrics=metrics,
-                sampler=sampler,
+                sampler=sampler, prof=prof,
             )
         elif engine == "pdw":
             result = self.pdw.run_query(
                 number, scale_factor, tracer=tracer, metrics=metrics,
-                sampler=sampler,
+                sampler=sampler, prof=prof,
             )
         else:
             raise ConfigurationError(f"unknown engine {engine!r}")

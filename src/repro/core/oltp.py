@@ -486,7 +486,7 @@ class OltpStudy:
                         tracer=None, metrics=None, sampler=None,
                         faults=None, retry_policy=None,
                         station_scales: dict | None = None,
-                        live=None, bounded=False):
+                        live=None, bounded=False, prof=None):
         """Re-measure one figure point with the discrete-event simulator.
 
         The cluster and client population are scaled down by ``scale`` (the
@@ -533,7 +533,7 @@ class OltpStudy:
             duration=duration, seed=seed,
             tracer=tracer, metrics=metrics, sampler=sampler,
             faults=faults, retry_policy=retry_policy,
-            live=live, bounded=bounded,
+            live=live, bounded=bounded, prof=prof,
         )
         if metrics:
             metrics.gauge("oltp.sim.throughput").set(sim.throughput)
@@ -548,7 +548,7 @@ class OltpStudy:
                         tracer=None, metrics=None, sampler=None,
                         faults=None, retry_policy=None,
                         station_scales: dict | None = None,
-                        live=None, bounded=False):
+                        live=None, bounded=False, prof=None):
         """Measure one *open-loop* point: Poisson arrivals at ``rate`` ops/s.
 
         ``rate`` is the cluster-scale target; arrivals and stations are both
@@ -582,7 +582,7 @@ class OltpStudy:
             duration=duration, warmup=warmup, seed=seed,
             tracer=tracer, metrics=metrics, sampler=sampler,
             faults=faults, retry_policy=retry_policy,
-            live=live, bounded=bounded,
+            live=live, bounded=bounded, prof=prof,
         )
         # Report at cluster scale: rates scale back up, latencies are
         # scale-invariant by construction.
@@ -806,7 +806,7 @@ class OltpStudy:
                     shard_count: int = 4, record_count: int = 300,
                     operations: int = 500, replicas: int = 3,
                     seed: int = 11, replication=None,
-                    span_sample=None) -> dict:
+                    span_sample=None, prof=None) -> dict:
         """Watch one seeded chaos run live (``repro-live/1``).
 
         Runs a single (system, write-concern) chaos scenario — the same
@@ -855,7 +855,7 @@ class OltpStudy:
             system, concern_obj, chaos=chaos, workload=workload,
             shard_count=shard_count, record_count=record_count,
             operations=operations, replicas=replicas, seed=seed,
-            replication=replication, tracer=tracer, live=live,
+            replication=replication, tracer=tracer, live=live, prof=prof,
         )
         scenario = {
             "kind": "chaos",

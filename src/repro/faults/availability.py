@@ -95,6 +95,7 @@ def availability_row(
     replication: ReplicationConfig | None = None,
     tracer=None,
     live=None,
+    prof=None,
 ) -> dict:
     """Run one seeded chaos scenario and audit it into a report row.
 
@@ -134,7 +135,7 @@ def availability_row(
     runner = ChaosYcsbRun(
         cluster, WORKLOADS[workload], record_count=record_count,
         operations=operations, plan=plan, policy=policy, seed=seed,
-        tracer=tracer, live=live,
+        tracer=tracer, live=live, prof=prof,
     )
     runner.load()
     stats = runner.run()

@@ -115,6 +115,7 @@ class FaultedYcsbRun:
         tracer=None,
         metrics=None,
         live=None,
+        prof=None,
     ):
         if record_count < 2:
             raise WorkloadError("need at least two records")
@@ -126,6 +127,15 @@ class FaultedYcsbRun:
         self.operations = operations
         self.plan = plan if plan is not None else FaultPlan()
         self.policy = policy or RetryPolicy()
+        self.prof = prof
+        if prof is not None:
+            # Charge span construction and digest updates to their host-time
+            # counters; the wrapped collectors see identical calls, so all
+            # simulated output stays byte-identical (zero-cost-off contract).
+            from repro.obs.prof import profiled_live, profiled_tracer
+
+            tracer = profiled_tracer(tracer, prof)
+            live = profiled_live(live, prof)
         self.tracer = tracer
         self.metrics = metrics
         self.live = live
@@ -304,9 +314,18 @@ class FaultedYcsbRun:
         failed = False
         op_spans = list(pending_spans)  # fault.* markers that delay this op
         consume_io = getattr(self.cluster, "consume_io_wait", None)
+        prof = self.prof
         while True:
             try:
-                execute()
+                if prof is not None:
+                    # The routing path: mongos/ring lookup plus the store op.
+                    prof.enter("routing")
+                    try:
+                        execute()
+                    finally:
+                        prof.exit()
+                else:
+                    execute()
             except _RETRYABLE as exc:
                 latency += FAILURE_DETECT_LATENCY
                 if consume_io is not None:
@@ -459,4 +478,7 @@ class FaultedYcsbRun:
                         break
                 self.live.note_event(spec, fired_at, end)
             self.live.finish(self.now)
+        if self.prof is not None:
+            self.prof.note_ops(stats.succeeded)
+            self.prof.note_virtual_time(self.now)
         return stats

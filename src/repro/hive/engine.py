@@ -384,14 +384,27 @@ class HiveEngine:
 
     def run_query(self, number: int, scale_factor: float,
                   spec: QuerySpec | None = None,
-                  tracer=None, metrics=None, sampler=None) -> HiveQueryResult:
+                  tracer=None, metrics=None, sampler=None,
+                  prof=None) -> HiveQueryResult:
         """Simulate one TPC-H query, returning the per-job time breakdown.
 
         ``spec`` overrides the stock plan spec (used by ablations, e.g.
         forcing a different join order).  ``tracer``/``metrics``/``sampler``
-        (see :mod:`repro.obs`) record the mechanism breakdown; all default
-        to off and do not perturb the costing.
+        (see :mod:`repro.obs`) record the mechanism breakdown; ``prof``
+        charges the engine's host time to the ``hive.query`` subsystem
+        counter (span construction nests under ``span.construct``).  All
+        default to off and do not perturb the costing.
         """
+        if prof is not None:
+            with prof.section("hive.query"):
+                return self._run_query_inner(
+                    number, scale_factor, spec, tracer, metrics, sampler,
+                    prof)
+        return self._run_query_inner(
+            number, scale_factor, spec, tracer, metrics, sampler, None)
+
+    def _run_query_inner(self, number, scale_factor, spec, tracer, metrics,
+                         sampler, prof) -> HiveQueryResult:
         if spec is None:
             spec = spec_for(number)
         params = self._params_for(number)
@@ -420,7 +433,11 @@ class HiveEngine:
         for i in range(spec.hive_extra_jobs):
             result.jobs.append(self._small_job(f"extra.{i}", params))
         if tracer:
-            self._emit_trace(result, tracer, metrics, params=params)
+            if prof is not None:
+                with prof.section("span.construct"):
+                    self._emit_trace(result, tracer, metrics, params=params)
+            else:
+                self._emit_trace(result, tracer, metrics, params=params)
         if sampler:
             self._emit_utilization(result, params, sampler)
         return result

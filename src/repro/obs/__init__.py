@@ -61,7 +61,32 @@ from repro.obs.live import (
     validate_live_report,
     write_live_report,
 )
+from repro.obs.compare import (
+    compare_files,
+    compare_runs,
+    dumps_compare_report,
+    host_delta,
+    render_compare_report,
+    validate_compare_report,
+    write_compare_report,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import (
+    ProfiledRun,
+    build_prof_report,
+    dumps_prof_report,
+    folded_stacks,
+    host_meta,
+    profile_summary,
+    profiled_live,
+    profiled_tracer,
+    render_prof_report,
+    speedscope_document,
+    validate_prof_report,
+    write_folded,
+    write_prof_report,
+    write_speedscope,
+)
 from repro.obs.sampling import SamplingTracer, SpanSamplePolicy
 from repro.obs.slo import Alert, SloMonitor, SloRule, parse_slo_rules
 from repro.obs.timeseries import (
@@ -165,4 +190,25 @@ __all__ = [
     "dumps_live_report",
     "write_live_report",
     "render_live_report",
+    "ProfiledRun",
+    "host_meta",
+    "profile_summary",
+    "profiled_live",
+    "profiled_tracer",
+    "build_prof_report",
+    "validate_prof_report",
+    "dumps_prof_report",
+    "write_prof_report",
+    "render_prof_report",
+    "folded_stacks",
+    "write_folded",
+    "speedscope_document",
+    "write_speedscope",
+    "compare_runs",
+    "compare_files",
+    "host_delta",
+    "validate_compare_report",
+    "dumps_compare_report",
+    "write_compare_report",
+    "render_compare_report",
 ]

@@ -213,6 +213,12 @@ def build_live_report(live: LiveTelemetry, scenario: dict,
         "digest_buckets": live.digest_buckets(),
         "record_calls": live.record_calls,
         "events_noted": len(live.events),
+        # Virtual-clock op rate: deterministic per seed, so it can live in
+        # the report.  Wall-clock rates (events/ops per wall second) are
+        # host-dependent and ride in repro-prof/1 instead — a live report
+        # must stay byte-identical whether or not the run was profiled.
+        "ops_per_virtual_s": _round(
+            live.ops / duration if duration else 0.0, 3),
     }
     if sampler is not None and hasattr(sampler, "sample_stats"):
         telemetry["span_sampling"] = sampler.sample_stats()
@@ -323,6 +329,10 @@ def validate_live_report(data: dict) -> None:
         if not isinstance(telemetry.get(field), int):
             raise ConfigurationError(
                 f"telemetry is missing integer {field!r}")
+    rate = telemetry.get("ops_per_virtual_s")
+    if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+        raise ConfigurationError(
+            "telemetry is missing numeric 'ops_per_virtual_s'")
 
 
 def dumps_live_report(data: dict) -> str:
@@ -411,7 +421,8 @@ def render_live_report(data: dict) -> str:
     overhead = (
         f"  telemetry overhead: {telemetry['slices']} slices, "
         f"{telemetry['digest_buckets']} digest buckets, "
-        f"{telemetry['record_calls']} record calls"
+        f"{telemetry['record_calls']} record calls; "
+        f"{telemetry['ops_per_virtual_s']:g} ops/virtual-s"
     )
     sampling = telemetry.get("span_sampling")
     if sampling:

@@ -371,12 +371,23 @@ class PdwEngine:
     # -- public API ---------------------------------------------------------------
 
     def run_query(self, number: int, scale_factor: float,
-                  tracer=None, metrics=None, sampler=None) -> PdwQueryResult:
+                  tracer=None, metrics=None, sampler=None,
+                  prof=None) -> PdwQueryResult:
         """Plan and cost one TPC-H query; returns the step breakdown.
 
         ``tracer``/``metrics``/``sampler`` (see :mod:`repro.obs`) record
-        the data-movement breakdown; all default to off.
+        the data-movement breakdown; ``prof`` charges the engine's host
+        time to the ``pdw.query`` subsystem counter.  All default to off.
         """
+        if prof is not None:
+            with prof.section("pdw.query"):
+                return self._run_query_inner(
+                    number, scale_factor, tracer, metrics, sampler, prof)
+        return self._run_query_inner(
+            number, scale_factor, tracer, metrics, sampler, None)
+
+    def _run_query_inner(self, number, scale_factor, tracer, metrics,
+                         sampler, prof) -> PdwQueryResult:
         spec = spec_for(number)
         result = PdwQueryResult(
             number=number,
@@ -401,7 +412,11 @@ class PdwEngine:
                         note="control-node result ordering")
             )
         if tracer:
-            self._emit_trace(result, tracer, metrics)
+            if prof is not None:
+                with prof.section("span.construct"):
+                    self._emit_trace(result, tracer, metrics)
+            else:
+                self._emit_trace(result, tracer, metrics)
         if sampler:
             self._emit_utilization(result, sampler)
         return result

@@ -99,15 +99,18 @@ class Environment:
     ``tracer``, ``metrics`` and ``sampler`` (see :mod:`repro.obs`) are
     optional hooks: when attached, named :class:`Resource` instances emit
     wait/hold spans, queueing counters, and busy/queue-depth utilization
-    series.  When left ``None`` — the default — the loop and the resources
-    run exactly the uninstrumented code path.
+    series.  ``prof`` (a :class:`repro.obs.prof.ProfiledRun`) charges the
+    dispatch loop's wall time to the ``eventsim.loop`` subsystem counter.
+    When left ``None`` — the default — the loop and the resources run
+    exactly the uninstrumented code path.
     """
 
-    def __init__(self, tracer=None, metrics=None, sampler=None):
+    def __init__(self, tracer=None, metrics=None, sampler=None, prof=None):
         self.now = 0.0
         self.tracer = tracer
         self.metrics = metrics
         self.sampler = sampler
+        self.prof = prof
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
 
@@ -129,6 +132,8 @@ class Environment:
 
     def run(self, until: Optional[float] = None) -> None:
         """Dispatch events until the queue drains or the clock passes ``until``."""
+        if self.prof is not None:
+            return self._run_profiled(until)
         while self._queue:
             when, _seq, event = self._queue[0]
             if until is not None and when > until:
@@ -142,6 +147,38 @@ class Environment:
                 callback(event)
         if until is not None:
             self.now = until
+
+    def _run_profiled(self, until: Optional[float] = None) -> None:
+        """The same dispatch loop, bracketed by the ``eventsim.loop`` counter.
+
+        Kept as a separate duplicate so the unprofiled :meth:`run` stays
+        byte-for-byte the pre-instrumentation hot path (zero-cost-off).
+        The callbacks dispatched here include every instrumented producer
+        (digest updates, span construction), whose own counters nest inside
+        this one — self-vs-total accounting separates them back out.
+        """
+        prof = self.prof
+        events = 0
+        prof.enter("eventsim.loop")
+        try:
+            while self._queue:
+                when, _seq, event = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._queue)
+                self.now = when
+                event._fired = True
+                callbacks, event._callbacks = event._callbacks, []
+                for callback in callbacks:
+                    callback(event)
+                events += 1
+            if until is not None:
+                self.now = until
+        finally:
+            prof.exit()
+            prof.count_events(events)
+            prof.note_virtual_time(self.now)
 
     def all_of(self, events: list[Event]) -> Event:
         """Return an event that fires once every event in ``events`` has fired."""

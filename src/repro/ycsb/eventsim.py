@@ -96,6 +96,7 @@ def simulate_closed_loop(
     retry_policy=None,
     live=None,
     bounded=False,
+    prof=None,
 ) -> EventSimResult:
     """Run N closed-loop clients over the stations and measure.
 
@@ -128,6 +129,11 @@ def simulate_closed_loop(
     means and histograms then come from the digests (within one log-bucket
     of exact; ``latency_stderr`` is unavailable).  Both default off and
     leave the unwatched run byte-identical.
+
+    ``prof`` (a :class:`~repro.obs.prof.ProfiledRun`) charges the event
+    loop, span construction and digest updates to host-time subsystem
+    counters.  Profiling only reads wall clocks: the simulated schedule,
+    results and reports stay byte-identical with it on or off.
     """
     if clients < 1:
         raise SimulationError("need at least one client")
@@ -152,7 +158,14 @@ def simulate_closed_loop(
         elif policy is None:
             policy = RetryPolicy()
 
-    env = Environment(tracer=tracer, metrics=metrics, sampler=sampler)
+    if prof is not None:
+        from repro.obs.prof import profiled_live, profiled_tracer
+
+        tracer = profiled_tracer(tracer, prof)
+        live = profiled_live(live, prof)
+
+    env = Environment(tracer=tracer, metrics=metrics, sampler=sampler,
+                      prof=prof)
     resources = {s.name: Resource(env, s.servers, name=s.name) for s in stations}
     seeds = SeedStream(seed)
 
@@ -374,6 +387,8 @@ def simulate_closed_loop(
             result.errors[op_class] = len(values)
     result.retried_ops = fault_stats["retried"]
     result.backoff_seconds = fault_stats["backoff"]
+    if prof is not None:
+        prof.note_ops(completed[0])
     return result
 
 
@@ -464,6 +479,7 @@ def simulate_open_loop(
     retry_policy=None,
     live=None,
     bounded=False,
+    prof=None,
 ) -> OpenLoopResult:
     """Drive the stations with open-loop Poisson arrivals at ``rate`` ops/s.
 
@@ -490,7 +506,8 @@ def simulate_open_loop(
     :class:`~repro.obs.live.LiveTelemetry` sink streams completions (and
     the censored in-flight ops at cutoff) into windowed digests with
     online SLO evaluation; ``bounded=True`` replaces the store-everything
-    latency lists with those digests.
+    latency lists with those digests.  ``prof`` charges host time to
+    subsystem counters without perturbing any simulated output.
     """
     if rate <= 0:
         raise SimulationError(f"arrival rate must be > 0, got {rate:g}")
@@ -519,7 +536,14 @@ def simulate_open_loop(
         elif policy is None:
             policy = RetryPolicy()
 
-    env = Environment(tracer=tracer, metrics=metrics, sampler=sampler)
+    if prof is not None:
+        from repro.obs.prof import profiled_live, profiled_tracer
+
+        tracer = profiled_tracer(tracer, prof)
+        live = profiled_live(live, prof)
+
+    env = Environment(tracer=tracer, metrics=metrics, sampler=sampler,
+                      prof=prof)
     resources = {s.name: Resource(env, s.servers, name=s.name) for s in stations}
     pool = Resource(env, workers, name=None) if workers is not None else None
     seeds = SeedStream(seed)
@@ -810,4 +834,6 @@ def simulate_open_loop(
         metrics.gauge("frontier.throughput").set(result.throughput)
         metrics.gauge("frontier.p99").set(result.p99)
         metrics.gauge("frontier.max_dispatch_lag").set(result.max_dispatch_lag)
+    if prof is not None:
+        prof.note_ops(completed[0])
     return result

@@ -27,20 +27,37 @@ def _entry(seconds, runs=1):
 
 class TestTrajectoryManifest:
     def test_pr_number_and_required_set(self):
-        assert trajectory.PR == 8
+        assert trajectory.PR == 9
         assert "critpath_whatif_replay" in trajectory.REQUIRED_BENCHMARKS
         assert "utilization_sampling_overhead" in trajectory.REQUIRED_BENCHMARKS
         assert "reshard_time_to_rebalance" in trajectory.REQUIRED_BENCHMARKS
 
-    def test_committed_bench_8_is_valid(self):
-        path = BENCHMARKS_DIR.parent / "BENCH_8.json"
+    def test_committed_bench_9_is_valid(self):
+        path = BENCHMARKS_DIR.parent / "BENCH_9.json"
         doc = json.loads(path.read_text())
         assert trajectory.validate(doc) == []
-        assert doc["pr"] == 8
+        assert doc["pr"] == 9
+
+    def test_committed_bench_9_carries_host_and_profiles(self):
+        """PR 9 files record the host fingerprint and embedded profiles."""
+        path = BENCHMARKS_DIR.parent / "BENCH_9.json"
+        doc = json.loads(path.read_text())
+        host = doc["host"]
+        for key in ("python", "platform", "machine", "cpu_count"):
+            assert key in host
+        entry = doc["benchmarks"]["ycsb_workload_a_eventsim"]
+        assert entry["profile"]["subsystems"]["eventsim.loop"]["calls"] >= 1
+        assert entry["meta"]["ops_per_virtual_s"] > 0
+        assert entry["meta"]["ops_per_wall_s"] > 0
+        # multi-run benchmarks record their spread
+        mva = doc["benchmarks"]["ycsb_workload_a_mva"]
+        assert mva["runs"] > 1
+        assert mva["max_seconds"] >= mva["seconds"]
+        assert mva["stddev"] >= 0.0
 
     def test_committed_overhead_ratio_inside_ceiling(self):
         """The batched sampler keeps tracing overhead under the gate."""
-        path = BENCHMARKS_DIR.parent / "BENCH_8.json"
+        path = BENCHMARKS_DIR.parent / "BENCH_9.json"
         doc = json.loads(path.read_text())
         entry = doc["benchmarks"]["utilization_sampling_overhead"]
         limit = gate.META_THRESHOLDS[
@@ -49,7 +66,7 @@ class TestTrajectoryManifest:
 
     def test_committed_rebalance_time_inside_ceiling(self):
         """The throttled scale-up commits within the virtual-clock budget."""
-        path = BENCHMARKS_DIR.parent / "BENCH_8.json"
+        path = BENCHMARKS_DIR.parent / "BENCH_9.json"
         doc = json.loads(path.read_text())
         entry = doc["benchmarks"]["reshard_time_to_rebalance"]
         limit = gate.META_THRESHOLDS[
@@ -142,6 +159,32 @@ class TestGateCompare:
                         gate.compare(candidate, [baseline], 2.0))
         assert verdicts == {"x": "timed_out", "y": "new"}
 
+    def test_cross_host_regression_is_annotated_not_failed(self):
+        candidate = _doc(9, False, {"x": _entry(3.0)})
+        candidate["host"] = {"python": "3.11.7", "machine": "arm64"}
+        baseline = _doc(8, False, {"x": _entry(1.0)})
+        baseline["host"] = {"python": "3.11.7", "machine": "x86_64"}
+        [(_, status, detail)] = gate.compare(candidate, [baseline], 2.0)
+        assert status == "cross-host"
+        assert "hosts differ" in detail
+
+    def test_missing_host_keeps_old_strictness(self):
+        """Files from before the fingerprint still gate as same-host."""
+        candidate = _doc(9, False, {"x": _entry(3.0)})
+        candidate["host"] = {"python": "3.11.7", "machine": "arm64"}
+        baseline = _doc(2, False, {"x": _entry(1.0)})  # no host recorded
+        [(_, status, _)] = gate.compare(candidate, [baseline], 2.0)
+        assert status == "regression"
+
+    def test_same_host_regression_still_fails(self):
+        host = {"python": "3.11.7", "machine": "x86_64"}
+        candidate = _doc(9, False, {"x": _entry(3.0)})
+        candidate["host"] = dict(host)
+        baseline = _doc(8, False, {"x": _entry(1.0)})
+        baseline["host"] = dict(host)
+        [(_, status, _)] = gate.compare(candidate, [baseline], 2.0)
+        assert status == "regression"
+
 
 class TestGateMain:
     def _write(self, root, name, doc):
@@ -165,6 +208,33 @@ class TestGateMain:
                     _doc(4, False, self._full_set(scale=3.0)))
         assert gate.main(["--root", str(tmp_path)]) == 1
         assert "REGRESSION" in capsys.readouterr().err
+
+    def test_regression_prints_compare_attribution(self, tmp_path, capsys):
+        """A tolerance failure is self-explaining: the gate renders a
+        repro-compare/1 diff naming the dominant regressed subsystem."""
+        def with_profile(doc, loop_self):
+            entry = doc["benchmarks"]["ycsb_workload_a_eventsim"] = {
+                "seconds": loop_self + 0.02, "runs": 1,
+            }
+            entry["profile"] = {
+                "samples": 100, "interval_s": 0.002, "top": [],
+                "subsystems": {
+                    "eventsim.loop": {"calls": 1, "total_s": loop_self,
+                                      "self_s": loop_self},
+                    "span.construct": {"calls": 500, "total_s": 0.02,
+                                       "self_s": 0.02},
+                },
+            }
+            return doc
+
+        self._write(tmp_path, "BENCH_8.json",
+                    with_profile(_doc(8, False, self._full_set()), 0.1))
+        self._write(tmp_path, "BENCH_9.json",
+                    with_profile(_doc(9, False, self._full_set()), 0.5))
+        assert gate.main(["--root", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "attribution (repro-compare/1)" in err
+        assert "eventsim.loop" in err
 
     def test_older_files_not_held_to_new_benchmark_list(self, tmp_path, capsys):
         old = self._full_set()
