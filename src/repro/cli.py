@@ -226,7 +226,7 @@ def _oltp_availability(args) -> int:
     report = availability_report(
         concerns=concerns, chaos=chaos, workload=workload,
         operations=args.operations, seed=args.seed,
-        replication=replication,
+        replication=replication, overload=_overload_policy(args),
     )
     validate_availability_report(report)
     print(render_availability_report(report))
@@ -323,6 +323,104 @@ def _oltp_live(args) -> int:
             "seed": args.seed,
         })
     return 0
+
+
+def _overload_policy(args):
+    """Parse --overload into an OverloadPolicy (None when the flag is off)."""
+    if not (getattr(args, "overload", None) or
+            getattr(args, "overload_report", None)):
+        return None
+    from repro.overload import OverloadPolicy
+
+    return OverloadPolicy.parse(args.overload or "default")
+
+
+def _oltp_overload(args) -> int:
+    """``oltp --overload``: graceful degradation under overload.
+
+    Without a fault plan (or with a station-level one) this runs the
+    metastable-failure demonstration — the same transient trigger with and
+    without protection — and exits 0 only when the contrast holds.  A
+    shard-level ``--faults`` plan runs the functional breaker cell instead.
+    """
+    from repro.overload import (
+        functional_overload_cell,
+        overload_report,
+        render_overload_report,
+        validate_overload_report,
+        write_overload_report,
+    )
+
+    policy = _overload_policy(args)
+    workload = args.workload if args.workload != "all" else "A"
+    plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.parse(args.faults, seed=args.seed)
+
+    if plan is not None and (plan.shard_faults or plan.member_faults):
+        import json
+
+        cell = functional_overload_cell(
+            plan, policy, system=args.system, workload=workload,
+            replication=_oltp_replication(args),
+        )
+        contrast = cell["contrast"]
+        print(
+            f"overload cell [{args.system}] plan {plan.spec_string()}  "
+            f"policy {policy.spec_string()}"
+        )
+        print(
+            f"  backoff {cell['unprotected']['backoff_seconds']:g}s -> "
+            f"{cell['protected']['backoff_seconds']:g}s "
+            f"(saved {contrast['backoff_saved_seconds']:g}s)  "
+            f"breaker trips {contrast['breaker_trips']}  "
+            f"shed {cell['protected']['shed']}"
+        )
+        if args.overload_report:
+            with open(args.overload_report, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(cell, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+            print(f"wrote overload cell -> {args.overload_report}")
+        return 0
+
+    live = None
+    if args.live_report is not None:
+        from repro.obs import LiveTelemetry, parse_slo_rules
+
+        live = LiveTelemetry(slice_s=args.live_slice,
+                             rules=parse_slo_rules(args.slo_rules))
+    demo_kwargs = {"seed": args.seed, "live": live}
+    if plan is not None:
+        demo_kwargs["plan"] = args.faults
+    report = overload_report(policy, **demo_kwargs)
+    validate_overload_report(report)
+    print(render_overload_report(report))
+    if args.overload_report:
+        write_overload_report(report, args.overload_report)
+        print(f"wrote overload report -> {args.overload_report}")
+    if live is not None:
+        from repro.obs import (
+            build_live_report,
+            render_live_report,
+            validate_live_report,
+            write_live_report,
+        )
+
+        live_doc = build_live_report(live, {
+            "kind": "overload-demo", "workload": "read-only",
+            "policy": policy.spec_string(),
+            "plan": demo_kwargs.get("plan", "default"),
+            "seed": args.seed,
+        })
+        validate_live_report(live_doc)
+        print(render_live_report(live_doc))
+        if args.live_report != "-":
+            write_live_report(live_doc, args.live_report)
+            print(f"wrote live report -> {args.live_report}")
+    # Exit 0 only when the metastable contrast demonstrably holds.
+    return 0 if report["contrast"]["metastable_demonstrated"] else 1
 
 
 def _cmd_dss(args) -> int:
@@ -510,6 +608,7 @@ def _oltp_frontier(args) -> int:
         warmup_ops=max(args.frontier_ops // 4, 1),
         min_window_s=args.frontier_window,
         concern=args.write_concern, faults=args.faults,
+        overload=_overload_policy(args),
         params=study.params, isolation=study.isolation, metrics=metrics,
     )
     validate_frontier_report(report)
@@ -557,6 +656,16 @@ def _cmd_oltp(args) -> int:
         raise ConfigurationError(
             "--slo-rules/--span-sample require --live-report"
         )
+    overloading = args.overload or args.overload_report
+    if overloading and (args.reshard or args.reshard_report):
+        raise ConfigurationError(
+            "--overload does not compose with --reshard"
+        )
+    if (overloading and (args.chaos or args.availability_report)
+            and args.live_report is not None):
+        raise ConfigurationError(
+            "--overload with --chaos does not compose with --live-report"
+        )
     _require_positive(args.live_slice, "--live-slice")
     whatif_scales = (
         _parse_whatif_for(args.whatif, "oltp", "the oltp event simulator")
@@ -565,7 +674,7 @@ def _cmd_oltp(args) -> int:
     profiling = _profiling_enabled(args)
     if profiling and (args.frontier or args.frontier_report or args.reshard
                       or args.reshard_report or args.availability_report
-                      or args.faults
+                      or args.faults or args.overload or args.overload_report
                       or (args.chaos and args.live_report is None)):
         # The profiler hooks the event-sim and live paths today; the sweep
         # modes run many simulations whose profiles would blur together.
@@ -575,6 +684,8 @@ def _cmd_oltp(args) -> int:
         )
     if args.frontier or args.frontier_report:
         return _oltp_frontier(args)
+    if overloading and not (args.chaos or args.availability_report):
+        return _oltp_overload(args)
     if args.live_report is not None:
         return _oltp_live(args)
     if args.reshard or args.reshard_report:
@@ -964,6 +1075,21 @@ def build_parser() -> argparse.ArgumentParser:
     oltp.add_argument("--live-slice", type=float, default=0.1,
                       help="live dashboard slice width in virtual "
                            "seconds (default 0.1)")
+    oltp.add_argument("--overload", metavar="SPEC", nargs="?",
+                      const="default",
+                      help="graceful degradation under overload: admission "
+                           "control, deadline propagation, retry budgets, "
+                           "circuit breakers "
+                           "('queue=64,policy=deadline-drop,deadline=500ms,"
+                           "budget=0.1,breaker=on'; bare flag uses that "
+                           "default); alone it runs the metastable-failure "
+                           "demo (exit 0 only if the with/without contrast "
+                           "holds); composes with --faults (shard plans run "
+                           "the functional breaker cell), --chaos, "
+                           "--frontier, and --live-report")
+    oltp.add_argument("--overload-report", metavar="PATH",
+                      help="write the repro-overload/1 JSON "
+                           "(implies --overload)")
     oltp.add_argument("--frontier", action="store_true",
                       help="sweep open-loop Poisson arrival rates and "
                            "bisect each system's saturation knee (max "

@@ -59,6 +59,43 @@ class ChunkMoving(ShardingError):
         self.shard = shard
 
 
+class Overloaded(ReproError):
+    """An operation was shed by admission control instead of queueing.
+
+    Overload protection (PR 10) turns unbounded queueing into a typed,
+    immediately-visible failure: a bounded station queue rejects the op, a
+    deadline check drops it, a retry budget refuses another attempt, or an
+    open circuit breaker fails it fast.  ``reason`` carries which mechanism
+    shed the op so histograms and reports can break shed traffic down.
+    """
+
+    def __init__(self, message: str, reason: str = "queue-full",
+                 station: str = ""):
+        super().__init__(message)
+        self.reason = reason
+        self.station = station
+
+
+class DeadlineExceeded(Overloaded):
+    """An op's end-to-end deadline expired before it could be served.
+
+    Raised (or accounted) at queue hops: a request whose deadline has
+    already passed is dropped rather than given service that no client is
+    still waiting for.
+    """
+
+    def __init__(self, message: str, station: str = ""):
+        super().__init__(message, reason="deadline", station=station)
+
+
+class BreakerOpen(Overloaded):
+    """A per-shard circuit breaker is open; the op fails fast, unsent."""
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message, reason="breaker")
+        self.shard = shard
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 

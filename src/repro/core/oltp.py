@@ -548,7 +548,8 @@ class OltpStudy:
                         tracer=None, metrics=None, sampler=None,
                         faults=None, retry_policy=None,
                         station_scales: dict | None = None,
-                        live=None, bounded=False, prof=None):
+                        live=None, bounded=False, prof=None,
+                        overload=None):
         """Measure one *open-loop* point: Poisson arrivals at ``rate`` ops/s.
 
         ``rate`` is the cluster-scale target; arrivals and stations are both
@@ -582,7 +583,7 @@ class OltpStudy:
             duration=duration, warmup=warmup, seed=seed,
             tracer=tracer, metrics=metrics, sampler=sampler,
             faults=faults, retry_policy=retry_policy,
-            live=live, bounded=bounded, prof=prof,
+            live=live, bounded=bounded, prof=prof, overload=overload,
         )
         # Report at cluster scale: rates scale back up, latencies are
         # scale-invariant by construction.
@@ -595,7 +596,8 @@ class OltpStudy:
                         slo_ms: float = 250.0, seed: int = 42,
                         scale: float = 1.0, measure_ops: int = 40000,
                         warmup_ops: int = 10000, min_window_s: float = 2.0,
-                        concern: str | None = None, faults=None) -> dict:
+                        concern: str | None = None, faults=None,
+                        overload=None) -> dict:
         """Open-loop latency-throughput frontier (``repro-frontier/1``).
 
         Delegates to :func:`repro.ycsb.frontier.frontier_report`; see there
@@ -607,8 +609,19 @@ class OltpStudy:
             systems=systems, workloads=workloads, slo_ms=slo_ms, seed=seed,
             scale=scale, measure_ops=measure_ops, warmup_ops=warmup_ops,
             min_window_s=min_window_s, concern=concern, faults=faults,
+            overload=overload,
             params=self.params, isolation=self.isolation,
         )
+
+    def overload_report(self, policy=None, **kwargs) -> dict:
+        """The metastable-failure demonstration (``repro-overload/1``).
+
+        Delegates to :func:`repro.overload.report.overload_report`; see
+        there for the scenario, the two arms, and the contrast verdict.
+        """
+        from repro.overload.report import overload_report
+
+        return overload_report(policy, **kwargs)
 
     # Service stations that model a serialization point inside one process
     # rather than a pool of cluster hardware; the bottleneck report gives

@@ -96,6 +96,7 @@ def availability_row(
     tracer=None,
     live=None,
     prof=None,
+    overload=None,
 ) -> dict:
     """Run one seeded chaos scenario and audit it into a report row.
 
@@ -135,7 +136,7 @@ def availability_row(
     runner = ChaosYcsbRun(
         cluster, WORKLOADS[workload], record_count=record_count,
         operations=operations, plan=plan, policy=policy, seed=seed,
-        tracer=tracer, live=live, prof=prof,
+        tracer=tracer, live=live, prof=prof, overload=overload,
     )
     runner.load()
     stats = runner.run()
@@ -153,7 +154,7 @@ def availability_row(
         if hasattr(shard, "failovers"):
             failovers += shard.failovers
     duration = stats.duration or 1e-9
-    return {
+    row = {
         "system": system,
         "concern": concern_name,
         "workload": workload,
@@ -181,6 +182,17 @@ def availability_row(
         "stale_reads": stale,
         "plan": plan.spec_string(),
     }
+    if overload is not None:
+        # Overload keys appear only on protected runs, so unprotected
+        # report bytes stay identical to the pre-overload output.
+        row.update({
+            "overload": overload.spec_string(),
+            "shed": stats.shed_count,
+            "shed_reasons": {r: n for r, n in sorted(stats.shed.items())},
+            "budget_denied": stats.budget_denied,
+            "breaker_fast_failures": stats.breaker_fast_failures,
+        })
+    return row
 
 
 def availability_report(
@@ -197,6 +209,7 @@ def availability_report(
     policy: RetryPolicy | None = None,
     replication: ReplicationConfig | None = None,
     tracer=None,
+    overload=None,
 ) -> dict:
     """Sweep systems x write concerns under identical seeded chaos."""
     systems = tuple(systems) if systems else AVAILABILITY_SYSTEMS
@@ -212,6 +225,7 @@ def availability_report(
                 shard_count=shard_count, record_count=record_count,
                 operations=operations, replicas=replicas, seed=seed,
                 policy=policy, replication=replication, tracer=tracer,
+                overload=overload,
             ))
             continue
         for concern in concerns:
@@ -220,7 +234,10 @@ def availability_report(
                 shard_count=shard_count, record_count=record_count,
                 operations=operations, replicas=replicas, seed=seed,
                 policy=policy, replication=replication, tracer=tracer,
+                overload=overload,
             ))
+    scenario_overload = (
+        {"overload": overload.spec_string()} if overload is not None else {})
     return {
         "schema": SCHEMA,
         "scenario": {
@@ -231,6 +248,7 @@ def availability_report(
             "operations": operations,
             "replicas": replicas,
             "seed": seed,
+            **scenario_overload,
         },
         "rows": rows,
         "invariant_ok": all(row["invariant_ok"] for row in rows),

@@ -61,6 +61,11 @@ FAULT_KINDS = frozenset({
     # everything off shard 2 and retires it.
     "scale",          # grow the cluster to target="shards=N" total shards
     "drain",          # evacuate and retire target="shard=K"
+    # Overload trigger (PR 10): ``arrival-spike:clients@20+10x2.5`` multiplies
+    # the open-loop arrival rate by 2.5 over [20s, 30s).  Consumed by the
+    # overload-aware open-loop simulator; the target is conventionally
+    # ``clients`` (it names the arrival process, not a station).
+    "arrival-spike",
 })
 
 # Kinds that operate on one member of a replica-set shard.
@@ -70,7 +75,11 @@ MEMBER_KINDS = frozenset({
 })
 
 # Kinds that inflate service times / error ops at an event-sim station.
-STATION_KINDS = frozenset({"disk-stall", "net-spike", "op-error", "crash"})
+# ``arrival-spike`` rides along so :class:`StationFaults` can expose its
+# windows to the overload-aware open-loop simulator.
+STATION_KINDS = frozenset({
+    "disk-stall", "net-spike", "op-error", "crash", "arrival-spike",
+})
 
 # Kinds that change cluster topology mid-run (elastic resharding).
 TOPOLOGY_KINDS = frozenset({"scale", "drain"})
@@ -276,6 +285,7 @@ class StationFaults:
         self._slow: list[FaultSpec] = []
         self._error: list[FaultSpec] = []
         self._crash: list[FaultSpec] = []
+        self._spike: list[FaultSpec] = []
         for fault in faults:
             if fault.kind in ("disk-stall", "net-spike"):
                 self._slow.append(fault)
@@ -292,9 +302,16 @@ class StationFaults:
                         "fraction; must be <= 1"
                     )
                 self._crash.append(fault)
+            elif fault.kind == "arrival-spike":
+                if fault.magnitude < 1.0:
+                    raise FaultPlanError(
+                        "arrival-spike magnitude is a rate multiplier; "
+                        "must be >= 1"
+                    )
+                self._spike.append(fault)
 
     def __bool__(self) -> bool:
-        return bool(self._slow or self._error or self._crash)
+        return bool(self._slow or self._error or self._crash or self._spike)
 
     def slowdown(self, station: str, now: float) -> float:
         factor = 1.0
@@ -318,10 +335,16 @@ class StationFaults:
             if fault.target == station
         ]
 
+    def arrival_windows(self) -> list[tuple[float, float, float]]:
+        """``(at, end, rate_factor)`` arrival-spike windows, in time order."""
+        return sorted(
+            (fault.at, fault.end, fault.magnitude) for fault in self._spike
+        )
+
     @property
     def windows(self) -> list[FaultSpec]:
         """Every windowed fault, for trace/series annotation."""
         return sorted(
-            self._slow + self._error + self._crash,
+            self._slow + self._error + self._crash + self._spike,
             key=lambda f: (f.at, f.kind, f.target),
         )

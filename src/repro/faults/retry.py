@@ -39,9 +39,10 @@ class RetryPolicy:
     * ``max_attempts`` — total tries including the first (1 = no retry);
     * ``base_backoff`` / ``backoff_cap`` — capped exponential delays between
       tries, on the run's logical clock;
-    * ``op_timeout`` — total per-op budget; once the accumulated latency
-      (service + backoff) exceeds it, the client stops retrying even if
-      attempts remain.
+    * ``op_timeout`` — end-to-end deadline across *all* attempts; once the
+      accumulated latency (service + backoff) reaches it — or the next
+      backoff could not complete inside it — the client stops retrying even
+      if attempts remain.
     """
 
     max_attempts: int = 4
@@ -63,8 +64,17 @@ class RetryPolicy:
         return backoff_delay(attempt, self.base_backoff, self.backoff_cap)
 
     def gives_up(self, attempts_made: int, elapsed: float) -> bool:
-        """True when the client abandons the op after ``attempts_made`` tries."""
-        return attempts_made >= self.max_attempts or elapsed >= self.op_timeout
+        """True when the client abandons the op after ``attempts_made`` tries.
+
+        ``op_timeout`` is a cross-attempt deadline, not a per-attempt
+        budget: a retry whose backoff alone would push the op past the
+        deadline is never started, so worst-case op latency stays within
+        ``op_timeout`` plus a single service time (it used to overshoot by
+        the whole remaining backoff schedule).
+        """
+        if attempts_made >= self.max_attempts or elapsed >= self.op_timeout:
+            return True
+        return elapsed + self.delay(attempts_made - 1) >= self.op_timeout
 
 
 NO_RETRY = RetryPolicy(max_attempts=1)

@@ -33,6 +33,7 @@ from repro.faults.plan import MEMBER_KINDS, TOPOLOGY_KINDS, FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.ycsb.generators import (
     CounterGenerator,
+    HotspotGenerator,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
@@ -86,10 +87,19 @@ class FaultedRunStats:
     errors: dict = field(default_factory=dict)  # op class -> abandoned ops
     histograms: dict = field(default_factory=dict)  # op class -> LatencyHistogram
     faults_fired: list = field(default_factory=list)  # spec strings, in order
+    # Overload accounting (all zero/empty without an overload policy).
+    shed: dict = field(default_factory=dict)  # shed reason -> ops
+    budget_denied: int = 0  # retries refused by the retry budget
+    breaker_fast_failures: int = 0  # ops failed fast on an open breaker
+    breakers: dict = field(default_factory=dict)  # shard -> transition log
 
     @property
     def error_count(self) -> int:
         return sum(self.errors.values())
+
+    @property
+    def shed_count(self) -> int:
+        return sum(self.shed.values())
 
     @property
     def availability(self) -> float:
@@ -116,6 +126,7 @@ class FaultedYcsbRun:
         metrics=None,
         live=None,
         prof=None,
+        overload=None,
     ):
         if record_count < 2:
             raise WorkloadError("need at least two records")
@@ -127,6 +138,21 @@ class FaultedYcsbRun:
         self.operations = operations
         self.plan = plan if plan is not None else FaultPlan()
         self.policy = policy or RetryPolicy()
+        # Overload protection (PR 10): a retry budget and per-shard circuit
+        # breakers around the retry loop.  ``overload=None`` leaves every
+        # op on the exact pre-overload path (zero-cost-off).
+        self.overload = overload
+        self._budget = None
+        self._breakers = None
+        if overload is not None:
+            from repro.overload.policy import BreakerBoard, RetryBudget
+
+            if overload.retry_budget is not None:
+                self._budget = RetryBudget(
+                    overload.retry_budget, overload.budget_burst)
+            if overload.breaker:
+                self._breakers = BreakerBoard(
+                    overload.breaker_threshold, overload.breaker_cooldown)
         self.prof = prof
         if prof is not None:
             # Charge span construction and digest updates to their host-time
@@ -156,6 +182,9 @@ class FaultedYcsbRun:
             return lambda: gen.next()
         if dist == "zipfian":
             gen = ScrambledZipfianGenerator(self.record_count, rng)
+            return lambda: min(gen.next(), self._counter.last)
+        if dist == "hotspot":
+            gen = HotspotGenerator(self.record_count, rng)
             return lambda: min(gen.next(), self._counter.last)
         gen = LatestGenerator(self.record_count, rng)
         self._latest = gen
@@ -312,6 +341,7 @@ class FaultedYcsbRun:
         latency = 0.0
         attempt = 0
         failed = False
+        failed_shard = -1
         op_spans = list(pending_spans)  # fault.* markers that delay this op
         consume_io = getattr(self.cluster, "consume_io_wait", None)
         prof = self.prof
@@ -345,6 +375,36 @@ class FaultedYcsbRun:
                     if self.metrics:
                         self.metrics.counter(f"ycsb.errors.{op_class}").inc()
                     break
+                if self.overload is not None:
+                    # Per-shard breaker first (fail fast while a shard is
+                    # known-bad), then the retry budget (cap storm load).
+                    shard = getattr(exc, "shard", -1)
+                    if self._breakers is not None and shard >= 0:
+                        failed_shard = shard
+                        self._breakers.record_failure(
+                            shard, self.now + latency)
+                        if not self._breakers.allow(
+                                shard, self.now + latency):
+                            failed = True
+                            stats.breaker_fast_failures += 1
+                            stats.shed["breaker"] = (
+                                stats.shed.get("breaker", 0) + 1)
+                            histogram.record_shed()
+                            if self.metrics:
+                                self.metrics.counter(
+                                    "overload.shed.breaker").inc()
+                            break
+                    if (self._budget is not None
+                            and not self._budget.try_retry()):
+                        failed = True
+                        stats.budget_denied += 1
+                        stats.shed["retry-budget"] = (
+                            stats.shed.get("retry-budget", 0) + 1)
+                        histogram.record_shed()
+                        if self.metrics:
+                            self.metrics.counter(
+                                "overload.shed.retry-budget").inc()
+                        break
                 delay = self.policy.delay(attempt - 1)
                 if self.tracer:
                     backoff = self.tracer.add(
@@ -380,6 +440,10 @@ class FaultedYcsbRun:
                     self._on_acked_write(write, stats)
             stats.succeeded += 1
             histogram.record(latency)
+            if self._breakers is not None and failed_shard >= 0:
+                # A success after failures on a shard is the half-open
+                # probe's good news: close that shard's breaker.
+                self._breakers.record_success(failed_shard, self.now + latency)
             if attempt and self.metrics:
                 self.metrics.counter(f"ycsb.recovered_ops.{op_class}").inc()
             break
@@ -455,8 +519,12 @@ class FaultedYcsbRun:
             fired = self._fire_due_faults(op_index, stats)
             op_class = self.workload.pick_operation(self._op_rng)
             stats.attempted += 1
+            if self._budget is not None:
+                self._budget.note_op()
             self._run_op(op_class, stats, pending_spans=fired)
         stats.duration = self.now
+        if self._breakers is not None:
+            stats.breakers = self._breakers.to_dict()
         if self.metrics:
             self.metrics.gauge("ycsb.availability").set(stats.availability)
         if self.live:

@@ -71,6 +71,9 @@ class LiveTelemetry:
         self.monitor = SloMonitor(rules) if rules else None
         self.ops = 0
         self.errors = 0
+        self.sheds = 0
+        self.shed_reasons: dict[str, int] = {}
+        self.class_sheds: dict[str, int] = {}
         self.censored = 0
         self.record_calls = 0
         self.finished_at: float | None = None
@@ -115,6 +118,25 @@ class LiveTelemetry:
                     digest = QuantileDigest(self.growth, self.min_value)
                     self.class_digests[cls] = digest
                 digest.record(latency)
+
+    def record_shed(self, t: float, cls: str | None = None,
+                    reason: str | None = None) -> None:
+        """Record an op shed by overload protection at time ``t``.
+
+        A shed op never received service, so it contributes no latency to
+        any digest — shed ops are excluded from the mean and percentiles —
+        but it lands in the per-slice error counts, so SLO error-rate
+        burn alerts see load shedding as the client-visible failure it is.
+        """
+        self._advance(t)
+        self.record_calls += 1
+        index = int(t / self.slice_s)
+        self.error_slices[index] = self.error_slices.get(index, 0) + 1
+        self.sheds += 1
+        if reason is not None:
+            self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        if cls is not None:
+            self.class_sheds[cls] = self.class_sheds.get(cls, 0) + 1
 
     def record_censored(self, t: float, lower_bound: float) -> None:
         """Record an op still in flight at cutoff ``t`` (lower bound only)."""
@@ -199,6 +221,7 @@ def build_live_report(live: LiveTelemetry, scenario: dict,
     totals = {
         "ops": live.ops,
         "errors": live.errors,
+        "sheds": live.sheds,
         "censored": live.censored,
         "throughput": _round(live.ops / duration if duration else 0.0, 3),
         "p50": _round(total.percentile(50)),
@@ -247,7 +270,8 @@ _SERIES_REQUIRED = {
 }
 
 _TOTALS_REQUIRED = {
-    "ops": int, "errors": int, "censored": int, "throughput": float,
+    "ops": int, "errors": int, "sheds": int, "censored": int,
+    "throughput": float,
     "p50": float, "p95": float, "p99": float, "p999": float,
     "mean": float, "max": float,
 }

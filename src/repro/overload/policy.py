@@ -1,0 +1,347 @@
+"""Overload-protection policy: admission config, retry budgets, breakers.
+
+An :class:`OverloadPolicy` bundles every graceful-degradation knob the
+open-loop simulator and the functional YCSB driver understand:
+
+* **admission control** — a per-station queue bound plus the shedding
+  policy (``reject`` newcomers, ``lifo`` service order, ``deadline-drop``
+  expired waiters, ``priority`` by op class);
+* **deadline propagation** — an end-to-end deadline from each op's
+  intended arrival, enforced at every queue hop;
+* **retry budgets** — a token bucket capping the fraction of traffic that
+  may be retries (:class:`RetryBudget`);
+* **circuit breakers** — per-shard closed → open → half-open state
+  machines on the run's clock (:class:`CircuitBreaker`);
+* **client impatience** — the resubmit-on-timeout behavior that turns a
+  transient fault into a retry storm when the knobs above are off.
+
+Policies parse from a compact CLI spec (``--overload``), comma-separated
+``key=value`` pairs::
+
+    queue=64,policy=deadline-drop,deadline=500ms,budget=0.1,breaker=on
+
+Malformed specs raise :class:`~repro.common.errors.ConfigurationError`,
+which the CLI turns into a one-line exit-2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+
+ADMISSION_POLICIES = ("reject", "lifo", "deadline-drop", "priority")
+
+# The protected defaults the bare ``--overload`` flag means.
+DEFAULT_SPEC = "queue=64,policy=deadline-drop,deadline=500ms,budget=0.1,breaker=on"
+
+# Service order / shed preference for ``policy=priority``: reads first
+# (cheap, user-facing), scans last (expensive, batch-like).
+_CLASS_PRIORITY = {"read": 0, "scan": 2}
+
+
+def class_priority(op_class: str) -> int:
+    return _CLASS_PRIORITY.get(op_class, 1)
+
+
+def _parse_seconds(text: str, key: str) -> float:
+    """``500ms`` / ``0.5s`` / ``0.5`` -> seconds."""
+    match = re.fullmatch(r"(\d+(?:\.\d+)?)(ms|s)?", text)
+    if match is None:
+        raise ConfigurationError(
+            f"overload spec: bad duration {text!r} for {key}; "
+            f"expected e.g. 500ms or 0.5s"
+        )
+    value = float(match.group(1))
+    return value / 1000.0 if match.group(2) == "ms" else value
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Every overload-protection knob, with the protected defaults.
+
+    ``None`` means a knob is off: ``queue_limit=None`` queues without
+    bound, ``deadline_s=None`` never expires ops, ``retry_budget=None``
+    lets every client retry, ``client_timeout_s=None`` disables the
+    impatient-client resubmit loop entirely.
+    """
+
+    queue_limit: int | None = 64
+    policy: str = "deadline-drop"
+    deadline_s: float | None = 0.5
+    retry_budget: float | None = 0.1
+    budget_burst: float = 10.0
+    breaker: bool = True
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    client_timeout_s: float | None = None
+    max_attempts: int = 4
+
+    def __post_init__(self):
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ConfigurationError("overload queue limit must be >= 1")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"unknown admission policy {self.policy!r}; expected one of "
+                f"{', '.join(ADMISSION_POLICIES)}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("overload deadline must be > 0")
+        if self.retry_budget is not None and not 0.0 < self.retry_budget <= 1.0:
+            raise ConfigurationError("retry budget must be in (0, 1]")
+        if self.budget_burst < 1.0:
+            raise ConfigurationError("retry budget burst must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if self.breaker_cooldown <= 0:
+            raise ConfigurationError("breaker cooldown must be > 0")
+        if self.client_timeout_s is not None and self.client_timeout_s <= 0:
+            raise ConfigurationError("client timeout must be > 0")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max attempts must be >= 1")
+        if self.policy == "deadline-drop" and self.deadline_s is None:
+            raise ConfigurationError(
+                "policy=deadline-drop needs a deadline (e.g. deadline=500ms)"
+            )
+
+    @property
+    def protected(self) -> bool:
+        """True when any server-side protection is on."""
+        return (
+            self.queue_limit is not None
+            or self.deadline_s is not None
+            or self.retry_budget is not None
+            or self.breaker
+        )
+
+    def unprotected(self) -> "OverloadPolicy":
+        """The same client behavior with every protection stripped.
+
+        This is the metastable demo's contrast arm: identical impatient
+        clients (``client_timeout_s`` / ``max_attempts`` survive), but no
+        queue bound, no deadline, no retry budget, no breakers — the
+        pre-PR melt-down behavior, kept available on purpose.
+        """
+        return replace(
+            self, queue_limit=None, policy="reject", deadline_s=None,
+            retry_budget=None, breaker=False,
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "OverloadPolicy":
+        """Parse the CLI ``--overload`` spec (``default`` -> the defaults)."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise ConfigurationError("empty overload spec")
+        text = spec.strip()
+        if text == "default":
+            text = DEFAULT_SPEC
+        kwargs: dict = {}
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise ConfigurationError(
+                    f"overload spec: bad entry {entry!r}; expected key=value"
+                )
+            key, _, value = entry.partition("=")
+            key, value = key.strip(), value.strip()
+            try:
+                if key == "queue":
+                    kwargs["queue_limit"] = (
+                        None if value == "off" else int(value))
+                elif key == "policy":
+                    kwargs["policy"] = value
+                elif key == "deadline":
+                    kwargs["deadline_s"] = (
+                        None if value == "off"
+                        else _parse_seconds(value, key))
+                elif key == "budget":
+                    kwargs["retry_budget"] = (
+                        None if value == "off" else float(value))
+                elif key == "burst":
+                    kwargs["budget_burst"] = float(value)
+                elif key == "breaker":
+                    if value not in ("on", "off"):
+                        raise ConfigurationError(
+                            "overload spec: breaker must be on or off")
+                    kwargs["breaker"] = value == "on"
+                elif key == "threshold":
+                    kwargs["breaker_threshold"] = int(value)
+                elif key == "cooldown":
+                    kwargs["breaker_cooldown"] = _parse_seconds(value, key)
+                elif key == "timeout":
+                    kwargs["client_timeout_s"] = (
+                        None if value == "off"
+                        else _parse_seconds(value, key))
+                elif key == "attempts":
+                    kwargs["max_attempts"] = int(value)
+                else:
+                    raise ConfigurationError(
+                        f"overload spec: unknown key {key!r}"
+                    )
+            except ValueError:
+                raise ConfigurationError(
+                    f"overload spec: bad value {value!r} for {key}"
+                ) from None
+        return cls(**kwargs)
+
+    def spec_string(self) -> str:
+        """A spec that parses back to this policy (report provenance)."""
+
+        def seconds(value: float) -> str:
+            ms = value * 1000.0
+            return f"{ms:g}ms" if ms == int(ms) else f"{value:g}s"
+
+        parts = [
+            f"queue={self.queue_limit if self.queue_limit is not None else 'off'}",
+            f"policy={self.policy}",
+            "deadline=" + (
+                seconds(self.deadline_s) if self.deadline_s is not None
+                else "off"),
+            "budget=" + (
+                f"{self.retry_budget:g}" if self.retry_budget is not None
+                else "off"),
+            f"breaker={'on' if self.breaker else 'off'}",
+        ]
+        if self.client_timeout_s is not None:
+            parts.append(f"timeout={seconds(self.client_timeout_s)}")
+            parts.append(f"attempts={self.max_attempts}")
+        return ",".join(parts)
+
+
+class RetryBudget:
+    """Token-bucket retry budget: at most ``ratio`` of ops may be retries.
+
+    Every first attempt deposits ``ratio`` tokens (capped at ``burst``);
+    every retry spends a whole token.  Under steady load the retry rate is
+    therefore bounded by ``ratio`` times the op rate, which is what stops
+    a retry storm from multiplying offered load past capacity.  Fully
+    deterministic — no clock, no randomness.
+    """
+
+    def __init__(self, ratio: float, burst: float = 10.0):
+        if not 0.0 < ratio <= 1.0:
+            raise ConfigurationError("retry budget ratio must be in (0, 1]")
+        if burst < 1.0:
+            raise ConfigurationError("retry budget burst must be >= 1")
+        self.ratio = ratio
+        self.cap = burst
+        self.tokens = burst
+        self.spent = 0
+        self.denied = 0
+
+    def note_op(self) -> None:
+        """A first attempt arrived; accrue its retry allowance."""
+        self.tokens = min(self.cap, self.tokens + self.ratio)
+
+    def try_retry(self) -> bool:
+        """Spend a token for one retry; False when the budget is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One shard's closed → open → half-open breaker on a caller-supplied clock.
+
+    ``threshold`` consecutive failures trip the breaker open; while open,
+    :meth:`allow` fails fast.  After ``cooldown`` clock units the next
+    :meth:`allow` admits a single half-open probe: its success closes the
+    breaker (and resets the failure count), its failure re-opens it for
+    another cooldown.  The transition log is kept for reports and tests.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0):
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if cooldown <= 0:
+            raise ConfigurationError("breaker cooldown must be > 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        self.fast_failures = 0
+        self.opened_at = 0.0
+        self.transitions: list[tuple[float, str]] = []
+
+    def _move(self, now: float, state: str) -> None:
+        self.state = state
+        self.transitions.append((now, state))
+
+    def allow(self, now: float) -> bool:
+        """May a request be sent to this shard right now?"""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN and now >= self.opened_at + self.cooldown:
+            self._move(now, BREAKER_HALF_OPEN)
+            return True  # the single half-open probe
+        self.fast_failures += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        self.failures = 0
+        if self.state == BREAKER_HALF_OPEN:
+            self._move(now, BREAKER_CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self.opened_at = now
+            self._move(now, BREAKER_OPEN)
+            return
+        self.failures += 1
+        if self.state == BREAKER_CLOSED and self.failures >= self.threshold:
+            self.opened_at = now
+            self._move(now, BREAKER_OPEN)
+
+
+class BreakerBoard:
+    """Per-shard :class:`CircuitBreaker` instances, created on first failure."""
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._breakers: dict[int, CircuitBreaker] = {}
+
+    def breaker(self, shard: int) -> CircuitBreaker:
+        if shard not in self._breakers:
+            self._breakers[shard] = CircuitBreaker(
+                self.threshold, self.cooldown)
+        return self._breakers[shard]
+
+    def allow(self, shard: int, now: float) -> bool:
+        return self.breaker(shard).allow(now)
+
+    def record_success(self, shard: int, now: float) -> None:
+        if shard in self._breakers:
+            self._breakers[shard].record_success(now)
+
+    def record_failure(self, shard: int, now: float) -> None:
+        self.breaker(shard).record_failure(now)
+
+    @property
+    def fast_failures(self) -> int:
+        return sum(b.fast_failures for b in self._breakers.values())
+
+    def to_dict(self) -> dict:
+        """Transition log per shard, JSON-shaped for reports."""
+        return {
+            str(shard): {
+                "state": breaker.state,
+                "fast_failures": breaker.fast_failures,
+                "transitions": [
+                    [round(at, 6), state]
+                    for at, state in breaker.transitions
+                ],
+            }
+            for shard, breaker in sorted(self._breakers.items())
+        }

@@ -20,6 +20,7 @@ from repro.ycsb.frontier import (
 from repro.ycsb.trace import TraceOp, generate_trace, read_trace, replay, write_trace
 from repro.ycsb.generators import (
     CounterGenerator,
+    HotspotGenerator,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
@@ -59,6 +60,7 @@ __all__ = [
     "replay",
     "write_trace",
     "CounterGenerator",
+    "HotspotGenerator",
     "LatestGenerator",
     "ScrambledZipfianGenerator",
     "UniformGenerator",

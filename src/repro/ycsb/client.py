@@ -17,6 +17,7 @@ from repro.common.errors import WorkloadError
 from repro.common.rng import SeedStream
 from repro.ycsb.generators import (
     CounterGenerator,
+    HotspotGenerator,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
@@ -78,6 +79,9 @@ class YcsbClient:
             return lambda: gen.next()
         if dist == "zipfian":
             gen = ScrambledZipfianGenerator(self.record_count, rng)
+            return lambda: min(gen.next(), self._counter.last)
+        if dist == "hotspot":
+            gen = HotspotGenerator(self.record_count, rng)
             return lambda: min(gen.next(), self._counter.last)
         gen = LatestGenerator(self.record_count, rng)
         self._latest = gen

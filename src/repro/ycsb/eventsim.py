@@ -452,10 +452,23 @@ class OpenLoopResult:
     errors: dict = field(default_factory=dict)  # class -> abandoned ops
     retried_ops: int = 0
     backoff_seconds: float = 0.0
+    # Overload accounting (all zero/empty without an overload policy —
+    # the zero-cost-off contract: the plain path never touches these).
+    shed: dict = field(default_factory=dict)  # shed reason -> measured ops
+    goodput: float = 0.0  # within-SLO completions/s (== throughput w/o SLO)
+    late_ops: int = 0  # completions past the SLO/deadline
+    resubmits: int = 0  # impatient-client duplicate attempts issued
+    budget_denied: int = 0  # resubmits refused by the retry budget
+    duplicates: int = 0  # duplicate attempts that finished after resolution
+    series: list = field(default_factory=list)  # per-slice overload series
 
     @property
     def error_count(self) -> int:
         return sum(self.errors.values())
+
+    @property
+    def shed_count(self) -> int:
+        return sum(self.shed.values())
 
     @property
     def goodput_fraction(self) -> float:
@@ -480,6 +493,7 @@ def simulate_open_loop(
     live=None,
     bounded=False,
     prof=None,
+    overload=None,
 ) -> OpenLoopResult:
     """Drive the stations with open-loop Poisson arrivals at ``rate`` ops/s.
 
@@ -508,7 +522,27 @@ def simulate_open_loop(
     online SLO evaluation; ``bounded=True`` replaces the store-everything
     latency lists with those digests.  ``prof`` charges host time to
     subsystem counters without perturbing any simulated output.
+
+    ``overload`` (an :class:`~repro.overload.policy.OverloadPolicy`)
+    switches to the admission-controlled simulator in
+    :mod:`repro.overload.sim`: bounded station queues that shed, deadline
+    propagation, and the impatient-client resubmit loop with its retry
+    budget.  The ``None`` path below is byte-identical to the pre-overload
+    simulator (zero-cost-off).
     """
+    if overload is not None:
+        from repro.overload.sim import overload_open_loop
+
+        if tracer is not None or sampler is not None or bounded or prof:
+            raise SimulationError(
+                "the overload simulator supports faults/metrics/live only "
+                "(no tracer, sampler, bounded, or prof)"
+            )
+        return overload_open_loop(
+            stations, mix, rate, overload, workers=workers,
+            duration=duration, warmup=warmup, windows=windows, seed=seed,
+            faults=faults, metrics=metrics, live=live,
+        )
     if rate <= 0:
         raise SimulationError(f"arrival rate must be > 0, got {rate:g}")
     if workers is not None and workers < 1:

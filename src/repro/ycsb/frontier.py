@@ -203,6 +203,7 @@ def _point_dict(result, slo: float) -> dict:
         "max_dispatch_lag_ms": _round(result.max_dispatch_lag * 1000.0),
         "errors": result.error_count,
         "unfinished": result.unfinished_ops,
+        "shed": result.shed_count,
         "saturated": bool(result.throughput < 0.95 * offered),
     }
 
@@ -210,7 +211,7 @@ def _point_dict(result, slo: float) -> dict:
 def frontier_row(study, system_name: str, workload: str, *, slo_ms: float,
                  seed: int, scale: float = 1.0, measure_ops: int = 40000,
                  warmup_ops: int = 10000, min_window_s: float = 2.0,
-                 concern: str | None = None, faults=None,
+                 concern: str | None = None, faults=None, overload=None,
                  rel_tol: float = 0.05, metrics=None) -> dict:
     """Sweep one (system, workload) cell: ladder curve plus knee search.
 
@@ -247,15 +248,28 @@ def frontier_row(study, system_name: str, workload: str, *, slo_ms: float,
             cache[key] = study.open_loop_point(
                 system_name, workload, rate, scale=scale, duration=duration,
                 warmup=warmup, faults=faults, metrics=metrics,
+                overload=overload,
                 seed=seeds.seed_for("frontier", system_name, workload,
                                     concern or "paper", f"{key:.6g}"),
             )
         return cache[key]
 
+    def knee_p99(rate: float) -> float:
+        # A shed op never completes: it sits at +inf in the latency
+        # distribution.  Once sheds exceed the 1% that p99 can absorb,
+        # the 99th percentile is unbounded and the rate fails the SLO —
+        # admission control must not let a system shed its way past the
+        # knee.
+        result = run(rate)
+        total = (result.completed_ops + result.shed_count
+                 + result.unfinished_ops)
+        if total and result.shed_count > 0.01 * total:
+            return float("inf")
+        return result.p99
+
     ladder = [fraction * peak for fraction in LADDER_FRACTIONS]
     points = [_point_dict(run(rate), slo) for rate in ladder]
-    knee = find_knee(lambda rate: run(rate).p99, slo,
-                     lo=ladder[0], rel_tol=rel_tol)
+    knee = find_knee(knee_p99, slo, lo=ladder[0], rel_tol=rel_tol)
     at_knee = run(knee.rate)
     if metrics:
         metrics.gauge(
@@ -289,8 +303,8 @@ def frontier_report(systems=None, workloads=None, *,
                     slo_ms: float = DEFAULT_SLO_MS, seed: int = 42,
                     scale: float = 1.0, measure_ops: int = 40000,
                     warmup_ops: int = 10000, min_window_s: float = 2.0,
-                    concern: str | None = None, faults=None, params=None,
-                    isolation: str = "read_committed",
+                    concern: str | None = None, faults=None, overload=None,
+                    params=None, isolation: str = "read_committed",
                     rel_tol: float = 0.05, metrics=None) -> dict:
     """Sweep systems x workloads into a ``repro-frontier/1`` report.
 
@@ -351,7 +365,8 @@ def frontier_report(systems=None, workloads=None, *,
                 study, system, workload, slo_ms=slo_ms, seed=seed,
                 scale=scale, measure_ops=measure_ops, warmup_ops=warmup_ops,
                 min_window_s=min_window_s, concern=concern,
-                faults=station_faults, rel_tol=rel_tol, metrics=metrics,
+                faults=station_faults, overload=overload,
+                rel_tol=rel_tol, metrics=metrics,
             ))
     return {
         "schema": SCHEMA,
@@ -366,6 +381,8 @@ def frontier_report(systems=None, workloads=None, *,
             "min_window_s": _round(min_window_s),
             "concern": concern or "paper",
             "faults": fault_spec,
+            "overload": (overload.spec_string()
+                         if overload is not None else None),
             "ladder": [_round(f) for f in LADDER_FRACTIONS],
             "loop": "open",
             "accounting": "intended-start",
@@ -381,7 +398,7 @@ _POINT_REQUIRED = {
     "mean_ms": float, "p50_ms": float, "p95_ms": float, "p99_ms": float,
     "p999_ms": float, "uncorrected_p99_ms": float,
     "max_dispatch_lag_ms": float, "errors": int, "unfinished": int,
-    "saturated": bool,
+    "shed": int, "saturated": bool,
 }
 
 _KNEE_REQUIRED = {

@@ -90,6 +90,57 @@ class ScrambledZipfianGenerator:
         return self._zipf.cdf(top_fraction)
 
 
+class HotspotGenerator:
+    """Shifting-Zipf "celebrity key": one key soaks up a fixed share of
+    requests, and which key that is shifts deterministically over time.
+
+    With probability ``hot_weight`` a draw hits the current celebrity key;
+    otherwise it falls through to a scrambled-zipfian base distribution.
+    Every ``shift_every`` draws the celebrity moves to a new key derived by
+    hashing the epoch number, so a range- or hash-sharded cluster sees the
+    hot spot land on one shard at a time — the single-shard saturation mode
+    overload scenarios need (ROADMAP item 3).
+    """
+
+    def __init__(self, item_count: int, rng: TpchRandom64, *,
+                 hot_weight: float = 0.5, shift_every: int = 10_000,
+                 theta: float = ZIPFIAN_CONSTANT):
+        if item_count < 1:
+            raise WorkloadError("need at least one item")
+        if not 0.0 < hot_weight < 1.0:
+            raise WorkloadError("hot_weight must be in (0, 1)")
+        if shift_every < 1:
+            raise WorkloadError("shift_every must be >= 1")
+        self.item_count = item_count
+        self.hot_weight = hot_weight
+        self.shift_every = shift_every
+        self._rng = rng
+        self._base = ScrambledZipfianGenerator(item_count, rng, theta)
+        self._draws = 0
+
+    def celebrity(self, epoch: int) -> int:
+        """The hot key during ``epoch`` (epoch = draws // shift_every)."""
+        return zlib.crc32(b"celebrity:%d" % epoch) % self.item_count
+
+    @property
+    def epoch(self) -> int:
+        return self._draws // self.shift_every
+
+    def next(self) -> int:
+        hot = self.celebrity(self.epoch)
+        self._draws += 1
+        if self._rng.random_float() < self.hot_weight:
+            return hot
+        return self._base.next()
+
+    def cdf(self, top_fraction: float) -> float:
+        """Mass of the top fraction: the celebrity plus the base's share."""
+        return min(
+            1.0,
+            self.hot_weight + (1.0 - self.hot_weight) * self._base.cdf(top_fraction),
+        )
+
+
 class LatestGenerator:
     """Workload D's read-latest: zipfian over recency from the newest key."""
 

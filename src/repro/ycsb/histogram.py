@@ -31,6 +31,7 @@ class LatencyHistogram:
     min_latency: float = float("inf")
     max_latency: float = 0.0
     errors: int = 0  # ops that exhausted their retry budget (fault injection)
+    shed: int = 0  # ops shed by overload protection (no latency recorded)
 
     def __post_init__(self):
         if self.buckets < 1 or self.bucket_width <= 0:
@@ -65,6 +66,21 @@ class LatencyHistogram:
         """Count an op abandoned after retries; its latency is still recorded."""
         self.errors += 1
 
+    def record_shed(self) -> None:
+        """Count an op shed by overload protection.
+
+        A shed op never received service, so it contributes no latency —
+        it is excluded from the mean and the percentiles — but it counts
+        toward :attr:`error_rate`, because the client saw a failure.
+        """
+        self.shed += 1
+
+    @property
+    def error_rate(self) -> float:
+        """Failed fraction of attempted ops (abandoned plus shed)."""
+        attempted = self.total + self.shed
+        return (self.errors + self.shed) / attempted if attempted else 0.0
+
     @property
     def mean(self) -> float:
         return self.sum_latency / self.total if self.total else 0.0
@@ -92,6 +108,7 @@ class LatencyHistogram:
         self.overflow += other.overflow
         self.total += other.total
         self.errors += other.errors
+        self.shed += other.shed
         self.sum_latency += other.sum_latency
         self.min_latency = min(self.min_latency, other.min_latency)
         self.max_latency = max(self.max_latency, other.max_latency)
@@ -99,6 +116,9 @@ class LatencyHistogram:
     def render(self, operation: str = "READ") -> str:
         """YCSB-style summary block."""
         if self.total == 0:
+            if self.shed:
+                return (f"[{operation}] Operations: 0\n"
+                        f"[{operation}] Shed: {self.shed}")
             return f"[{operation}] no operations recorded"
         lines = [
             f"[{operation}] Operations: {self.total}",
@@ -115,6 +135,8 @@ class LatencyHistogram:
                          f"{self.overflow}")
         if self.errors:
             lines.append(f"[{operation}] Errors: {self.errors}")
+        if self.shed:
+            lines.append(f"[{operation}] Shed: {self.shed}")
         return "\n".join(lines)
 
 

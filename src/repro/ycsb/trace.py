@@ -24,6 +24,7 @@ from repro.common.errors import WorkloadError
 from repro.common.rng import SeedStream
 from repro.ycsb.generators import (
     CounterGenerator,
+    HotspotGenerator,
     LatestGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
@@ -100,6 +101,9 @@ def generate_trace(
     elif dist == "zipfian":
         zipf = ScrambledZipfianGenerator(record_count, chooser_rng)
         choose = lambda: min(zipf.next(), counter.last)
+    elif dist == "hotspot":
+        hot = HotspotGenerator(record_count, chooser_rng)
+        choose = lambda: min(hot.next(), counter.last)
     else:
         latest = LatestGenerator(record_count, chooser_rng)
         choose = latest.next

@@ -37,13 +37,15 @@ class WorkloadSpec:
     insert: float = 0.0
     scan: float = 0.0
     rmw: float = 0.0  # read-modify-write (workload F)
-    request_distribution: str = "zipfian"  # zipfian | latest | uniform
+    request_distribution: str = "zipfian"  # zipfian | latest | uniform | hotspot
 
     def __post_init__(self):
         total = self.read + self.update + self.insert + self.scan + self.rmw
         if abs(total - 1.0) > 1e-9:
             raise WorkloadError(f"workload {self.name}: mix sums to {total}, not 1")
-        if self.request_distribution not in ("zipfian", "latest", "uniform"):
+        if self.request_distribution not in (
+            "zipfian", "latest", "uniform", "hotspot",
+        ):
             raise WorkloadError(f"unknown distribution {self.request_distribution!r}")
 
     def pick_operation(self, rng: TpchRandom64) -> str:

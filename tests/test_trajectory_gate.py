@@ -27,15 +27,23 @@ def _entry(seconds, runs=1):
 
 class TestTrajectoryManifest:
     def test_pr_number_and_required_set(self):
-        assert trajectory.PR == 9
+        assert trajectory.PR == 10
         assert "critpath_whatif_replay" in trajectory.REQUIRED_BENCHMARKS
         assert "utilization_sampling_overhead" in trajectory.REQUIRED_BENCHMARKS
         assert "reshard_time_to_rebalance" in trajectory.REQUIRED_BENCHMARKS
+        assert "overload_recovery_time" in trajectory.REQUIRED_BENCHMARKS
 
-    def test_committed_bench_9_is_valid(self):
-        path = BENCHMARKS_DIR.parent / "BENCH_9.json"
+    def test_committed_bench_10_is_valid(self):
+        path = BENCHMARKS_DIR.parent / "BENCH_10.json"
         doc = json.loads(path.read_text())
         assert trajectory.validate(doc) == []
+        assert doc["pr"] == 10
+
+    def test_committed_bench_9_is_valid(self):
+        # PR 9's file legitimately predates overload_recovery_time.
+        path = BENCHMARKS_DIR.parent / "BENCH_9.json"
+        doc = json.loads(path.read_text())
+        assert trajectory.validate(doc, required=()) == []
         assert doc["pr"] == 9
 
     def test_committed_bench_9_carries_host_and_profiles(self):
@@ -72,6 +80,18 @@ class TestTrajectoryManifest:
         limit = gate.META_THRESHOLDS[
             ("reshard_time_to_rebalance", "rebalance_virtual_s")]
         assert 0.0 < entry["meta"]["rebalance_virtual_s"] <= limit
+
+    def test_committed_overload_recovery_inside_ceiling(self):
+        """The protected arm of the metastable demo recovers within the
+        gated virtual-clock budget, and the collapse is demonstrated."""
+        path = BENCHMARKS_DIR.parent / "BENCH_10.json"
+        doc = json.loads(path.read_text())
+        entry = doc["benchmarks"]["overload_recovery_time"]
+        limit = gate.META_THRESHOLDS[
+            ("overload_recovery_time", "recovery_virtual_s")]
+        assert 0.0 <= entry["meta"]["recovery_virtual_s"] <= limit
+        assert entry["meta"]["collapsed_virtual_s"] >= 30.0
+        assert entry["meta"]["metastable_demonstrated"] is True
 
     def test_meta_threshold_gating(self):
         candidate = _doc(7, False, {
